@@ -1,0 +1,83 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run at reduced scale by default so
+``pytest benchmarks/ --benchmark-only`` completes in minutes; set
+``REPRO_BENCH_SCALE`` (a float) to enlarge the datasets toward the
+paper's sizes, and ``REPRO_BENCH_TREES`` to change the forest size (the
+paper uses 50).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets.generators import (
+    generate_application,
+    generate_fault,
+    generate_infrastructure,
+    generate_power,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+TREES = int(os.environ.get("REPRO_BENCH_TREES", "20"))
+
+
+@pytest.fixture(scope="session")
+def bench_trees() -> int:
+    return TREES
+
+
+@pytest.fixture(scope="session")
+def fault_segment_bench():
+    return generate_fault(seed=0, t=int(6000 * SCALE))
+
+
+@pytest.fixture(scope="session")
+def application_segment_bench():
+    return generate_application(seed=0, t=int(1200 * SCALE), nodes=6)
+
+
+@pytest.fixture(scope="session")
+def power_segment_bench():
+    return generate_power(seed=0, t=int(3500 * SCALE))
+
+
+@pytest.fixture(scope="session")
+def infrastructure_segment_bench():
+    return generate_infrastructure(seed=0, t=int(1000 * SCALE), racks=4)
+
+
+SEGMENT_FIXTURES = {
+    "fault": "fault_segment_bench",
+    "application": "application_segment_bench",
+    "power": "power_segment_bench",
+    "infrastructure": "infrastructure_segment_bench",
+}
+
+
+def merge_csv(path, headers, rows, n_key_cols: int = 2) -> None:
+    """Merge rows into a results CSV, keyed on the first columns.
+
+    Partial or filtered bench runs then update their cells without
+    clobbering rows produced by earlier runs.
+    """
+    from pathlib import Path
+
+    from repro.experiments.reporting import format_value, save_csv
+
+    path = Path(path)
+    merged: dict[tuple, tuple] = {}
+    if path.exists():
+        lines = path.read_text().splitlines()
+        if lines and lines[0] == ",".join(str(h) for h in headers):
+            for line in lines[1:]:
+                cells = line.split(",")
+                if len(cells) == len(headers):
+                    merged[tuple(cells[:n_key_cols])] = tuple(cells)
+    for row in rows:
+        cells = tuple(format_value(c) for c in row)
+        merged[cells[:n_key_cols]] = cells
+    path.parent.mkdir(exist_ok=True)
+    save_csv(path, headers, sorted(merged.values()))

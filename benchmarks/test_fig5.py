@@ -1,0 +1,102 @@
+"""Benchmark: Figure 5 — time to compute one signature vs wl and n.
+
+This is the natural pytest-benchmark experiment: each cell times one
+``transform`` call on a random matrix (training excluded, matching the
+paper's methodology).  Expected shapes: all methods linear in n; Tuncer
+and Bodik slightly super-linear in wl (percentile sort); CS roughly an
+order of magnitude faster than Tuncer/Bodik at large sizes, with the
+block count mattering little.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import time_single_signature
+from repro.experiments.harness import make_method_factory
+from repro.experiments.reporting import format_table, save_csv
+
+METHODS = ("tuncer", "bodik", "lan", "cs-5", "cs-40", "cs-all")
+WL_GRID = (100, 1000, 4000)
+N_GRID = (100, 1000, 4000)
+
+
+def _make_fitted(method, n, wl, seed=0):
+    rng = np.random.default_rng(seed)
+    Sw = rng.random((n, wl))
+    m = make_method_factory(method)()
+    m.fit(Sw)
+    m.transform(Sw)  # warm-up
+    return m, Sw
+
+
+@pytest.mark.parametrize("wl", WL_GRID)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig5a_vs_wl(benchmark, method, wl):
+    """Figure 5a: n fixed at 100, wl sweeps."""
+    m, Sw = _make_fitted(method, 100, wl)
+    benchmark(m.transform, Sw)
+
+
+@pytest.mark.parametrize("n", N_GRID)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig5b_vs_n(benchmark, method, n):
+    """Figure 5b: wl fixed at 100, n sweeps."""
+    if method == "cs-40" and n < 40:
+        pytest.skip("l > n")
+    m, Sw = _make_fitted(method, n, 100)
+    benchmark(m.transform, Sw)
+
+
+def test_fig5_shape_cs_faster_than_tuncer_at_scale():
+    """The headline: ~an order of magnitude at high dimension counts."""
+    n, wl = 4000, 100
+    t_cs = time_single_signature("cs-20", n, wl, repeats=7)
+    t_tuncer = time_single_signature("tuncer", n, wl, repeats=7)
+    print(f"\nn={n}: CS-20 {t_cs * 1e3:.2f} ms vs Tuncer {t_tuncer * 1e3:.2f} ms "
+          f"({t_tuncer / t_cs:.1f}x)")
+    assert t_cs * 3 < t_tuncer
+
+
+def test_fig5_shape_cs_linear_in_wl():
+    """CS time grows ~linearly in wl (O(wl n) complexity)."""
+    times = [time_single_signature("cs-20", 100, wl, repeats=7) for wl in (500, 4000)]
+    ratio = times[1] / max(times[0], 1e-9)
+    print(f"\nCS-20 wl 500->4000 time ratio: {ratio:.2f} (ideal 8)")
+    assert ratio < 24  # super-linear blowup would far exceed this
+
+
+def test_fig5_block_count_minor_effect():
+    """The number of blocks has minimal impact on the CS footprint."""
+    t5 = time_single_signature("cs-5", 1000, 100, repeats=7)
+    tall = time_single_signature("cs-all", 1000, 100, repeats=7)
+    print(f"\nCS-5 {t5 * 1e3:.3f} ms vs CS-All {tall * 1e3:.3f} ms at n=1000")
+    assert tall < t5 * 5
+
+
+def test_fig5_rows(benchmark):
+    rows = []
+    # Route one representative measurement through pytest-benchmark so
+    # this collector runs under --benchmark-only too.
+    benchmark.pedantic(
+        lambda: time_single_signature("cs-20", 100, 100, repeats=3),
+        rounds=1, iterations=1,
+    )
+    for method in METHODS:
+        for wl in WL_GRID:
+            rows.append(("wl", method, wl, 100,
+                         time_single_signature(method, 100, wl, repeats=5)))
+        for n in N_GRID:
+            if method == "cs-40" and n < 40:
+                continue
+            rows.append(("n", method, 100, n,
+                         time_single_signature(method, n, 100, repeats=5)))
+    results = Path(__file__).resolve().parent.parent / "results" / "fig5_series.csv"
+    results.parent.mkdir(exist_ok=True)
+    save_csv(results, ("Axis", "Method", "wl", "n", "Median time [s]"), rows)
+    print()
+    print(format_table(("Axis", "Method", "wl", "n", "Median time [s]"), rows,
+                       title="Figure 5 series"))

@@ -1,0 +1,55 @@
+"""Future-work bench: CS on accelerator (GPU) sensor data.
+
+Paper Section V, item 1: "Testing the CS method's effectiveness when
+applied to accelerator sensor data (e.g., GPUs)."  Runs the standard
+method comparison on the GPU extension segment and records the rows.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.generators import build_ml_dataset
+from repro.datasets.gpu import generate_gpu
+from repro.experiments.harness import make_method_factory
+from benchmarks.conftest import SCALE, merge_csv
+from repro.experiments.reporting import format_table
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import cross_validate_classifier
+
+METHODS = ("tuncer", "lan", "cs-5", "cs-10", "cs-all")
+HEADERS = ("Segment", "Method", "Sig. size", "CV time [s]", "F1 score")
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "gpu_futurework.csv"
+
+_ROWS: list[tuple] = []
+
+
+@pytest.fixture(scope="module")
+def gpu_segment_bench():
+    return generate_gpu(seed=0, t=int(1400 * SCALE), gpus=4)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_gpu_cell(benchmark, gpu_segment_bench, method, bench_trees):
+    factory = make_method_factory(method)
+    dataset = benchmark.pedantic(
+        lambda: build_ml_dataset(gpu_segment_bench, factory),
+        rounds=1, iterations=1,
+    )
+    start = time.perf_counter()
+    scores = cross_validate_classifier(
+        lambda: RandomForestClassifier(bench_trees, random_state=0),
+        dataset.X, dataset.y, random_state=0,
+    )
+    cv_time = time.perf_counter() - start
+    row = ("gpu", method, dataset.signature_size, round(cv_time, 3),
+           round(float(scores.mean()), 4))
+    _ROWS.append(row)
+    merge_csv(RESULTS, HEADERS, _ROWS)
+    print()
+    print(format_table(HEADERS, [row], title=f"GPU future-work — {method}"))
+    # The claim: CS remains effective on accelerator telemetry.
+    assert scores.mean() > 0.8

@@ -1,0 +1,37 @@
+"""Benchmark: Table I — segment generation and overview rows.
+
+Regenerates the dataset-collection overview (Table I of the paper) and
+benchmarks the telemetry-simulator throughput for each segment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.datasets.generators import generate_segment
+from repro.experiments.table1 import HEADERS, segment_summary
+from repro.experiments.reporting import format_table
+
+SEGMENT_SIZES = {
+    "fault": {"t": 4000},
+    "application": {"t": 800, "nodes": 4},
+    "power": {"t": 3000},
+    "infrastructure": {"t": 800, "racks": 4},
+    "cross-architecture": {"t": 1000},
+}
+
+
+@pytest.mark.parametrize("segment", list(SEGMENT_SIZES))
+def test_table1_generation(benchmark, segment):
+    kwargs = {
+        k: (int(v * SCALE) if k == "t" else v)
+        for k, v in SEGMENT_SIZES[segment].items()
+    }
+    seg = benchmark.pedantic(
+        lambda: generate_segment(segment, seed=0, **kwargs), rounds=3, iterations=1
+    )
+    row = segment_summary(seg)
+    print()
+    print(format_table(HEADERS, [row], title=f"Table I row — {segment}"))
+    assert seg.total_data_points > 0

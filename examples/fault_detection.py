@@ -1,0 +1,84 @@
+"""Fault classification with root-cause drill-down (the Fault use case).
+
+Classifies eight injected fault types (plus healthy operation) from CS
+signatures, then demonstrates the root-cause property of Section
+III-C.3: when a signature deviates from the healthy baseline, the
+deviating blocks map directly back to the raw sensors that caused it.
+
+Run with::
+
+    python examples/fault_detection.py [--t 8000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.rootcause import explain_difference
+from repro.baselines import get_method
+from repro.core import CorrelationWiseSmoothing
+from repro.datasets.generators import build_ml_dataset, generate_fault
+from repro.experiments.fig6 import run_intervals
+from repro.experiments.reporting import print_table
+from repro.ml import RandomForestClassifier, cross_validate_classifier
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--t", type=int, default=8000)
+    parser.add_argument("--trees", type=int, default=30)
+    args = parser.parse_args()
+
+    print(f"generating the Fault segment ({args.t} samples, 128 sensors)...")
+    segment = generate_fault(seed=0, t=args.t)
+    comp = segment.components[0]
+
+    # --- Classification: the block-count sweep of Figure 4b.
+    rows = []
+    for blocks in (5, 20, 40, "all"):
+        ds = build_ml_dataset(segment, lambda b=blocks: get_method(f"cs-{b}"))
+        scores = cross_validate_classifier(
+            lambda: RandomForestClassifier(args.trees, random_state=0),
+            ds.X, ds.y, random_state=0,
+        )
+        rows.append((f"CS-{blocks}", ds.signature_size,
+                     round(float(scores.mean()), 4)))
+    print()
+    print_table(("Method", "Sig. size", "F1 score"), rows,
+                title="Fault classification vs signature length")
+    print("\nFault detection depends on exact error-counter values, so the "
+          "score climbs with the block count (paper, Section IV-B).")
+
+    # --- Root cause: compare a faulty window against a healthy baseline.
+    cs = CorrelationWiseSmoothing(blocks="all")
+    cs.fit(comp.matrix, sensor_names=list(comp.sensor_names))
+    wl = segment.spec.wl
+    labels = comp.labels
+    fault_name = "memalloc"
+    fid = segment.label_names.index(fault_name)
+    fstart, _ = next(
+        (s, e) for s, e in run_intervals(labels, fid) if e - s >= wl
+    )
+    hstart, _ = next(
+        (s, e) for s, e in run_intervals(labels, 0) if e - s >= wl
+    )
+    sig_fault = cs.transform(comp.matrix[:, fstart : fstart + wl])
+    sig_ok = cs.transform(comp.matrix[:, hstart : hstart + wl])
+    findings = explain_difference(cs.model, sig_ok, sig_fault, top=5)
+    print(f"\nroot-cause drill-down for an observed '{fault_name}' anomaly:")
+    print_table(
+        ("Rank", "Block", "|delta|", "Sensors"),
+        [
+            (i + 1, f.block, round(f.magnitude, 3), ", ".join(f.sensors))
+            for i, f in enumerate(findings)
+        ],
+    )
+    implicated = {s for f in findings for s in f.sensors}
+    marker = "alloc_failures"
+    verdict = "YES" if marker in implicated else "no"
+    print(f"\ninjected sensor '{marker}' implicated in top blocks: {verdict}")
+    assert np.isfinite(sig_fault).all()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""A full in-band ODA control loop: power capping via CS signatures.
+
+Implements the paper's Figure 1 flow end to end on a simulated compute
+node:
+
+1. collect open-loop history and train a CS model on it;
+2. build CS-signature features and train a random-forest power predictor;
+3. deploy the loop: every ``ws`` ticks a signature is computed online,
+   the model predicts near-future power, and a CPU-frequency knob is
+   stepped to keep the prediction under a cap;
+4. compare the capped run against an uncontrolled baseline.
+
+Run with::
+
+    python examples/oda_control_loop.py [--cap 0.62]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import CorrelationWiseSmoothing, signature_features
+from repro.datasets.windows import future_mean_target
+from repro.ml import RandomForestRegressor
+from repro.monitoring.streaming import OnlineSignatureStream
+from repro.oda import (
+    CPUFrequencyKnob,
+    ODAControlLoop,
+    PowerCapController,
+    SimulatedNodePlant,
+)
+
+WL, WS, HORIZON, BLOCKS = 12, 4, 4, 8
+
+
+def train_stack(seed: int):
+    """History collection + CS model + power predictor."""
+    plant = SimulatedNodePlant(seed=seed, total_t=2600)
+    history = plant.run_open_loop(2600)
+    power_row = list(plant.sensor_names).index("power_node")
+
+    cs = CorrelationWiseSmoothing(blocks=BLOCKS)
+    cs.fit(history, sensor_names=list(plant.sensor_names))
+    sigs = cs.transform_series(history, WL, WS)
+    targets, n_use = future_mean_target(history[power_row], WL, WS, HORIZON)
+    X = signature_features(sigs[:n_use])
+    model = RandomForestRegressor(30, random_state=0).fit(X, targets)
+    return cs, model
+
+
+def run_plant(cs, model, *, cap: float | None, seed: int):
+    knob = CPUFrequencyKnob()
+    plant = SimulatedNodePlant(seed=seed, total_t=3000, knob=knob)
+    stream = OnlineSignatureStream(cs, wl=WL, ws=WS)
+    controller = None
+    if cap is not None:
+        controller = PowerCapController(model, knob, power_cap=cap)
+    loop = ODAControlLoop(plant, stream, controller)
+    return loop.run(3000), knob
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cap", type=float, default=0.62)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("phase 1: collecting history and training the CS model + predictor...")
+    cs, model = train_stack(args.seed)
+
+    print("phase 2: baseline run (no controller)...")
+    baseline, _ = run_plant(cs, model, cap=None, seed=args.seed + 1)
+    print("phase 3: controlled run (power cap "
+          f"{args.cap}, frequency knob)...")
+    capped, knob = run_plant(cs, model, cap=args.cap, seed=args.seed + 1)
+
+    b_over = baseline.power_overshoot(args.cap)
+    c_over = capped.power_overshoot(args.cap)
+    print(f"\n{'':24}{'baseline':>10}{'controlled':>12}")
+    print(f"{'mean power':24}{np.mean(baseline.power_trace):>10.4f}"
+          f"{np.mean(capped.power_trace):>12.4f}")
+    print(f"{'time above cap':24}{baseline.time_above(args.cap):>10.2%}"
+          f"{capped.time_above(args.cap):>12.2%}")
+    print(f"{'mean overshoot':24}{b_over:>10.4f}{c_over:>12.4f}")
+    print(f"{'signatures emitted':24}{baseline.n_signatures:>10}"
+          f"{capped.n_signatures:>12}")
+    print(f"\nknob actuations: {knob.actuation_count}, final setting "
+          f"{knob.setting:.2f}")
+    reduction = 1.0 - c_over / b_over if b_over > 0 else 1.0
+    print(f"overshoot reduced by {reduction:.0%} — the Figure 1 loop closed.")
+
+
+if __name__ == "__main__":
+    main()

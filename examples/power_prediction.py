@@ -1,0 +1,60 @@
+"""Power-consumption prediction (the HPC-ODA Power use case).
+
+Predicts a compute node's mean power over the next 3 samples (~300 ms)
+from CS signatures of the preceding 1-second window, sweeping the
+signature length and showing the value of the imaginary (derivative)
+components — the Figure 4 "Power" curves in miniature.
+
+Run with::
+
+    python examples/power_prediction.py [--t 5000]
+"""
+
+import argparse
+
+from repro.datasets.generators import build_ml_dataset, generate_power
+from repro.experiments.harness import make_method_factory
+from repro.experiments.reporting import print_table
+from repro.ml import RandomForestRegressor, cross_validate_regressor
+
+
+def score(segment, method_factory, trees):
+    ds = build_ml_dataset(segment, method_factory)
+    scores = cross_validate_regressor(
+        lambda: RandomForestRegressor(trees, random_state=0),
+        ds.X, ds.y, random_state=0,
+    )
+    return float(scores.mean()), ds.signature_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--t", type=int, default=5000)
+    parser.add_argument("--trees", type=int, default=30)
+    args = parser.parse_args()
+
+    print(f"generating the Power segment ({args.t} samples @ 100 ms)...")
+    segment = generate_power(seed=0, t=args.t)
+    print(f"task: {segment.spec.target}")
+
+    rows = []
+    for l in (5, 10, 20, "all"):
+        full, size = score(segment, make_method_factory(f"cs-{l}"), args.trees)
+        ronly, _ = score(
+            segment, make_method_factory(f"cs-{l}", real_only=True), args.trees
+        )
+        rows.append((f"CS-{l}", size, round(full, 4), round(ronly, 4)))
+    print()
+    print_table(
+        ("Method", "Sig. size", "ML score (1-NRMSE)", "ML score, real only"),
+        rows,
+        title="Power prediction vs signature length",
+    )
+    print("\nExpected shapes (paper, Figure 4): the score climbs with the "
+          "signature length, and dropping the imaginary (derivative) "
+          "components costs several points — power has short-term momentum "
+          "that only the derivatives capture.")
+
+
+if __name__ == "__main__":
+    main()

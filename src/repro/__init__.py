@@ -1,0 +1,34 @@
+"""repro: reproduction of "Correlation-wise Smoothing: Lightweight
+Knowledge Extraction for HPC Monitoring Data" (Netti et al., IPDPS 2021).
+
+Subpackages
+-----------
+``repro.core``
+    The CS algorithm itself (training / sorting / smoothing stages).
+``repro.baselines``
+    The Tuncer, Bodik and Lan signature baselines.
+``repro.ml``
+    Random forests, MLPs, cross-validation and metrics (scikit-learn
+    substitute).
+``repro.datasets``
+    Synthetic HPC-ODA dataset collection (telemetry simulator).
+``repro.monitoring``
+    Monitoring substrate: sensor trees, CSV storage, time alignment,
+    online streaming.
+``repro.analysis``
+    Jensen-Shannon compression fidelity, heatmap visualization,
+    root-cause drill-down.
+``repro.experiments``
+    Runnable reproductions of every table and figure in the paper.
+"""
+
+from repro.core import CSModel, CorrelationWiseSmoothing, signature_features
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSModel",
+    "CorrelationWiseSmoothing",
+    "signature_features",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Analysis utilities: compression fidelity, visualization, root cause.
+
+* :mod:`~repro.analysis.similarity` — the paper's 2-D Jensen-Shannon
+  divergence between original data and CS signatures (Section IV-A.2,
+  Equation 4), plus entropy/KL building blocks;
+* :mod:`~repro.analysis.visualization` — image-like rendering of sensor
+  matrices and signature sets (ASCII and PGM/PPM export, no matplotlib
+  required);
+* :mod:`~repro.analysis.rootcause` — mapping signature blocks back to the
+  raw sensors that feed them ("root cause analysis is simplified").
+"""
+
+from repro.analysis.rootcause import block_sensors, explain_difference
+from repro.analysis.similarity import (
+    cs_compression_divergence,
+    js_divergence_2d,
+    kl_divergence,
+    nearest_neighbor_upsample,
+    shannon_entropy,
+)
+from repro.analysis.visualization import (
+    ascii_heatmap,
+    save_pgm,
+    save_ppm,
+    signature_heatmaps,
+    to_grayscale,
+)
+
+__all__ = [
+    "ascii_heatmap",
+    "block_sensors",
+    "cs_compression_divergence",
+    "explain_difference",
+    "js_divergence_2d",
+    "kl_divergence",
+    "nearest_neighbor_upsample",
+    "save_pgm",
+    "save_ppm",
+    "shannon_entropy",
+    "signature_heatmaps",
+    "to_grayscale",
+]

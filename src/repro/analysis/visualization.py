@@ -1,0 +1,152 @@
+"""Image-like rendering of sensor matrices and signature sets.
+
+CS signatures are designed to be "easily manipulated, visualized and
+compared"; this module renders them without any plotting dependency:
+
+* grayscale conversion with min-max scaling ("darker colors correspond to
+  higher values", matching the paper's heatmaps),
+* binary PGM/PPM export (viewable by any image tool),
+* ASCII heatmaps for terminal inspection,
+* assembly of the paired real/imaginary signature heatmaps of
+  Figures 2, 6 and 7, including the solid separators that mark run
+  boundaries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "to_grayscale",
+    "save_pgm",
+    "save_ppm",
+    "ascii_heatmap",
+    "signature_heatmaps",
+    "add_boundaries",
+]
+
+
+def to_grayscale(
+    matrix: np.ndarray,
+    *,
+    invert: bool = True,
+    value_range: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Min-max scale a matrix to uint8 grayscale.
+
+    ``invert=True`` maps high values to dark pixels, following the
+    paper's "darker colors correspond to higher values" convention.
+    """
+    M = np.asarray(matrix, dtype=np.float64)
+    if M.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {M.shape}")
+    if value_range is None:
+        lo, hi = float(M.min()), float(M.max())
+    else:
+        lo, hi = map(float, value_range)
+    span = hi - lo if hi > lo else 1.0
+    unit = np.clip((M - lo) / span, 0.0, 1.0)
+    if invert:
+        unit = 1.0 - unit
+    return np.round(unit * 255.0).astype(np.uint8)
+
+
+def save_pgm(path: str | Path, gray: np.ndarray) -> Path:
+    """Write a uint8 grayscale image as binary PGM (P5)."""
+    gray = np.asarray(gray)
+    if gray.ndim != 2 or gray.dtype != np.uint8:
+        raise ValueError("expected a 2-D uint8 array")
+    path = Path(path)
+    h, w = gray.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(gray.tobytes())
+    return path
+
+
+def save_ppm(path: str | Path, rgb: np.ndarray) -> Path:
+    """Write a uint8 RGB image as binary PPM (P6)."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3 or rgb.dtype != np.uint8:
+        raise ValueError("expected a (H, W, 3) uint8 array")
+    path = Path(path)
+    h, w, _ = rgb.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(rgb.tobytes())
+    return path
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    *,
+    max_width: int = 100,
+    max_height: int = 24,
+    value_range: tuple[float, float] | None = None,
+) -> str:
+    """Render a matrix as an ASCII heatmap (denser character = higher).
+
+    The matrix is block-averaged down to at most ``max_width`` columns and
+    ``max_height`` rows so arbitrary sizes fit a terminal.
+    """
+    M = np.asarray(matrix, dtype=np.float64)
+    if M.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {M.shape}")
+    h = min(max_height, M.shape[0])
+    w = min(max_width, M.shape[1])
+    # Block-average resize via bincount over target cells.
+    row_of = (np.arange(M.shape[0]) * h // M.shape[0]).astype(np.intp)
+    col_of = (np.arange(M.shape[1]) * w // M.shape[1]).astype(np.intp)
+    keys = row_of[:, None] * w + col_of[None, :]
+    sums = np.bincount(keys.ravel(), weights=M.ravel(), minlength=h * w)
+    counts = np.bincount(keys.ravel(), minlength=h * w)
+    small = (sums / counts).reshape(h, w)
+    if value_range is None:
+        lo, hi = float(small.min()), float(small.max())
+    else:
+        lo, hi = map(float, value_range)
+    span = hi - lo if hi > lo else 1.0
+    levels = np.clip(
+        ((small - lo) / span * (len(_ASCII_RAMP) - 1)).round().astype(int),
+        0,
+        len(_ASCII_RAMP) - 1,
+    )
+    return "\n".join("".join(_ASCII_RAMP[v] for v in row) for row in levels)
+
+
+def signature_heatmaps(
+    signatures: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a complex ``(num_windows, l)`` signature set into heatmaps.
+
+    Returns ``(real, imag)``, each of shape ``(l, num_windows)`` so that —
+    as in the paper's figures — "each column corresponds to a separate
+    signature" and rows run over blocks.
+    """
+    sigs = np.asarray(signatures)
+    if sigs.ndim != 2:
+        raise ValueError("signatures must be a (num_windows, l) matrix")
+    return np.ascontiguousarray(sigs.real.T), np.ascontiguousarray(sigs.imag.T)
+
+
+def add_boundaries(
+    gray: np.ndarray, columns: np.ndarray | list[int], value: int = 0
+) -> np.ndarray:
+    """Draw solid vertical separator lines at the given column indices.
+
+    Used to mark the end of application runs, as in Figures 6 and 7.
+    Returns a copy; out-of-range columns are ignored.
+    """
+    gray = np.asarray(gray)
+    if gray.ndim != 2:
+        raise ValueError("expected a 2-D image")
+    out = gray.copy()
+    for c in np.asarray(columns, dtype=np.intp):
+        if 0 <= c < out.shape[1]:
+            out[:, c] = value
+    return out

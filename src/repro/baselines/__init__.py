@@ -1,0 +1,44 @@
+"""Baseline signature methods from the literature (Section III-B).
+
+Three methods the paper compares against, all production-grade approaches
+for data-center monitoring data:
+
+* :class:`~repro.baselines.tuncer.TuncerSignature` — 11 statistical
+  indicators per sensor (Tuncer et al., TPDS 2018);
+* :class:`~repro.baselines.bodik.BodikSignature` — 9 percentile-based
+  indicators per sensor (Bodik et al., EuroSys 2010);
+* :class:`~repro.baselines.lan.LanSignature` — mean-filter sub-sampling of
+  each sensor row (Lan et al., TPDS 2009; sub-sampling step added by the
+  CS paper for scalability).
+
+Beyond the paper's three baselines, the related-work methods discussed in
+Section I-A are implemented as *extra* baselines for the ablation
+benches: :class:`~repro.baselines.pca.PCASignature` (variance-based
+dimensionality reduction), :class:`~repro.baselines.sax.SAXSignature`
+(symbolic time/value aggregation) and
+:class:`~repro.baselines.corrmat.CorrelationMatrixSignature` (Laguna et
+al.'s pairwise-correlation signature).
+
+All share the :class:`~repro.baselines.base.SignatureMethod` interface so
+the experiment harness can treat them and CS uniformly.
+"""
+
+from repro.baselines.base import SignatureMethod, get_method, list_methods
+from repro.baselines.bodik import BodikSignature
+from repro.baselines.corrmat import CorrelationMatrixSignature
+from repro.baselines.lan import LanSignature
+from repro.baselines.pca import PCASignature
+from repro.baselines.sax import SAXSignature
+from repro.baselines.tuncer import TuncerSignature
+
+__all__ = [
+    "SignatureMethod",
+    "TuncerSignature",
+    "BodikSignature",
+    "LanSignature",
+    "PCASignature",
+    "SAXSignature",
+    "CorrelationMatrixSignature",
+    "get_method",
+    "list_methods",
+]

@@ -1,0 +1,101 @@
+"""Common interface for signature methods.
+
+A *signature method* is a function ``Sig()`` that maps a window ``Sw`` of
+the sensor matrix (shape ``(n, wl)``) to a feature vector of length ``l``
+with ``l << n * wl`` (Section III-A).  This module defines the abstract
+base class shared by the baselines and by the CS adapter used in the
+experiment harness, plus a small registry so experiments can select
+methods by name (``"tuncer"``, ``"bodik"``, ``"lan"``, ``"cs-20"``, ...).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["SignatureMethod", "register_method", "get_method", "list_methods"]
+
+
+class SignatureMethod(abc.ABC):
+    """Abstract signature extractor over sensor-matrix windows."""
+
+    #: Short display name used in result tables.
+    name: str = "abstract"
+
+    def fit(self, S: np.ndarray) -> "SignatureMethod":
+        """Learn any state needed from historical data (default: none)."""
+        return self
+
+    @abc.abstractmethod
+    def transform(self, Sw: np.ndarray) -> np.ndarray:
+        """Map one window (shape ``(n, wl)``) to a flat feature vector."""
+
+    @abc.abstractmethod
+    def feature_length(self, n: int, wl: int) -> int:
+        """Length of the produced feature vector for given window shape."""
+
+    def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
+        """Feature vectors for every sliding window of ``S``.
+
+        Default implementation loops over windows calling
+        :meth:`transform`; subclasses override with vectorized versions.
+        """
+        S = np.asarray(S, dtype=np.float64)
+        n, t = S.shape
+        if t < wl:
+            return np.empty((0, self.feature_length(n, wl)))
+        starts = range(0, t - wl + 1, ws)
+        return np.stack([self.transform(S[:, s : s + wl]) for s in starts])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, Callable[[], SignatureMethod]] = {}
+
+
+def register_method(name: str, factory: Callable[[], SignatureMethod]) -> None:
+    """Register a zero-argument factory under ``name`` (case-insensitive)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def get_method(name: str) -> SignatureMethod:
+    """Instantiate a registered signature method by name.
+
+    Names of the form ``cs-<blocks>`` or ``cs-all`` build CS adapters; the
+    three baselines are registered under ``tuncer``, ``bodik`` and ``lan``.
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        return _REGISTRY[key]()
+    if key.startswith("cs-"):
+        # Late import: avoids a circular import at package load time.
+        from repro.baselines.cs_adapter import CSSignature
+
+        spec = key[3:]
+        blocks: int | str = "all" if spec == "all" else int(spec)
+        return CSSignature(blocks=blocks)
+    raise KeyError(
+        f"unknown signature method {name!r}; known: {sorted(_REGISTRY)} "
+        "plus 'cs-<blocks>' / 'cs-all'"
+    )
+
+
+def list_methods() -> list[str]:
+    """Names of all statically registered methods."""
+    return sorted(_REGISTRY)
+
+
+def _windowed_view(S: np.ndarray, wl: int, ws: int) -> np.ndarray:
+    """Strided view of all complete windows: shape ``(num, n, wl)``.
+
+    Zero-copy: uses :func:`numpy.lib.stride_tricks.sliding_window_view`
+    and slices the window axis with step ``ws``, per the guide's advice to
+    prefer views over copies.
+    """
+    S = np.ascontiguousarray(S, dtype=np.float64)
+    view = np.lib.stride_tricks.sliding_window_view(S, wl, axis=1)
+    # view shape: (n, t - wl + 1, wl) -> take every ws-th window.
+    return view[:, ::ws, :].transpose(1, 0, 2)

@@ -1,0 +1,54 @@
+"""Bodik et al. baseline: percentile fingerprints.
+
+For each sensor row of the window, nine order statistics characterize the
+distribution of its ``wl`` samples (Section III-B): minimum, maximum and
+the 5th/25th/35th/50th/65th/75th/95th percentiles.  The signature is the
+row-major concatenation, so ``l = n * 9``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SignatureMethod, _windowed_view, register_method
+
+__all__ = ["BodikSignature", "FEATURES_PER_SENSOR"]
+
+FEATURES_PER_SENSOR = 9
+_PERCENTILES = (5.0, 25.0, 35.0, 50.0, 65.0, 75.0, 95.0)
+
+
+def _features(windows: np.ndarray) -> np.ndarray:
+    """Compute the 9 indicators for a stack of windows ``(num, n, wl)``."""
+    num, n, _ = windows.shape
+    out = np.empty((num, n, FEATURES_PER_SENSOR))
+    out[:, :, 0] = windows.min(axis=2)
+    out[:, :, 1] = windows.max(axis=2)
+    out[:, :, 2:] = np.moveaxis(
+        np.percentile(windows, _PERCENTILES, axis=2), 0, -1
+    )
+    return out.reshape(num, n * FEATURES_PER_SENSOR)
+
+
+class BodikSignature(SignatureMethod):
+    """Percentile-fingerprint signature of Bodik et al. [EuroSys 2010]."""
+
+    name = "Bodik"
+
+    def transform(self, Sw: np.ndarray) -> np.ndarray:
+        Sw = np.asarray(Sw, dtype=np.float64)
+        if Sw.ndim != 2:
+            raise ValueError(f"window must be 2-D, got shape {Sw.shape}")
+        return _features(Sw[None])[0]
+
+    def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
+        S = np.asarray(S, dtype=np.float64)
+        if S.shape[1] < wl:
+            return np.empty((0, self.feature_length(S.shape[0], wl)))
+        return _features(_windowed_view(S, wl, ws))
+
+    def feature_length(self, n: int, wl: int) -> int:
+        return n * FEATURES_PER_SENSOR
+
+
+register_method("bodik", BodikSignature)

@@ -1,0 +1,46 @@
+"""Correlation-matrix signature baseline (Laguna et al., related work §I-A).
+
+"Laguna et al. use the pairwise correlation matrix associated with the
+set of sensors as a signature."  The signature of a window is the upper
+triangle of the Pearson correlation matrix of its rows — ``n (n-1) / 2``
+coefficients — which captures *relational* state rather than levels.
+
+Note the quadratic signature size: this baseline demonstrates exactly the
+scalability problem that motivates aggregating methods like CS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SignatureMethod, register_method
+
+__all__ = ["CorrelationMatrixSignature"]
+
+
+class CorrelationMatrixSignature(SignatureMethod):
+    """Upper-triangle window correlation matrix as the signature."""
+
+    name = "CorrMat"
+
+    def transform(self, Sw: np.ndarray) -> np.ndarray:
+        Sw = np.asarray(Sw, dtype=np.float64)
+        if Sw.ndim != 2:
+            raise ValueError(f"window must be 2-D, got shape {Sw.shape}")
+        n, wl = Sw.shape
+        if wl < 2:
+            return np.zeros(self.feature_length(n, wl))
+        centered = Sw - Sw.mean(axis=1, keepdims=True)
+        sigma = np.sqrt(np.einsum("ij,ij->i", centered, centered))
+        denom = np.outer(sigma, sigma)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = np.where(denom > 0, (centered @ centered.T) / np.where(
+                denom > 0, denom, 1.0), 0.0)
+        iu = np.triu_indices(n, k=1)
+        return corr[iu]
+
+    def feature_length(self, n: int, wl: int) -> int:
+        return n * (n - 1) // 2
+
+
+register_method("corrmat", CorrelationMatrixSignature)

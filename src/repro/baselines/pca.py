@@ -1,0 +1,92 @@
+"""PCA signature baseline (related work, Section I-A).
+
+"Principal Component Analysis (PCA) and Independent Component Analysis
+compress a multi-dimensional dataset to a lower-dimensionality space in
+which each dimension is a linear combination of the original ones."
+
+The signature of a window is built by projecting each time sample onto
+``k`` principal axes learned from historical data and averaging the
+projections over the window (mean + standard deviation per component, so
+some temporal information survives).  The paper notes such methods "have
+been proven to not work well in HPC and data center-specific ODA
+problems, such as fault detection, in which critical status indicators
+are not found in the metrics that contribute to most of the variance" —
+the extra-baseline ablation bench checks exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SignatureMethod, _windowed_view, register_method
+from repro.ml.decomposition import PCA
+
+__all__ = ["PCASignature"]
+
+
+class PCASignature(SignatureMethod):
+    """Window signature from PCA projections of the sensor vector.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal axes ``k``; the signature length is ``2 * k``
+        (mean and standard deviation of each projected coordinate over
+        the window).
+    """
+
+    name = "PCA"
+
+    def __init__(self, n_components: int = 10):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = int(n_components)
+        self._pca: PCA | None = None
+
+    def fit(self, S: np.ndarray) -> "PCASignature":
+        S = np.asarray(S, dtype=np.float64)
+        if S.ndim != 2:
+            raise ValueError(f"sensor matrix must be 2-D, got {S.shape}")
+        # Samples are time steps; features are sensors.
+        k = min(self.n_components, S.shape[0])
+        self._pca = PCA(n_components=k).fit(S.T)
+        return self
+
+    def _require_fit(self, n: int) -> PCA:
+        if self._pca is None:
+            raise RuntimeError("PCASignature must be fitted first")
+        if self._pca.mean_.shape[0] != n:
+            raise ValueError(
+                f"window has {n} sensors but PCA was fitted on "
+                f"{self._pca.mean_.shape[0]}"
+            )
+        return self._pca
+
+    def transform(self, Sw: np.ndarray) -> np.ndarray:
+        Sw = np.asarray(Sw, dtype=np.float64)
+        if Sw.ndim != 2:
+            raise ValueError(f"window must be 2-D, got shape {Sw.shape}")
+        pca = self._require_fit(Sw.shape[0])
+        proj = pca.transform(Sw.T)  # (wl, k)
+        return np.concatenate([proj.mean(axis=0), proj.std(axis=0)])
+
+    def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
+        S = np.asarray(S, dtype=np.float64)
+        if self._pca is None:
+            self.fit(S)
+        pca = self._require_fit(S.shape[0])
+        if S.shape[1] < wl:
+            return np.empty((0, self.feature_length(S.shape[0], wl)))
+        windows = _windowed_view(S, wl, ws)  # (num, n, wl)
+        k = pca.components_.shape[0]
+        # Project all windows at once: (num, wl, k).
+        centered = windows.transpose(0, 2, 1) - pca.mean_
+        proj = centered @ pca.components_.T
+        return np.concatenate([proj.mean(axis=1), proj.std(axis=1)], axis=1)
+
+    def feature_length(self, n: int, wl: int) -> int:
+        k = self.n_components if self._pca is None else self._pca.components_.shape[0]
+        return 2 * min(k, n)
+
+
+register_method("pca", PCASignature)

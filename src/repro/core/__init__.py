@@ -1,0 +1,52 @@
+"""Core implementation of the Correlation-wise Smoothing (CS) method.
+
+This package implements the paper's primary contribution: the three-stage
+CS algorithm (training, sorting, smoothing) that turns a multi-dimensional
+sensor matrix into compact, image-like complex-valued signatures.
+
+Public entry points
+-------------------
+:class:`~repro.core.pipeline.CorrelationWiseSmoothing`
+    End-to-end estimator: ``fit`` on historical data, ``transform`` windows
+    into signatures.
+:class:`~repro.core.model.CSModel`
+    The trained artefact (permutation vector + normalization bounds) that
+    can be persisted and shipped between systems.
+
+Lower-level building blocks (``training``, ``sorting``, ``smoothing``,
+``blocks``, ``scaling``) are exposed for users who want to compose the
+stages themselves, e.g. to visualize sorted-but-unsmoothed data as in
+Figure 2 of the paper.
+"""
+
+from repro.core.blocks import block_bounds, block_sensor_map, block_widths
+from repro.core.model import CSModel
+from repro.core.pipeline import CorrelationWiseSmoothing, signature_features
+from repro.core.scaling import rescale_signature, rescale_signature_matrix
+from repro.core.smoothing import smooth, smooth_windows
+from repro.core.sorting import normalize_rows, sort_rows
+from repro.core.training import (
+    correlation_ordering,
+    global_correlation,
+    shifted_correlation_matrix,
+    train_cs_model,
+)
+
+__all__ = [
+    "CSModel",
+    "CorrelationWiseSmoothing",
+    "block_bounds",
+    "block_sensor_map",
+    "block_widths",
+    "correlation_ordering",
+    "global_correlation",
+    "normalize_rows",
+    "rescale_signature",
+    "rescale_signature_matrix",
+    "shifted_correlation_matrix",
+    "signature_features",
+    "smooth",
+    "smooth_windows",
+    "sort_rows",
+    "train_cs_model",
+]

@@ -1,0 +1,90 @@
+"""Blocking scheme of the smoothing stage (Equation 2).
+
+The smoothing stage aggregates the ``n`` sorted sensor rows into ``l``
+*blocks*, each covering a contiguous — and possibly partially overlapping —
+range of rows.  In the paper's 1-indexed notation::
+
+    b_i = 1 + floor((i - 1) * n / l)        e_i = ceil(i * n / l)
+
+for block ``i`` in ``[1, l]``.  This module uses 0-indexed half-open
+ranges: block ``j`` covers rows ``[start_j, end_j)`` with
+
+    start_j = floor(j * n / l)              end_j = ceil((j + 1) * n / l)
+
+which is the same set of rows.  Two properties the paper highlights are
+preserved: when ``n % l != 0`` the ``n % l`` widened blocks are spread
+uniformly across the signature by the periodicity of the modulo, and each
+block maps to a well-defined sensor set, which keeps root-cause analysis
+straightforward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_bounds", "block_widths", "block_sensor_map"]
+
+
+def block_bounds(n: int, l: int) -> tuple[np.ndarray, np.ndarray]:
+    """Start (inclusive) and end (exclusive) row indices of each block.
+
+    Parameters
+    ----------
+    n:
+        Number of sensor rows.
+    l:
+        Number of blocks; must satisfy ``1 <= l <= n``.
+
+    Returns
+    -------
+    (starts, ends):
+        Two integer arrays of shape ``(l,)``; block ``j`` aggregates sorted
+        rows ``starts[j] : ends[j]``.
+    """
+    if l < 1:
+        raise ValueError(f"need at least one block, got l={l}")
+    if n < 1:
+        raise ValueError(f"need at least one sensor row, got n={n}")
+    if l > n:
+        raise ValueError(f"cannot form l={l} blocks from n={n} rows")
+    idx = np.arange(l, dtype=np.int64)
+    starts = (idx * n) // l
+    # ceil((j+1) * n / l) without floating point.
+    ends = -(-((idx + 1) * n) // l)
+    return starts.astype(np.intp), ends.astype(np.intp)
+
+
+def block_widths(n: int, l: int) -> np.ndarray:
+    """Number of sensor rows aggregated by each block."""
+    starts, ends = block_bounds(n, l)
+    return ends - starts
+
+
+def block_sensor_map(
+    n: int, l: int, permutation: np.ndarray | None = None
+) -> list[np.ndarray]:
+    """Original sensor row indices aggregated into each block.
+
+    Parameters
+    ----------
+    n, l:
+        Row and block counts, as for :func:`block_bounds`.
+    permutation:
+        Optional CS permutation vector; when given, the returned indices
+        refer to the *original* (pre-sort) rows, which is what root-cause
+        analysis needs.  When omitted, sorted positions are returned.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``l`` arrays; entry ``j`` lists the rows feeding block ``j``.
+    """
+    starts, ends = block_bounds(n, l)
+    if permutation is not None:
+        permutation = np.asarray(permutation, dtype=np.intp)
+        if permutation.shape != (n,):
+            raise ValueError(
+                f"permutation shape {permutation.shape} does not match n={n}"
+            )
+        return [permutation[s:e].copy() for s, e in zip(starts, ends)]
+    return [np.arange(s, e, dtype=np.intp) for s, e in zip(starts, ends)]

@@ -1,0 +1,124 @@
+"""Signature rescaling (the Portability / Comparability property).
+
+CS signatures "can be scaled at will using traditional image processing
+algorithms" (Section III-C.3): because block ``i`` always covers the sensor
+range ``[(i-1)*n/l, i*n/l]`` of the *sorted* matrix, a signature of length
+``l1`` and one of length ``l2`` describe the same axis at different
+resolutions.  Resampling along that axis therefore lets operators train a
+model at one resolution and feed it signatures computed at another — e.g.
+train on low-resolution signatures and down-scale high-resolution ones at
+inference time.
+
+We implement linear interpolation over block *centers* (the natural
+image-resize), plus the paper's suggested aggressive compression of
+dropping central (least informative) blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rescale_signature", "rescale_signature_matrix", "drop_central_blocks"]
+
+
+def _block_centers(l: int) -> np.ndarray:
+    """Normalized center coordinate of each of ``l`` blocks in ``[0, 1]``."""
+    return (np.arange(l) + 0.5) / l
+
+
+def rescale_signature(signature: np.ndarray, new_length: int) -> np.ndarray:
+    """Resample a single signature to ``new_length`` blocks.
+
+    Real and imaginary parts are interpolated independently with linear
+    interpolation over block centers; edge blocks are extended with their
+    own value (nearest) beyond the outermost centers.
+
+    Parameters
+    ----------
+    signature:
+        Complex (or real) signature of shape ``(l,)``.
+    new_length:
+        Target number of blocks, ``>= 1``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Signature of shape ``(new_length,)``, same kind (complex in,
+        complex out).
+    """
+    sig = np.asarray(signature)
+    if sig.ndim != 1:
+        raise ValueError(f"signature must be 1-D, got shape {sig.shape}")
+    if new_length < 1:
+        raise ValueError("new_length must be >= 1")
+    l = sig.shape[0]
+    if new_length == l:
+        return sig.copy()
+    src = _block_centers(l)
+    dst = _block_centers(new_length)
+    if np.iscomplexobj(sig):
+        out = np.empty(new_length, dtype=np.complex128)
+        out.real = np.interp(dst, src, sig.real)
+        out.imag = np.interp(dst, src, sig.imag)
+        return out
+    return np.interp(dst, src, sig.astype(np.float64))
+
+
+def rescale_signature_matrix(signatures: np.ndarray, new_length: int) -> np.ndarray:
+    """Resample every row of a ``(num_windows, l)`` signature matrix.
+
+    Vectorized equivalent of applying :func:`rescale_signature` to each
+    row; used to feed down-scaled high-resolution signatures to a model
+    trained at lower resolution (or vice versa).
+    """
+    sigs = np.asarray(signatures)
+    if sigs.ndim != 2:
+        raise ValueError(f"signature matrix must be 2-D, got shape {sigs.shape}")
+    l = sigs.shape[1]
+    if new_length == l:
+        return sigs.copy()
+    src = _block_centers(l)
+    dst = _block_centers(new_length)
+    # np.interp is 1-D only; build the interpolation as a sparse matmul:
+    # each destination center is a convex combination of at most two
+    # sources, so we materialize the (new_length, l) weight matrix once.
+    idx = np.searchsorted(src, dst, side="right")
+    idx = np.clip(idx, 1, l - 1) if l > 1 else np.zeros_like(idx)
+    weights = np.zeros((new_length, l))
+    if l == 1:
+        weights[:, 0] = 1.0
+    else:
+        x0 = src[idx - 1]
+        x1 = src[idx]
+        frac = np.clip((dst - x0) / (x1 - x0), 0.0, 1.0)
+        rows = np.arange(new_length)
+        weights[rows, idx - 1] = 1.0 - frac
+        weights[rows, idx] = frac
+    return sigs @ weights.T
+
+
+def drop_central_blocks(signature: np.ndarray, keep: int) -> np.ndarray:
+    """Aggressive compression: keep only the outer ``keep`` blocks.
+
+    The central signature coefficients "represent the least insightful
+    sensors in the system" and "can be potentially eliminated with minimal
+    loss of information".  This keeps ``ceil(keep/2)`` blocks from the top
+    of the signature and ``floor(keep/2)`` from the bottom.
+
+    Parameters
+    ----------
+    signature:
+        Signature vector of shape ``(l,)`` (or matrix ``(num, l)``, applied
+        row-wise).
+    keep:
+        Number of blocks to retain, ``1 <= keep <= l``.
+    """
+    sig = np.asarray(signature)
+    l = sig.shape[-1]
+    if not 1 <= keep <= l:
+        raise ValueError(f"keep must be in [1, {l}], got {keep}")
+    head = (keep + 1) // 2
+    tail = keep - head
+    if tail == 0:
+        return sig[..., :head].copy()
+    return np.concatenate([sig[..., :head], sig[..., l - tail :]], axis=-1)

@@ -1,0 +1,173 @@
+"""Smoothing stage of the CS algorithm (Section III-C.3, Equation 3).
+
+The smoothing stage turns a sorted, normalized window into a complex
+signature of ``l`` blocks:
+
+* the **real part** of block *i* is the mean of the normalized sensor
+  values over the block's rows and the whole window (the *static*
+  description of the component), and
+* the **imaginary part** is the same mean taken over the row-wise
+  first-order backward finite differences (the *dynamic* description).
+
+Differences are computed on the normalized data, which is equivalent to
+normalizing the raw derivatives by each row's training range and keeps the
+two parts on comparable scales.  When the sample preceding the window is
+known (online operation) it can be supplied so the first column has a true
+backward difference; otherwise that column's difference is defined as 0.
+
+The implementation is a cumulative-sum reduction: ``O(wl * n)`` work as
+stated in the paper, and ``O(n + l)`` beyond the single pass over the
+window even though blocks may overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import block_bounds
+
+__all__ = ["smooth", "smooth_windows"]
+
+
+def _block_means(row_means: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Mean of ``row_means`` over each ``[start, end)`` range via cumsum."""
+    csum = np.concatenate(([0.0], np.cumsum(row_means)))
+    widths = (ends - starts).astype(np.float64)
+    return (csum[ends] - csum[starts]) / widths
+
+
+def smooth(
+    sorted_window: np.ndarray,
+    l: int,
+    *,
+    prev_column: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute one complex CS signature from a sorted, normalized window.
+
+    Parameters
+    ----------
+    sorted_window:
+        Output of the sorting stage, shape ``(n, wl)`` with values in
+        ``[0, 1]``.
+    l:
+        Number of signature blocks, ``1 <= l <= n``.
+    prev_column:
+        Optional vector of shape ``(n,)`` holding the (sorted, normalized)
+        sample immediately before the window, used for the first backward
+        difference.  Without it the first difference is 0.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex signature of shape ``(l,)``: ``real`` holds block/window
+        means of values, ``imag`` block/window means of backward
+        differences.
+    """
+    W = np.asarray(sorted_window, dtype=np.float64)
+    if W.ndim != 2:
+        raise ValueError(f"window must be 2-D, got shape {W.shape}")
+    n, wl = W.shape
+    if wl < 1:
+        raise ValueError("window must contain at least one sample")
+    starts, ends = block_bounds(n, l)
+
+    # Row means of the values: one pass over the window.
+    value_row_means = W.mean(axis=1)
+
+    # Row means of backward differences telescope: mean(diff) equals
+    # (last - first_reference) / wl, so no materialized diff matrix is
+    # needed.  first_reference is prev_column when known, else the first
+    # window column (making the first difference zero).
+    if prev_column is not None:
+        prev = np.asarray(prev_column, dtype=np.float64)
+        if prev.shape != (n,):
+            raise ValueError(
+                f"prev_column shape {prev.shape} does not match window rows {n}"
+            )
+        deriv_row_means = (W[:, -1] - prev) / wl
+    else:
+        deriv_row_means = (W[:, -1] - W[:, 0]) / wl
+
+    signature = np.empty(l, dtype=np.complex128)
+    signature.real = _block_means(value_row_means, starts, ends)
+    signature.imag = _block_means(deriv_row_means, starts, ends)
+    return signature
+
+
+def smooth_windows(
+    sorted_data: np.ndarray,
+    l: int,
+    wl: int,
+    ws: int,
+    *,
+    exact_first_derivative: bool = True,
+) -> np.ndarray:
+    """Compute signatures for every sliding window of a sorted matrix.
+
+    Slides a window of length ``wl`` with step ``ws`` over the time axis of
+    ``sorted_data`` (shape ``(n, t)``) and smooths each window.  Windows
+    start at ``0, ws, 2*ws, ...`` and only complete windows are emitted.
+
+    Parameters
+    ----------
+    sorted_data:
+        Sorted, normalized sensor matrix of shape ``(n, t)``.
+    l:
+        Blocks per signature.
+    wl:
+        Aggregation window length in samples.
+    ws:
+        Step between successive windows in samples.
+    exact_first_derivative:
+        When true, windows that have a preceding sample in ``sorted_data``
+        use it for the first backward difference (matching Equation 3,
+        where the derivative matrix is computed from the full ``S``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex array of shape ``(num_windows, l)``; row ``k`` is the
+        signature of the window starting at sample ``k * ws``.
+    """
+    X = np.asarray(sorted_data, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"sorted data must be 2-D, got shape {X.shape}")
+    n, t = X.shape
+    if wl < 1 or ws < 1:
+        raise ValueError("wl and ws must be positive")
+    if t < wl:
+        return np.empty((0, l), dtype=np.complex128)
+    num = (t - wl) // ws + 1
+    starts_t = np.arange(num) * ws
+    bstarts, bends = block_bounds(n, l)
+
+    # Row-level prefix sums over time let us take every window mean without
+    # touching the data once per window: O(n*t) total.
+    csum_t = np.concatenate(
+        [np.zeros((n, 1)), np.cumsum(X, axis=1)], axis=1
+    )
+    # value_row_means[w, row] = mean of X[row, s:s+wl]
+    value_row_means = (csum_t[:, starts_t + wl] - csum_t[:, starts_t]).T / wl
+
+    last_cols = X[:, starts_t + wl - 1].T  # (num, n)
+    if exact_first_derivative:
+        ref_idx = np.maximum(starts_t - 1, 0)
+        first_refs = np.where(
+            (starts_t > 0)[:, None], X[:, ref_idx].T, X[:, starts_t].T
+        )
+    else:
+        first_refs = X[:, starts_t].T
+    deriv_row_means = (last_cols - first_refs) / wl
+
+    # Block reduction across rows for all windows at once.
+    csum_rows_val = np.concatenate(
+        [np.zeros((num, 1)), np.cumsum(value_row_means, axis=1)], axis=1
+    )
+    csum_rows_der = np.concatenate(
+        [np.zeros((num, 1)), np.cumsum(deriv_row_means, axis=1)], axis=1
+    )
+    widths = (bends - bstarts).astype(np.float64)
+    out = np.empty((num, l), dtype=np.complex128)
+    out.real = (csum_rows_val[:, bends] - csum_rows_val[:, bstarts]) / widths
+    out.imag = (csum_rows_der[:, bends] - csum_rows_der[:, bstarts]) / widths
+    return out

@@ -1,0 +1,114 @@
+"""Sorting stage of the CS algorithm (Section III-C.2).
+
+Any time a signature is computed from a window ``Sw`` of the sensor
+matrix, the sorting stage first applies **min-max normalization** using
+the bounds stored in the CS model and then permutes the rows with the
+model's permutation vector.  As the paper notes, "simply re-arranging the
+rows in S brings clear visual patterns to the surface".
+
+Complexity is ``O(wl * n)``, dominated by the normalization — a single
+vectorized subtract/divide pass here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import CSModel
+
+__all__ = ["normalize_rows", "sort_rows"]
+
+
+def normalize_rows(
+    Sw: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    clip: bool = True,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Min-max normalize each row of ``Sw`` to ``[0, 1]``.
+
+    Rows whose stored bounds collapse (``upper == lower``, i.e. the sensor
+    was constant during training) are mapped to the neutral value 0.5 so
+    they carry no information, mirroring their role in the ordering.
+
+    Parameters
+    ----------
+    Sw:
+        Window of shape ``(n, wl)``.
+    lower, upper:
+        Per-row bounds of shape ``(n,)`` (from the CS model, original row
+        order).
+    clip:
+        When true (the default, and what an online deployment needs),
+        values outside the training bounds are clipped into ``[0, 1]``.
+    out:
+        Optional preallocated float64 output array of shape ``(n, wl)``;
+        pass ``Sw`` itself for in-place operation on float64 input.
+
+    Returns
+    -------
+    numpy.ndarray
+        Normalized window, float64, shape ``(n, wl)``.
+    """
+    Sw = np.asarray(Sw, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if Sw.ndim != 2:
+        raise ValueError(f"window must be 2-D, got shape {Sw.shape}")
+    n = Sw.shape[0]
+    if lower.shape != (n,) or upper.shape != (n,):
+        raise ValueError(
+            f"bounds shape mismatch: window has {n} rows, "
+            f"lower {lower.shape}, upper {upper.shape}"
+        )
+    span = upper - lower
+    degenerate = span <= 0.0
+    safe_span = np.where(degenerate, 1.0, span)
+    if out is None:
+        out = np.empty_like(Sw)
+    np.subtract(Sw, lower[:, None], out=out)
+    np.divide(out, safe_span[:, None], out=out)
+    if degenerate.any():
+        out[degenerate, :] = 0.5
+    if clip:
+        np.clip(out, 0.0, 1.0, out=out)
+    return out
+
+
+def sort_rows(Sw: np.ndarray, model: CSModel, *, clip: bool = True) -> np.ndarray:
+    """Apply the full sorting stage: normalize then permute rows.
+
+    Parameters
+    ----------
+    Sw:
+        Window of shape ``(n, wl)`` in *original* row order.
+    model:
+        Trained CS model whose permutation and bounds to apply.
+    clip:
+        Forwarded to :func:`normalize_rows`.
+
+    Returns
+    -------
+    numpy.ndarray
+        The sorted, normalized window of shape ``(n, wl)``; row ``k`` of the
+        output is original row ``model.permutation[k]``.
+    """
+    Sw = np.asarray(Sw, dtype=np.float64)
+    if Sw.shape[0] != model.n_sensors:
+        raise ValueError(
+            f"window has {Sw.shape[0]} rows but model was trained on "
+            f"{model.n_sensors} sensors"
+        )
+    # Permute first (a gather), then normalize with permuted bounds: one
+    # pass over the data either way, but this order writes the output
+    # contiguously.
+    gathered = Sw[model.permutation]
+    return normalize_rows(
+        gathered,
+        model.lower[model.permutation],
+        model.upper[model.permutation],
+        clip=clip,
+        out=gathered,
+    )

@@ -1,0 +1,63 @@
+"""Synthetic HPC-ODA dataset collection (telemetry simulator).
+
+The paper evaluates on **HPC-ODA**, five real monitoring-data segments
+captured at LRZ / ETH (Table I).  Those traces are not available offline,
+so this subpackage *simulates* them: a parametric telemetry generator
+produces sensor matrices with the structural properties the evaluation
+depends on — cross-sensor correlation driven by shared workload state,
+application-specific temporal patterns, fault-localized anomalies, and
+architecture-specific sensor sets.  See DESIGN.md §2/§4 for the
+substitution rationale.
+
+Layout
+------
+``schema``      Segment descriptors mirroring Table I.
+``sensors``     Sensor response models (how latent activity becomes readings).
+``workloads``   Application workload models (AMG, Kripke, LAMMPS, ...).
+``faults``      The eight fault models of the Fault segment.
+``windows``     Window extraction and label/target alignment.
+``generators``  The five segment generators + windowed ML dataset builders.
+"""
+
+from repro.datasets.generators import (
+    SegmentData,
+    WindowedDataset,
+    generate_application,
+    generate_cross_architecture,
+    generate_fault,
+    generate_infrastructure,
+    generate_power,
+    generate_segment,
+)
+from repro.datasets.gpu import GPU_SPEC, generate_gpu
+from repro.datasets.schema import (
+    ARCHITECTURES,
+    SEGMENTS,
+    SegmentSpec,
+    get_segment_spec,
+)
+from repro.datasets.windows import (
+    future_mean_target,
+    window_majority_labels,
+    window_starts,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "GPU_SPEC",
+    "SEGMENTS",
+    "SegmentData",
+    "SegmentSpec",
+    "WindowedDataset",
+    "future_mean_target",
+    "generate_application",
+    "generate_cross_architecture",
+    "generate_fault",
+    "generate_gpu",
+    "generate_infrastructure",
+    "generate_power",
+    "generate_segment",
+    "get_segment_spec",
+    "window_majority_labels",
+    "window_starts",
+]

@@ -1,0 +1,152 @@
+"""Fault models for the Fault segment (eight faults, two settings each).
+
+The HPC-ODA Fault segment derives from the Antarex fault-injection
+dataset: a single compute node subjected to eight injected faults, "each
+fault has two possible settings and reproduces various software or
+hardware issues (e.g., CPU cache contention or memory allocation
+errors)".
+
+Each :class:`FaultModel` perturbs the latent workload channels and/or a
+*small, specific* set of sensor groups.  The locality matters for
+reproducing Figure 4: several faults are visible almost exclusively in
+one or two error-counter sensors, so aggressive block averaging (small
+``l``) dilutes them and fault-classification accuracy climbs with the
+signature length — exactly the paper's observation that "fault
+classification is dependent on the exact values of certain error
+counters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultModel", "FAULTS", "fault_names", "HEALTHY_LABEL"]
+
+#: Class label of un-faulted operation.
+HEALTHY_LABEL = "healthy"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """One injectable fault.
+
+    Attributes
+    ----------
+    name:
+        Fault label (the classification target).
+    channel_effects:
+        Additive perturbations of latent channels while the fault is
+        active: ``{channel: delta}``, scaled by the setting intensity.
+    sensor_effects:
+        Additive perturbations applied directly to rendered sensors:
+        ``{sensor_group: delta}``.  These model counters that only move
+        when the fault is present (the "exact values of certain error
+        counters" the paper mentions).
+    intensities:
+        The two setting strengths (low, high).
+    """
+
+    name: str
+    channel_effects: dict[str, float] = field(default_factory=dict)
+    sensor_effects: dict[str, float] = field(default_factory=dict)
+    intensities: tuple[float, float] = (0.6, 1.0)
+
+    def apply_channels(
+        self,
+        latent: dict[str, np.ndarray],
+        start: int,
+        stop: int,
+        setting: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Perturb latent channels in-place over ``[start, stop)``."""
+        scale = self.intensities[setting % len(self.intensities)]
+        for ch, delta in self.channel_effects.items():
+            if ch not in latent:
+                continue
+            span = stop - start
+            wobble = 1.0 + 0.1 * rng.standard_normal(span)
+            latent[ch][start:stop] = np.clip(
+                latent[ch][start:stop] + delta * scale * wobble, 0.0, 1.6
+            )
+
+    def apply_sensors(
+        self,
+        matrix: np.ndarray,
+        group_indices: dict[str, np.ndarray],
+        start: int,
+        stop: int,
+        setting: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Perturb rendered sensor rows in-place over ``[start, stop)``."""
+        scale = self.intensities[setting % len(self.intensities)]
+        for group, delta in self.sensor_effects.items():
+            rows = group_indices.get(group)
+            if rows is None or rows.size == 0:
+                continue
+            span = stop - start
+            bump = delta * scale * (
+                1.0 + 0.15 * rng.standard_normal((rows.size, span))
+            )
+            matrix[np.ix_(rows, np.arange(start, stop))] += bump
+
+
+#: The eight fault models, patterned on the Antarex fault programs.
+FAULTS: tuple[FaultModel, ...] = (
+    # CPU interference: a rogue ALU-heavy process steals cycles.
+    FaultModel(
+        "cpuoccupy",
+        channel_effects={"compute": 0.45, "freq": -0.08},
+    ),
+    # Cache contention (the paper's "CPU cache contention" example):
+    # visible almost only in cache-miss counters.
+    FaultModel(
+        "cachecopy",
+        channel_effects={"membw": 0.1},
+        sensor_effects={"cache": 0.5},
+    ),
+    # Memory hog: steadily raises occupancy, eventually page faults.
+    FaultModel(
+        "memeater",
+        channel_effects={"memory": 0.4},
+        sensor_effects={"osfault": 0.25},
+    ),
+    # Memory allocation errors ("memory allocation errors" example):
+    # only the allocation-failure counter reacts.
+    FaultModel(
+        "memalloc",
+        sensor_effects={"memerror": 0.6},
+    ),
+    # I/O interference: a competing dd-style workload.
+    FaultModel(
+        "ioerr",
+        channel_effects={"io": 0.3},
+        sensor_effects={"ioerror": 0.55},
+    ),
+    # Network degradation: drops and retransmissions.
+    FaultModel(
+        "netdegrade",
+        channel_effects={"net": -0.1},
+        sensor_effects={"neterror": 0.5},
+    ),
+    # Forced CPU frequency reduction.
+    FaultModel(
+        "clockdown",
+        channel_effects={"freq": -0.3, "compute": -0.1},
+    ),
+    # Page-fault storm via constant mmap/munmap churn.
+    FaultModel(
+        "pagefail",
+        channel_effects={"memory": 0.05},
+        sensor_effects={"osfault": 0.7},
+    ),
+)
+
+
+def fault_names(include_healthy: bool = True) -> tuple[str, ...]:
+    """Label set of the Fault segment (healthy first when included)."""
+    names = tuple(f.name for f in FAULTS)
+    return ((HEALTHY_LABEL,) + names) if include_healthy else names

@@ -1,0 +1,152 @@
+"""Future-work extension: accelerator (GPU) sensor data.
+
+The paper's first future-work item is "testing the CS method's
+effectiveness when applied to accelerator sensor data (e.g., GPUs)".
+This module adds a GPU telemetry model in the same style as the
+compute-node banks: per-device sensors (SM/memory utilization, clocks,
+framebuffer occupancy, PCIe traffic, power, temperature, fan, ECC error
+counters) driven by the shared workload channels, plus a segment
+generator for GPU-side application classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.datasets.generators import ComponentData, SegmentData
+from repro.datasets.schema import SegmentSpec
+from repro.datasets.sensors import SensorBank, SensorSpec
+from repro.datasets.workloads import application_names, build_schedule
+
+__all__ = ["GPU_SPEC", "gpu_sensor_bank", "generate_gpu"]
+
+#: Extension segment descriptor (not part of Table I).
+GPU_SPEC = SegmentSpec(
+    name="gpu",
+    system="Future-work GPU testbed",
+    nodes=4,
+    sensors=24,
+    sampling_interval_s=1.0,
+    wl=30,
+    ws=5,
+    task="classification",
+)
+
+#: (name, group, weights, offset, gain, noise, lag)
+_GPU_TEMPLATES: tuple[tuple, ...] = (
+    ("gpu_utilization", "gpu", {"compute": 1.0}, 0.03, 1.0, 0.03, 0),
+    ("sm_active_cycles", "gpu", {"compute": 0.9, "freq": 0.2}, 0.03, 1.0, 0.03, 0),
+    ("sm_occupancy", "gpu", {"compute": 0.8}, 0.05, 1.0, 0.03, 2),
+    ("sm_clock", "gpu", {"freq": 1.0}, 0.0, 1.0, 0.01, 0),
+    ("mem_clock", "gpu", {"freq": 0.6, "membw": 0.2}, 0.2, 1.0, 0.01, 0),
+    ("fb_mem_used", "gpumem", {"memory": 1.0}, 0.08, 1.0, 0.01, 2),
+    ("fb_mem_free", "gpumem", {"memory": -1.0}, 1.1, 1.0, 0.01, 2),
+    ("mem_utilization", "gpumem", {"membw": 1.0}, 0.03, 1.0, 0.03, 0),
+    ("l2_cache_hits", "gpumem", {"membw": 0.7, "compute": 0.2}, 0.05, 1.0, 0.04, 0),
+    ("pcie_tx_bytes", "gpuio", {"net": 0.8, "io": 0.3}, 0.02, 1.0, 0.04, 0),
+    ("pcie_rx_bytes", "gpuio", {"net": 0.7, "io": 0.4}, 0.02, 1.0, 0.04, 0),
+    ("nvlink_tx_bytes", "gpuio", {"net": 1.0}, 0.01, 1.0, 0.04, 0),
+    ("nvlink_rx_bytes", "gpuio", {"net": 0.95}, 0.01, 1.0, 0.04, 0),
+    ("gpu_power", "gpupower", {"compute": 0.65, "membw": 0.2, "freq": 0.15},
+     0.2, 1.0, 0.02, 3),
+    ("gpu_energy_rate", "gpupower", {"compute": 0.6, "membw": 0.25}, 0.2, 1.0,
+     0.02, 3),
+    ("gpu_temp", "gputemp", {"compute": 0.5, "membw": 0.15}, 0.3, 1.0, 0.01, 40),
+    ("hbm_temp", "gputemp", {"membw": 0.45}, 0.3, 1.0, 0.01, 35),
+    ("fan_speed", "gputemp", {"compute": 0.4}, 0.3, 1.0, 0.02, 50),
+    ("ecc_sbe_count", "gpuerror", {}, 0.01, 1.0, 0.015, 0),
+    ("ecc_dbe_count", "gpuerror", {}, 0.005, 1.0, 0.01, 0),
+    ("xid_events", "gpuerror", {}, 0.005, 1.0, 0.01, 0),
+    ("pstate_residency", "gpu", {"freq": 0.9}, 0.05, 1.0, 0.02, 5),
+    ("encoder_util", "gpu", {"io": 0.3}, 0.02, 1.0, 0.03, 0),
+    ("decoder_util", "gpu", {"io": 0.25}, 0.02, 1.0, 0.03, 0),
+)
+
+
+def gpu_sensor_bank(
+    n_sensors: int, rng: np.random.Generator, *, prefix: str = ""
+) -> SensorBank:
+    """A GPU device's sensor bank (up to 24 template sensors + filler)."""
+    specs: list[SensorSpec] = []
+    for name, group, weights, offset, gain, noise, lag in _GPU_TEMPLATES:
+        if len(specs) >= n_sensors:
+            break
+        specs.append(
+            SensorSpec(
+                name=f"{prefix}{name}",
+                group=group,
+                weights={
+                    ch: w * float(rng.uniform(0.95, 1.05))
+                    for ch, w in weights.items()
+                },
+                offset=offset,
+                gain=gain,
+                noise=noise,
+                lag=lag,
+            )
+        )
+    filler = 0
+    while len(specs) < n_sensors:
+        specs.append(
+            SensorSpec(
+                name=f"{prefix}gpu_misc_{filler}",
+                group="gpumisc",
+                weights={"compute": float(rng.uniform(0.1, 0.4))},
+                offset=float(rng.uniform(0.0, 0.3)),
+                noise=float(rng.uniform(0.04, 0.08)),
+            )
+        )
+        filler += 1
+    return SensorBank(specs)
+
+
+def generate_gpu(
+    seed: int | None = 0,
+    *,
+    t: int = 1400,
+    gpus: int | None = None,
+    scale: float = 1.0,
+) -> SegmentData:
+    """GPU extension segment: per-device telemetry + application labels.
+
+    The same shared job schedule drives all GPUs in the node (data-
+    parallel execution), mirroring the Application segment's structure at
+    the accelerator level.
+    """
+    spec = GPU_SPEC if gpus is None else replace(GPU_SPEC, nodes=int(gpus))
+    t = max(int(t * scale), 4 * spec.wl)
+    rng = np.random.default_rng(seed)
+    schedule = build_schedule(t, rng, min_run=250, max_run=450, include_idle=True)
+    from repro.datasets.generators import (
+        _concat_schedule_latents,
+        _labels_from_schedule,
+    )
+
+    latent, run_idx = _concat_schedule_latents(schedule, rng)
+    label_names = application_names(include_idle=False) + ("idle",)
+    labels = _labels_from_schedule(schedule, run_idx, label_names)
+
+    components = []
+    for dev in range(spec.nodes):
+        dev_rng = np.random.default_rng(
+            np.random.SeedSequence([0 if seed is None else seed, 97, dev])
+        )
+        gain = dev_rng.uniform(0.93, 1.07)
+        dev_latent = {
+            ch: np.clip(arr * gain + dev_rng.normal(0.0, 0.01, arr.shape), 0, 1.6)
+            for ch, arr in latent.items()
+        }
+        bank = gpu_sensor_bank(spec.sensors_for(dev), dev_rng)
+        components.append(
+            ComponentData(
+                name=f"gpu{dev}",
+                matrix=bank.render(dev_latent, dev_rng),
+                sensor_names=bank.names,
+                sensor_groups=bank.groups,
+                labels=labels.copy(),
+                arch="gpu",
+            )
+        )
+    return SegmentData(spec, components, label_names=label_names, seed=seed)

@@ -1,0 +1,151 @@
+"""Segment descriptors mirroring Table I of the paper.
+
+Each HPC-ODA segment is described by a :class:`SegmentSpec` holding the
+acquisition parameters from Table I (nodes, sensors, sampling interval,
+aggregation window ``wl`` and step ``ws`` — both converted from wall-clock
+time to samples) plus the associated ODA task.  The generators accept a
+``scale`` factor so tests can produce small datasets while experiments use
+paper-sized ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SegmentSpec", "SEGMENTS", "ARCHITECTURES", "get_segment_spec"]
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Static description of one HPC-ODA segment.
+
+    Attributes
+    ----------
+    name:
+        Segment identifier (``fault``, ``application``, ``power``,
+        ``infrastructure``, ``cross-architecture``).
+    system:
+        HPC system the real segment was captured on (informational).
+    nodes:
+        Number of monitored components (compute nodes or racks).
+    sensors:
+        Sensors per component.  For the Cross-Architecture segment this is
+        the per-architecture tuple ``(52, 46, 39)`` — see
+        :data:`ARCHITECTURES`.
+    sampling_interval_s:
+        Sampling interval of the original data, in seconds.
+    wl:
+        Aggregation window, in samples (Table I's wall-clock ``wl``
+        divided by the sampling interval).
+    ws:
+        Window step, in samples.
+    task:
+        ``"classification"`` or ``"regression"``.
+    target:
+        For regression tasks, a description of the predicted quantity and
+        the prediction horizon in samples.
+    horizon:
+        Regression prediction horizon, in samples (0 for classification).
+    """
+
+    name: str
+    system: str
+    nodes: int
+    sensors: int | tuple[int, ...]
+    sampling_interval_s: float
+    wl: int
+    ws: int
+    task: str
+    target: str = ""
+    horizon: int = 0
+
+    @property
+    def is_classification(self) -> bool:
+        return self.task == "classification"
+
+    def sensors_for(self, component: int = 0) -> int:
+        """Sensor count of one component (handles the cross-arch tuple)."""
+        if isinstance(self.sensors, tuple):
+            return self.sensors[component % len(self.sensors)]
+        return self.sensors
+
+
+#: Architecture descriptors of the Cross-Architecture segment: name,
+#: sensor count, physical cores — per Section IV-F.
+ARCHITECTURES: tuple[tuple[str, int, int], ...] = (
+    ("skylake", 52, 48),        # SuperMUC-NG: 2x 24-core Intel Skylake
+    ("knights-landing", 46, 64),  # CooLMUC-3: Xeon Phi 7210-F
+    ("amd-rome", 39, 128),      # BEAST: 2x 64-core AMD Epyc Rome
+)
+
+
+#: The five Table I segments.  ``wl``/``ws`` are converted to samples:
+#: Fault 1m/10s @ 1s -> 60/10; Application 30s/5s @ 1s -> 30/5;
+#: Power 1s/500ms @ 100ms -> 10/5; Infrastructure 5m/1m @ 10s -> 30/6;
+#: Cross-Arch 30s/2s @ 1s -> 30/2.
+SEGMENTS: dict[str, SegmentSpec] = {
+    "fault": SegmentSpec(
+        name="fault",
+        system="ETH Testbed",
+        nodes=1,
+        sensors=128,
+        sampling_interval_s=1.0,
+        wl=60,
+        ws=10,
+        task="classification",
+    ),
+    "application": SegmentSpec(
+        name="application",
+        system="SuperMUC-NG",
+        nodes=16,
+        sensors=52,
+        sampling_interval_s=1.0,
+        wl=30,
+        ws=5,
+        task="classification",
+    ),
+    "power": SegmentSpec(
+        name="power",
+        system="CooLMUC-3",
+        nodes=1,
+        sensors=47,
+        sampling_interval_s=0.1,
+        wl=10,
+        ws=5,
+        task="regression",
+        target="mean node power over the next 3 samples (~300 ms)",
+        horizon=3,
+    ),
+    "infrastructure": SegmentSpec(
+        name="infrastructure",
+        system="CooLMUC-3",
+        nodes=148,
+        sensors=31,
+        sampling_interval_s=10.0,
+        wl=30,
+        ws=6,
+        task="regression",
+        target="mean heat removed per rack over the next 30 samples (~5 m)",
+        horizon=30,
+    ),
+    "cross-architecture": SegmentSpec(
+        name="cross-architecture",
+        system="Multiple",
+        nodes=3,
+        sensors=(52, 46, 39),
+        sampling_interval_s=1.0,
+        wl=30,
+        ws=2,
+        task="classification",
+    ),
+}
+
+
+def get_segment_spec(name: str) -> SegmentSpec:
+    """Look up a segment spec by (case-insensitive) name."""
+    key = name.lower()
+    aliases = {"crossarch": "cross-architecture", "cross_architecture": "cross-architecture"}
+    key = aliases.get(key, key)
+    if key not in SEGMENTS:
+        raise KeyError(f"unknown segment {name!r}; known: {sorted(SEGMENTS)}")
+    return SEGMENTS[key]

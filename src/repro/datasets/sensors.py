@@ -1,0 +1,336 @@
+"""Sensor response models: latent activity -> monitoring readings.
+
+A :class:`SensorSpec` describes how one monitoring metric responds to the
+latent workload channels (linear mixing weights), with an offset, gain,
+response lag (exponential smoothing, modelling thermal inertia and OS
+averaging) and additive Gaussian noise.  A :class:`SensorBank` renders a
+whole component's sensor matrix in one vectorized pass.
+
+Banks are built from template libraries that mirror what HPC-ODA
+contains: "CPU performance counters (e.g., from the perfevent Linux
+interface), as well as memory and OS-related metrics (e.g., from the proc
+file system) ... whereas the Infrastructure segment includes cooling and
+power-related data".  Per-architecture scale factors make the same
+workload look different on Skylake / Knights Landing / Rome nodes, which
+is what the Cross-Architecture experiment exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.workloads import CHANNELS
+
+__all__ = [
+    "SensorSpec",
+    "SensorBank",
+    "node_sensor_bank",
+    "rack_sensor_bank",
+    "NODE_TEMPLATES",
+]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Response model of one sensor.
+
+    ``reading(t) = offset + gain * sum_c weights[c] * smooth(latent_c, lag)(t)
+    + noise * N(0,1)``, optionally clipped at zero (most hardware counters
+    cannot go negative).
+    """
+
+    name: str
+    group: str
+    weights: dict[str, float] = field(default_factory=dict)
+    offset: float = 0.0
+    gain: float = 1.0
+    noise: float = 0.02
+    lag: int = 0
+    clip_zero: bool = True
+
+    def __post_init__(self):
+        for ch in self.weights:
+            if ch not in CHANNELS:
+                raise ValueError(f"sensor {self.name!r}: unknown channel {ch!r}")
+
+
+def _smooth_matrix(x: np.ndarray, lag: int) -> np.ndarray:
+    """Exponential smoothing along the last axis (vectorized recurrence)."""
+    if lag <= 1:
+        return x
+    alpha = 1.0 / lag
+    out = np.empty_like(x)
+    out[..., 0] = x[..., 0]
+    # The recurrence is sequential in time but vectorized across sensors.
+    for i in range(1, x.shape[-1]):
+        out[..., i] = out[..., i - 1] + alpha * (x[..., i] - out[..., i - 1])
+    return out
+
+
+class SensorBank:
+    """An ordered collection of sensors for one monitored component."""
+
+    def __init__(self, specs: list[SensorSpec]):
+        if not specs:
+            raise ValueError("a sensor bank needs at least one sensor")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate sensor names in bank")
+        self.specs = list(specs)
+        # Pre-assemble the mixing matrix (n_sensors, n_channels) and the
+        # per-sensor parameter vectors for vectorized rendering.
+        self._mix = np.zeros((len(specs), len(CHANNELS)))
+        for i, s in enumerate(specs):
+            for ch, w in s.weights.items():
+                self._mix[i, CHANNELS.index(ch)] = w
+        self._offset = np.array([s.offset for s in specs])
+        self._gain = np.array([s.gain for s in specs])
+        self._noise = np.array([s.noise for s in specs])
+        self._lags = np.array([max(s.lag, 0) for s in specs])
+        self._clip = np.array([s.clip_zero for s in specs])
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.specs)
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        return tuple(s.group for s in self.specs)
+
+    def indices_of_group(self, group: str) -> np.ndarray:
+        """Row indices of all sensors in ``group``."""
+        return np.flatnonzero(np.array([s.group == group for s in self.specs]))
+
+    def render(
+        self, latent: dict[str, np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Produce the sensor matrix ``(n_sensors, t)`` for latent input."""
+        t = None
+        for ch in CHANNELS:
+            if ch in latent:
+                t = np.asarray(latent[ch]).shape[0]
+                break
+        if t is None:
+            raise ValueError("latent input contains no known channels")
+        L = np.zeros((len(CHANNELS), t))
+        for j, ch in enumerate(CHANNELS):
+            if ch in latent:
+                arr = np.asarray(latent[ch], dtype=np.float64)
+                if arr.shape != (t,):
+                    raise ValueError(
+                        f"channel {ch!r} has shape {arr.shape}, expected ({t},)"
+                    )
+                L[j] = arr
+        raw = self._mix @ L  # (n_sensors, t)
+        # Group sensors by identical lag so each distinct lag smooths once.
+        for lag in np.unique(self._lags):
+            if lag > 1:
+                rows = self._lags == lag
+                raw[rows] = _smooth_matrix(raw[rows], int(lag))
+        out = self._offset[:, None] + self._gain[:, None] * raw
+        out += self._noise[:, None] * rng.standard_normal(out.shape)
+        np.maximum(out, 0.0, where=self._clip[:, None], out=out)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Compute-node sensor templates
+# ----------------------------------------------------------------------
+#: (name, group, weights, offset, gain, noise, lag)
+NODE_TEMPLATES: tuple[tuple, ...] = (
+    ("cpu_instructions", "cpu", {"compute": 1.0}, 0.05, 1.0, 0.03, 0),
+    ("cpu_cycles", "cpu", {"compute": 0.85, "freq": 0.3}, 0.05, 1.0, 0.03, 0),
+    ("cpu_load", "os", {"compute": 1.0}, 0.02, 1.0, 0.02, 5),
+    ("cpu_frequency", "cpu", {"freq": 1.0}, 0.0, 1.0, 0.01, 0),
+    ("branch_misses", "cpu", {"compute": 0.5, "membw": 0.2}, 0.02, 1.0, 0.04, 0),
+    ("cache_l1_misses", "cache", {"membw": 0.75, "compute": 0.1}, 0.03, 1.0, 0.04, 0),
+    ("cache_l2_misses", "cache", {"membw": 0.9}, 0.02, 1.0, 0.04, 0),
+    ("cache_l3_misses", "cache", {"membw": 1.0}, 0.02, 1.0, 0.05, 0),
+    ("mem_used", "memory", {"memory": 1.0}, 0.1, 1.0, 0.01, 2),
+    ("mem_free", "memory", {"memory": -1.0}, 1.1, 1.0, 0.01, 2),
+    ("mem_cached", "memory", {"memory": 0.35, "io": 0.4}, 0.15, 1.0, 0.02, 4),
+    ("mem_bandwidth", "memory", {"membw": 1.0}, 0.02, 1.0, 0.03, 0),
+    ("page_faults", "osfault", {"memory": 0.25, "io": 0.15}, 0.02, 1.0, 0.05, 0),
+    ("ctx_switches", "os", {"compute": 0.3, "io": 0.4, "net": 0.2}, 0.05, 1.0, 0.04, 0),
+    ("procs_running", "os", {"compute": 0.8}, 0.05, 1.0, 0.03, 3),
+    ("io_read_bytes", "io", {"io": 1.0}, 0.01, 1.0, 0.04, 0),
+    ("io_write_bytes", "io", {"io": 0.8, "memory": 0.05}, 0.01, 1.0, 0.04, 0),
+    ("io_errors", "ioerror", {}, 0.01, 1.0, 0.015, 0),
+    ("net_xmit_bytes", "net", {"net": 1.0}, 0.01, 1.0, 0.04, 0),
+    ("net_recv_bytes", "net", {"net": 0.95}, 0.01, 1.0, 0.04, 0),
+    ("net_drops", "neterror", {}, 0.01, 1.0, 0.015, 0),
+    ("power_node", "power", {"compute": 0.6, "membw": 0.25, "freq": 0.15}, 0.25, 1.0, 0.02, 2),
+    ("power_dram", "power", {"membw": 0.6, "memory": 0.2}, 0.1, 1.0, 0.02, 2),
+    ("temp_cpu", "temp", {"compute": 0.55, "membw": 0.15}, 0.3, 1.0, 0.01, 30),
+    ("temp_board", "temp", {"compute": 0.3, "membw": 0.1}, 0.35, 1.0, 0.01, 60),
+    ("alloc_failures", "memerror", {}, 0.01, 1.0, 0.015, 0),
+)
+
+
+def node_sensor_bank(
+    n_sensors: int,
+    rng: np.random.Generator,
+    *,
+    arch: str = "skylake",
+    n_cores: int = 0,
+    prefix: str = "",
+) -> SensorBank:
+    """Build a compute-node sensor bank with ``n_sensors`` sensors.
+
+    The base templates come first; per-core CPU sensors (``n_cores`` > 0
+    distributes them over cores) and generic mixed-response sensors fill
+    the remainder, so any Table I sensor count can be met.  Architecture
+    selects deterministic gain/offset biases so that the *same* workload
+    produces differently scaled readings per architecture, while a bank's
+    exact composition is drawn from ``rng``.
+    """
+    arch_rng = np.random.default_rng(abs(hash(arch)) % (2**32))
+    arch_gain = arch_rng.uniform(0.7, 1.3, size=len(CHANNELS))
+    specs: list[SensorSpec] = []
+
+    def scaled_weights(weights: dict[str, float]) -> dict[str, float]:
+        return {
+            ch: w * arch_gain[CHANNELS.index(ch)] for ch, w in weights.items()
+        }
+
+    for name, group, weights, offset, gain, noise, lag in NODE_TEMPLATES:
+        if len(specs) >= n_sensors:
+            break
+        specs.append(
+            SensorSpec(
+                name=f"{prefix}{name}",
+                group=group,
+                weights=scaled_weights(weights),
+                offset=offset * float(arch_rng.uniform(0.9, 1.1)),
+                gain=gain * float(rng.uniform(0.95, 1.05)),
+                noise=noise,
+                lag=lag,
+            )
+        )
+
+    # Per-core counters: instructions / cycles / frequency per core group.
+    core = 0
+    core_templates = (
+        ("core{}_instructions", "cpu", {"compute": 1.0}, 0.04, 0.03),
+        ("core{}_cycles", "cpu", {"compute": 0.8, "freq": 0.3}, 0.04, 0.03),
+        ("core{}_frequency", "cpu", {"freq": 1.0}, 0.0, 0.01),
+    )
+    while len(specs) < n_sensors and core < max(n_cores, 0):
+        for tmpl_name, group, weights, offset, noise in core_templates:
+            if len(specs) >= n_sensors:
+                break
+            specs.append(
+                SensorSpec(
+                    name=f"{prefix}{tmpl_name.format(core)}",
+                    group=group,
+                    weights=scaled_weights(
+                        {ch: w * float(rng.uniform(0.85, 1.15)) for ch, w in weights.items()}
+                    ),
+                    offset=offset,
+                    gain=1.0,
+                    noise=noise,
+                )
+            )
+        core += 1
+
+    # Generic filler metrics: random sparse channel mixes + extra noise,
+    # standing in for the long tail of /proc and perfevent metrics.
+    filler = 0
+    while len(specs) < n_sensors:
+        k = int(rng.integers(1, 3))
+        chans = rng.choice(len(CHANNELS) - 1, size=k, replace=False)
+        weights = {
+            CHANNELS[int(c)]: float(rng.uniform(0.1, 0.5)) for c in chans
+        }
+        specs.append(
+            SensorSpec(
+                name=f"{prefix}misc_metric_{filler}",
+                group="misc",
+                weights=scaled_weights(weights),
+                offset=float(rng.uniform(0.0, 0.3)),
+                gain=1.0,
+                noise=float(rng.uniform(0.04, 0.1)),
+                lag=int(rng.integers(0, 4)),
+            )
+        )
+        filler += 1
+    return SensorBank(specs)
+
+
+# ----------------------------------------------------------------------
+# Infrastructure (rack-level) sensor templates
+# ----------------------------------------------------------------------
+_RACK_TEMPLATES: tuple[tuple, ...] = (
+    ("water_temp_inlet", "cooling", {}, 0.45, 1.0, 0.01, 0),
+    ("water_temp_outlet", "cooling", {"compute": 0.35, "membw": 0.1}, 0.5, 1.0, 0.01, 40),
+    ("water_flow", "cooling", {"compute": 0.2}, 0.55, 1.0, 0.02, 20),
+    ("pump_speed", "cooling", {"compute": 0.25}, 0.4, 1.0, 0.02, 25),
+    ("rack_power", "power", {"compute": 0.65, "membw": 0.2, "freq": 0.1}, 0.3, 1.0, 0.02, 5),
+    ("pdu_current", "power", {"compute": 0.6, "membw": 0.2}, 0.25, 1.0, 0.02, 5),
+    ("pdu_voltage", "power", {}, 0.95, 1.0, 0.005, 0),
+    ("ambient_temp", "environment", {}, 0.4, 1.0, 0.01, 0),
+    ("humidity", "environment", {}, 0.5, 1.0, 0.01, 0),
+)
+
+
+def rack_sensor_bank(
+    n_sensors: int,
+    rng: np.random.Generator,
+    *,
+    n_chassis: int = 4,
+    prefix: str = "",
+) -> SensorBank:
+    """Build a rack-level bank: cooling/power plus chassis sensors.
+
+    Mirrors the Infrastructure segment: rack-level power distribution and
+    warm-water cooling sensors, "with some sensors being at the chassis
+    level".
+    """
+    specs: list[SensorSpec] = []
+    for name, group, weights, offset, gain, noise, lag in _RACK_TEMPLATES:
+        if len(specs) >= n_sensors:
+            break
+        specs.append(
+            SensorSpec(
+                name=f"{prefix}{name}",
+                group=group,
+                weights={ch: w * float(rng.uniform(0.95, 1.05)) for ch, w in weights.items()},
+                offset=offset,
+                gain=gain,
+                noise=noise,
+                lag=lag,
+            )
+        )
+    chassis = 0
+    while len(specs) < n_sensors:
+        c = chassis % max(n_chassis, 1)
+        kind = chassis // max(n_chassis, 1)
+        if kind % 2 == 0:
+            spec = SensorSpec(
+                name=f"{prefix}chassis{c}_power_{kind // 2}",
+                group="power",
+                weights={
+                    "compute": 0.55 * float(rng.uniform(0.9, 1.1)),
+                    "membw": 0.2,
+                },
+                offset=0.25,
+                noise=0.03,
+                lag=4,
+            )
+        else:
+            spec = SensorSpec(
+                name=f"{prefix}chassis{c}_temp_{kind // 2}",
+                group="temp",
+                weights={"compute": 0.4 * float(rng.uniform(0.9, 1.1))},
+                offset=0.35,
+                noise=0.015,
+                lag=35,
+            )
+        specs.append(spec)
+        chassis += 1
+    return SensorBank(specs)

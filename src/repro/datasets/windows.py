@@ -1,0 +1,86 @@
+"""Window extraction and label/target alignment.
+
+Turning a labeled sensor matrix into an ML dataset requires aligning each
+``(wl, ws)`` aggregation window with a classification label (the dominant
+per-sample label inside the window) or a regression target (the paper's
+"average ... over the next *h* samples" convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["window_starts", "window_majority_labels", "future_mean_target"]
+
+
+def window_starts(t: int, wl: int, ws: int) -> np.ndarray:
+    """Start indices of all complete windows of length ``wl``, step ``ws``."""
+    if wl < 1 or ws < 1:
+        raise ValueError("wl and ws must be positive")
+    if t < wl:
+        return np.empty(0, dtype=np.intp)
+    return np.arange(0, t - wl + 1, ws, dtype=np.intp)
+
+
+def window_majority_labels(labels: np.ndarray, wl: int, ws: int) -> np.ndarray:
+    """Dominant per-sample label of each window.
+
+    Parameters
+    ----------
+    labels:
+        Integer label per sample, shape ``(t,)``.
+    wl, ws:
+        Window length and step, in samples.
+
+    Returns
+    -------
+    numpy.ndarray
+        One label per window; ties resolve to the smallest label value
+        (deterministic).
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    if not np.issubdtype(labels.dtype, np.integer):
+        raise ValueError("labels must be integer-encoded")
+    starts = window_starts(labels.shape[0], wl, ws)
+    if starts.size == 0:
+        return np.empty(0, dtype=labels.dtype)
+    n_classes = int(labels.max()) + 1 if labels.size else 1
+    # Prefix-sum per class: counts inside any window in O(1).
+    onehot = np.zeros((labels.shape[0] + 1, n_classes), dtype=np.int64)
+    onehot[1:][np.arange(labels.shape[0]), labels] = 1
+    csum = np.cumsum(onehot, axis=0)
+    counts = csum[starts + wl] - csum[starts]
+    return counts.argmax(axis=1).astype(labels.dtype)
+
+
+def future_mean_target(
+    series: np.ndarray, wl: int, ws: int, horizon: int
+) -> tuple[np.ndarray, int]:
+    """Mean of ``series`` over the ``horizon`` samples after each window.
+
+    For a window covering samples ``[s, s + wl)`` the target is
+    ``mean(series[s + wl : s + wl + horizon])`` — e.g. the Power segment
+    predicts "the average compute node power consumption in the next 3
+    samples".  Windows whose horizon extends past the series end are
+    dropped.
+
+    Returns
+    -------
+    (targets, n_windows):
+        Target vector and the number of *usable* windows (callers must
+        truncate their feature matrices to this count).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("target series must be 1-D")
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    starts = window_starts(series.shape[0], wl, ws)
+    usable = starts[starts + wl + horizon <= series.shape[0]]
+    if usable.size == 0:
+        return np.empty(0), 0
+    csum = np.concatenate(([0.0], np.cumsum(series)))
+    tails = csum[usable + wl + horizon] - csum[usable + wl]
+    return tails / horizon, int(usable.size)

@@ -1,0 +1,282 @@
+"""Application workload models.
+
+Each model synthesizes the *latent activity* of one application run as a
+set of named channels (compute intensity, memory occupancy, memory
+bandwidth, I/O, network, CPU frequency), which the sensor models of
+:mod:`repro.datasets.sensors` then turn into monitoring readings.
+
+The six applications mirror the CORAL-2-style workloads of the HPC-ODA
+Application segment, with the temporal shapes the paper's Figures 2, 6
+and 7 describe:
+
+* **AMG** — iterative behaviour plus memory usage that grows over the run;
+* **Kripke** — very clear iterative (bursty) compute/membw pattern;
+* **LAMMPS** — regular mid-amplitude iterations;
+* **Linpack** — constant heavy load with a pronounced initialization phase;
+* **Quicksilver** — light computational load but characteristic oscillating
+  CPU frequency induced by its code mix;
+* **Nekbone** — conjugate-gradient-style alternating phases.
+
+Every application supports three input configurations that scale period,
+amplitude and memory footprint (Section II-B: "each under three possible
+input configurations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "CHANNELS",
+    "WorkloadModel",
+    "APPLICATIONS",
+    "IDLE",
+    "application_names",
+    "build_schedule",
+]
+
+#: Latent channels produced by every workload model.
+CHANNELS: tuple[str, ...] = ("compute", "memory", "membw", "io", "net", "freq")
+
+#: Per-configuration (0, 1, 2) multipliers: (period, amplitude, memory).
+_CONFIG_SCALES: tuple[tuple[float, float, float], ...] = (
+    (1.0, 1.0, 1.0),
+    (1.6, 0.8, 1.3),
+    (0.7, 1.15, 0.75),
+)
+
+
+def _phase(t: int, period: float, rng: np.random.Generator) -> np.ndarray:
+    """Time axis in periods with a random initial phase."""
+    start = rng.uniform(0.0, period)
+    return (np.arange(t) + start) / period
+
+
+def _square(x: np.ndarray, duty: float = 0.5) -> np.ndarray:
+    """Square wave in [0, 1] with the given duty cycle."""
+    return ((x % 1.0) < duty).astype(np.float64)
+
+
+def _sawtooth(x: np.ndarray) -> np.ndarray:
+    """Rising sawtooth in [0, 1]."""
+    return x % 1.0
+
+
+def _smooth(x: np.ndarray, samples: int) -> np.ndarray:
+    """Exponential moving average with time constant ``samples``."""
+    if samples <= 1:
+        return x
+    alpha = 1.0 / samples
+    out = np.empty_like(x)
+    acc = x[0]
+    # scipy.signal.lfilter would do this too; a tiny loop keeps the
+    # dependency surface minimal and t is modest here.
+    for i, v in enumerate(x):
+        acc += alpha * (v - acc)
+        out[i] = acc
+    return out
+
+
+def _init_phase(t: int, length: int) -> np.ndarray:
+    """1 during the first ``length`` samples, decaying to 0."""
+    ramp = np.zeros(t)
+    L = min(length, t)
+    ramp[:L] = 1.0 - (np.arange(L) / max(L, 1)) ** 2
+    return ramp
+
+
+@dataclass
+class WorkloadModel:
+    """Parametric workload: a latent-channel synthesizer.
+
+    Parameters
+    ----------
+    name:
+        Application name (used as classification label).
+    base_period:
+        Iteration period in samples (before config scaling).
+    synth:
+        Function ``(t, period, amp, mem_scale, rng) -> dict`` producing the
+        channel arrays; wrapped by :meth:`latent`, which adds the shared
+        frequency response and clips to physical ranges.
+    freq_oscillation:
+        Amplitude of an app-specific periodic CPU-frequency oscillation
+        (Quicksilver's signature behaviour).
+    """
+
+    name: str
+    base_period: float
+    synth: Callable[..., dict]
+    freq_oscillation: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def latent(
+        self, t: int, config: int, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Synthesize ``t`` samples of latent activity for one run."""
+        if t < 1:
+            raise ValueError("run length must be >= 1")
+        pscale, ascale, mscale = _CONFIG_SCALES[config % len(_CONFIG_SCALES)]
+        period = self.base_period * pscale
+        channels = self.synth(t, period, ascale, mscale, rng)
+        out: dict[str, np.ndarray] = {}
+        for name in CHANNELS:
+            if name == "freq":
+                continue
+            arr = channels.get(name)
+            if arr is None:
+                arr = np.zeros(t)
+            out[name] = np.clip(arr, 0.0, 1.5)
+        # CPU frequency: nominal 1.0, dips under heavy sustained compute
+        # (thermal/turbo response) plus the app-specific oscillation.
+        freq = 1.0 - 0.12 * _smooth(out["compute"], 20)
+        if self.freq_oscillation > 0.0:
+            osc = 0.5 * (1.0 + np.sin(2 * np.pi * _phase(t, period, rng)))
+            freq = freq - self.freq_oscillation * osc
+        freq = freq + rng.normal(0.0, 0.004, size=t)
+        out["freq"] = np.clip(freq, 0.3, 1.2)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Application synthesizers
+# ----------------------------------------------------------------------
+def _amg(t, period, amp, mem, rng):
+    x = _phase(t, period, rng)
+    iters = 0.55 + 0.35 * _sawtooth(x)
+    compute = amp * iters
+    # Memory grows over the run (the gradient visible in Figure 2).
+    memory = mem * (0.25 + 0.55 * np.linspace(0.0, 1.0, t) + 0.08 * _sawtooth(x))
+    membw = amp * (0.35 + 0.4 * _square(x, 0.5))
+    io = 0.05 + 0.1 * _init_phase(t, int(period))
+    net = amp * (0.2 + 0.2 * _square(x, 0.4))
+    return {"compute": compute, "memory": memory, "membw": membw, "io": io, "net": net}
+
+
+def _kripke(t, period, amp, mem, rng):
+    x = _phase(t, period, rng)
+    burst = _square(x, 0.45)
+    compute = amp * (0.3 + 0.6 * burst)
+    memory = mem * (0.45 + 0.05 * burst)
+    membw = amp * (0.15 + 0.7 * burst)
+    io = 0.04 + 0.08 * _init_phase(t, int(period // 2) or 1)
+    net = amp * (0.1 + 0.5 * (1.0 - burst))  # communication between sweeps
+    return {"compute": compute, "memory": memory, "membw": membw, "io": io, "net": net}
+
+
+def _lammps(t, period, amp, mem, rng):
+    x = _phase(t, period, rng)
+    wave = 0.5 * (1.0 + np.sin(2 * np.pi * x))
+    compute = amp * (0.5 + 0.3 * wave)
+    memory = mem * (0.35 + 0.05 * wave)
+    membw = amp * (0.3 + 0.25 * wave)
+    io = 0.05 + 0.05 * _square(x / 4.0, 0.1)  # periodic trajectory dumps
+    net = amp * (0.25 + 0.2 * wave)
+    return {"compute": compute, "memory": memory, "membw": membw, "io": io, "net": net}
+
+
+def _linpack(t, period, amp, mem, rng):
+    init = _init_phase(t, max(int(period), 8))
+    compute = amp * (0.95 - 0.35 * init)
+    memory = mem * (0.7 - 0.2 * init)
+    membw = amp * (0.8 - 0.3 * init)
+    io = 0.03 + 0.5 * init  # heavy setup I/O
+    net = amp * (0.35 + 0.3 * init)
+    return {"compute": compute, "memory": memory, "membw": membw, "io": io, "net": net}
+
+
+def _quicksilver(t, period, amp, mem, rng):
+    x = _phase(t, period, rng)
+    compute = amp * (0.18 + 0.07 * _square(x, 0.5))
+    memory = mem * (0.3 + 0.02 * _sawtooth(x))
+    membw = amp * (0.1 + 0.05 * _square(x, 0.5))
+    io = 0.02 + 0.02 * _square(x / 3.0, 0.15)
+    net = amp * (0.08 + 0.05 * _square(x, 0.5))
+    return {"compute": compute, "memory": memory, "membw": membw, "io": io, "net": net}
+
+
+def _nekbone(t, period, amp, mem, rng):
+    x = _phase(t, period, rng)
+    cg = 0.5 * (1.0 + np.sin(2 * np.pi * x)) ** 2 / 2.0
+    compute = amp * (0.4 + 0.35 * cg)
+    memory = mem * (0.4 + 0.03 * cg)
+    membw = amp * (0.5 + 0.3 * cg)
+    io = np.full(t, 0.03)
+    net = amp * (0.3 + 0.25 * (1.0 - cg))
+    return {"compute": compute, "memory": memory, "membw": membw, "io": io, "net": net}
+
+
+def _idle(t, period, amp, mem, rng):
+    jitter = rng.normal(0.0, 0.01, size=t)
+    return {
+        "compute": 0.03 + np.abs(jitter),
+        "memory": np.full(t, 0.08),
+        "membw": np.full(t, 0.02),
+        "io": np.full(t, 0.01),
+        "net": np.full(t, 0.01),
+    }
+
+
+#: The six HPC-ODA applications, keyed by name.
+APPLICATIONS: dict[str, WorkloadModel] = {
+    "AMG": WorkloadModel("AMG", base_period=120.0, synth=_amg),
+    "Kripke": WorkloadModel("Kripke", base_period=90.0, synth=_kripke),
+    "LAMMPS": WorkloadModel("LAMMPS", base_period=100.0, synth=_lammps),
+    "Linpack": WorkloadModel("Linpack", base_period=150.0, synth=_linpack),
+    "Quicksilver": WorkloadModel(
+        "Quicksilver", base_period=80.0, synth=_quicksilver, freq_oscillation=0.18
+    ),
+    "Nekbone": WorkloadModel("Nekbone", base_period=110.0, synth=_nekbone),
+}
+
+#: Idle (no job running) workload, labeled separately in the segments.
+IDLE = WorkloadModel("idle", base_period=200.0, synth=_idle)
+
+
+def application_names(include_idle: bool = False) -> tuple[str, ...]:
+    """The classification label set, optionally with ``idle``."""
+    names = tuple(APPLICATIONS)
+    return names + ("idle",) if include_idle else names
+
+
+def build_schedule(
+    total_t: int,
+    rng: np.random.Generator,
+    *,
+    min_run: int = 200,
+    max_run: int = 400,
+    include_idle: bool = True,
+    apps: tuple[str, ...] | None = None,
+) -> list[tuple[str, int, int]]:
+    """Random back-to-back job schedule covering ``total_t`` samples.
+
+    Returns a list of ``(app_name, config, run_length)`` entries whose run
+    lengths sum to ``total_t``.  Applications (and optionally idle gaps)
+    are drawn uniformly; every application appears at least once when the
+    horizon allows, so classification datasets contain all classes.
+    """
+    if total_t < 1:
+        raise ValueError("total_t must be >= 1")
+    if min_run < 2 or max_run < min_run:
+        raise ValueError("invalid run-length range")
+    names = list(apps if apps is not None else APPLICATIONS)
+    pool = names + (["idle"] if include_idle else [])
+    schedule: list[tuple[str, int, int]] = []
+    remaining = total_t
+    # First pass guarantees coverage of every application.
+    pending = list(names)
+    rng.shuffle(pending)
+    while remaining > 0:
+        if pending:
+            app = pending.pop()
+        else:
+            app = pool[int(rng.integers(len(pool)))]
+        length = int(rng.integers(min_run, max_run + 1))
+        length = min(length, remaining)
+        config = int(rng.integers(3))
+        schedule.append((app, config, length))
+        remaining -= length
+    return schedule

@@ -1,0 +1,26 @@
+"""Runnable reproductions of every table and figure in the paper.
+
+Each module regenerates one artifact of Section IV and can be run as a
+script (``python -m repro.experiments.fig3``); see DESIGN.md §5 for the
+experiment index and EXPERIMENTS.md for paper-vs-measured results.
+
+=============  =====================================================
+Module         Paper artifact
+=============  =====================================================
+``table1``     Table I — dataset-collection overview
+``fig3``       Figure 3 — times, signature sizes, ML scores
+``fig4``       Figure 4 — JS divergence and ML score vs signature length
+``fig5``       Figure 5 — signature-computation scalability
+``fig6``       Figure 6 — application signature heatmaps (160 blocks)
+``fig7``       Figure 7 — LAMMPS heatmaps across three architectures
+``crossarch``  Section IV-F — cross-architecture classification scores
+=============  =====================================================
+"""
+
+from repro.experiments.harness import (
+    DEFAULT_METHODS,
+    ExperimentResult,
+    run_method_on_segment,
+)
+
+__all__ = ["DEFAULT_METHODS", "ExperimentResult", "run_method_on_segment"]

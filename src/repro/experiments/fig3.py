@@ -1,0 +1,111 @@
+"""Figure 3 reproduction: testing times, signature sizes and ML scores.
+
+For the first four HPC-ODA segments and the eight method configurations
+(Tuncer, Bodik, Lan, CS-5/10/20/40/All) this experiment reports:
+
+* **Figure 3a** — dataset-generation time and 5-fold cross-validation
+  time per method (the paper's stacked bars);
+* **Figure 3b** — the resulting signature sizes (feature-vector lengths);
+* **Figure 3c** — the ML scores (macro F1 for Fault/Application,
+  ``1 - NRMSE`` for Power/Infrastructure) with a 50-tree random forest.
+
+The expected qualitative outcome, as in the paper: CS matches the
+baselines' scores while its signatures are up to ~10x smaller and its
+times up to ~10x lower; Fault needs a high block count, Infrastructure is
+accurate already at CS-5.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets.generators import generate_segment
+from repro.experiments.harness import (
+    DEFAULT_METHODS,
+    ExperimentResult,
+    run_method_on_segment,
+)
+from repro.experiments.reporting import print_table, save_csv
+
+__all__ = ["FIG3_SEGMENTS", "run", "main"]
+
+#: The four segments of Figure 3 (Cross-Architecture is Section IV-F).
+FIG3_SEGMENTS: tuple[str, ...] = (
+    "fault",
+    "application",
+    "power",
+    "infrastructure",
+)
+
+HEADERS = (
+    "Segment",
+    "Method",
+    "Sig. size",
+    "Gen time [s]",
+    "CV time [s]",
+    "ML score",
+    "Std",
+)
+
+
+def run(
+    *,
+    segments: tuple[str, ...] = FIG3_SEGMENTS,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    trees: int = 50,
+    repeats: int = 1,
+    seed: int = 0,
+    scale: float = 1.0,
+    segment_kwargs: dict | None = None,
+) -> list[ExperimentResult]:
+    """Run the full Figure 3 grid; returns one result per cell."""
+    results: list[ExperimentResult] = []
+    for seg_name in segments:
+        kwargs = dict(segment_kwargs or {})
+        segment = generate_segment(seg_name, seed=seed, scale=scale, **kwargs)
+        for method in methods:
+            results.append(
+                run_method_on_segment(
+                    segment,
+                    method,
+                    trees=trees,
+                    repeats=repeats,
+                    seed=seed,
+                )
+            )
+    return results
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point for the Figure 3 grid."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trees", type=int, default=50)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="cross-validation repetitions (paper: 5)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--segments", nargs="*", default=list(FIG3_SEGMENTS))
+    parser.add_argument("--methods", nargs="*", default=list(DEFAULT_METHODS))
+    parser.add_argument("--csv", type=str, default=None,
+                        help="also write results to this CSV path")
+    args = parser.parse_args(argv)
+    results = run(
+        segments=tuple(args.segments),
+        methods=tuple(args.methods),
+        trees=args.trees,
+        repeats=args.repeats,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    rows = [r.row() for r in results]
+    print_table(
+        HEADERS,
+        rows,
+        title="Figure 3 — times (a), signature sizes (b) and ML scores (c)",
+    )
+    if args.csv:
+        save_csv(args.csv, HEADERS, rows)
+
+
+if __name__ == "__main__":
+    main()

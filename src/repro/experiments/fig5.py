@@ -1,0 +1,154 @@
+"""Figure 5 reproduction: signature-computation scalability.
+
+Measures the time to compute a single signature from random ``Sw``
+matrices, (a) as a function of the aggregation window ``wl`` with the
+dimension count fixed at ``n = 100``, and (b) as a function of ``n`` with
+``wl = 100`` — repeating each measurement and taking the median, exactly
+as Section IV-D describes.  The CS training stage is excluded: models are
+fitted once per matrix size before the clock starts.
+
+Expected shapes: every method is linear in ``n``; Tuncer and Bodik are
+slightly super-linear in ``wl`` (their percentiles cost
+``O(wl log wl)``); CS is linear in both and roughly an order of magnitude
+faster than Tuncer/Bodik at the high end, with the block count having
+only a minor effect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.harness import DEFAULT_METHODS, make_method_factory
+from repro.experiments.reporting import print_table, save_csv
+
+__all__ = [
+    "DEFAULT_WL_GRID",
+    "DEFAULT_N_GRID",
+    "TimingPoint",
+    "time_single_signature",
+    "run",
+    "main",
+]
+
+#: Scaled-down versions of the paper's 10..10k sweeps; override via CLI.
+DEFAULT_WL_GRID: tuple[int, ...] = (10, 250, 500, 1000, 2000, 4000)
+DEFAULT_N_GRID: tuple[int, ...] = (10, 250, 500, 1000, 2000, 4000)
+
+HEADERS = ("Axis", "Method", "wl", "n", "Median time [s]")
+
+
+@dataclass
+class TimingPoint:
+    """One point of the Figure 5 timing curves."""
+
+    axis: str       # "wl" or "n"
+    method: str
+    wl: int
+    n: int
+    median_time_s: float
+
+    def row(self) -> tuple:
+        return (self.axis, self.method, self.wl, self.n, self.median_time_s)
+
+
+def time_single_signature(
+    method_name: str,
+    n: int,
+    wl: int,
+    *,
+    repeats: int = 20,
+    seed: int = 0,
+) -> float:
+    """Median wall-clock seconds to compute one signature.
+
+    The method is fitted on the random matrix beforehand (CS training is
+    excluded from the measurement, matching the paper's methodology).
+    """
+    rng = np.random.default_rng(seed)
+    Sw = rng.random((n, wl))
+    method = make_method_factory(method_name)()
+    method.fit(Sw)
+    # Warm-up pass so allocation effects don't land in the first sample.
+    method.transform(Sw)
+    times = np.empty(max(repeats, 1))
+    for i in range(times.shape[0]):
+        start = time.perf_counter()
+        method.transform(Sw)
+        times[i] = time.perf_counter() - start
+    return float(np.median(times))
+
+
+def run(
+    *,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    wl_grid: tuple[int, ...] = DEFAULT_WL_GRID,
+    n_grid: tuple[int, ...] = DEFAULT_N_GRID,
+    fixed_n: int = 100,
+    fixed_wl: int = 100,
+    repeats: int = 20,
+    seed: int = 0,
+) -> list[TimingPoint]:
+    """Run both Figure 5 sweeps; returns one timing point per cell.
+
+    Methods with a fixed block count are skipped for matrix sizes where
+    ``l > n`` (e.g. CS-40 needs at least 40 dimensions).
+    """
+    points: list[TimingPoint] = []
+
+    def blocks_of(name: str) -> int | None:
+        if name.lower().startswith("cs-") and name.lower() != "cs-all":
+            return int(name[3:])
+        return None
+
+    for wl in wl_grid:
+        for m in methods:
+            b = blocks_of(m)
+            if b is not None and b > fixed_n:
+                continue
+            t = time_single_signature(m, fixed_n, wl, repeats=repeats, seed=seed)
+            points.append(TimingPoint("wl", m, wl, fixed_n, t))
+    for n in n_grid:
+        for m in methods:
+            b = blocks_of(m)
+            if b is not None and b > n:
+                continue
+            t = time_single_signature(m, n, fixed_wl, repeats=repeats, seed=seed)
+            points.append(TimingPoint("n", m, fixed_wl, n, t))
+    return points
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point for the Figure 5 timing sweeps."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--wl-grid", nargs="*", type=int,
+                        default=list(DEFAULT_WL_GRID))
+    parser.add_argument("--n-grid", nargs="*", type=int,
+                        default=list(DEFAULT_N_GRID))
+    parser.add_argument("--methods", nargs="*", default=list(DEFAULT_METHODS))
+    parser.add_argument("--csv", type=str, default=None)
+    args = parser.parse_args(argv)
+    points = run(
+        methods=tuple(args.methods),
+        wl_grid=tuple(args.wl_grid),
+        n_grid=tuple(args.n_grid),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    rows = [p.row() for p in points]
+    print_table(
+        HEADERS,
+        rows,
+        title="Figure 5 — time to compute one signature vs wl (a) and n (b)",
+    )
+    if args.csv:
+        save_csv(args.csv, HEADERS, rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Figure 7 reproduction: one application across three architectures.
+
+Renders the 20-block CS signature heatmaps of LAMMPS runs on the three
+Cross-Architecture nodes (Skylake, Knights Landing, AMD Rome).  Each node
+has a different sensor count and response scaling, yet — because CS
+signatures of a fixed block count are comparable across systems — the
+same performance patterns appear in all three heatmaps.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.visualization import (
+    add_boundaries,
+    ascii_heatmap,
+    save_pgm,
+    signature_heatmaps,
+    to_grayscale,
+)
+from repro.core.pipeline import CorrelationWiseSmoothing
+from repro.datasets.generators import ComponentData, generate_cross_architecture
+from repro.experiments.fig6 import run_intervals
+
+__all__ = ["NodeHeatmap", "node_heatmap", "run", "main"]
+
+
+@dataclass
+class NodeHeatmap:
+    """Heatmaps of one application on one architecture."""
+
+    arch: str
+    n_sensors: int
+    signatures: np.ndarray
+    real_image: np.ndarray
+    imag_image: np.ndarray
+
+
+def node_heatmap(
+    comp: ComponentData,
+    label_id: int,
+    wl: int,
+    ws: int,
+    *,
+    blocks: int = 20,
+) -> NodeHeatmap | None:
+    """Signatures of one application's runs on one node, or None if absent."""
+    cs = CorrelationWiseSmoothing(blocks=blocks).fit(comp.matrix)
+    all_sigs: list[np.ndarray] = []
+    boundaries: list[int] = []
+    total = 0
+    assert comp.labels is not None
+    for start, stop in run_intervals(comp.labels, label_id):
+        if stop - start < wl:
+            continue
+        sigs = cs.transform_series(comp.matrix[:, start:stop], wl, ws)
+        if sigs.shape[0] == 0:
+            continue
+        all_sigs.append(sigs)
+        total += sigs.shape[0]
+        boundaries.append(total - 1)
+    if not all_sigs:
+        return None
+    signatures = np.concatenate(all_sigs, axis=0)
+    real, imag = signature_heatmaps(signatures)
+    seps = np.asarray(boundaries[:-1], dtype=np.intp)
+    return NodeHeatmap(
+        arch=comp.arch,
+        n_sensors=comp.n_sensors,
+        signatures=signatures,
+        real_image=add_boundaries(to_grayscale(real), seps),
+        imag_image=add_boundaries(to_grayscale(imag), seps),
+    )
+
+
+def run(
+    *,
+    app: str = "LAMMPS",
+    blocks: int = 20,
+    seed: int = 0,
+    t: int = 2600,
+    out_dir: str | Path | None = None,
+) -> list[NodeHeatmap]:
+    """Generate the Cross-Architecture segment and compute all heatmaps."""
+    segment = generate_cross_architecture(seed=seed, t=t)
+    try:
+        label_id = segment.label_names.index(app)
+    except ValueError:
+        raise KeyError(
+            f"unknown application {app!r}; known: {segment.label_names}"
+        ) from None
+    results = []
+    for comp in segment.components:
+        res = node_heatmap(
+            comp, label_id, segment.spec.wl, segment.spec.ws, blocks=blocks
+        )
+        if res is None:
+            continue
+        results.append(res)
+        if out_dir is not None:
+            out = Path(out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            save_pgm(out / f"fig7_{res.arch}_real.pgm", res.real_image)
+            save_pgm(out / f"fig7_{res.arch}_imag.pgm", res.imag_image)
+    return results
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: render and save the Figure 7 heatmaps."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", type=str, default="LAMMPS")
+    parser.add_argument("--blocks", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--t", type=int, default=2600)
+    parser.add_argument("--out", type=str, default="figures")
+    args = parser.parse_args(argv)
+    results = run(
+        app=args.app,
+        blocks=args.blocks,
+        seed=args.seed,
+        t=args.t,
+        out_dir=args.out,
+    )
+    for res in results:
+        print(f"\n=== {args.app} on {res.arch} ({res.n_sensors} sensors) — real ===")
+        print(ascii_heatmap(255 - res.real_image.astype(np.float64)))
+        print(f"--- {args.app} on {res.arch} — imaginary ---")
+        print(ascii_heatmap(255 - res.imag_image.astype(np.float64)))
+    print(f"\nPGM images written to {args.out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,160 @@
+"""Experiment harness: dataset generation + cross-validation with timing.
+
+Implements the Section IV-A methodology: a signature method turns each
+segment into feature sets (timed as "dataset generation"), the feature
+sets are shuffled and 5-fold cross-validated with a 50-tree random forest
+(stratified folds for classification), and the ML score is the macro
+F1-score or ``1 - NRMSE``.  Results are averaged over ``repeats``
+independent runs (the paper uses 5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.base import SignatureMethod, get_method
+from repro.baselines.cs_adapter import CSSignature
+from repro.datasets.generators import SegmentData, WindowedDataset, build_ml_dataset
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.model_selection import (
+    cross_validate_classifier,
+    cross_validate_regressor,
+)
+
+__all__ = [
+    "DEFAULT_METHODS",
+    "ExperimentResult",
+    "make_method_factory",
+    "run_method_on_segment",
+]
+
+#: The eight method configurations of Figure 3.
+DEFAULT_METHODS: tuple[str, ...] = (
+    "tuncer",
+    "bodik",
+    "lan",
+    "cs-5",
+    "cs-10",
+    "cs-20",
+    "cs-40",
+    "cs-all",
+)
+
+
+@dataclass
+class ExperimentResult:
+    """One (segment, method) cell of Figure 3."""
+
+    segment: str
+    method: str
+    ml_score: float
+    ml_score_std: float
+    signature_size: int
+    generation_time_s: float
+    cv_time_s: float
+    n_samples: int
+
+    def row(self) -> tuple:
+        """Row for the reporting tables."""
+        return (
+            self.segment,
+            self.method,
+            self.signature_size,
+            round(self.generation_time_s, 4),
+            round(self.cv_time_s, 4),
+            round(self.ml_score, 4),
+            round(self.ml_score_std, 4),
+        )
+
+
+def make_method_factory(
+    spec: str | Callable[[], SignatureMethod], *, real_only: bool = False
+) -> Callable[[], SignatureMethod]:
+    """Normalize a method spec into a zero-arg factory.
+
+    Strings go through the registry (``"tuncer"``, ``"cs-20"``, ...);
+    ``real_only`` builds the ``-R`` CS variants of Figure 4.
+    """
+    if callable(spec):
+        return spec
+    name = str(spec)
+    if real_only:
+        if not name.lower().startswith("cs-"):
+            raise ValueError("real_only only applies to CS methods")
+        token = name[3:]
+        blocks: int | str = "all" if token.lower() == "all" else int(token)
+        return lambda: CSSignature(blocks=blocks, real_only=True)
+    return lambda: get_method(name)
+
+
+def _cross_validate(
+    dataset: WindowedDataset,
+    *,
+    trees: int,
+    n_splits: int,
+    seed: int | None,
+) -> np.ndarray:
+    if dataset.task == "classification":
+        return cross_validate_classifier(
+            lambda: RandomForestClassifier(trees, random_state=seed),
+            dataset.X,
+            dataset.y,
+            n_splits=n_splits,
+            shuffle=True,
+            random_state=seed,
+        )
+    return cross_validate_regressor(
+        lambda: RandomForestRegressor(trees, random_state=seed),
+        dataset.X,
+        dataset.y,
+        n_splits=n_splits,
+        shuffle=True,
+        random_state=seed,
+    )
+
+
+def run_method_on_segment(
+    segment: SegmentData,
+    method: str | Callable[[], SignatureMethod],
+    *,
+    trees: int = 50,
+    n_splits: int = 5,
+    repeats: int = 1,
+    seed: int = 0,
+    real_only: bool = False,
+) -> ExperimentResult:
+    """Evaluate one signature method on one segment.
+
+    Returns the averaged ML score over ``repeats`` cross-validation runs
+    plus the dataset-generation and cross-validation wall-clock times
+    (the two bar sections of Figure 3a).
+    """
+    factory = make_method_factory(method, real_only=real_only)
+    dataset = build_ml_dataset(segment, factory)
+    scores = []
+    cv_time = 0.0
+    for r in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fold_scores = _cross_validate(
+            dataset, trees=trees, n_splits=n_splits, seed=seed + r
+        )
+        cv_time += time.perf_counter() - start
+        scores.append(fold_scores.mean())
+    scores_arr = np.asarray(scores)
+    name = method if isinstance(method, str) else factory().name
+    if real_only and isinstance(name, str) and not name.endswith("-R"):
+        name = f"{name}-R"
+    return ExperimentResult(
+        segment=segment.spec.name,
+        method=str(name),
+        ml_score=float(scores_arr.mean()),
+        ml_score_std=float(scores_arr.std()),
+        signature_size=dataset.signature_size,
+        generation_time_s=dataset.generation_time_s,
+        cv_time_s=cv_time / max(repeats, 1),
+        n_samples=dataset.n_samples,
+    )

@@ -1,0 +1,71 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmarks print the same rows/series the paper's figures plot; this
+module renders them as aligned fixed-width tables (and optionally CSV) so
+results are directly comparable with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["format_table", "print_table", "save_csv", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell rendering (floats get 4 significant digits)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None
+) -> str:
+    """Render rows as an aligned fixed-width text table."""
+    str_rows = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(headers, rows, title=title))
+
+
+def save_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]
+) -> Path:
+    """Write rows as a simple comma-separated file."""
+    path = Path(path)
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(format_value(c) for c in row))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

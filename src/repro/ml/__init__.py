@@ -1,0 +1,71 @@
+"""Machine-learning substrate (scikit-learn replacement).
+
+The paper's evaluation uses scikit-learn 0.20.3 models; that package is
+not available in this environment, so this subpackage re-implements the
+pieces the evaluation needs, with the same hyper-parameters:
+
+* :class:`~repro.ml.forest.RandomForestClassifier` /
+  :class:`~repro.ml.forest.RandomForestRegressor` — 50 estimators, Gini
+  impurity (classification) or variance reduction (regression), bootstrap
+  sampling and per-split feature subsampling, built on the CART trees in
+  :mod:`repro.ml.tree`;
+* :class:`~repro.ml.mlp.MLPClassifier` — 2 hidden layers of 100 ReLU
+  units, softmax output, Adam optimizer;
+* :mod:`repro.ml.model_selection` — stratified and plain K-fold
+  cross-validation with shuffling;
+* :mod:`repro.ml.metrics` — F1 score (macro), precision/recall, NRMSE and
+  the paper's ``ML score`` convention (``1 - NRMSE`` for regression).
+
+Everything is pure numpy, vectorized per the HPC-Python guides: split
+search uses prefix-sum scans over sorted features rather than per-sample
+loops.
+"""
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    ml_score_classification,
+    ml_score_regression,
+    nrmse,
+    precision_recall_f1,
+    r2_score,
+    rmse,
+)
+from repro.ml.mlp import MLPClassifier, MLPRegressor
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validate_classifier,
+    cross_validate_regressor,
+    train_test_split,
+)
+from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "MLPClassifier",
+    "MLPRegressor",
+    "KFold",
+    "StratifiedKFold",
+    "train_test_split",
+    "cross_validate_classifier",
+    "cross_validate_regressor",
+    "LabelEncoder",
+    "MinMaxScaler",
+    "StandardScaler",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "precision_recall_f1",
+    "ml_score_classification",
+    "ml_score_regression",
+    "nrmse",
+    "rmse",
+    "r2_score",
+]

@@ -1,0 +1,80 @@
+"""Principal Component Analysis (dimensionality-reduction substrate).
+
+The paper's related-work section discusses PCA-based signature methods
+(and the original Lan method used a PCA step for outlier detection); this
+module provides a small covariance-eigendecomposition PCA so those
+baselines can be reproduced without scikit-learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Principal component analysis via eigendecomposition.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; ``None`` keeps
+        ``min(n_samples, n_features)``.
+
+    Attributes
+    ----------
+    components_:
+        Array ``(n_components, n_features)``; rows are the principal axes
+        sorted by decreasing explained variance.
+    explained_variance_:
+        Variance captured by each component.
+    explained_variance_ratio_:
+        Fraction of total variance per component.
+    """
+
+    def __init__(self, n_components: int | None = None):
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        m, d = X.shape
+        if m < 2:
+            raise ValueError("need at least two samples")
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        # Eigendecomposition of the covariance; eigh returns ascending
+        # eigenvalues, so flip.  Symmetric solver is exact and stable.
+        cov = centered.T @ centered / (m - 1)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = np.clip(eigvals[order], 0.0, None)
+        eigvecs = eigvecs[:, order]
+        k = min(m, d) if self.n_components is None else min(self.n_components, d)
+        self.components_ = eigvecs[:, :k].T
+        self.explained_variance_ = eigvals[:k]
+        total = eigvals.sum()
+        self.explained_variance_ratio_ = (
+            eigvals[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project rows of ``X`` onto the principal axes."""
+        if not hasattr(self, "components_"):
+            raise RuntimeError("PCA is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        """Reconstruct from component space (lossy if k < n_features)."""
+        if not hasattr(self, "components_"):
+            raise RuntimeError("PCA is not fitted")
+        return np.asarray(Z, dtype=np.float64) @ self.components_ + self.mean_

@@ -1,0 +1,163 @@
+"""Random forests built on the CART trees of :mod:`repro.ml.tree`.
+
+The paper's model of choice: "a random forest (with 50 estimators and
+using the Gini impurity to evaluate the quality of splits), due to its
+effectiveness in many ODA use cases as well as its robustness against
+over-fitting".  Defaults follow scikit-learn 0.20 semantics: bootstrap
+sampling, ``max_features="sqrt"`` for classification and all features for
+regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = ["RandomForestClassifier", "RandomForestRegressor"]
+
+
+class _BaseForest:
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bool(bootstrap)
+        self.random_state = random_state
+        self.estimators_: list = []
+
+    def _tree_factory(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        m = X.shape[0]
+        seeds = np.random.SeedSequence(self.random_state).spawn(self.n_estimators)
+        self.estimators_ = []
+        for seq in seeds:
+            rng = np.random.default_rng(seq)
+            if self.bootstrap:
+                sample = rng.integers(0, m, size=m)
+            else:
+                sample = np.arange(m)
+            tree = self._tree_factory(rng)
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.estimators_)
+
+    def _require_fit(self) -> None:
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted")
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bootstrap-aggregated Gini CART classifier (soft voting).
+
+    Parameters mirror the paper's setup; ``max_features`` defaults to
+    ``"sqrt"`` as in scikit-learn's classifier forests.
+    """
+
+    def __init__(self, n_estimators: int = 50, *, max_features="sqrt", **kw):
+        super().__init__(n_estimators, max_features=max_features, **kw)
+
+    def _tree_factory(self, rng: np.random.Generator) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=rng,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+        self._fit_forest(X, y)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean of per-tree leaf class frequencies (soft voting)."""
+        self._require_fit()
+        X = np.asarray(X, dtype=np.float64)
+        proba = np.zeros((X.shape[0], self.classes_.shape[0]))
+        for tree in self.estimators_:
+            tree_proba = tree.predict_proba(X)
+            # Trees trained on bootstrap samples may miss rare classes;
+            # align their columns onto the forest's class set.
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            proba[:, cols] += tree_proba
+        proba /= len(self.estimators_)
+        return proba
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class RandomForestRegressor(_BaseForest):
+    """Bootstrap-aggregated variance-reduction CART regressor.
+
+    ``max_features`` defaults to one third of the features (Breiman's
+    classic regression-forest recommendation) and ``min_samples_leaf`` to
+    5, which keeps continuous-target trees from degenerating into one
+    leaf per sample; both can be overridden.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        *,
+        max_features=1 / 3,
+        min_samples_leaf: int = 5,
+        **kw,
+    ):
+        super().__init__(
+            n_estimators,
+            max_features=max_features,
+            min_samples_leaf=min_samples_leaf,
+            **kw,
+        )
+
+    def _tree_factory(self, rng: np.random.Generator) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=rng,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        self._fit_forest(X, np.asarray(y, dtype=np.float64))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fit()
+        X = np.asarray(X, dtype=np.float64)
+        acc = np.zeros(X.shape[0])
+        for tree in self.estimators_:
+            acc += tree.predict(X)
+        return acc / len(self.estimators_)

@@ -1,0 +1,152 @@
+"""Evaluation metrics used in the paper's experiments.
+
+Classification quality is reported as the **F1-score** ("the harmonic mean
+between the precision and recall metrics"), macro-averaged over classes.
+Regression quality is the **Normalized Root Mean Square Error**; to show
+both on one higher-is-better axis the paper defines the *ML score*
+``NRMSE_c = 1 - NRMSE``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_recall_f1",
+    "f1_score",
+    "rmse",
+    "nrmse",
+    "r2_score",
+    "ml_score_classification",
+    "ml_score_regression",
+]
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: np.ndarray | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = samples of class i predicted as j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    k = labels.shape[0]
+    ti = np.searchsorted(labels, y_true)
+    pi = np.searchsorted(labels, y_pred)
+    # Guard against values not present in `labels`.
+    if k == 0 or np.any(labels[np.clip(ti, 0, k - 1)] != y_true) or np.any(
+        labels[np.clip(pi, 0, k - 1)] != y_pred
+    ):
+        raise ValueError("y contains values not present in labels")
+    cm = np.zeros((k, k), dtype=np.int64)
+    np.add.at(cm, (ti, pi), 1)
+    return cm
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_recall_f1(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    *,
+    average: str = "macro",
+    labels: np.ndarray | None = None,
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 with macro/micro/weighted averaging.
+
+    Per-class precision (recall) with an empty denominator is defined as 0,
+    matching scikit-learn's zero-division behaviour.
+    """
+    cm = confusion_matrix(y_true, y_pred, labels=labels).astype(np.float64)
+    tp = np.diagonal(cm)
+    pred_pos = cm.sum(axis=0)
+    actual_pos = cm.sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        prec = np.where(pred_pos > 0, tp / np.where(pred_pos > 0, pred_pos, 1), 0.0)
+        rec = np.where(
+            actual_pos > 0, tp / np.where(actual_pos > 0, actual_pos, 1), 0.0
+        )
+        f1 = np.where(prec + rec > 0, 2 * prec * rec / np.where(
+            prec + rec > 0, prec + rec, 1
+        ), 0.0)
+    if average == "macro":
+        return float(prec.mean()), float(rec.mean()), float(f1.mean())
+    if average == "weighted":
+        w = actual_pos / actual_pos.sum()
+        return (
+            float(np.dot(prec, w)),
+            float(np.dot(rec, w)),
+            float(np.dot(f1, w)),
+        )
+    if average == "micro":
+        total_tp = tp.sum()
+        p = total_tp / cm.sum() if cm.sum() > 0 else 0.0
+        return float(p), float(p), float(p)
+    raise ValueError(f"unknown average {average!r}")
+
+
+def f1_score(
+    y_true: np.ndarray, y_pred: np.ndarray, *, average: str = "macro"
+) -> float:
+    """Macro-averaged (by default) F1 score."""
+    return precision_recall_f1(y_true, y_pred, average=average)[2]
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean square error."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def nrmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """RMSE normalized by the observed target range.
+
+    A constant target (zero range) makes the normalization undefined; we
+    then fall back to the raw RMSE, which is 0 exactly when predictions
+    are perfect.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    value_range = float(y_true.max() - y_true.min()) if y_true.size else 0.0
+    raw = rmse(y_true, y_pred)
+    return raw / value_range if value_range > 0 else raw
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def ml_score_classification(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """The paper's ML score for classification tasks: macro F1."""
+    return f1_score(y_true, y_pred, average="macro")
+
+
+def ml_score_regression(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """The paper's ML score for regression tasks: ``1 - NRMSE``."""
+    return 1.0 - nrmse(y_true, y_pred)

@@ -1,0 +1,194 @@
+"""Multi-layer perceptrons with the paper's architecture.
+
+Section IV-A: "a multi-layer perceptron (with 2 hidden layers each having
+100 neurons and using the rectified linear unit as activation function)".
+We implement a minibatch Adam-trained MLP: softmax/cross-entropy for
+classification and identity/MSE for regression.  All math is batched
+numpy; weights use He initialization appropriate for ReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MLPClassifier", "MLPRegressor"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    np.exp(z, out=z)
+    z /= z.sum(axis=1, keepdims=True)
+    return z
+
+
+class _BaseMLP:
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (100, 100),
+        *,
+        learning_rate: float = 1e-3,
+        alpha: float = 1e-4,
+        batch_size: int | None = None,
+        max_iter: int = 200,
+        tol: float = 1e-4,
+        n_iter_no_change: int = 10,
+        shuffle: bool = True,
+        random_state: int | None = None,
+    ):
+        self.hidden_layer_sizes = tuple(int(h) for h in hidden_layer_sizes)
+        if any(h < 1 for h in self.hidden_layer_sizes):
+            raise ValueError("hidden layer sizes must be >= 1")
+        self.learning_rate = float(learning_rate)
+        self.alpha = float(alpha)
+        self.batch_size = batch_size
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.n_iter_no_change = int(n_iter_no_change)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+        self.loss_curve_: list[float] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def _init_params(self, n_in: int, n_out: int, rng: np.random.Generator):
+        sizes = (n_in, *self.hidden_layer_sizes, n_out)
+        self._W = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._b = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        # Adam state.
+        self._mW = [np.zeros_like(w) for w in self._W]
+        self._vW = [np.zeros_like(w) for w in self._W]
+        self._mb = [np.zeros_like(b) for b in self._b]
+        self._vb = [np.zeros_like(b) for b in self._b]
+        self._adam_t = 0
+
+    def _forward(self, X: np.ndarray):
+        """Return activations per layer; last entry is pre-output logits."""
+        acts = [X]
+        h = X
+        for i in range(len(self._W) - 1):
+            h = _relu(h @ self._W[i] + self._b[i])
+            acts.append(h)
+        acts.append(h @ self._W[-1] + self._b[-1])
+        return acts
+
+    def _adam_step(self, grads_W, grads_b):
+        self._adam_t += 1
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        lr = self.learning_rate * np.sqrt(1 - b2**self._adam_t) / (
+            1 - b1**self._adam_t
+        )
+        for i in range(len(self._W)):
+            self._mW[i] = b1 * self._mW[i] + (1 - b1) * grads_W[i]
+            self._vW[i] = b2 * self._vW[i] + (1 - b2) * grads_W[i] ** 2
+            self._W[i] -= lr * self._mW[i] / (np.sqrt(self._vW[i]) + eps)
+            self._mb[i] = b1 * self._mb[i] + (1 - b1) * grads_b[i]
+            self._vb[i] = b2 * self._vb[i] + (1 - b2) * grads_b[i] ** 2
+            self._b[i] -= lr * self._mb[i] / (np.sqrt(self._vb[i]) + eps)
+
+    def _backward(self, acts, delta_out: np.ndarray, batch: int):
+        """Backpropagate ``delta_out`` (dLoss/dlogits) and Adam-update."""
+        grads_W = [None] * len(self._W)
+        grads_b = [None] * len(self._W)
+        delta = delta_out
+        for i in range(len(self._W) - 1, -1, -1):
+            grads_W[i] = acts[i].T @ delta / batch + self.alpha * self._W[i]
+            grads_b[i] = delta.sum(axis=0) / batch
+            if i > 0:
+                delta = (delta @ self._W[i].T) * (acts[i] > 0)
+        self._adam_step(grads_W, grads_b)
+
+    def _fit_loop(self, X: np.ndarray, T: np.ndarray, loss_and_delta):
+        rng = np.random.default_rng(self.random_state)
+        m = X.shape[0]
+        batch = self.batch_size or min(200, m)
+        self._init_params(X.shape[1], T.shape[1], rng)
+        self.loss_curve_ = []
+        best = np.inf
+        stall = 0
+        for _epoch in range(self.max_iter):
+            order = rng.permutation(m) if self.shuffle else np.arange(m)
+            epoch_loss = 0.0
+            for start in range(0, m, batch):
+                sel = order[start : start + batch]
+                acts = self._forward(X[sel])
+                loss, delta = loss_and_delta(acts[-1], T[sel])
+                epoch_loss += loss * sel.shape[0]
+                self._backward(acts, delta, sel.shape[0])
+            epoch_loss /= m
+            self.loss_curve_.append(epoch_loss)
+            if epoch_loss < best - self.tol:
+                best = epoch_loss
+                stall = 0
+            else:
+                stall += 1
+                if stall >= self.n_iter_no_change:
+                    break
+        self._fitted = True
+
+    def _check_X(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        return X
+
+
+class MLPClassifier(_BaseMLP):
+    """ReLU MLP classifier (softmax output, cross-entropy loss, Adam)."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X = self._check_X(X)
+        y = np.asarray(y)
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        T = np.zeros((X.shape[0], self.classes_.shape[0]))
+        T[np.arange(X.shape[0]), y_enc] = 1.0
+
+        def loss_and_delta(logits, targets):
+            proba = _softmax(logits.copy())
+            eps = 1e-12
+            loss = -np.mean(
+                np.sum(targets * np.log(np.clip(proba, eps, None)), axis=1)
+            )
+            return float(loss), proba - targets
+
+        self._fit_loop(X, T, loss_and_delta)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("MLP is not fitted")
+        logits = self._forward(self._check_X(X))[-1]
+        return _softmax(logits)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class MLPRegressor(_BaseMLP):
+    """ReLU MLP regressor (identity output, MSE loss, Adam)."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X = self._check_X(X)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+
+        def loss_and_delta(out, targets):
+            err = out - targets
+            return float(np.mean(err**2)), 2.0 * err
+
+        self._fit_loop(X, y, loss_and_delta)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("MLP is not fitted")
+        out = self._forward(self._check_X(X))[-1]
+        return out[:, 0] if out.shape[1] == 1 else out

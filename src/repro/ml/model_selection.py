@@ -1,0 +1,197 @@
+"""Cross-validation utilities (Section IV-A methodology).
+
+The paper shuffles the feature sets, then applies "5-fold cross-validation
+... using a stratified K-fold strategy: 4 of the 5 uniformly-sized folds
+are used for training and 1 for testing, evaluating all possible
+combinations."  This module provides :class:`KFold`,
+:class:`StratifiedKFold`, a ``train_test_split`` helper and two
+harness-level drivers that run a model factory across folds and return the
+paper's ML scores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.ml.metrics import ml_score_classification, ml_score_regression
+
+__all__ = [
+    "KFold",
+    "StratifiedKFold",
+    "train_test_split",
+    "cross_validate_classifier",
+    "cross_validate_regressor",
+]
+
+Split = tuple[np.ndarray, np.ndarray]
+
+
+class KFold:
+    """Plain K-fold splitter with optional shuffling."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        *,
+        shuffle: bool = False,
+        random_state: int | None = None,
+    ):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, X, y=None) -> Iterator[Split]:
+        m = len(X)
+        if m < self.n_splits:
+            raise ValueError(
+                f"cannot split {m} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(m)
+        if self.shuffle:
+            np.random.default_rng(self.random_state).shuffle(indices)
+        sizes = np.full(self.n_splits, m // self.n_splits, dtype=np.intp)
+        sizes[: m % self.n_splits] += 1
+        start = 0
+        for size in sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+
+class StratifiedKFold:
+    """K-fold that preserves per-class proportions in every fold."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        *,
+        shuffle: bool = False,
+        random_state: int | None = None,
+    ):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[Split]:
+        y = np.asarray(y)
+        m = y.shape[0]
+        if len(X) != m:
+            raise ValueError("X and y have inconsistent lengths")
+        classes, y_enc = np.unique(y, return_inverse=True)
+        smallest = np.bincount(y_enc).min()
+        if smallest < self.n_splits:
+            raise ValueError(
+                f"the least populated class has {smallest} members, fewer "
+                f"than n_splits={self.n_splits}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        # Assign a fold id to every sample, round-robin within each class.
+        fold_of = np.empty(m, dtype=np.intp)
+        for c in range(classes.shape[0]):
+            members = np.flatnonzero(y_enc == c)
+            if self.shuffle:
+                rng.shuffle(members)
+            fold_of[members] = np.arange(members.shape[0]) % self.n_splits
+        for fold in range(self.n_splits):
+            test = np.flatnonzero(fold_of == fold)
+            train = np.flatnonzero(fold_of != fold)
+            yield train, test
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.25,
+    random_state: int | None = None,
+    stratify: np.ndarray | None = None,
+):
+    """Shuffle-split arrays into train/test partitions.
+
+    Returns ``train_a, test_a`` for each input array, flattened in order
+    (like scikit-learn).  With ``stratify``, per-class proportions are
+    preserved in both partitions.
+    """
+    if not arrays:
+        raise ValueError("need at least one array to split")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    m = len(arrays[0])
+    for a in arrays[1:]:
+        if len(a) != m:
+            raise ValueError("all arrays must have the same length")
+    rng = np.random.default_rng(random_state)
+    if stratify is not None:
+        strat = np.asarray(stratify)
+        if strat.shape[0] != m:
+            raise ValueError("stratify must match array length")
+        test_mask = np.zeros(m, dtype=bool)
+        for c in np.unique(strat):
+            members = np.flatnonzero(strat == c)
+            rng.shuffle(members)
+            n_test = max(1, int(round(members.shape[0] * test_size)))
+            test_mask[members[:n_test]] = True
+        test_idx = np.flatnonzero(test_mask)
+        train_idx = np.flatnonzero(~test_mask)
+    else:
+        order = rng.permutation(m)
+        n_test = max(1, int(round(m * test_size)))
+        test_idx = order[:n_test]
+        train_idx = order[n_test:]
+    out = []
+    for a in arrays:
+        a = np.asarray(a)
+        out.append(a[train_idx])
+        out.append(a[test_idx])
+    return tuple(out)
+
+
+def cross_validate_classifier(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_splits: int = 5,
+    shuffle: bool = True,
+    random_state: int | None = None,
+    score_fn: Callable[[np.ndarray, np.ndarray], float] = ml_score_classification,
+) -> np.ndarray:
+    """Stratified K-fold scores of a freshly built classifier per fold."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    splitter = StratifiedKFold(
+        n_splits=n_splits, shuffle=shuffle, random_state=random_state
+    )
+    scores = []
+    for train, test in splitter.split(X, y):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(score_fn(y[test], model.predict(X[test])))
+    return np.asarray(scores)
+
+
+def cross_validate_regressor(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_splits: int = 5,
+    shuffle: bool = True,
+    random_state: int | None = None,
+    score_fn: Callable[[np.ndarray, np.ndarray], float] = ml_score_regression,
+) -> np.ndarray:
+    """Plain K-fold scores of a freshly built regressor per fold."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    splitter = KFold(n_splits=n_splits, shuffle=shuffle, random_state=random_state)
+    scores = []
+    for train, test in splitter.split(X):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(score_fn(y[test], model.predict(X[test])))
+    return np.asarray(scores)

@@ -1,0 +1,108 @@
+"""Feature preprocessing: scalers and label encoding.
+
+Small, dependency-free equivalents of the scikit-learn transformers the
+evaluation pipeline needs: standardization for the MLP, min-max scaling
+for generic feature conditioning, and integer label encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler", "LabelEncoder"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance column scaling."""
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant columns are mapped to exactly zero rather than NaN.
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Column scaling to a target range (default ``[0, 1]``)."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError("feature_range must be increasing")
+        self.feature_range = (float(lo), float(hi))
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        self.scale_ = np.where(span > 0, span, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "data_min_"):
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        lo, hi = self.feature_range
+        unit = (X - self.data_min_) / self.scale_
+        return unit * (hi - lo) + lo
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "data_min_"):
+            raise RuntimeError("scaler is not fitted")
+        lo, hi = self.feature_range
+        unit = (np.asarray(X, dtype=np.float64) - lo) / (hi - lo)
+        return unit * self.scale_ + self.data_min_
+
+
+class LabelEncoder:
+    """Map arbitrary labels to contiguous integers ``0..k-1``."""
+
+    def fit(self, y: np.ndarray) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("encoder is not fitted")
+        y = np.asarray(y)
+        idx = np.searchsorted(self.classes_, y)
+        k = self.classes_.shape[0]
+        bad = (idx >= k) | (self.classes_[np.clip(idx, 0, k - 1)] != y)
+        if bad.any():
+            raise ValueError(f"unseen labels: {np.unique(y[bad])}")
+        return idx
+
+    def fit_transform(self, y: np.ndarray) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, idx: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("encoder is not fitted")
+        idx = np.asarray(idx, dtype=np.intp)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.classes_.shape[0]):
+            raise ValueError("encoded labels out of range")
+        return self.classes_[idx]

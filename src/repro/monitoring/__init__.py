@@ -1,0 +1,39 @@
+"""Monitoring framework substrate (DCDB / LDMS stand-in).
+
+HPC-ODA's data was acquired with the DCDB and LDMS monitoring frameworks;
+the collection itself is stored as one CSV per sensor with
+timestamp/value rows (Section II-A).  This subpackage provides the pieces
+of that pipeline the reproduction needs:
+
+* :mod:`~repro.monitoring.sensor_tree` — hierarchical (DCDB-style) sensor
+  naming and lookup;
+* :mod:`~repro.monitoring.storage` — the per-sensor CSV on-disk format,
+  plus whole-segment save/load;
+* :mod:`~repro.monitoring.alignment` — interpolation of unaligned,
+  unevenly sampled series onto a common clock (the "interpolation
+  pre-processing step" of Section III-A);
+* :mod:`~repro.monitoring.streaming` — an online sliding-window feed that
+  emits CS signatures as new samples arrive (in-band ODA operation).
+"""
+
+from repro.monitoring.alignment import align_series, build_sensor_matrix
+from repro.monitoring.sensor_tree import SensorNode, SensorTree
+from repro.monitoring.storage import (
+    load_segment,
+    load_sensor_csv,
+    save_segment,
+    save_sensor_csv,
+)
+from repro.monitoring.streaming import OnlineSignatureStream
+
+__all__ = [
+    "OnlineSignatureStream",
+    "SensorNode",
+    "SensorTree",
+    "align_series",
+    "build_sensor_matrix",
+    "load_segment",
+    "load_sensor_csv",
+    "save_segment",
+    "save_sensor_csv",
+]

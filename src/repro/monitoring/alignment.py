@@ -1,0 +1,116 @@
+"""Time alignment of unaligned sensor series.
+
+Section III-A: "we assume that the sensors in S are time-aligned and have
+the same sampling rate: this is not necessarily true for real datasets,
+and an interpolation pre-processing step may be required to align the
+data."  This module is that step: it resamples arbitrarily timestamped
+series onto a common clock with linear or previous-value interpolation
+and assembles the aligned sensor matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["align_series", "build_sensor_matrix"]
+
+
+def align_series(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    clock: np.ndarray,
+    *,
+    kind: str = "linear",
+) -> np.ndarray:
+    """Resample one series onto ``clock``.
+
+    Parameters
+    ----------
+    timestamps, values:
+        The raw series (must be non-empty; timestamps strictly increasing).
+    clock:
+        Target sample times.
+    kind:
+        ``"linear"`` interpolates between readings; ``"previous"`` holds
+        the last reading (appropriate for slowly changing state metrics
+        like configuration values).  Outside the observed range the edge
+        values are extended.
+
+    Returns
+    -------
+    numpy.ndarray
+        Values at the clock ticks, shape ``(len(clock),)``.
+    """
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    clock = np.asarray(clock, dtype=np.float64)
+    if timestamps.ndim != 1 or timestamps.shape != values.shape:
+        raise ValueError("timestamps and values must be equal-length 1-D arrays")
+    if timestamps.size == 0:
+        raise ValueError("cannot align an empty series")
+    if timestamps.size > 1 and not np.all(np.diff(timestamps) > 0):
+        raise ValueError("timestamps must be strictly increasing")
+    if kind == "linear":
+        return np.interp(clock, timestamps, values)
+    if kind == "previous":
+        idx = np.searchsorted(timestamps, clock, side="right") - 1
+        idx = np.clip(idx, 0, timestamps.size - 1)
+        return values[idx]
+    raise ValueError(f"unknown interpolation kind {kind!r}")
+
+
+def build_sensor_matrix(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    interval: float | None = None,
+    kind: str = "linear",
+) -> tuple[np.ndarray, list[str], np.ndarray]:
+    """Align a dict of raw series into one sensor matrix.
+
+    Parameters
+    ----------
+    series:
+        Mapping ``sensor name -> (timestamps, values)``.
+    interval:
+        Clock tick spacing.  Defaults to the median sampling interval
+        observed across all series.
+    kind:
+        Interpolation kind, forwarded to :func:`align_series`.
+
+    Returns
+    -------
+    (matrix, names, clock):
+        The aligned matrix ``(n_sensors, t)`` with rows in sorted name
+        order, the row names, and the common clock.  The clock spans the
+        *intersection* of all series' time ranges, so no row is pure
+        extrapolation.
+    """
+    if not series:
+        raise ValueError("no series provided")
+    names = sorted(series)
+    start = -np.inf
+    stop = np.inf
+    deltas = []
+    for name in names:
+        ts, vals = series[name]
+        ts = np.asarray(ts, dtype=np.float64)
+        if ts.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        start = max(start, float(ts[0]))
+        stop = min(stop, float(ts[-1]))
+        if ts.size > 1:
+            deltas.append(np.median(np.diff(ts)))
+    if stop < start:
+        raise ValueError("series time ranges do not overlap")
+    if interval is None:
+        if not deltas:
+            raise ValueError("cannot infer interval from single-sample series")
+        interval = float(np.median(deltas))
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    clock = np.arange(start, stop + interval * 0.5, interval)
+    matrix = np.empty((len(names), clock.shape[0]))
+    for i, name in enumerate(names):
+        ts, vals = series[name]
+        matrix[i] = align_series(ts, vals, clock, kind=kind)
+    return matrix, names, clock

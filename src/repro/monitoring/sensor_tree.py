@@ -1,0 +1,125 @@
+"""Hierarchical sensor naming, DCDB-style.
+
+DCDB organizes sensors in a path hierarchy mirroring the physical system:
+``/system/rack/chassis/node/sensor``.  The :class:`SensorTree` here
+provides that structure: registering sensors by path, querying subtrees,
+and glob-style matching — enough to express "all power sensors of rack 3"
+when assembling sensor matrices for out-of-band ODA.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["SensorNode", "SensorTree"]
+
+_SEP = "/"
+
+
+@dataclass
+class SensorNode:
+    """One node of the hierarchy; leaves carry sensor metadata."""
+
+    name: str
+    children: dict[str, "SensorNode"] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+    is_sensor: bool = False
+
+    def child(self, name: str, *, create: bool = False) -> "SensorNode":
+        if name not in self.children:
+            if not create:
+                raise KeyError(f"no child {name!r} under {self.name!r}")
+            self.children[name] = SensorNode(name=name)
+        return self.children[name]
+
+
+class SensorTree:
+    """A registry of sensors addressed by slash-separated paths."""
+
+    def __init__(self):
+        self._root = SensorNode(name="")
+
+    @staticmethod
+    def _split(path: str) -> list[str]:
+        parts = [p for p in path.strip().split(_SEP) if p]
+        if not parts:
+            raise ValueError(f"invalid sensor path {path!r}")
+        return parts
+
+    def add(self, path: str, **metadata) -> SensorNode:
+        """Register a sensor at ``path`` (intermediate nodes auto-created).
+
+        Re-adding an existing sensor path raises, so accidental duplicate
+        registration of a metric is caught early.
+        """
+        parts = self._split(path)
+        node = self._root
+        for part in parts:
+            node = node.child(part, create=True)
+        if node.is_sensor:
+            raise ValueError(f"sensor already registered at {path!r}")
+        node.is_sensor = True
+        node.metadata.update(metadata)
+        return node
+
+    def get(self, path: str) -> SensorNode:
+        """Fetch the node at ``path`` (KeyError if absent)."""
+        node = self._root
+        for part in self._split(path):
+            node = node.child(part)
+        return node
+
+    def __contains__(self, path: str) -> bool:
+        try:
+            return self.get(path).is_sensor
+        except (KeyError, ValueError):
+            return False
+
+    def _walk(self, node: SensorNode, prefix: str) -> Iterator[tuple[str, SensorNode]]:
+        for name in sorted(node.children):
+            child = node.children[name]
+            path = f"{prefix}{_SEP}{name}" if prefix else name
+            if child.is_sensor:
+                yield path, child
+            yield from self._walk(child, path)
+
+    def sensors(self, subtree: str | None = None) -> list[str]:
+        """All sensor paths, optionally restricted to a subtree."""
+        if subtree is None:
+            node, prefix = self._root, ""
+        else:
+            node = self._root
+            for part in self._split(subtree):
+                node = node.child(part)
+            prefix = _SEP.join(self._split(subtree))
+            if node.is_sensor and not node.children:
+                return [prefix]
+        return [path for path, _ in self._walk(node, prefix)]
+
+    def glob(self, pattern: str) -> list[str]:
+        """Sensor paths matching a glob pattern (per path segment).
+
+        ``*`` matches within one segment; e.g.
+        ``rack0/*/node*/power_node`` selects the node power sensor of
+        every chassis of rack 0.
+        """
+        pat_parts = self._split(pattern)
+
+        def match(node: SensorNode, parts: list[str], prefix: str):
+            if not parts:
+                if node.is_sensor:
+                    yield prefix
+                return
+            head, *rest = parts
+            for name in sorted(node.children):
+                if fnmatch.fnmatchcase(name, head):
+                    child = node.children[name]
+                    path = f"{prefix}{_SEP}{name}" if prefix else name
+                    yield from match(child, rest, path)
+
+        return list(match(self._root, pat_parts, ""))
+
+    def __len__(self) -> int:
+        return len(self.sensors())

@@ -1,0 +1,135 @@
+"""HPC-ODA on-disk format: one CSV per sensor, timestamp/value rows.
+
+Section II-A: "each sensor's time-series data is stored in a separate CSV
+file, with each entry being a time-stamp/value pair."  This module reads
+and writes that format, and persists/loads whole
+:class:`~repro.datasets.generators.SegmentData` objects as a directory of
+per-component subdirectories plus a small JSON manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.generators import ComponentData, SegmentData
+from repro.datasets.schema import get_segment_spec
+
+__all__ = ["save_sensor_csv", "load_sensor_csv", "save_segment", "load_segment"]
+
+_HEADER = "timestamp,value"
+
+
+def save_sensor_csv(
+    path: str | Path, timestamps: np.ndarray, values: np.ndarray
+) -> None:
+    """Write one sensor's series as ``timestamp,value`` rows."""
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if timestamps.shape != values.shape or timestamps.ndim != 1:
+        raise ValueError("timestamps and values must be equal-length 1-D arrays")
+    data = np.column_stack([timestamps, values])
+    np.savetxt(path, data, delimiter=",", header=_HEADER, comments="", fmt="%.9g")
+
+
+def load_sensor_csv(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Read a sensor CSV back into (timestamps, values)."""
+    data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+    if data.size == 0:
+        return np.empty(0), np.empty(0)
+    if data.shape[1] != 2:
+        raise ValueError(f"{path}: expected 2 columns, found {data.shape[1]}")
+    return data[:, 0].copy(), data[:, 1].copy()
+
+
+def _sanitize(name: str) -> str:
+    return name.replace("/", "_")
+
+
+def save_segment(segment: SegmentData, root: str | Path) -> Path:
+    """Persist a segment in HPC-ODA layout.
+
+    Layout::
+
+        root/
+          manifest.json
+          <component>/
+            <sensor>.csv        # timestamp,value rows
+            labels.csv          # when classification labels exist
+            target.csv          # when a regression target exists
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    interval = segment.spec.sampling_interval_s
+    manifest = {
+        "format": "hpc-oda-segment/v1",
+        "segment": segment.spec.name,
+        "seed": segment.seed,
+        "label_names": list(segment.label_names),
+        "components": [],
+    }
+    for comp in segment.components:
+        comp_dir = root / _sanitize(comp.name)
+        comp_dir.mkdir(exist_ok=True)
+        ts = np.arange(comp.t) * interval
+        for row, sensor in enumerate(comp.sensor_names):
+            save_sensor_csv(comp_dir / f"{_sanitize(sensor)}.csv", ts, comp.matrix[row])
+        if comp.labels is not None:
+            save_sensor_csv(comp_dir / "labels.csv", ts, comp.labels.astype(np.float64))
+        if comp.target is not None:
+            save_sensor_csv(comp_dir / "target.csv", ts, comp.target)
+        manifest["components"].append(
+            {
+                "name": comp.name,
+                "arch": comp.arch,
+                "sensors": list(comp.sensor_names),
+                "groups": list(comp.sensor_groups),
+                "has_labels": comp.labels is not None,
+                "has_target": comp.target is not None,
+            }
+        )
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def load_segment(root: str | Path) -> SegmentData:
+    """Load a segment previously written by :func:`save_segment`."""
+    root = Path(root)
+    manifest = json.loads((root / "manifest.json").read_text())
+    if manifest.get("format") != "hpc-oda-segment/v1":
+        raise ValueError(f"unsupported segment format in {root}")
+    spec = get_segment_spec(manifest["segment"])
+    components = []
+    for entry in manifest["components"]:
+        comp_dir = root / _sanitize(entry["name"])
+        rows = []
+        for sensor in entry["sensors"]:
+            _, values = load_sensor_csv(comp_dir / f"{_sanitize(sensor)}.csv")
+            rows.append(values)
+        matrix = np.stack(rows)
+        labels = None
+        if entry["has_labels"]:
+            _, lab = load_sensor_csv(comp_dir / "labels.csv")
+            labels = lab.astype(np.intp)
+        target = None
+        if entry["has_target"]:
+            _, target = load_sensor_csv(comp_dir / "target.csv")
+        components.append(
+            ComponentData(
+                name=entry["name"],
+                matrix=matrix,
+                sensor_names=tuple(entry["sensors"]),
+                sensor_groups=tuple(entry["groups"]),
+                labels=labels,
+                target=target,
+                arch=entry["arch"],
+            )
+        )
+    return SegmentData(
+        spec,
+        components,
+        label_names=tuple(manifest["label_names"]),
+        seed=manifest.get("seed"),
+    )

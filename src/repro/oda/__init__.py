@@ -1,0 +1,44 @@
+"""ODA control-loop substrate (the paper's Figure 1 flow).
+
+The paper situates CS inside Operational Data Analytics loops:
+"monitoring collects data from sensors of interest, which is then
+processed by ODA to produce a compact representation, i.e., a signature.
+This is then fed to a model that is able to derive actionable knowledge,
+usually in the form of a new system setting.  The latter is finally
+applied via a system knob."  Deploying such a loop is also item two of
+the paper's future-work list.
+
+This subpackage provides that loop end to end, against a simulated plant:
+
+* :mod:`~repro.oda.knobs` — system knobs (CPU frequency, cooling inlet
+  setpoint) with bounds, quantization and actuation history;
+* :mod:`~repro.oda.plant` — a closed-loop telemetry plant whose sensor
+  readings respond to the knob settings;
+* :mod:`~repro.oda.controllers` — signature-driven controllers (power
+  capping via a regression model, fault response via a classifier);
+* :mod:`~repro.oda.loop` — :class:`~repro.oda.loop.ODAControlLoop`, tying
+  plant → :class:`~repro.monitoring.streaming.OnlineSignatureStream` →
+  controller → knob.
+"""
+
+from repro.oda.controllers import (
+    Controller,
+    FaultResponseController,
+    PowerCapController,
+)
+from repro.oda.knobs import CoolingSetpointKnob, CPUFrequencyKnob, Knob
+from repro.oda.loop import LoopRecord, LoopReport, ODAControlLoop
+from repro.oda.plant import SimulatedNodePlant
+
+__all__ = [
+    "CPUFrequencyKnob",
+    "Controller",
+    "CoolingSetpointKnob",
+    "FaultResponseController",
+    "Knob",
+    "LoopRecord",
+    "LoopReport",
+    "ODAControlLoop",
+    "PowerCapController",
+    "SimulatedNodePlant",
+]

@@ -1,0 +1,139 @@
+"""Signature-driven ODA controllers.
+
+Controllers consume one CS signature at a time (the "model" box of the
+paper's Figure 1) and derive "actionable knowledge, usually in the form
+of a new system setting".  Two concrete controllers cover the paper's two
+task families:
+
+* :class:`PowerCapController` — regression: predicts near-future node
+  power from the signature and steps the CPU-frequency knob down/up to
+  keep the prediction under a cap (the use case of Ozer et al. the paper
+  cites for the Power segment);
+* :class:`FaultResponseController` — classification: flags windows whose
+  predicted fault class is not healthy, driving management decisions.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.pipeline import signature_features
+from repro.oda.knobs import Knob
+
+__all__ = ["Controller", "PowerCapController", "FaultResponseController"]
+
+
+class Controller(abc.ABC):
+    """Base class: map a signature to an (optional) knob actuation."""
+
+    @abc.abstractmethod
+    def decide(self, signature: np.ndarray, tick: int) -> float | None:
+        """Inspect one complex signature; return the applied setting or
+        ``None`` when no actuation was made."""
+
+
+class PowerCapController(Controller):
+    """Keep predicted node power under a cap by stepping CPU frequency.
+
+    Parameters
+    ----------
+    model:
+        A fitted regressor with ``predict`` (e.g.
+        :class:`~repro.ml.forest.RandomForestRegressor`) trained on CS
+        signature features -> future mean power.
+    knob:
+        The frequency knob to actuate.
+    power_cap:
+        The cap on predicted power.
+    step_down, step_up:
+        Frequency deltas applied when above / safely below the cap.
+    headroom:
+        Fraction of the cap under which frequency may be raised again
+        (hysteresis band, preventing actuation thrash).
+    """
+
+    def __init__(
+        self,
+        model,
+        knob: Knob,
+        *,
+        power_cap: float,
+        step_down: float = 0.05,
+        step_up: float = 0.05,
+        headroom: float = 0.9,
+    ):
+        if power_cap <= 0:
+            raise ValueError("power_cap must be positive")
+        if not 0.0 < headroom < 1.0:
+            raise ValueError("headroom must be in (0, 1)")
+        self.model = model
+        self.knob = knob
+        self.power_cap = float(power_cap)
+        self.step_down = float(step_down)
+        self.step_up = float(step_up)
+        self.headroom = float(headroom)
+        self.predictions: list[float] = []
+
+    def decide(self, signature: np.ndarray, tick: int) -> float | None:
+        features = signature_features(np.asarray(signature))[None, :]
+        predicted = float(self.model.predict(features)[0])
+        self.predictions.append(predicted)
+        if predicted > self.power_cap:
+            return self.knob.nudge(-self.step_down, tick)
+        if predicted < self.power_cap * self.headroom and (
+            self.knob.setting < self.knob.upper
+        ):
+            return self.knob.nudge(self.step_up, tick)
+        return None
+
+
+class FaultResponseController(Controller):
+    """Raise alerts (and optionally actuate) on predicted fault classes.
+
+    Parameters
+    ----------
+    model:
+        A fitted classifier with ``predict`` over signature features.
+    healthy_label:
+        The class value meaning "no fault".
+    knob:
+        Optional knob driven to its lower bound while a fault persists
+        (e.g. quarantining a node by capping its frequency).
+    min_consecutive:
+        Consecutive faulty windows required before reacting — a debounce
+        against one-off misclassifications.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        healthy_label=0,
+        knob: Knob | None = None,
+        min_consecutive: int = 2,
+    ):
+        if min_consecutive < 1:
+            raise ValueError("min_consecutive must be >= 1")
+        self.model = model
+        self.healthy_label = healthy_label
+        self.knob = knob
+        self.min_consecutive = int(min_consecutive)
+        self._streak = 0
+        self.alerts: list[tuple[int, object]] = []
+
+    def decide(self, signature: np.ndarray, tick: int) -> float | None:
+        features = signature_features(np.asarray(signature))[None, :]
+        predicted = self.model.predict(features)[0]
+        if predicted == self.healthy_label:
+            self._streak = 0
+            if self.knob is not None and self.knob.setting < self.knob.upper:
+                return self.knob.apply(self.knob.upper, tick)
+            return None
+        self._streak += 1
+        if self._streak >= self.min_consecutive:
+            self.alerts.append((tick, predicted))
+            if self.knob is not None:
+                return self.knob.apply(self.knob.lower, tick)
+        return None

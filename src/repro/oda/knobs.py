@@ -1,0 +1,104 @@
+"""System knobs: bounded, quantized control interfaces.
+
+"Data center components offer a wide variety of knobs, such as CPU
+frequencies, fan speeds and water temperatures, up to high-level
+infrastructure settings."  A :class:`Knob` validates, quantizes and
+records every actuation, so controllers can be audited after a run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Knob", "CPUFrequencyKnob", "CoolingSetpointKnob"]
+
+
+class Knob:
+    """A bounded scalar control interface with actuation history.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in loop reports.
+    lower, upper:
+        Admissible setting range (inclusive).
+    initial:
+        Starting setting; defaults to ``upper`` (run unconstrained).
+    step:
+        Optional quantization step: requested settings snap to the
+        nearest multiple of ``step`` above ``lower`` (real knobs — P-states,
+        valve positions — are discrete).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lower: float,
+        upper: float,
+        *,
+        initial: float | None = None,
+        step: float | None = None,
+    ):
+        if not lower < upper:
+            raise ValueError("lower bound must be below upper bound")
+        if step is not None and step <= 0:
+            raise ValueError("step must be positive")
+        self.name = name
+        self.lower = float(lower)
+        self.upper = float(upper)
+        self.step = step
+        self._setting = self.upper if initial is None else self._quantize(initial)
+        self.history: list[tuple[int, float]] = []
+
+    def _quantize(self, value: float) -> float:
+        value = float(np.clip(value, self.lower, self.upper))
+        if self.step is not None:
+            value = self.lower + round((value - self.lower) / self.step) * self.step
+            value = float(np.clip(value, self.lower, self.upper))
+        return value
+
+    @property
+    def setting(self) -> float:
+        """Current applied setting."""
+        return self._setting
+
+    def apply(self, value: float, tick: int = -1) -> float:
+        """Clamp/quantize ``value``, apply it, and record the actuation.
+
+        Returns the setting actually applied.  No-op actuations (the
+        quantized value equals the current setting) are not recorded.
+        """
+        new = self._quantize(value)
+        if new != self._setting:
+            self._setting = new
+            self.history.append((int(tick), new))
+        return self._setting
+
+    def nudge(self, delta: float, tick: int = -1) -> float:
+        """Relative adjustment: ``apply(setting + delta)``."""
+        return self.apply(self._setting + delta, tick)
+
+    @property
+    def actuation_count(self) -> int:
+        return len(self.history)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}({self.name!r}, setting={self._setting}, "
+                f"range=[{self.lower}, {self.upper}])")
+
+
+class CPUFrequencyKnob(Knob):
+    """Normalized CPU frequency: 1.0 = nominal, with P-state quantization."""
+
+    def __init__(self, *, lower: float = 0.5, upper: float = 1.0,
+                 step: float = 0.05, initial: float | None = None):
+        super().__init__("cpu-frequency", lower, upper, step=step, initial=initial)
+
+
+class CoolingSetpointKnob(Knob):
+    """Normalized inlet cooling-water temperature setpoint."""
+
+    def __init__(self, *, lower: float = 0.3, upper: float = 0.6,
+                 step: float = 0.01, initial: float | None = None):
+        super().__init__("cooling-inlet-setpoint", lower, upper, step=step,
+                         initial=initial if initial is not None else lower)

@@ -1,0 +1,130 @@
+"""Closed-loop telemetry plant: sensor readings that respond to knobs.
+
+The in-band ODA experiments need a plant whose behaviour *depends on* the
+applied settings — otherwise a control loop cannot be exercised.
+:class:`SimulatedNodePlant` advances one tick at a time: a workload
+schedule drives the latent channels (as in the dataset generators), the
+CPU-frequency knob scales the frequency channel, and node power responds
+to ``compute x frequency`` — so capping the frequency genuinely lowers
+the power the monitoring sensors report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.sensors import SensorBank, node_sensor_bank
+from repro.datasets.workloads import APPLICATIONS, CHANNELS, build_schedule
+from repro.oda.knobs import CPUFrequencyKnob
+
+__all__ = ["SimulatedNodePlant"]
+
+
+class SimulatedNodePlant:
+    """One compute node whose telemetry reacts to a frequency knob.
+
+    Parameters
+    ----------
+    n_sensors:
+        Sensors in the node's bank.
+    total_t:
+        Length of the pre-generated workload schedule, in ticks; the
+        plant raises ``StopIteration`` beyond it.
+    seed:
+        Reproducibility seed.
+    knob:
+        The frequency knob actuated by the controller; defaults to a
+        fresh :class:`~repro.oda.knobs.CPUFrequencyKnob`.
+
+    Notes
+    -----
+    Power responds to the knob with first-order dynamics (RAPL-style):
+    ``power ~ base + c * compute * freq^2`` smoothed over a few ticks, so
+    a controller sees the effect of its actions with realistic delay.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_sensors: int = 32,
+        total_t: int = 4000,
+        seed: int | None = 0,
+        knob: CPUFrequencyKnob | None = None,
+    ):
+        from repro.datasets.sensors import NODE_TEMPLATES
+
+        if n_sensors < len(NODE_TEMPLATES):
+            raise ValueError(
+                f"plant needs at least {len(NODE_TEMPLATES)} sensors so the "
+                "power_node sensor exists; got n_sensors="
+                f"{n_sensors}"
+            )
+        self.rng = np.random.default_rng(seed)
+        self.knob = knob if knob is not None else CPUFrequencyKnob()
+        self.bank: SensorBank = node_sensor_bank(
+            n_sensors, self.rng, arch="skylake", n_cores=4
+        )
+        self._power_row = list(self.bank.names).index("power_node")
+        schedule = build_schedule(
+            total_t, self.rng, min_run=300, max_run=600, include_idle=True
+        )
+        # Pre-generate the *demand-side* latents; the knob is applied at
+        # step time so mid-run actuation takes effect immediately.
+        pieces: dict[str, list[np.ndarray]] = {ch: [] for ch in CHANNELS}
+        for app, config, length in schedule:
+            model = APPLICATIONS.get(app)
+            if model is None:
+                from repro.datasets.workloads import IDLE
+
+                model = IDLE
+            latent = model.latent(length, config, self.rng)
+            for ch in CHANNELS:
+                pieces[ch].append(latent[ch])
+        self._latent = {ch: np.concatenate(parts) for ch, parts in pieces.items()}
+        self.total_t = total_t
+        self.tick = 0
+        self._power_state = 0.3  # first-order power response state
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self.bank)
+
+    @property
+    def sensor_names(self) -> tuple[str, ...]:
+        return self.bank.names
+
+    def true_power(self) -> float:
+        """The plant's internal (noise-free) power at the current state."""
+        return self._power_state
+
+    def step(self) -> np.ndarray:
+        """Advance one tick and return the sample vector (n_sensors,).
+
+        Raises ``StopIteration`` when the schedule is exhausted.
+        """
+        if self.tick >= self.total_t:
+            raise StopIteration("plant schedule exhausted")
+        i = self.tick
+        freq_setting = self.knob.setting
+        latent_now = {
+            ch: np.array([self._latent[ch][i]]) for ch in CHANNELS
+        }
+        # The knob caps the achievable frequency; the workload's own
+        # frequency behaviour still shows below the cap.
+        latent_now["freq"] = np.minimum(latent_now["freq"], freq_setting)
+        # Power: first-order response to compute * freq^2 (dynamic power).
+        compute = float(latent_now["compute"][0])
+        membw = float(latent_now["membw"][0])
+        f = float(latent_now["freq"][0])
+        target_power = 0.25 + 0.55 * compute * f * f + 0.2 * membw
+        self._power_state += 0.4 * (target_power - self._power_state)
+        sample = self.bank.render(latent_now, self.rng)[:, 0]
+        # Override the rendered power with the knob-aware closed-loop one.
+        sample[self._power_row] = self._power_state + self.rng.normal(0.0, 0.01)
+        self.tick += 1
+        return sample
+
+    def run_open_loop(self, ticks: int) -> np.ndarray:
+        """Collect ``ticks`` samples without any controller (history data)."""
+        rows = [self.step() for _ in range(min(ticks, self.total_t - self.tick))]
+        return np.stack(rows, axis=1)

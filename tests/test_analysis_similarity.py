@@ -1,0 +1,154 @@
+"""Tests for the JS-divergence compression-fidelity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.similarity import (
+    collapsed_distribution,
+    cs_compression_divergence,
+    js_divergence_2d,
+    kl_divergence,
+    nearest_neighbor_upsample,
+    shannon_entropy,
+)
+from repro.core.pipeline import CorrelationWiseSmoothing
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert shannon_entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    def test_deterministic(self):
+        assert shannon_entropy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+    def test_2d_input(self):
+        p = np.full((2, 2), 0.25)
+        assert shannon_entropy(p) == pytest.approx(2.0)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(np.array([0.5, 0.2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(np.array([1.5, -0.5]))
+
+
+class TestKL:
+    def test_identical_is_zero(self):
+        p = np.array([0.25, 0.75])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        expected = 0.5 * np.log2(2.0) + 0.5 * np.log2(0.5 / 0.75)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_infinite_on_missing_support(self):
+        assert kl_divergence(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == np.inf
+
+    def test_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+
+class TestUpsample:
+    def test_exact_repeat(self):
+        X = np.array([[1.0], [2.0]])
+        up = nearest_neighbor_upsample(X, 4)
+        assert up[:, 0].tolist() == [1.0, 1.0, 2.0, 2.0]
+
+    def test_identity(self):
+        X = np.arange(6.0).reshape(3, 2)
+        assert np.array_equal(nearest_neighbor_upsample(X, 3), X)
+
+    def test_uneven(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        up = nearest_neighbor_upsample(X, 5)
+        assert up.shape == (5, 1)
+        assert up[0, 0] == 0.0 and up[-1, 0] == 2.0
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_upsample(np.zeros((2, 2)), 0)
+
+
+class TestCollapsedDistribution:
+    def test_sums_to_one(self, rng):
+        data = rng.random((5, 100))
+        P = collapsed_distribution(data, bins=16)
+        assert P.shape == (5, 16)
+        assert P.sum() == pytest.approx(1.0)
+
+    def test_each_dimension_equal_mass(self, rng):
+        data = rng.random((4, 50))
+        P = collapsed_distribution(data, bins=8)
+        assert np.allclose(P.sum(axis=1), 0.25)
+
+    def test_constant_data(self):
+        P = collapsed_distribution(np.full((2, 10), 3.0), bins=4)
+        assert P.sum() == pytest.approx(1.0)
+        assert (P > 0).sum() == 2  # one bin per dimension
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            collapsed_distribution(np.zeros(5))
+
+
+class TestJSDivergence2D:
+    def test_identical_is_zero(self, rng):
+        A = rng.random((4, 200))
+        assert js_divergence_2d(A, A) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bounded_by_one(self, rng):
+        A = rng.random((3, 100))
+        B = rng.random((3, 100)) + 10.0
+        js = js_divergence_2d(A, B)
+        assert 0.0 <= js <= 1.0
+
+    def test_disjoint_supports_near_one(self):
+        A = np.zeros((2, 50))
+        B = np.ones((2, 50))
+        assert js_divergence_2d(A, B) == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric(self, rng):
+        A = rng.random((3, 80))
+        B = rng.random((3, 80)) * 0.5
+        assert js_divergence_2d(A, B) == pytest.approx(js_divergence_2d(B, A))
+
+    def test_rejects_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            js_divergence_2d(rng.random((3, 10)), rng.random((4, 10)))
+
+
+class TestCSCompressionDivergence:
+    def test_divergence_decreases_with_l(self, correlated_matrix):
+        """The Figure 4a monotonicity: more blocks -> lower divergence."""
+        values = []
+        for l in (2, 6, 12):
+            cs = CorrelationWiseSmoothing(blocks=l).fit(correlated_matrix)
+            sorted_data = cs.sort(correlated_matrix)
+            sigs = cs.transform_series(correlated_matrix, wl=40, ws=10)
+            _, _, js = cs_compression_divergence(sorted_data, sigs)
+            values.append(js)
+        assert values[0] > values[-1]
+
+    def test_real_only_increases_divergence(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=6).fit(correlated_matrix)
+        sorted_data = cs.sort(correlated_matrix)
+        sigs = cs.transform_series(correlated_matrix, wl=40, ws=10)
+        _, _, full = cs_compression_divergence(sorted_data, sigs)
+        _, _, real_only = cs_compression_divergence(
+            sorted_data, sigs.real.astype(np.complex128)
+        )
+        assert real_only > full
+
+    def test_returns_components(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=4).fit(correlated_matrix)
+        sorted_data = cs.sort(correlated_matrix)
+        sigs = cs.transform_series(correlated_matrix, wl=40, ws=10)
+        js_r, js_i, js_mean = cs_compression_divergence(sorted_data, sigs)
+        assert js_mean == pytest.approx((js_r + js_i) / 2)
+        assert 0.0 <= js_r <= 1.0 and 0.0 <= js_i <= 1.0

@@ -1,0 +1,111 @@
+"""Tests for heatmap rendering and image export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualization import (
+    add_boundaries,
+    ascii_heatmap,
+    save_pgm,
+    save_ppm,
+    signature_heatmaps,
+    to_grayscale,
+)
+
+
+class TestToGrayscale:
+    def test_range_and_dtype(self, rng):
+        g = to_grayscale(rng.random((5, 8)))
+        assert g.dtype == np.uint8
+        assert g.min() >= 0 and g.max() <= 255
+
+    def test_inversion_high_is_dark(self):
+        g = to_grayscale(np.array([[0.0, 1.0]]))
+        assert g[0, 0] == 255 and g[0, 1] == 0
+
+    def test_no_inversion(self):
+        g = to_grayscale(np.array([[0.0, 1.0]]), invert=False)
+        assert g[0, 0] == 0 and g[0, 1] == 255
+
+    def test_constant_matrix(self):
+        g = to_grayscale(np.full((3, 3), 7.0))
+        assert len(np.unique(g)) == 1
+
+    def test_explicit_range(self):
+        g = to_grayscale(np.array([[0.5]]), value_range=(0.0, 1.0), invert=False)
+        assert g[0, 0] == 128
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            to_grayscale(np.zeros(4))
+
+
+class TestImageExport:
+    def test_pgm_roundtrip_header(self, tmp_path, rng):
+        g = to_grayscale(rng.random((4, 6)))
+        path = save_pgm(tmp_path / "x.pgm", g)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n6 4\n255\n")
+        assert len(data) == len(b"P5\n6 4\n255\n") + 24
+
+    def test_ppm(self, tmp_path, rng):
+        rgb = (rng.random((3, 5, 3)) * 255).astype(np.uint8)
+        path = save_ppm(tmp_path / "x.ppm", rgb)
+        assert path.read_bytes().startswith(b"P6\n5 3\n255\n")
+
+    def test_pgm_rejects_float(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(tmp_path / "x.pgm", np.zeros((2, 2)))
+
+    def test_ppm_rejects_grayscale(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ppm(tmp_path / "x.ppm", np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestAsciiHeatmap:
+    def test_dimensions(self, rng):
+        art = ascii_heatmap(rng.random((50, 200)), max_width=40, max_height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_small_matrix_kept(self):
+        art = ascii_heatmap(np.array([[0.0, 1.0]]))
+        assert len(art.splitlines()) == 1
+        assert art[0] == " " and art[-1] == "@"
+
+    def test_constant(self):
+        art = ascii_heatmap(np.full((2, 2), 5.0))
+        assert set(art.replace("\n", "")) <= set(" .:-=+*#%@")
+
+
+class TestSignatureHeatmaps:
+    def test_transposed_layout(self, rng):
+        sigs = rng.random((7, 3)) + 1j * rng.random((7, 3))
+        real, imag = signature_heatmaps(sigs)
+        assert real.shape == (3, 7)  # (blocks, windows)
+        assert np.allclose(real[:, 0], sigs[0].real)
+        assert np.allclose(imag[:, 0], sigs[0].imag)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            signature_heatmaps(np.zeros(3, dtype=complex))
+
+
+class TestAddBoundaries:
+    def test_draws_columns(self):
+        img = np.full((3, 5), 200, dtype=np.uint8)
+        out = add_boundaries(img, [1, 3])
+        assert (out[:, 1] == 0).all()
+        assert (out[:, 3] == 0).all()
+        assert (out[:, 0] == 200).all()
+
+    def test_ignores_out_of_range(self):
+        img = np.full((2, 2), 10, dtype=np.uint8)
+        out = add_boundaries(img, [5, -1])
+        assert np.array_equal(out, img)
+
+    def test_does_not_mutate(self):
+        img = np.full((2, 4), 9, dtype=np.uint8)
+        add_boundaries(img, [0])
+        assert (img[:, 0] == 9).all()

@@ -1,0 +1,154 @@
+"""Tests for the Tuncer, Bodik and Lan baseline signature methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BodikSignature,
+    LanSignature,
+    TuncerSignature,
+    get_method,
+    list_methods,
+)
+
+
+@pytest.fixture
+def window(rng):
+    return rng.random((6, 40))
+
+
+class TestTuncer:
+    def test_feature_length(self):
+        assert TuncerSignature().feature_length(6, 40) == 66
+
+    def test_known_values(self):
+        Sw = np.array([[0.0, 1.0, 2.0, 3.0]])
+        f = TuncerSignature().transform(Sw)
+        assert f.shape == (11,)
+        assert f[0] == pytest.approx(1.5)          # mean
+        assert f[1] == pytest.approx(np.std([0, 1, 2, 3]))
+        assert f[2] == pytest.approx(0.0)          # min
+        assert f[3] == pytest.approx(3.0)          # max
+        assert f[6] == pytest.approx(1.5)          # median
+        assert f[9] == pytest.approx(3.0)          # sum of changes
+        assert f[10] == pytest.approx(3.0)         # abs sum of changes
+
+    def test_abs_sum_of_changes_differs_for_oscillation(self):
+        Sw = np.array([[0.0, 1.0, 0.0, 1.0]])
+        f = TuncerSignature().transform(Sw)
+        assert f[9] == pytest.approx(1.0)
+        assert f[10] == pytest.approx(3.0)
+
+    def test_series_matches_single(self, rng):
+        S = rng.random((4, 60))
+        m = TuncerSignature()
+        batch = m.transform_series(S, 15, 7)
+        for k, s in enumerate(range(0, 46, 7)):
+            assert np.allclose(batch[k], m.transform(S[:, s : s + 15]))
+
+    def test_single_sample_window(self):
+        f = TuncerSignature().transform(np.array([[5.0]]))
+        assert f[0] == 5.0 and f[9] == 0.0 and f[10] == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            TuncerSignature().transform(np.arange(4.0))
+
+
+class TestBodik:
+    def test_feature_length(self):
+        assert BodikSignature().feature_length(6, 40) == 54
+
+    def test_known_values(self):
+        Sw = np.array([[0.0, 1.0, 2.0, 3.0]])
+        f = BodikSignature().transform(Sw)
+        assert f.shape == (9,)
+        assert f[0] == pytest.approx(0.0)   # min
+        assert f[1] == pytest.approx(3.0)   # max
+        assert f[5] == pytest.approx(1.5)   # median (p50)
+
+    def test_percentiles_monotone(self, window):
+        f = BodikSignature().transform(window).reshape(6, 9)
+        # min <= p5 <= p25 <= ... <= p95 <= max per sensor.
+        ordered = np.column_stack(
+            [f[:, 0], f[:, 2], f[:, 3], f[:, 4], f[:, 5], f[:, 6], f[:, 7], f[:, 8], f[:, 1]]
+        )
+        assert np.all(np.diff(ordered, axis=1) >= -1e-12)
+
+    def test_series_matches_single(self, rng):
+        S = rng.random((3, 50))
+        m = BodikSignature()
+        batch = m.transform_series(S, 10, 5)
+        for k, s in enumerate(range(0, 41, 5)):
+            assert np.allclose(batch[k], m.transform(S[:, s : s + 10]))
+
+
+class TestLan:
+    def test_feature_length(self):
+        assert LanSignature(wr=5).feature_length(4, 40) == 20
+
+    def test_mean_filter_values(self):
+        Sw = np.array([[1.0, 1.0, 3.0, 3.0]])
+        f = LanSignature(wr=2).transform(Sw)
+        assert np.allclose(f, [1.0, 3.0])
+
+    def test_short_window_shrinks(self):
+        Sw = np.array([[1.0, 2.0, 3.0]])
+        f = LanSignature(wr=5).transform(Sw)
+        assert f.shape == (3,)
+        assert np.allclose(f, [1.0, 2.0, 3.0])
+
+    def test_preserves_coarse_time_order(self):
+        ramp = np.linspace(0.0, 1.0, 30)[None, :]
+        f = LanSignature(wr=5).transform(ramp)
+        assert np.all(np.diff(f) > 0)
+
+    def test_series_matches_single(self, rng):
+        S = rng.random((3, 44))
+        m = LanSignature(wr=4)
+        batch = m.transform_series(S, 12, 6)
+        for k, s in enumerate(range(0, 33, 6)):
+            assert np.allclose(batch[k], m.transform(S[:, s : s + 12]))
+
+    def test_rejects_bad_wr(self):
+        with pytest.raises(ValueError):
+            LanSignature(wr=0)
+
+
+class TestRegistry:
+    def test_lists_baselines(self):
+        names = list_methods()
+        assert {"tuncer", "bodik", "lan"} <= set(names)
+
+    def test_get_by_name_case_insensitive(self):
+        assert isinstance(get_method("TUNCER"), TuncerSignature)
+
+    def test_cs_names(self):
+        m = get_method("cs-20")
+        assert m.name == "CS-20"
+        m = get_method("cs-all")
+        assert m.name == "CS-All"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_method("unknown-method")
+
+    def test_signature_sizes_match_paper_formulas(self):
+        # l = n*11 (Tuncer), n*9 (Bodik), n*wr (Lan).
+        n, wl = 52, 30
+        assert get_method("tuncer").feature_length(n, wl) == n * 11
+        assert get_method("bodik").feature_length(n, wl) == n * 9
+        lan = get_method("lan")
+        assert lan.feature_length(n, wl) == n * lan.wr
+
+
+class TestCompressionOrdering:
+    def test_cs_is_smallest(self, rng):
+        # Figure 3b: CS signatures are up to an order of magnitude
+        # smaller than the baselines'.
+        S = rng.random((52, 200))
+        cs = get_method("cs-20")
+        cs.fit(S)
+        f_cs = cs.transform_series(S, 30, 5)
+        f_tuncer = get_method("tuncer").transform_series(S, 30, 5)
+        assert f_cs.shape[1] * 10 <= f_tuncer.shape[1]

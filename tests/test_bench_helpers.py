@@ -1,0 +1,65 @@
+"""Tests for the benchmark result-merging helper."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import merge_csv  # noqa: E402
+
+
+HEADERS = ("Segment", "Method", "Score")
+
+
+class TestMergeCsv:
+    def test_creates_file(self, tmp_path):
+        path = tmp_path / "r.csv"
+        merge_csv(path, HEADERS, [("a", "m1", 0.5)])
+        lines = path.read_text().splitlines()
+        assert lines[0] == "Segment,Method,Score"
+        assert lines[1] == "a,m1,0.5"
+
+    def test_merges_new_keys(self, tmp_path):
+        path = tmp_path / "r.csv"
+        merge_csv(path, HEADERS, [("a", "m1", 0.5)])
+        merge_csv(path, HEADERS, [("a", "m2", 0.7)])
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # header + 2 rows
+
+    def test_updates_existing_key(self, tmp_path):
+        path = tmp_path / "r.csv"
+        merge_csv(path, HEADERS, [("a", "m1", 0.5)])
+        merge_csv(path, HEADERS, [("a", "m1", 0.9)])
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert lines[1] == "a,m1,0.9"
+
+    def test_partial_rerun_preserves_other_rows(self, tmp_path):
+        """The regression this helper fixes: a filtered rerun must not
+        clobber cells produced by the full run."""
+        path = tmp_path / "r.csv"
+        merge_csv(path, HEADERS, [("a", "m1", 0.5), ("b", "m1", 0.6)])
+        merge_csv(path, HEADERS, [("b", "m1", 0.65)])
+        content = path.read_text()
+        assert "a,m1,0.5" in content
+        assert "b,m1,0.65" in content
+        assert "b,m1,0.6\n" not in content
+
+    def test_header_change_discards_stale_rows(self, tmp_path):
+        path = tmp_path / "r.csv"
+        merge_csv(path, ("X", "Y"), [("1", "2")], n_key_cols=1)
+        merge_csv(path, HEADERS, [("a", "m1", 0.5)])
+        lines = path.read_text().splitlines()
+        assert lines[0] == "Segment,Method,Score"
+        assert len(lines) == 2
+
+    def test_custom_key_width(self, tmp_path):
+        path = tmp_path / "r.csv"
+        merge_csv(path, HEADERS, [("a", "m1", 0.5)], n_key_cols=1)
+        merge_csv(path, HEADERS, [("a", "m2", 0.7)], n_key_cols=1)
+        # Key is only the segment: the second write replaces the first.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert lines[1] == "a,m2,0.7"

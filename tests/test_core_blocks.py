@@ -1,0 +1,83 @@
+"""Tests for the Equation 2 blocking scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import block_bounds, block_sensor_map, block_widths
+
+
+class TestBlockBounds:
+    def test_even_division(self):
+        starts, ends = block_bounds(8, 4)
+        assert starts.tolist() == [0, 2, 4, 6]
+        assert ends.tolist() == [2, 4, 6, 8]
+
+    def test_matches_paper_formula(self):
+        # Paper (1-indexed): b_i = 1 + floor((i-1)n/l), e_i = ceil(i n/l).
+        for n, l in [(10, 4), (128, 5), (7, 3), (52, 20), (100, 7)]:
+            starts, ends = block_bounds(n, l)
+            for j in range(l):
+                i = j + 1
+                assert starts[j] == (1 + (i - 1) * n // l) - 1
+                assert ends[j] == -(-i * n // l)
+
+    def test_overlap_when_not_divisible(self):
+        starts, ends = block_bounds(10, 4)
+        # Blocks [0,3) and [2,5) overlap at row 2.
+        assert starts.tolist() == [0, 2, 5, 7]
+        assert ends.tolist() == [3, 5, 8, 10]
+
+    def test_every_row_covered(self):
+        for n, l in [(10, 3), (128, 40), (9, 9), (57, 13)]:
+            starts, ends = block_bounds(n, l)
+            covered = np.zeros(n, dtype=bool)
+            for s, e in zip(starts, ends):
+                covered[s:e] = True
+            assert covered.all()
+
+    def test_l_equals_n_is_identity(self):
+        starts, ends = block_bounds(6, 6)
+        assert starts.tolist() == [0, 1, 2, 3, 4, 5]
+        assert ends.tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_l_one_covers_all(self):
+        starts, ends = block_bounds(9, 1)
+        assert starts.tolist() == [0] and ends.tolist() == [9]
+
+    def test_widened_blocks_spread_uniformly(self):
+        # n % l != 0: block widths differ by at most one sensor and the
+        # widened blocks are spread by the modulo periodicity, not
+        # clustered at one end.
+        widths = block_widths(11, 4).tolist()
+        assert widths == [3, 4, 4, 3]
+        for n, l in [(10, 4), (128, 5), (52, 20), (100, 7)]:
+            w = block_widths(n, l)
+            assert w.max() - w.min() <= 1
+            assert w.sum() >= n  # overlap only ever adds coverage
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            block_bounds(5, 0)
+        with pytest.raises(ValueError):
+            block_bounds(0, 1)
+        with pytest.raises(ValueError):
+            block_bounds(3, 4)
+
+
+class TestBlockSensorMap:
+    def test_sorted_positions_without_permutation(self):
+        blocks = block_sensor_map(6, 3)
+        assert [b.tolist() for b in blocks] == [[0, 1], [2, 3], [4, 5]]
+
+    def test_maps_to_original_rows_with_permutation(self):
+        perm = np.array([3, 1, 0, 2])
+        blocks = block_sensor_map(4, 2, perm)
+        assert blocks[0].tolist() == [3, 1]
+        assert blocks[1].tolist() == [0, 2]
+
+    def test_rejects_bad_permutation_shape(self):
+        with pytest.raises(ValueError):
+            block_sensor_map(4, 2, np.array([0, 1]))
+
+    def test_block_count(self):
+        assert len(block_sensor_map(128, 40)) == 40

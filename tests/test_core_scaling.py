@@ -1,0 +1,95 @@
+"""Tests for signature rescaling and central-block compression."""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import (
+    drop_central_blocks,
+    rescale_signature,
+    rescale_signature_matrix,
+)
+
+
+class TestRescaleSignature:
+    def test_identity_when_same_length(self):
+        sig = np.array([1 + 1j, 2 + 2j, 3 + 3j])
+        out = rescale_signature(sig, 3)
+        assert np.allclose(out, sig)
+        assert out is not sig  # copy, not alias
+
+    def test_constant_signature_invariant(self):
+        sig = np.full(8, 0.5 + 0.25j)
+        for L in (1, 3, 8, 20):
+            out = rescale_signature(sig, L)
+            assert np.allclose(out, 0.5 + 0.25j)
+
+    def test_upscale_then_downscale_roundtrip_linear_ramp(self):
+        sig = np.linspace(0.0, 1.0, 10) + 0j
+        up = rescale_signature(sig, 40)
+        back = rescale_signature(up, 10)
+        assert np.allclose(back, sig, atol=0.02)
+
+    def test_preserves_mean_approximately(self):
+        rng = np.random.default_rng(3)
+        sig = rng.random(16) + 1j * rng.random(16)
+        out = rescale_signature(sig, 8)
+        assert abs(out.real.mean() - sig.real.mean()) < 0.1
+
+    def test_real_input(self):
+        out = rescale_signature(np.array([0.0, 1.0]), 4)
+        assert not np.iscomplexobj(out)
+        assert out.shape == (4,)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            rescale_signature(np.zeros((2, 2)), 3)
+        with pytest.raises(ValueError):
+            rescale_signature(np.zeros(3), 0)
+
+
+class TestRescaleSignatureMatrix:
+    def test_matches_rowwise_rescale(self):
+        rng = np.random.default_rng(0)
+        sigs = rng.random((5, 12)) + 1j * rng.random((5, 12))
+        out = rescale_signature_matrix(sigs, 7)
+        for i in range(5):
+            assert np.allclose(out[i], rescale_signature(sigs[i], 7), atol=1e-12)
+
+    def test_single_block_source(self):
+        sigs = np.array([[2.0 + 1j], [4.0 + 0j]])
+        out = rescale_signature_matrix(sigs, 3)
+        assert np.allclose(out[0], 2.0 + 1j)
+        assert np.allclose(out[1], 4.0 + 0j)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            rescale_signature_matrix(np.zeros(4), 2)
+
+
+class TestDropCentralBlocks:
+    def test_keeps_outer_blocks(self):
+        sig = np.arange(10.0)
+        out = drop_central_blocks(sig, 4)
+        assert out.tolist() == [0.0, 1.0, 8.0, 9.0]
+
+    def test_odd_keep_favours_head(self):
+        sig = np.arange(6.0)
+        out = drop_central_blocks(sig, 3)
+        assert out.tolist() == [0.0, 1.0, 5.0]
+
+    def test_keep_all_is_identity(self):
+        sig = np.arange(5.0)
+        assert drop_central_blocks(sig, 5).tolist() == sig.tolist()
+
+    def test_matrix_input_rowwise(self):
+        sigs = np.arange(12.0).reshape(2, 6)
+        out = drop_central_blocks(sigs, 2)
+        assert out.shape == (2, 2)
+        assert out[0].tolist() == [0.0, 5.0]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            drop_central_blocks(np.arange(4.0), 0)
+        with pytest.raises(ValueError):
+            drop_central_blocks(np.arange(4.0), 5)

@@ -1,0 +1,109 @@
+"""Tests for the smoothing stage (Equation 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.smoothing import smooth, smooth_windows
+
+
+class TestSmooth:
+    def test_real_part_is_block_window_mean(self):
+        W = np.array(
+            [
+                [0.0, 0.2, 0.4],
+                [1.0, 1.0, 1.0],
+                [0.5, 0.5, 0.5],
+                [0.1, 0.2, 0.3],
+            ]
+        )
+        sig = smooth(W, 2)
+        assert sig.shape == (2,)
+        assert sig.real[0] == pytest.approx(np.mean(W[:2]))
+        assert sig.real[1] == pytest.approx(np.mean(W[2:]))
+
+    def test_imag_part_telescopes_backward_differences(self):
+        # mean of backward diffs (first diff 0) == (last - first) / wl.
+        W = np.array([[0.0, 0.3, 0.9], [0.5, 0.1, 0.2]])
+        sig = smooth(W, 1)
+        expected = ((0.9 - 0.0) / 3 + (0.2 - 0.5) / 3) / 2
+        assert sig.imag[0] == pytest.approx(expected)
+        # And explicitly equals the mean of the diff matrix with a zero
+        # first column.
+        diffs = np.diff(W, axis=1, prepend=W[:, :1])
+        assert sig.imag[0] == pytest.approx(diffs.mean())
+
+    def test_prev_column_changes_first_difference(self):
+        W = np.array([[0.5, 0.5], [0.5, 0.5]])
+        no_prev = smooth(W, 1)
+        with_prev = smooth(W, 1, prev_column=np.array([0.0, 0.0]))
+        assert no_prev.imag[0] == pytest.approx(0.0)
+        assert with_prev.imag[0] == pytest.approx(0.25)
+
+    def test_constant_window_zero_imag(self):
+        W = np.full((5, 8), 0.7)
+        sig = smooth(W, 3)
+        assert np.allclose(sig.real, 0.7)
+        assert np.allclose(sig.imag, 0.0)
+
+    def test_overlapping_blocks(self):
+        W = np.arange(10.0).reshape(5, 2)
+        sig = smooth(W, 2)  # blocks [0,3) and [2,5): row 2 in both
+        assert sig.real[0] == pytest.approx(W[0:3].mean())
+        assert sig.real[1] == pytest.approx(W[2:5].mean())
+
+    def test_l_all_keeps_rows_separate(self):
+        W = np.array([[0.1, 0.1], [0.9, 0.9]])
+        sig = smooth(W, 2)
+        assert np.allclose(sig.real, [0.1, 0.9])
+
+    def test_single_sample_window(self):
+        W = np.array([[0.4], [0.6]])
+        sig = smooth(W, 1)
+        assert sig.real[0] == pytest.approx(0.5)
+        assert sig.imag[0] == pytest.approx(0.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            smooth(np.zeros(4), 1)
+        with pytest.raises(ValueError):
+            smooth(np.zeros((2, 3)), 3)
+        with pytest.raises(ValueError):
+            smooth(np.zeros((2, 3)), 1, prev_column=np.zeros(5))
+
+
+class TestSmoothWindows:
+    def test_matches_single_window_loop(self, rng):
+        X = rng.random((7, 60))
+        wl, ws, l = 12, 5, 3
+        batch = smooth_windows(X, l, wl, ws)
+        starts = range(0, X.shape[1] - wl + 1, ws)
+        for k, s in enumerate(starts):
+            prev = X[:, s - 1] if s > 0 else None
+            single = smooth(X[:, s : s + wl], l, prev_column=prev)
+            assert np.allclose(batch[k], single), f"window {k} mismatch"
+
+    def test_without_exact_first_derivative(self, rng):
+        X = rng.random((4, 40))
+        batch = smooth_windows(X, 2, 8, 4, exact_first_derivative=False)
+        for k, s in enumerate(range(0, 33, 4)):
+            single = smooth(X[:, s : s + 8], 2)
+            assert np.allclose(batch[k], single)
+
+    def test_window_count(self, rng):
+        X = rng.random((3, 100))
+        assert smooth_windows(X, 2, 10, 10).shape == (10, 2)
+        assert smooth_windows(X, 2, 10, 3).shape == (31, 2)
+
+    def test_short_series_empty(self, rng):
+        X = rng.random((3, 5))
+        out = smooth_windows(X, 2, 10, 2)
+        assert out.shape == (0, 2)
+
+    def test_rejects_invalid_params(self, rng):
+        X = rng.random((3, 30))
+        with pytest.raises(ValueError):
+            smooth_windows(X, 2, 0, 1)
+        with pytest.raises(ValueError):
+            smooth_windows(X, 2, 5, 0)
+        with pytest.raises(ValueError):
+            smooth_windows(np.zeros(3), 1, 2, 1)

@@ -1,0 +1,97 @@
+"""Tests for the CS sorting stage (normalization + permutation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import CSModel
+from repro.core.sorting import normalize_rows, sort_rows
+from repro.core.training import train_cs_model
+
+
+class TestNormalizeRows:
+    def test_maps_training_range_to_unit(self):
+        Sw = np.array([[0.0, 5.0, 10.0], [2.0, 3.0, 4.0]])
+        out = normalize_rows(Sw, Sw.min(axis=1), Sw.max(axis=1))
+        assert np.allclose(out[0], [0.0, 0.5, 1.0])
+        assert np.allclose(out[1], [0.0, 0.5, 1.0])
+
+    def test_clips_out_of_range(self):
+        Sw = np.array([[-1.0, 0.5, 2.0]])
+        out = normalize_rows(Sw, np.array([0.0]), np.array([1.0]))
+        assert np.allclose(out, [[0.0, 0.5, 1.0]])
+
+    def test_no_clip_option(self):
+        Sw = np.array([[2.0]])
+        out = normalize_rows(Sw, np.array([0.0]), np.array([1.0]), clip=False)
+        assert out[0, 0] == pytest.approx(2.0)
+
+    def test_degenerate_row_maps_to_half(self):
+        Sw = np.array([[3.0, 3.0, 3.0]])
+        out = normalize_rows(Sw, np.array([3.0]), np.array([3.0]))
+        assert np.allclose(out, 0.5)
+
+    def test_does_not_mutate_input(self):
+        Sw = np.array([[0.0, 1.0]])
+        original = Sw.copy()
+        normalize_rows(Sw, np.array([0.0]), np.array([1.0]))
+        assert np.array_equal(Sw, original)
+
+    def test_in_place_via_out(self):
+        Sw = np.array([[0.0, 2.0]])
+        result = normalize_rows(Sw, np.array([0.0]), np.array([2.0]), out=Sw)
+        assert result is Sw
+        assert np.allclose(Sw, [[0.0, 1.0]])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize_rows(np.zeros((2, 3)), np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError):
+            normalize_rows(np.zeros(3), np.zeros(3), np.ones(3))
+
+
+class TestSortRows:
+    def test_applies_permutation(self):
+        Sw = np.array([[0.0, 1.0], [10.0, 20.0], [5.0, 6.0]])
+        model = CSModel(
+            np.array([2, 0, 1]),
+            Sw.min(axis=1),
+            Sw.max(axis=1),
+        )
+        out = sort_rows(Sw, model)
+        # Row 0 of output is original row 2, normalized.
+        assert np.allclose(out[0], [0.0, 1.0])
+        assert np.allclose(out[1], [0.0, 1.0])
+        assert out.shape == (3, 2)
+
+    def test_values_in_unit_interval(self, correlated_matrix):
+        model = train_cs_model(correlated_matrix)
+        out = sort_rows(correlated_matrix, model)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_groups_correlated_rows_adjacent(self, correlated_matrix, rng):
+        model = train_cs_model(correlated_matrix)
+        out = sort_rows(correlated_matrix, model)
+
+        # Adjacent-row (signed) correlation after sorting should beat a
+        # random arrangement: that is the point of the stage.
+        def mean_adjacent_corr(M):
+            cc = np.corrcoef(M)
+            return np.nanmean([cc[i, i + 1] for i in range(M.shape[0] - 1)])
+
+        shuffled = correlated_matrix[rng.permutation(correlated_matrix.shape[0])]
+        assert mean_adjacent_corr(out) >= mean_adjacent_corr(shuffled)
+        # The positive family leads, so the first rows are near-perfectly
+        # correlated with one another.
+        cc = np.corrcoef(out[:4])
+        assert cc[np.triu_indices(4, 1)].min() > 0.9
+
+    def test_rejects_row_count_mismatch(self, correlated_matrix):
+        model = train_cs_model(correlated_matrix)
+        with pytest.raises(ValueError, match="rows"):
+            sort_rows(correlated_matrix[:5], model)
+
+    def test_new_window_uses_training_bounds(self, correlated_matrix):
+        model = train_cs_model(correlated_matrix)
+        window = correlated_matrix[:, 100:150] + 100.0  # far outside bounds
+        out = sort_rows(window, model)
+        assert np.allclose(out, 1.0)  # clipped to the training maximum

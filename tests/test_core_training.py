@@ -1,0 +1,145 @@
+"""Tests for the CS training stage (correlations + Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import (
+    correlation_ordering,
+    global_correlation,
+    shifted_correlation_matrix,
+    train_cs_model,
+)
+
+
+class TestShiftedCorrelationMatrix:
+    def test_range_and_symmetry(self, correlated_matrix):
+        rho = shifted_correlation_matrix(correlated_matrix)
+        assert rho.shape == (12, 12)
+        assert np.all(rho >= 0.0) and np.all(rho <= 2.0)
+        assert np.allclose(rho, rho.T)
+
+    def test_diagonal_is_two_for_varying_rows(self, correlated_matrix):
+        rho = shifted_correlation_matrix(correlated_matrix)
+        assert np.allclose(np.diagonal(rho), 2.0)
+
+    def test_perfect_positive_and_negative(self):
+        x = np.linspace(0.0, 1.0, 50)
+        S = np.stack([x, 2 * x + 1, -x])
+        rho = shifted_correlation_matrix(S)
+        assert rho[0, 1] == pytest.approx(2.0)
+        assert rho[0, 2] == pytest.approx(0.0)
+
+    def test_matches_numpy_corrcoef(self, rng):
+        S = rng.standard_normal((6, 80))
+        rho = shifted_correlation_matrix(S)
+        expected = np.corrcoef(S) + 1.0
+        assert np.allclose(rho, expected, atol=1e-10)
+
+    def test_constant_row_is_neutral(self):
+        S = np.vstack([np.linspace(0, 1, 30), np.full(30, 3.0)])
+        rho = shifted_correlation_matrix(S)
+        assert rho[0, 1] == pytest.approx(1.0)
+        assert rho[1, 1] == pytest.approx(1.0)
+        assert not np.isnan(rho).any()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            shifted_correlation_matrix(np.zeros(5))
+        with pytest.raises(ValueError):
+            shifted_correlation_matrix(np.zeros((3, 1)))
+
+
+class TestGlobalCorrelation:
+    def test_excludes_diagonal(self):
+        rho = np.array([[2.0, 1.0], [1.0, 2.0]])
+        g = global_correlation(rho)
+        assert np.allclose(g, [1.0, 1.0])
+
+    def test_single_row(self):
+        assert global_correlation(np.array([[2.0]]))[0] == pytest.approx(2.0)
+
+    def test_identifies_descriptive_rows(self, correlated_matrix):
+        rho = shifted_correlation_matrix(correlated_matrix)
+        g = global_correlation(rho)
+        # The dominant positively-correlated family (rows 0-5) outranks
+        # the noise rows (9-11); the anti-correlated family (6-8) ranks
+        # below the noise rows because its shifted correlations with the
+        # majority are near zero.
+        assert g[:6].min() > g[9:].max()
+        assert g[6:9].max() < g[9:].min()
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            global_correlation(np.zeros((2, 3)))
+
+
+class TestCorrelationOrdering:
+    def test_is_permutation(self, correlated_matrix):
+        rho = shifted_correlation_matrix(correlated_matrix)
+        p = correlation_ordering(rho)
+        assert sorted(p.tolist()) == list(range(12))
+
+    def test_paper_ordering_semantics(self, correlated_matrix):
+        # "Sensors at the beginning of p ... have an overall positive
+        # correlation with other sensors.  Sensors at the middle of p have
+        # little correlation with other sensors and are akin to noise.
+        # Sensors at the end of p are ... negatively correlated with those
+        # at the beginning."
+        rho = shifted_correlation_matrix(correlated_matrix)
+        p = correlation_ordering(rho)
+        position = {int(row): pos for pos, row in enumerate(p)}
+        pos_family = [position[i] for i in range(6)]
+        neg_family = [position[i] for i in range(6, 9)]
+        noise = [position[i] for i in range(9, 12)]
+        assert sorted(pos_family) == [0, 1, 2, 3, 4, 5]
+        assert sorted(neg_family) == [9, 10, 11]
+        assert sorted(noise) == [6, 7, 8]
+
+    def test_families_stay_contiguous(self, correlated_matrix):
+        rho = shifted_correlation_matrix(correlated_matrix)
+        p = correlation_ordering(rho)
+        position = {int(row): pos for pos, row in enumerate(p)}
+        pos_family = [position[i] for i in range(6)]
+        assert max(pos_family) - min(pos_family) == 5
+
+    def test_starts_at_max_global(self, correlated_matrix):
+        rho = shifted_correlation_matrix(correlated_matrix)
+        g = global_correlation(rho)
+        p = correlation_ordering(rho, g)
+        assert p[0] == int(np.argmax(g))
+
+    def test_deterministic(self, rng):
+        S = rng.standard_normal((10, 60))
+        rho = shifted_correlation_matrix(S)
+        assert np.array_equal(correlation_ordering(rho), correlation_ordering(rho))
+
+    def test_single_row(self):
+        p = correlation_ordering(np.array([[2.0]]))
+        assert p.tolist() == [0]
+
+    def test_rejects_mismatched_global(self):
+        rho = np.full((3, 3), 1.0)
+        with pytest.raises(ValueError):
+            correlation_ordering(rho, np.zeros(2))
+
+
+class TestTrainCSModel:
+    def test_bounds_match_data(self, correlated_matrix):
+        model = train_cs_model(correlated_matrix)
+        assert np.allclose(model.lower, correlated_matrix.min(axis=1))
+        assert np.allclose(model.upper, correlated_matrix.max(axis=1))
+
+    def test_stores_names(self, correlated_matrix):
+        names = [f"s{i}" for i in range(12)]
+        model = train_cs_model(correlated_matrix, sensor_names=names)
+        assert model.sensor_names == tuple(names)
+
+    def test_rejects_nan(self):
+        S = np.ones((3, 10))
+        S[1, 4] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            train_cs_model(S)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            train_cs_model(np.arange(10.0))

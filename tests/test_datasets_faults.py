@@ -1,0 +1,89 @@
+"""Tests for the fault-injection models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.faults import FAULTS, HEALTHY_LABEL, FaultModel, fault_names
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFaultCatalog:
+    def test_eight_faults(self):
+        assert len(FAULTS) == 8
+        assert len({f.name for f in FAULTS}) == 8
+
+    def test_two_settings_each(self):
+        for f in FAULTS:
+            assert len(f.intensities) == 2
+            assert f.intensities[0] < f.intensities[1]
+
+    def test_label_set_matches_paper(self):
+        # 8 injected faults + healthy = 9 classes.
+        names = fault_names(include_healthy=True)
+        assert len(names) == 9
+        assert names[0] == HEALTHY_LABEL
+
+    def test_every_fault_has_an_effect(self):
+        for f in FAULTS:
+            assert f.channel_effects or f.sensor_effects, f.name
+
+
+class TestChannelEffects:
+    def test_applies_only_inside_interval(self, rng):
+        latent = {"compute": np.full(100, 0.2)}
+        fault = FaultModel("x", channel_effects={"compute": 0.5})
+        fault.apply_channels(latent, 40, 60, setting=1, rng=rng)
+        assert latent["compute"][:40].max() == pytest.approx(0.2)
+        assert latent["compute"][60:].max() == pytest.approx(0.2)
+        assert latent["compute"][40:60].mean() > 0.5
+
+    def test_setting_scales_intensity(self, rng):
+        lo = {"compute": np.full(50, 0.1)}
+        hi = {"compute": np.full(50, 0.1)}
+        fault = FaultModel("x", channel_effects={"compute": 0.5})
+        fault.apply_channels(lo, 0, 50, setting=0, rng=np.random.default_rng(1))
+        fault.apply_channels(hi, 0, 50, setting=1, rng=np.random.default_rng(1))
+        assert hi["compute"].mean() > lo["compute"].mean()
+
+    def test_missing_channel_ignored(self, rng):
+        latent = {"memory": np.zeros(10)}
+        FaultModel("x", channel_effects={"compute": 1.0}).apply_channels(
+            latent, 0, 10, 0, rng
+        )
+        assert np.allclose(latent["memory"], 0.0)
+
+    def test_values_stay_bounded(self, rng):
+        latent = {"compute": np.full(50, 1.5)}
+        FaultModel("x", channel_effects={"compute": 5.0}).apply_channels(
+            latent, 0, 50, 1, rng
+        )
+        assert latent["compute"].max() <= 1.6
+
+
+class TestSensorEffects:
+    def test_targets_only_named_groups(self, rng):
+        matrix = np.zeros((4, 30))
+        groups = {"cache": np.array([1, 2]), "misc": np.array([0, 3])}
+        fault = FaultModel("x", sensor_effects={"cache": 0.5})
+        fault.apply_sensors(matrix, groups, 10, 20, setting=1, rng=rng)
+        assert np.allclose(matrix[0], 0.0)
+        assert np.allclose(matrix[3], 0.0)
+        assert matrix[1, 10:20].mean() > 0.2
+        assert np.allclose(matrix[1, :10], 0.0)
+
+    def test_absent_group_is_noop(self, rng):
+        matrix = np.zeros((2, 10))
+        fault = FaultModel("x", sensor_effects={"ghost": 1.0})
+        fault.apply_sensors(matrix, {}, 0, 10, 0, rng)
+        assert np.allclose(matrix, 0.0)
+
+    def test_localized_faults_touch_few_sensors(self):
+        # Faults like memalloc must be visible in a narrow sensor subset —
+        # the property that makes Fault classification need large l.
+        memalloc = next(f for f in FAULTS if f.name == "memalloc")
+        assert not memalloc.channel_effects
+        assert set(memalloc.sensor_effects) == {"memerror"}

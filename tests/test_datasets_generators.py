@@ -1,0 +1,177 @@
+"""Tests for the five segment generators and the ML dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import get_method
+from repro.datasets.faults import fault_names
+from repro.datasets.generators import (
+    build_ml_dataset,
+    generate_segment,
+)
+
+
+class TestFaultSegment:
+    def test_shape(self, fault_segment):
+        assert fault_segment.n_components == 1
+        comp = fault_segment.components[0]
+        assert comp.n_sensors == 128
+        assert len(comp.sensor_names) == 128
+
+    def test_all_nine_classes_present(self, fault_segment):
+        labels = fault_segment.components[0].labels
+        assert set(np.unique(labels)) == set(range(9))
+        assert fault_segment.label_names == fault_names(include_healthy=True)
+
+    def test_healthy_dominates(self, fault_segment):
+        labels = fault_segment.components[0].labels
+        counts = np.bincount(labels)
+        assert counts[0] > counts[1:].max()
+
+    def test_finite_and_nonnegative_mostly(self, fault_segment):
+        M = fault_segment.components[0].matrix
+        assert np.isfinite(M).all()
+
+    def test_reproducible(self):
+        a = generate_segment("fault", seed=3, t=600)
+        b = generate_segment("fault", seed=3, t=600)
+        assert np.allclose(a.components[0].matrix, b.components[0].matrix)
+        assert np.array_equal(a.components[0].labels, b.components[0].labels)
+
+    def test_seed_changes_data(self):
+        a = generate_segment("fault", seed=1, t=600)
+        b = generate_segment("fault", seed=2, t=600)
+        assert not np.allclose(a.components[0].matrix, b.components[0].matrix)
+
+    def test_fault_visible_in_target_sensors(self, fault_segment):
+        comp = fault_segment.components[0]
+        labels = comp.labels
+        names = list(comp.sensor_names)
+        alloc_row = names.index("alloc_failures")
+        memalloc_id = fault_segment.label_names.index("memalloc")
+        during = comp.matrix[alloc_row, labels == memalloc_id].mean()
+        healthy = comp.matrix[alloc_row, labels == 0].mean()
+        assert during > healthy + 0.2
+
+
+class TestApplicationSegment:
+    def test_shape(self, application_segment):
+        assert application_segment.n_components == 3  # fixture uses 3 nodes
+        for comp in application_segment.components:
+            assert comp.n_sensors == 52
+
+    def test_labels_shared_across_nodes(self, application_segment):
+        l0 = application_segment.components[0].labels
+        l1 = application_segment.components[1].labels
+        assert np.array_equal(l0, l1)
+
+    def test_cross_node_correlation(self, application_segment):
+        # The homogeneous-MPI property: the same sensor on two nodes is
+        # strongly correlated.
+        a = application_segment.components[0]
+        b = application_segment.components[1]
+        row = list(a.sensor_names).index("cpu_instructions")
+        corr = np.corrcoef(a.matrix[row], b.matrix[row])[0, 1]
+        assert corr > 0.8
+
+    def test_stacked_matrix(self, application_segment):
+        stacked = application_segment.stacked_matrix()
+        assert stacked.shape[0] == 3 * 52
+        names = application_segment.stacked_sensor_names()
+        assert len(names) == 3 * 52
+        assert names[0].startswith("node00.")
+
+
+class TestPowerSegment:
+    def test_target_is_power_sensor(self, power_segment):
+        comp = power_segment.components[0]
+        row = list(comp.sensor_names).index("power_node")
+        assert np.allclose(comp.target, comp.matrix[row])
+
+    def test_sensor_count(self, power_segment):
+        assert power_segment.components[0].n_sensors == 47
+
+    def test_has_core_level_sensors(self, power_segment):
+        names = power_segment.components[0].sensor_names
+        assert any(n.startswith("core0_") for n in names)
+
+    def test_target_has_dynamics(self, power_segment):
+        target = power_segment.components[0].target
+        assert target.std() > 0.01
+
+
+class TestInfrastructureSegment:
+    def test_rack_count_and_sensors(self, infrastructure_segment):
+        assert infrastructure_segment.n_components == 2
+        for comp in infrastructure_segment.components:
+            assert comp.n_sensors == 31
+
+    def test_target_positive_and_smooth(self, infrastructure_segment):
+        heat = infrastructure_segment.components[0].target
+        assert heat.min() > 0.0
+        # Slowly drifting: one-step changes are small vs overall range.
+        assert np.abs(np.diff(heat)).mean() < 0.1 * (heat.max() - heat.min())
+
+    def test_heat_tracks_rack_power(self, infrastructure_segment):
+        comp = infrastructure_segment.components[0]
+        row = list(comp.sensor_names).index("rack_power")
+        corr = np.corrcoef(comp.matrix[row], comp.target)[0, 1]
+        assert corr > 0.5
+
+
+class TestCrossArchSegment:
+    def test_paper_sensor_counts(self, crossarch_segment):
+        assert [c.n_sensors for c in crossarch_segment.components] == [52, 46, 39]
+
+    def test_six_classes_no_idle(self, crossarch_segment):
+        assert len(crossarch_segment.label_names) == 6
+        assert "idle" not in crossarch_segment.label_names
+
+    def test_archs_differ(self, crossarch_segment):
+        archs = [c.arch for c in crossarch_segment.components]
+        assert len(set(archs)) == 3
+
+
+class TestGenerateSegmentDispatch:
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            generate_segment("bogus")
+
+    def test_alias(self):
+        seg = generate_segment("crossarch", seed=0, t=400)
+        assert seg.spec.name == "cross-architecture"
+
+
+class TestBuildMLDataset:
+    def test_classification_dataset(self, application_segment):
+        ds = build_ml_dataset(application_segment, lambda: get_method("cs-5"))
+        assert ds.task == "classification"
+        assert ds.X.shape[1] == 10  # 5 real + 5 imag
+        assert ds.X.shape[0] == ds.y.shape[0] == ds.groups.shape[0]
+        assert ds.generation_time_s > 0
+
+    def test_regression_truncates_horizon(self, power_segment):
+        ds = build_ml_dataset(power_segment, lambda: get_method("cs-5"))
+        spec = power_segment.spec
+        t = power_segment.components[0].t
+        expected = len(
+            [s for s in range(0, t - spec.wl + 1, spec.ws)
+             if s + spec.wl + spec.horizon <= t]
+        )
+        assert ds.n_samples == expected
+
+    def test_groups_identify_components(self, application_segment):
+        ds = build_ml_dataset(application_segment, lambda: get_method("cs-5"))
+        assert set(np.unique(ds.groups)) == {0, 1, 2}
+
+    def test_custom_window_parameters(self, application_segment):
+        ds_small = build_ml_dataset(
+            application_segment, lambda: get_method("cs-5"), wl=60, ws=30
+        )
+        ds_default = build_ml_dataset(application_segment, lambda: get_method("cs-5"))
+        assert ds_small.n_samples < ds_default.n_samples
+
+    def test_baseline_method(self, application_segment):
+        ds = build_ml_dataset(application_segment, lambda: get_method("lan"))
+        lan = get_method("lan")
+        assert ds.X.shape[1] == lan.feature_length(52, application_segment.spec.wl)

@@ -1,0 +1,64 @@
+"""Tests for the future-work GPU segment extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import get_method
+from repro.datasets.generators import build_ml_dataset
+from repro.datasets.gpu import GPU_SPEC, generate_gpu, gpu_sensor_bank
+from repro.ml import RandomForestClassifier, cross_validate_classifier
+
+
+@pytest.fixture(scope="module")
+def gpu_segment():
+    return generate_gpu(seed=3, t=900, gpus=2)
+
+
+class TestGpuSensorBank:
+    def test_sensor_count(self):
+        rng = np.random.default_rng(0)
+        bank = gpu_sensor_bank(24, rng)
+        assert len(bank) == 24
+
+    def test_filler_beyond_templates(self):
+        rng = np.random.default_rng(0)
+        bank = gpu_sensor_bank(30, rng)
+        assert len(bank) == 30
+        assert any(n.startswith("gpu_misc") for n in bank.names)
+
+    def test_key_groups_present(self):
+        rng = np.random.default_rng(0)
+        bank = gpu_sensor_bank(24, rng)
+        groups = set(bank.groups)
+        assert {"gpu", "gpumem", "gpupower", "gputemp", "gpuerror"} <= groups
+
+
+class TestGpuSegment:
+    def test_structure(self, gpu_segment):
+        assert gpu_segment.n_components == 2
+        for comp in gpu_segment.components:
+            assert comp.n_sensors == GPU_SPEC.sensors
+            assert comp.arch == "gpu"
+
+    def test_labels_shared_across_devices(self, gpu_segment):
+        a, b = gpu_segment.components
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_cross_device_correlation(self, gpu_segment):
+        a, b = gpu_segment.components
+        row = list(a.sensor_names).index("gpu_utilization")
+        assert np.corrcoef(a.matrix[row], b.matrix[row])[0, 1] > 0.8
+
+    def test_cs_classifies_gpu_workloads(self, gpu_segment):
+        """The future-work claim: CS works on accelerator telemetry too."""
+        ds = build_ml_dataset(gpu_segment, lambda: get_method("cs-10"))
+        scores = cross_validate_classifier(
+            lambda: RandomForestClassifier(10, random_state=0),
+            ds.X, ds.y, random_state=0,
+        )
+        assert scores.mean() > 0.85
+
+    def test_reproducible(self):
+        a = generate_gpu(seed=5, t=400, gpus=1)
+        b = generate_gpu(seed=5, t=400, gpus=1)
+        assert np.allclose(a.components[0].matrix, b.components[0].matrix)

@@ -1,0 +1,72 @@
+"""Tests for the Table I segment schema."""
+
+import pytest
+
+from repro.datasets.schema import ARCHITECTURES, SEGMENTS, get_segment_spec
+
+
+class TestSegments:
+    def test_five_segments(self):
+        assert len(SEGMENTS) == 5
+        assert set(SEGMENTS) == {
+            "fault",
+            "application",
+            "power",
+            "infrastructure",
+            "cross-architecture",
+        }
+
+    def test_table1_parameters(self):
+        # Nodes and sensors straight from Table I.
+        assert SEGMENTS["fault"].nodes == 1
+        assert SEGMENTS["fault"].sensors == 128
+        assert SEGMENTS["application"].nodes == 16
+        assert SEGMENTS["application"].sensors == 52
+        assert SEGMENTS["power"].sensors == 47
+        assert SEGMENTS["infrastructure"].nodes == 148
+        assert SEGMENTS["infrastructure"].sensors == 31
+        assert SEGMENTS["cross-architecture"].sensors == (52, 46, 39)
+
+    def test_window_parameters_in_samples(self):
+        # wl/ws converted from Table I wall-clock to samples.
+        assert (SEGMENTS["fault"].wl, SEGMENTS["fault"].ws) == (60, 10)
+        assert (SEGMENTS["application"].wl, SEGMENTS["application"].ws) == (30, 5)
+        assert (SEGMENTS["power"].wl, SEGMENTS["power"].ws) == (10, 5)
+        assert (SEGMENTS["infrastructure"].wl, SEGMENTS["infrastructure"].ws) == (30, 6)
+        assert (SEGMENTS["cross-architecture"].wl, SEGMENTS["cross-architecture"].ws) == (30, 2)
+
+    def test_tasks(self):
+        assert SEGMENTS["fault"].is_classification
+        assert SEGMENTS["application"].is_classification
+        assert not SEGMENTS["power"].is_classification
+        assert SEGMENTS["power"].horizon == 3
+        assert SEGMENTS["infrastructure"].horizon == 30
+
+    def test_sensors_for_cross_arch(self):
+        spec = SEGMENTS["cross-architecture"]
+        assert spec.sensors_for(0) == 52
+        assert spec.sensors_for(1) == 46
+        assert spec.sensors_for(2) == 39
+        assert spec.sensors_for(3) == 52  # wraps
+
+    def test_sensors_for_plain(self):
+        assert SEGMENTS["fault"].sensors_for(5) == 128
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_segment_spec("FAULT").name == "fault"
+
+    def test_aliases(self):
+        assert get_segment_spec("crossarch").name == "cross-architecture"
+        assert get_segment_spec("cross_architecture").name == "cross-architecture"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_segment_spec("bogus")
+
+
+class TestArchitectures:
+    def test_three_architectures_with_paper_sensor_counts(self):
+        assert len(ARCHITECTURES) == 3
+        assert [a[1] for a in ARCHITECTURES] == [52, 46, 39]

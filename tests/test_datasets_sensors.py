@@ -1,0 +1,154 @@
+"""Tests for the sensor response models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sensors import (
+    SensorBank,
+    SensorSpec,
+    node_sensor_bank,
+    rack_sensor_bank,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def latent(rng):
+    t = 200
+    return {
+        "compute": np.clip(0.5 + 0.3 * np.sin(np.linspace(0, 10, t)), 0, 1),
+        "memory": np.linspace(0.2, 0.8, t),
+        "membw": np.full(t, 0.4),
+        "io": np.full(t, 0.1),
+        "net": np.full(t, 0.2),
+        "freq": np.full(t, 1.0),
+    }
+
+
+class TestSensorSpec:
+    def test_rejects_unknown_channel(self):
+        with pytest.raises(ValueError, match="channel"):
+            SensorSpec("bad", "misc", weights={"nonexistent": 1.0})
+
+    def test_valid(self):
+        s = SensorSpec("ok", "cpu", weights={"compute": 1.0})
+        assert s.gain == 1.0
+
+
+class TestSensorBank:
+    def test_render_shape(self, latent, rng):
+        bank = SensorBank([
+            SensorSpec("a", "cpu", weights={"compute": 1.0}, noise=0.0),
+            SensorSpec("b", "memory", weights={"memory": 1.0}, noise=0.0),
+        ])
+        M = bank.render(latent, rng)
+        assert M.shape == (2, 200)
+
+    def test_noiseless_render_is_linear_mix(self, latent, rng):
+        bank = SensorBank([
+            SensorSpec("a", "cpu", weights={"compute": 2.0}, offset=0.5, noise=0.0),
+        ])
+        M = bank.render(latent, rng)
+        assert np.allclose(M[0], 0.5 + 2.0 * latent["compute"])
+
+    def test_lag_smooths(self, rng):
+        t = 300
+        step = {"compute": np.concatenate([np.zeros(150), np.ones(150)])}
+        fast = SensorBank([SensorSpec("f", "cpu", weights={"compute": 1.0}, noise=0.0)])
+        slow = SensorBank([
+            SensorSpec("s", "temp", weights={"compute": 1.0}, noise=0.0, lag=40)
+        ])
+        f = fast.render(step, rng)[0]
+        s = slow.render(step, rng)[0]
+        # Right after the step the lagged sensor is still rising.
+        assert f[160] == pytest.approx(1.0)
+        assert s[160] < 0.5
+        assert s[-1] > 0.8  # eventually converges
+
+    def test_clip_zero(self, rng):
+        bank = SensorBank([
+            SensorSpec("neg", "misc", weights={"compute": -5.0}, noise=0.0)
+        ])
+        M = bank.render({"compute": np.ones(10)}, rng)
+        assert np.all(M >= 0.0)
+
+    def test_group_indices(self):
+        bank = SensorBank([
+            SensorSpec("a", "cpu", weights={"compute": 1.0}),
+            SensorSpec("b", "cache", weights={"membw": 1.0}),
+            SensorSpec("c", "cpu", weights={"freq": 1.0}),
+        ])
+        assert bank.indices_of_group("cpu").tolist() == [0, 2]
+        assert bank.indices_of_group("nope").size == 0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SensorBank([
+                SensorSpec("a", "cpu", weights={"compute": 1.0}),
+                SensorSpec("a", "cpu", weights={"compute": 1.0}),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SensorBank([])
+
+    def test_render_rejects_bad_channel_shape(self, rng):
+        bank = SensorBank([SensorSpec("a", "cpu", weights={"compute": 1.0})])
+        with pytest.raises(ValueError):
+            bank.render({"compute": np.ones((2, 5))}, rng)
+
+
+class TestNodeSensorBank:
+    @pytest.mark.parametrize("n", [26, 52, 128])
+    def test_exact_sensor_count(self, n, rng):
+        bank = node_sensor_bank(n, rng, n_cores=8)
+        assert len(bank) == n
+        assert len(set(bank.names)) == n
+
+    def test_contains_key_sensor_groups(self, rng):
+        bank = node_sensor_bank(52, rng, n_cores=4)
+        groups = set(bank.groups)
+        assert {"cpu", "cache", "memory", "power", "temp"} <= groups
+
+    def test_error_counter_groups_exist(self, rng):
+        # The fault models target these groups specifically.
+        bank = node_sensor_bank(128, rng, n_cores=16)
+        groups = set(bank.groups)
+        assert {"memerror", "ioerror", "neterror", "osfault"} <= groups
+
+    def test_architecture_changes_response(self, latent):
+        a = node_sensor_bank(30, np.random.default_rng(1), arch="skylake")
+        b = node_sensor_bank(30, np.random.default_rng(1), arch="amd-rome")
+        Ma = a.render(latent, np.random.default_rng(2))
+        Mb = b.render(latent, np.random.default_rng(2))
+        assert not np.allclose(Ma, Mb)
+
+    def test_renders_correlated_sensors(self, latent, rng):
+        # Sensors driven by the same channel must correlate — the property
+        # CS ordering exploits.
+        bank = node_sensor_bank(52, rng, n_cores=8)
+        M = bank.render(latent, rng)
+        names = list(bank.names)
+        i = names.index("cpu_instructions")
+        j = names.index("cpu_load")
+        assert np.corrcoef(M[i], M[j])[0, 1] > 0.5
+
+
+class TestRackSensorBank:
+    def test_exact_sensor_count(self, rng):
+        bank = rack_sensor_bank(31, rng)
+        assert len(bank) == 31
+
+    def test_cooling_and_power_groups(self, rng):
+        bank = rack_sensor_bank(31, rng)
+        groups = set(bank.groups)
+        assert {"cooling", "power"} <= groups
+
+    def test_chassis_sensors_fill_remainder(self, rng):
+        bank = rack_sensor_bank(31, rng, n_chassis=4)
+        chassis = [n for n in bank.names if n.startswith("chassis")]
+        assert len(chassis) == 31 - 9  # 9 rack-level templates

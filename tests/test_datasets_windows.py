@@ -1,0 +1,93 @@
+"""Tests for window extraction and label/target alignment."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.windows import (
+    future_mean_target,
+    window_majority_labels,
+    window_starts,
+)
+
+
+class TestWindowStarts:
+    def test_basic(self):
+        assert window_starts(100, 10, 10).tolist() == list(range(0, 91, 10))
+
+    def test_overlapping(self):
+        assert window_starts(20, 10, 5).tolist() == [0, 5, 10]
+
+    def test_too_short(self):
+        assert window_starts(5, 10, 1).size == 0
+
+    def test_exact_fit(self):
+        assert window_starts(10, 10, 3).tolist() == [0]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            window_starts(10, 0, 1)
+        with pytest.raises(ValueError):
+            window_starts(10, 5, 0)
+
+
+class TestMajorityLabels:
+    def test_uniform_windows(self):
+        labels = np.array([0] * 20 + [1] * 20)
+        y = window_majority_labels(labels, 10, 10)
+        assert y.tolist() == [0, 0, 1, 1]
+
+    def test_majority_at_boundary(self):
+        labels = np.array([0] * 6 + [1] * 4)
+        assert window_majority_labels(labels, 10, 10).tolist() == [0]
+        labels = np.array([0] * 4 + [1] * 6)
+        assert window_majority_labels(labels, 10, 10).tolist() == [1]
+
+    def test_tie_resolves_to_smallest(self):
+        labels = np.array([1] * 5 + [0] * 5)
+        assert window_majority_labels(labels, 10, 10).tolist() == [0]
+
+    def test_count_matches_window_starts(self):
+        labels = np.zeros(57, dtype=np.intp)
+        y = window_majority_labels(labels, 12, 5)
+        assert y.shape[0] == window_starts(57, 12, 5).shape[0]
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            window_majority_labels(np.zeros(10, dtype=float), 5, 5)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            window_majority_labels(np.zeros((2, 5), dtype=np.intp), 2, 2)
+
+
+class TestFutureMeanTarget:
+    def test_values(self):
+        series = np.arange(20.0)
+        targets, n = future_mean_target(series, wl=5, ws=5, horizon=3)
+        # Window [0,5): target = mean(series[5:8]) = 6.0
+        assert targets[0] == pytest.approx(6.0)
+        assert targets[1] == pytest.approx(11.0)
+
+    def test_drops_windows_without_full_horizon(self):
+        series = np.arange(20.0)
+        _, n = future_mean_target(series, wl=5, ws=5, horizon=3)
+        # starts 0,5,10,15; start 15 needs samples up to 23 > 20 -> dropped.
+        assert n == 3
+
+    def test_empty_when_too_short(self):
+        targets, n = future_mean_target(np.arange(5.0), wl=4, ws=1, horizon=5)
+        assert n == 0 and targets.size == 0
+
+    def test_horizon_one(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0])
+        targets, n = future_mean_target(series, wl=2, ws=1, horizon=1)
+        assert n == 2
+        assert targets.tolist() == [3.0, 4.0]
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            future_mean_target(np.arange(10.0), 2, 1, 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            future_mean_target(np.zeros((2, 5)), 2, 1, 1)

@@ -1,0 +1,138 @@
+"""Tests for the application workload models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.workloads import (
+    APPLICATIONS,
+    CHANNELS,
+    IDLE,
+    WorkloadModel,
+    application_names,
+    build_schedule,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModels:
+    def test_six_applications(self):
+        assert len(APPLICATIONS) == 6
+        assert set(APPLICATIONS) == {
+            "AMG", "Kripke", "LAMMPS", "Linpack", "Quicksilver", "Nekbone",
+        }
+
+    @pytest.mark.parametrize("name", list(APPLICATIONS))
+    def test_all_channels_present_and_finite(self, name, rng):
+        latent = APPLICATIONS[name].latent(300, 0, rng)
+        assert set(latent) == set(CHANNELS)
+        for ch, arr in latent.items():
+            assert arr.shape == (300,)
+            assert np.isfinite(arr).all(), f"{name}/{ch} has non-finite values"
+            assert arr.min() >= 0.0
+
+    @pytest.mark.parametrize("config", [0, 1, 2])
+    def test_configs_valid(self, config, rng):
+        latent = APPLICATIONS["AMG"].latent(200, config, rng)
+        assert latent["compute"].max() <= 1.5
+
+    def test_idle_is_light(self, rng):
+        latent = IDLE.latent(300, 0, rng)
+        busy = APPLICATIONS["Linpack"].latent(300, 0, rng)
+        assert latent["compute"].mean() < 0.2
+        assert latent["compute"].mean() < busy["compute"].mean() / 3
+
+    def test_amg_memory_gradient(self, rng):
+        # Figure 2: AMG shows increasing memory usage over the run.
+        latent = APPLICATIONS["AMG"].latent(600, 0, rng)
+        mem = latent["memory"]
+        assert mem[-100:].mean() > mem[:100].mean() + 0.2
+
+    def test_linpack_init_phase(self, rng):
+        # Figure 6b: pronounced initialization phase, then constant load.
+        latent = APPLICATIONS["Linpack"].latent(600, 0, rng)
+        io = latent["io"]
+        assert io[:30].mean() > io[-100:].mean() * 3
+        compute = latent["compute"]
+        assert compute[-300:].std() < 0.05
+
+    def test_quicksilver_freq_oscillation(self, rng):
+        # Figure 6c: oscillating CPU frequency unique to Quicksilver.
+        qs = APPLICATIONS["Quicksilver"].latent(600, 0, rng)
+        lp = APPLICATIONS["Linpack"].latent(600, 0, rng)
+        assert qs["freq"].std() > 3 * lp["freq"].std()
+        assert qs["compute"].mean() < 0.4  # light computational load
+
+    def test_kripke_iterative(self, rng):
+        # Clear bursts: compute spends time both high and low.
+        latent = APPLICATIONS["Kripke"].latent(600, 0, rng)
+        c = latent["compute"]
+        assert (c > 0.7).mean() > 0.2
+        assert (c < 0.5).mean() > 0.2
+
+    def test_config_scales_period(self, rng):
+        m = APPLICATIONS["Kripke"]
+        base = m.base_period
+        # config 1 stretches, config 2 shrinks (via _CONFIG_SCALES).
+        from repro.datasets.workloads import _CONFIG_SCALES
+
+        assert _CONFIG_SCALES[1][0] > 1.0 > _CONFIG_SCALES[2][0]
+        assert base > 0
+
+    def test_rejects_zero_length(self, rng):
+        with pytest.raises(ValueError):
+            APPLICATIONS["AMG"].latent(0, 0, rng)
+
+
+class TestApplicationNames:
+    def test_without_idle(self):
+        assert len(application_names()) == 6
+
+    def test_with_idle(self):
+        names = application_names(include_idle=True)
+        assert names[-1] == "idle"
+        assert len(names) == 7
+
+
+class TestBuildSchedule:
+    def test_covers_total_length(self, rng):
+        sched = build_schedule(5000, rng)
+        assert sum(length for _, _, length in sched) == 5000
+
+    def test_all_apps_present(self, rng):
+        sched = build_schedule(6 * 450, rng, min_run=200, max_run=400)
+        apps = {a for a, _, _ in sched}
+        assert set(APPLICATIONS) <= apps | {"idle"} or len(apps) >= 5
+
+    def test_no_idle_when_disabled(self, rng):
+        sched = build_schedule(4000, rng, include_idle=False)
+        assert all(a != "idle" for a, _, _ in sched)
+
+    def test_configs_in_range(self, rng):
+        sched = build_schedule(3000, rng)
+        assert all(0 <= c <= 2 for _, c, _ in sched)
+
+    def test_custom_app_pool(self, rng):
+        sched = build_schedule(2000, rng, apps=("AMG",), include_idle=False)
+        assert {a for a, _, _ in sched} == {"AMG"}
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            build_schedule(0, rng)
+        with pytest.raises(ValueError):
+            build_schedule(100, rng, min_run=50, max_run=10)
+
+
+class TestWorkloadModelDirect:
+    def test_custom_model(self, rng):
+        def synth(t, period, amp, mem, rng):
+            return {"compute": np.full(t, 0.5 * amp)}
+
+        model = WorkloadModel("custom", base_period=50.0, synth=synth)
+        latent = model.latent(100, 0, rng)
+        assert np.allclose(latent["compute"], 0.5)
+        assert np.allclose(latent["io"], 0.0)  # missing channels are zero
+        assert latent["freq"].mean() < 1.05  # freq response applied

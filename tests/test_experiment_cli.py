@@ -1,0 +1,89 @@
+"""Smoke tests for the experiment CLI entry points (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import crossarch, fig5, fig6, fig7, table1
+
+
+class TestTable1CLI:
+    def test_main_prints_all_segments(self, capsys):
+        table1.main(["--scale", "0.2", "--seed", "1"])
+        out = capsys.readouterr().out
+        for name in ("fault", "application", "power", "infrastructure",
+                     "cross-architecture"):
+            assert name in out
+
+
+class TestFig5CLI:
+    def test_main_with_small_grids(self, capsys):
+        fig5.main([
+            "--wl-grid", "10", "20",
+            "--n-grid", "10",
+            "--methods", "lan", "cs-5",
+            "--repeats", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "lan" in out and "cs-5" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv = tmp_path / "fig5.csv"
+        fig5.main([
+            "--wl-grid", "10", "--n-grid", "10",
+            "--methods", "lan", "--repeats", "1",
+            "--csv", str(csv),
+        ])
+        capsys.readouterr()
+        assert csv.exists()
+        lines = csv.read_text().splitlines()
+        assert lines[0].startswith("Axis,")
+        assert len(lines) == 3  # header + 2 points
+
+
+class TestFig6CLI:
+    def test_main_writes_images(self, tmp_path, capsys):
+        # t must cover at least one run of every application (runs are
+        # 250-500 samples, six applications plus idle gaps).
+        fig6.main([
+            "--apps", "Linpack",
+            "--blocks", "8",
+            "--t", "2600",
+            "--nodes", "2",
+            "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert "Linpack" in out
+        assert (tmp_path / "fig6_linpack_real.pgm").exists()
+        assert (tmp_path / "fig6_linpack_imag.pgm").exists()
+
+
+class TestFig7CLI:
+    def test_main_writes_three_architectures(self, tmp_path, capsys):
+        fig7.main([
+            "--blocks", "8",
+            "--t", "2600",
+            "--out", str(tmp_path),
+        ])
+        capsys.readouterr()
+        pgms = list(tmp_path.glob("fig7_*_real.pgm"))
+        assert len(pgms) == 3
+
+
+class TestCrossArchCLI:
+    def test_main_reports_scores(self, capsys):
+        crossarch.main(["--t", "900", "--trees", "5", "--blocks", "8"])
+        out = capsys.readouterr().out
+        assert "Random forest" in out
+        assert "incompatible" in out
+
+
+class TestRunIntervalHelpers:
+    def test_fig6_interval_roundtrip_random(self, rng):
+        labels = rng.integers(0, 3, size=200)
+        for lid in range(3):
+            covered = np.zeros(200, dtype=bool)
+            for s, e in fig6.run_intervals(labels, lid):
+                assert s < e
+                covered[s:e] = True
+            assert np.array_equal(covered, labels == lid)

@@ -1,0 +1,160 @@
+"""Integration tests spanning multiple subsystems.
+
+These exercise the paper's end-to-end claims at small scale: signatures
+feed models and score well, CS models travel between systems, the online
+stream agrees with the offline pipeline after a storage round-trip, and
+signature rescaling preserves enough information for classification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rootcause import explain_difference
+from repro.baselines import get_method
+from repro.core.model import CSModel
+from repro.core.pipeline import CorrelationWiseSmoothing, signature_features
+from repro.core.scaling import rescale_signature_matrix
+from repro.datasets.generators import build_ml_dataset, generate_fault
+from repro.experiments.fig6 import run_intervals
+from repro.ml import (
+    RandomForestClassifier,
+    cross_validate_classifier,
+    train_test_split,
+)
+from repro.monitoring.storage import load_segment, save_segment
+from repro.monitoring.streaming import OnlineSignatureStream
+
+
+class TestEndToEndClassification:
+    def test_fault_detection_improves_with_blocks(self, fault_segment):
+        """The Figure 4b Fault trend at miniature scale."""
+        scores = {}
+        for blocks in (5, "all"):
+            ds = build_ml_dataset(
+                fault_segment, lambda b=blocks: get_method(f"cs-{b}")
+            )
+            s = cross_validate_classifier(
+                lambda: RandomForestClassifier(10, random_state=0),
+                ds.X,
+                ds.y,
+                random_state=0,
+            )
+            scores[blocks] = s.mean()
+        assert scores["all"] > scores[5]
+
+    def test_cs_matches_baseline_on_application(self, application_segment):
+        """Figure 3c: CS-20 reaches baseline-level scores."""
+        out = {}
+        for m in ("cs-20", "tuncer"):
+            ds = build_ml_dataset(application_segment, lambda m=m: get_method(m))
+            s = cross_validate_classifier(
+                lambda: RandomForestClassifier(10, random_state=0),
+                ds.X,
+                ds.y,
+                random_state=0,
+            )
+            out[m] = s.mean()
+        assert out["cs-20"] > out["tuncer"] - 0.05
+
+
+class TestModelPortability:
+    def test_model_ships_between_instances(self, application_segment, tmp_path):
+        comp = application_segment.components[0]
+        names = list(comp.sensor_names)
+        trainer = CorrelationWiseSmoothing(blocks=10)
+        trainer.fit(comp.matrix, sensor_names=names)
+        trainer.model.save(tmp_path / "model.json")
+
+        # A second "deployment" loads the model and computes identical
+        # signatures without retraining.
+        deployed = CorrelationWiseSmoothing(blocks=10).set_model(
+            CSModel.load(tmp_path / "model.json")
+        )
+        wl, ws = application_segment.spec.wl, application_segment.spec.ws
+        a = trainer.transform_series(comp.matrix, wl, ws)
+        b = deployed.transform_series(comp.matrix, wl, ws)
+        assert np.allclose(a, b)
+
+    def test_sensor_removal_robustness(self, application_segment):
+        """Removing sensors degrades gracefully via CSModel.subset."""
+        comp = application_segment.components[0]
+        cs = CorrelationWiseSmoothing(blocks=5)
+        cs.fit(comp.matrix, sensor_names=list(comp.sensor_names))
+        keep = [i for i in range(comp.n_sensors) if i % 5 != 0]  # drop 20%
+        sub_model = cs.model.subset(keep)
+        reduced = CorrelationWiseSmoothing(blocks=5).set_model(sub_model)
+        sig = reduced.transform(comp.matrix[keep][:, :30])
+        assert sig.shape == (5,)
+        full_sig = cs.transform(comp.matrix[:, :30])
+        # Same system state: the reduced signature stays close.
+        assert np.abs(sig.real - full_sig.real).mean() < 0.15
+
+
+class TestTrainLowResPredictHighRes:
+    def test_rescaled_signatures_still_classify(self, application_segment):
+        """Train on 20-block signatures, test on down-scaled 40-block ones
+        (the model-sharing workflow of Section IV-B)."""
+        comp = application_segment.components[0]
+        wl, ws = application_segment.spec.wl, application_segment.spec.ws
+        labels = comp.labels
+        from repro.datasets.windows import window_majority_labels
+
+        y = window_majority_labels(labels, wl, ws)
+
+        cs20 = CorrelationWiseSmoothing(blocks=20).fit(comp.matrix)
+        cs40 = CorrelationWiseSmoothing(blocks=40).fit(comp.matrix)
+        sig20 = cs20.transform_series(comp.matrix, wl, ws)
+        sig40 = cs40.transform_series(comp.matrix, wl, ws)
+        down = rescale_signature_matrix(sig40, 20)
+
+        X20 = signature_features(sig20)
+        Xdown = signature_features(down)
+        Xtr, Xte, ytr, yte, Dtr, Dte = train_test_split(
+            X20, y, Xdown, test_size=0.3, random_state=0, stratify=y
+        )
+        rf = RandomForestClassifier(10, random_state=0).fit(Xtr, ytr)
+        native = (rf.predict(Xte) == yte).mean()
+        crossres = (rf.predict(Dte) == yte).mean()
+        assert crossres > native - 0.1
+
+    def test_heatmap_intervals_consistent(self, application_segment):
+        labels = application_segment.components[0].labels
+        for lid in np.unique(labels):
+            for start, stop in run_intervals(labels, int(lid)):
+                assert (labels[start:stop] == lid).all()
+
+
+class TestStorageStreamRoundtrip:
+    def test_stream_from_stored_segment(self, tmp_path, infrastructure_segment):
+        root = save_segment(infrastructure_segment, tmp_path / "seg")
+        loaded = load_segment(root)
+        comp = loaded.components[0]
+        cs = CorrelationWiseSmoothing(blocks=5).fit(comp.matrix)
+        stream = OnlineSignatureStream(cs, wl=30, ws=6)
+        online = stream.run(comp.matrix.T)
+        offline = cs.transform_series(comp.matrix, 30, 6)
+        assert len(online) == offline.shape[0]
+        assert np.allclose(np.stack(online), offline)
+
+
+class TestRootCauseOnFault:
+    def test_fault_blocks_point_at_error_sensors(self, fault_segment):
+        """Drill-down from anomalous signature to the injected sensors."""
+        comp = fault_segment.components[0]
+        labels = comp.labels
+        names = list(comp.sensor_names)
+        cs = CorrelationWiseSmoothing(blocks="all")
+        cs.fit(comp.matrix, sensor_names=names)
+        wl = fault_segment.spec.wl
+
+        memalloc_id = fault_segment.label_names.index("memalloc")
+        intervals = run_intervals(labels, memalloc_id)
+        start, stop = next((s, e) for s, e in intervals if e - s >= wl)
+        healthy = run_intervals(labels, 0)
+        hstart, hstop = next((s, e) for s, e in healthy if e - s >= wl)
+
+        sig_fault = cs.transform(comp.matrix[:, start : start + wl])
+        sig_ok = cs.transform(comp.matrix[:, hstart : hstart + wl])
+        findings = explain_difference(cs.model, sig_ok, sig_fault, top=8)
+        implicated = {s for f in findings for s in f.sensors}
+        assert "alloc_failures" in implicated

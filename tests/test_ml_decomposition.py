@@ -1,0 +1,70 @@
+"""Tests for the PCA substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ml.decomposition import PCA
+
+
+@pytest.fixture
+def anisotropic_data(rng):
+    """Data with one dominant direction (variance 9:1:0.01)."""
+    basis = np.linalg.qr(rng.standard_normal((3, 3)))[0]
+    scales = np.array([3.0, 1.0, 0.1])
+    return (rng.standard_normal((500, 3)) * scales) @ basis.T, basis, scales
+
+
+class TestPCA:
+    def test_explained_variance_sorted(self, anisotropic_data):
+        X, _, _ = anisotropic_data
+        pca = PCA().fit(X)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-12)
+
+    def test_recovers_dominant_direction(self, anisotropic_data):
+        X, basis, _ = anisotropic_data
+        pca = PCA(n_components=1).fit(X)
+        # The first component aligns with the largest-scale basis vector
+        # (up to sign).
+        cosine = abs(float(pca.components_[0] @ basis[:, 0]))
+        assert cosine > 0.99
+
+    def test_variance_ratio_sums_to_at_most_one(self, anisotropic_data):
+        X, _, _ = anisotropic_data
+        pca = PCA(n_components=2).fit(X)
+        assert 0.0 < pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+        assert pca.explained_variance_ratio_[0] > 0.8  # dominant axis
+
+    def test_transform_shape_and_centering(self, anisotropic_data):
+        X, _, _ = anisotropic_data
+        pca = PCA(n_components=2).fit(X)
+        Z = pca.transform(X)
+        assert Z.shape == (500, 2)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_full_rank_roundtrip(self, rng):
+        X = rng.standard_normal((100, 4))
+        pca = PCA().fit(X)
+        assert np.allclose(pca.inverse_transform(pca.transform(X)), X, atol=1e-9)
+
+    def test_truncated_reconstruction_error_small_on_lowrank(self, anisotropic_data):
+        X, _, _ = anisotropic_data
+        pca = PCA(n_components=2).fit(X)
+        Xr = pca.inverse_transform(pca.transform(X))
+        rel_err = np.linalg.norm(X - Xr) / np.linalg.norm(X)
+        assert rel_err < 0.1
+
+    def test_components_orthonormal(self, rng):
+        X = rng.standard_normal((80, 5))
+        pca = PCA().fit(X)
+        G = pca.components_ @ pca.components_.T
+        assert np.allclose(G, np.eye(G.shape[0]), atol=1e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros(5))
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.zeros((2, 3)))

@@ -1,0 +1,115 @@
+"""Tests for the random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+
+
+@pytest.fixture
+def cls_data(rng):
+    X = rng.random((240, 5))
+    y = ((X[:, 0] + X[:, 1]) > 1.0).astype(int)
+    return X, y
+
+
+@pytest.fixture
+def reg_data(rng):
+    X = rng.random((240, 5))
+    y = 3.0 * X[:, 0] + X[:, 1] ** 2
+    return X, y
+
+
+class TestClassifierForest:
+    def test_learns(self, cls_data):
+        X, y = cls_data
+        rf = RandomForestClassifier(20, random_state=0).fit(X, y)
+        assert (rf.predict(X) == y).mean() > 0.95
+
+    def test_proba_shape_and_sum(self, cls_data):
+        X, y = cls_data
+        rf = RandomForestClassifier(10, random_state=0).fit(X, y)
+        proba = rf.predict_proba(X)
+        assert proba.shape == (X.shape[0], 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_reproducible_with_seed(self, cls_data):
+        X, y = cls_data
+        a = RandomForestClassifier(8, random_state=42).fit(X, y).predict(X)
+        b = RandomForestClassifier(8, random_state=42).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ_somewhere(self, rng):
+        X = rng.random((150, 4))
+        y = (X[:, 0] + 0.3 * rng.standard_normal(150) > 0.5).astype(int)
+        pa = RandomForestClassifier(5, random_state=1).fit(X, y).predict_proba(X)
+        pb = RandomForestClassifier(5, random_state=2).fit(X, y).predict_proba(X)
+        assert not np.allclose(pa, pb)
+
+    def test_handles_rare_class_in_bootstrap(self, rng):
+        # A class so rare some bootstrap samples will miss it entirely.
+        X = rng.random((100, 3))
+        y = np.zeros(100, dtype=int)
+        y[:4] = 1
+        X[:4] += 10.0
+        rf = RandomForestClassifier(20, random_state=0).fit(X, y)
+        proba = rf.predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert (rf.predict(X[:4]) == 1).all()
+
+    def test_string_classes(self, cls_data):
+        X, y = cls_data
+        labels = np.array(["ok", "bad"])[y]
+        rf = RandomForestClassifier(10, random_state=0).fit(X, labels)
+        assert set(rf.predict(X)) <= {"ok", "bad"}
+
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier(2).predict(np.zeros((1, 2)))
+
+    def test_no_bootstrap_mode(self, cls_data):
+        X, y = cls_data
+        rf = RandomForestClassifier(5, bootstrap=False, random_state=0).fit(X, y)
+        assert (rf.predict(X) == y).mean() > 0.95
+
+
+class TestRegressorForest:
+    def test_learns(self, reg_data):
+        X, y = reg_data
+        rf = RandomForestRegressor(20, random_state=0).fit(X, y)
+        pred = rf.predict(X)
+        assert np.corrcoef(pred, y)[0, 1] > 0.95
+
+    def test_generalizes(self, rng):
+        X = rng.random((400, 3))
+        y = 2.0 * X[:, 0] + 0.05 * rng.standard_normal(400)
+        rf = RandomForestRegressor(30, random_state=0).fit(X[:300], y[:300])
+        test_err = np.mean((rf.predict(X[300:]) - y[300:]) ** 2)
+        assert test_err < 0.05
+
+    def test_prediction_is_tree_average(self, reg_data):
+        X, y = reg_data
+        rf = RandomForestRegressor(5, random_state=0).fit(X, y)
+        manual = np.mean([t.predict(X) for t in rf.estimators_], axis=0)
+        assert np.allclose(rf.predict(X), manual)
+
+    def test_default_hyperparams(self):
+        rf = RandomForestRegressor()
+        assert rf.n_estimators == 50
+        assert rf.max_features == pytest.approx(1 / 3)
+        assert rf.min_samples_leaf == 5
+
+    def test_reproducible(self, reg_data):
+        X, y = reg_data
+        a = RandomForestRegressor(6, random_state=7).fit(X, y).predict(X)
+        b = RandomForestRegressor(6, random_state=7).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_rejects_length_mismatch(self, reg_data):
+        X, y = reg_data
+        with pytest.raises(ValueError):
+            RandomForestRegressor(3).fit(X, y[:-5])

@@ -1,0 +1,129 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    ml_score_classification,
+    ml_score_regression,
+    nrmse,
+    precision_recall_f1,
+    r2_score,
+    rmse,
+)
+
+
+class TestConfusionMatrix:
+    def test_basic(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert cm.tolist() == [[1, 1], [0, 2]]
+
+    def test_explicit_labels_include_absent_class(self):
+        cm = confusion_matrix([0, 0], [0, 0], labels=np.array([0, 1]))
+        assert cm.tolist() == [[2, 0], [0, 0]]
+
+    def test_rejects_unknown_labels(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 2], [0, 0], labels=np.array([0, 1]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        assert accuracy_score([1, 2], [1, 2]) == 1.0
+        assert accuracy_score([1, 2], [2, 1]) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score([0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
+
+    def test_binary_hand_computed(self):
+        # tp=2, fp=1, fn=1 for class 1; tp=1, fp=1, fn=1 for class 0.
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        prec1, rec1 = 2 / 3, 2 / 3
+        f1_1 = 2 * prec1 * rec1 / (prec1 + rec1)
+        prec0, rec0 = 1 / 2, 1 / 2
+        f1_0 = 2 * prec0 * rec0 / (prec0 + rec0)
+        assert f1_score(y_true, y_pred) == pytest.approx((f1_0 + f1_1) / 2)
+
+    def test_f1_is_harmonic_mean(self):
+        # The paper: "harmonic mean between the precision and recall".
+        y_true = [0, 0, 0, 1, 1, 1, 1, 1]
+        y_pred = [0, 1, 1, 1, 1, 1, 0, 0]
+        p, r, f = precision_recall_f1(y_true, y_pred, average="macro")
+        # Verify per-class harmonic means aggregate correctly.
+        cm = confusion_matrix(y_true, y_pred)
+        for c in (0, 1):
+            tp = cm[c, c]
+            prec = tp / cm[:, c].sum()
+            rec = tp / cm[c, :].sum()
+            expected = 2 * prec * rec / (prec + rec)
+            assert expected <= 1.0
+        assert 0.0 <= f <= 1.0
+
+    def test_zero_division_is_zero(self):
+        # Class 1 never predicted: precision undefined -> 0.
+        p, r, f = precision_recall_f1([0, 1], [0, 0], average="macro")
+        assert f == pytest.approx(1 / 3)  # class0 f1=2/3, class1 f1=0
+
+    def test_micro_equals_accuracy_multiclass(self):
+        y_true = [0, 1, 2, 2, 1]
+        y_pred = [0, 2, 2, 2, 1]
+        p, r, f = precision_recall_f1(y_true, y_pred, average="micro")
+        assert f == pytest.approx(accuracy_score(y_true, y_pred))
+
+    def test_weighted_average(self):
+        y_true = [0, 0, 0, 1]
+        y_pred = [0, 0, 0, 0]
+        _, _, fw = precision_recall_f1(y_true, y_pred, average="weighted")
+        _, _, fm = precision_recall_f1(y_true, y_pred, average="macro")
+        assert fw > fm  # majority class dominates the weighted score
+
+    def test_unknown_average(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([0], [0], average="bogus")
+
+
+class TestRegressionMetrics:
+    def test_rmse_known(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_nrmse_normalizes_by_range(self):
+        y_true = np.array([0.0, 10.0])
+        y_pred = np.array([1.0, 9.0])
+        assert nrmse(y_true, y_pred) == pytest.approx(0.1)
+
+    def test_nrmse_constant_target_falls_back(self):
+        assert nrmse([5.0, 5.0], [5.0, 5.0]) == 0.0
+
+    def test_nrmse_scale_invariant(self, rng):
+        y = rng.random(50)
+        p = y + 0.01 * rng.standard_normal(50)
+        assert nrmse(y, p) == pytest.approx(nrmse(y * 100, p * 100), rel=1e-9)
+
+    def test_r2(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_ml_scores(self):
+        assert ml_score_classification([0, 1], [0, 1]) == 1.0
+        assert ml_score_regression([0.0, 1.0], [0.0, 1.0]) == pytest.approx(1.0)
+        # ML score = 1 - NRMSE (higher is better).
+        assert ml_score_regression([0.0, 10.0], [1.0, 9.0]) == pytest.approx(0.9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rmse([], [])

@@ -1,0 +1,111 @@
+"""Tests for the multi-layer perceptrons."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mlp import MLPClassifier, MLPRegressor
+
+
+class TestMLPClassifier:
+    def test_learns_linear_boundary(self, rng):
+        X = rng.standard_normal((300, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        mlp = MLPClassifier(
+            hidden_layer_sizes=(32,), max_iter=100, random_state=0
+        ).fit(X, y)
+        assert (mlp.predict(X) == y).mean() > 0.9
+
+    def test_learns_xor(self, rng):
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        mlp = MLPClassifier(
+            hidden_layer_sizes=(32, 32), max_iter=300, random_state=0
+        ).fit(X, y)
+        assert (mlp.predict(X) == y).mean() > 0.9
+
+    def test_paper_architecture_default(self):
+        mlp = MLPClassifier()
+        assert mlp.hidden_layer_sizes == (100, 100)
+
+    def test_proba_sums_to_one(self, rng):
+        X = rng.standard_normal((120, 3))
+        y = (X[:, 0] > 0).astype(int)
+        mlp = MLPClassifier(hidden_layer_sizes=(16,), max_iter=30, random_state=0)
+        mlp.fit(X, y)
+        proba = mlp.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_multiclass(self, rng):
+        X = rng.standard_normal((450, 2))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        mlp = MLPClassifier(
+            hidden_layer_sizes=(32,), max_iter=200, random_state=0
+        ).fit(X, y)
+        assert (mlp.predict(X) == y).mean() > 0.85
+
+    def test_loss_decreases(self, rng):
+        X = rng.standard_normal((200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        mlp = MLPClassifier(hidden_layer_sizes=(16,), max_iter=50, random_state=0)
+        mlp.fit(X, y)
+        assert mlp.loss_curve_[-1] < mlp.loss_curve_[0]
+
+    def test_early_stopping(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        mlp = MLPClassifier(
+            hidden_layer_sizes=(8,),
+            max_iter=500,
+            tol=10.0,           # absurdly large tolerance...
+            n_iter_no_change=3,  # ...stops after 3 stalled epochs
+            random_state=0,
+        ).fit(X, y)
+        assert len(mlp.loss_curve_) <= 10
+
+    def test_string_labels(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = np.where(X[:, 0] > 0, "up", "down")
+        mlp = MLPClassifier(hidden_layer_sizes=(8,), max_iter=40, random_state=0)
+        mlp.fit(X, y)
+        assert set(mlp.predict(X)) <= {"up", "down"}
+
+    def test_reproducible(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        a = MLPClassifier(hidden_layer_sizes=(8,), max_iter=20, random_state=5).fit(X, y)
+        b = MLPClassifier(hidden_layer_sizes=(8,), max_iter=20, random_state=5).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+
+    def test_rejects_bad_hidden_sizes(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layer_sizes=(0,))
+
+
+class TestMLPRegressor:
+    def test_learns_linear_map(self, rng):
+        X = rng.standard_normal((400, 3))
+        y = 2.0 * X[:, 0] - X[:, 2]
+        mlp = MLPRegressor(
+            hidden_layer_sizes=(32,), max_iter=300, random_state=0
+        ).fit(X, y)
+        pred = mlp.predict(X)
+        assert np.corrcoef(pred, y)[0, 1] > 0.95
+
+    def test_learns_nonlinear_map(self, rng):
+        X = rng.uniform(-1, 1, (500, 1))
+        y = np.sin(3 * X[:, 0])
+        mlp = MLPRegressor(
+            hidden_layer_sizes=(64, 64), max_iter=400, random_state=0
+        ).fit(X, y)
+        assert np.mean((mlp.predict(X) - y) ** 2) < 0.05
+
+    def test_output_shape_1d(self, rng):
+        X = rng.standard_normal((50, 2))
+        mlp = MLPRegressor(hidden_layer_sizes=(8,), max_iter=10, random_state=0)
+        mlp.fit(X, X[:, 0])
+        assert mlp.predict(X).shape == (50,)

@@ -1,0 +1,144 @@
+"""Tests for K-fold splitters and cross-validation drivers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validate_classifier,
+    cross_validate_regressor,
+    train_test_split,
+)
+
+
+class TestKFold:
+    def test_partitions_all_samples(self):
+        folds = list(KFold(5).split(np.zeros(23)))
+        assert len(folds) == 5
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test.tolist()) == list(range(23))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(4).split(np.zeros(20)):
+            assert len(np.intersect1d(train, test)) == 0
+            assert len(train) + len(test) == 20
+
+    def test_fold_sizes_uniform(self):
+        sizes = [len(t) for _, t in KFold(5).split(np.zeros(23))]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shuffle_reproducible(self):
+        a = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=1).split(np.zeros(12))]
+        b = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=1).split(np.zeros(12))]
+        assert a == b
+
+    def test_shuffle_changes_order(self):
+        plain = [t.tolist() for _, t in KFold(3).split(np.zeros(12))]
+        shuf = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=0).split(np.zeros(12))]
+        assert plain != shuf
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(np.zeros(3)))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestStratifiedKFold:
+    def test_preserves_class_ratio(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for train, test in StratifiedKFold(5).split(np.zeros(50), y):
+            # Every test fold carries 8 of class 0 and 2 of class 1.
+            assert (y[test] == 0).sum() == 8
+            assert (y[test] == 1).sum() == 2
+
+    def test_partitions_all_samples(self):
+        y = np.array([0, 1] * 15)
+        all_test = np.concatenate(
+            [t for _, t in StratifiedKFold(3).split(np.zeros(30), y)]
+        )
+        assert sorted(all_test.tolist()) == list(range(30))
+
+    def test_rejects_too_small_class(self):
+        y = np.array([0] * 10 + [1] * 2)
+        with pytest.raises(ValueError, match="least populated"):
+            list(StratifiedKFold(5).split(np.zeros(12), y))
+
+    def test_shuffle_reproducible(self):
+        y = np.array([0, 1] * 20)
+        a = [t.tolist() for _, t in StratifiedKFold(4, shuffle=True, random_state=3).split(np.zeros(40), y)]
+        b = [t.tolist() for _, t in StratifiedKFold(4, shuffle=True, random_state=3).split(np.zeros(40), y)]
+        assert a == b
+
+    def test_works_with_string_labels(self):
+        y = np.array(["a", "b"] * 10)
+        folds = list(StratifiedKFold(2).split(np.zeros(20), y))
+        assert len(folds) == 2
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100)[:, None]
+        Xtr, Xte = train_test_split(X, test_size=0.2, random_state=0)
+        assert len(Xte) == 20 and len(Xtr) == 80
+
+    def test_multiple_arrays_consistent(self):
+        X = np.arange(50)[:, None]
+        y = np.arange(50)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.3, random_state=0)
+        assert np.array_equal(Xtr[:, 0], ytr)
+        assert np.array_equal(Xte[:, 0], yte)
+
+    def test_stratified_preserves_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        _, _, ytr, yte = train_test_split(
+            np.zeros((100, 1)), y, test_size=0.25, random_state=0, stratify=y
+        )
+        assert (yte == 1).sum() == 5
+
+    def test_rejects_inconsistent_lengths(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros(5), np.zeros(4))
+
+    def test_rejects_bad_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros(5), test_size=1.5)
+
+
+class TestCrossValidateDrivers:
+    def test_classifier_scores_high_on_separable(self, rng):
+        X = rng.random((150, 4))
+        y = (X[:, 0] > 0.5).astype(int)
+        scores = cross_validate_classifier(
+            lambda: RandomForestClassifier(10, random_state=0),
+            X, y, random_state=0,
+        )
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.9
+
+    def test_regressor_scores(self, rng):
+        X = rng.random((150, 3))
+        y = X[:, 0] * 2.0
+        scores = cross_validate_regressor(
+            lambda: RandomForestRegressor(10, random_state=0),
+            X, y, random_state=0,
+        )
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.8
+
+    def test_fresh_model_per_fold(self, rng):
+        X = rng.random((60, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        built = []
+
+        def factory():
+            m = RandomForestClassifier(2, random_state=0)
+            built.append(m)
+            return m
+
+        cross_validate_classifier(factory, X, y, n_splits=3, random_state=0)
+        assert len(built) == 3

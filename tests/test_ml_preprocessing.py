@@ -1,0 +1,88 @@
+"""Tests for scalers and label encoding."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.random((100, 4)) * 7 + 3
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.random((30, 3))
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_transform_uses_training_stats(self, rng):
+        X = rng.random((50, 2))
+        sc = StandardScaler().fit(X)
+        Z = sc.transform(X + 100.0)
+        assert Z.mean() > 50  # not re-centered on the new data
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self, rng):
+        X = rng.random((40, 3)) * 9 - 4
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z.min(axis=0), 0.0)
+        assert np.allclose(Z.max(axis=0), 1.0)
+
+    def test_custom_range(self, rng):
+        X = rng.random((40, 2))
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert np.allclose(Z.min(axis=0), -1.0)
+        assert np.allclose(Z.max(axis=0), 1.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.random((25, 3))
+        sc = MinMaxScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        y = np.array(["b", "a", "c", "a"])
+        enc = LabelEncoder().fit(y)
+        codes = enc.transform(y)
+        assert codes.tolist() == [1, 0, 2, 0]
+        assert enc.inverse_transform(codes).tolist() == y.tolist()
+
+    def test_rejects_unseen(self):
+        enc = LabelEncoder().fit(np.array(["a", "b"]))
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(np.array(["z"]))
+
+    def test_rejects_out_of_range_codes(self):
+        enc = LabelEncoder().fit(np.array(["a", "b"]))
+        with pytest.raises(ValueError):
+            enc.inverse_transform(np.array([5]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(np.array(["a"]))

@@ -1,0 +1,139 @@
+"""Tests for the CART decision trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@pytest.fixture
+def blob_data(rng):
+    """Two well-separated 2-D blobs."""
+    X0 = rng.normal(0.0, 0.3, size=(60, 2))
+    X1 = rng.normal(2.0, 0.3, size=(60, 2))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * 60 + [1] * 60)
+    return X, y
+
+
+class TestClassifier:
+    def test_fits_separable_data_perfectly(self, blob_data):
+        X, y = blob_data
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_predict_proba_rows_sum_to_one(self, blob_data):
+        X, y = blob_data
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (120, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_pure_node_stops_splitting(self):
+        X = np.arange(10.0)[:, None]
+        y = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.node_count == 1
+
+    def test_max_depth_limits_tree(self, blob_data):
+        X, y = blob_data
+        tree = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
+        assert tree.depth <= 1
+        assert tree.node_count <= 3
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.random((50, 3))
+        y = (X[:, 0] > 0.5).astype(int)
+        tree = DecisionTreeClassifier(min_samples_leaf=10, random_state=0).fit(X, y)
+        # Count samples reaching each leaf.
+        leaves = tree._apply(X)
+        _, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 10
+
+    def test_multiclass(self, rng):
+        X = rng.random((90, 2))
+        y = np.digitize(X[:, 0], [0.33, 0.66])
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+    def test_string_labels(self, blob_data):
+        X, y = blob_data
+        labels = np.array(["healthy", "faulty"])[y]
+        tree = DecisionTreeClassifier(random_state=0).fit(X, labels)
+        preds = tree.predict(X)
+        assert set(preds) <= {"healthy", "faulty"}
+        assert (preds == labels).all()
+
+    def test_xor_needs_depth_two(self, rng):
+        X = rng.random((200, 2))
+        y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+    def test_rejects_mismatched_y(self, blob_data):
+        X, _ = blob_data
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, np.zeros(3))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0.0, 1.0, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float) * 3.0
+        tree = DecisionTreeRegressor(random_state=0).fit(X, y)
+        pred = tree.predict(X)
+        assert np.abs(pred - y).max() < 1e-9
+
+    def test_approximates_linear_function(self, rng):
+        X = rng.random((300, 1))
+        y = 2.0 * X[:, 0]
+        tree = DecisionTreeRegressor(min_samples_leaf=5, random_state=0).fit(X, y)
+        pred = tree.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.01
+
+    def test_constant_target_single_node(self):
+        X = np.random.default_rng(0).random((20, 2))
+        tree = DecisionTreeRegressor(random_state=0).fit(X, np.full(20, 5.0))
+        assert tree.node_count == 1
+        assert np.allclose(tree.predict(X), 5.0)
+
+    def test_max_features_subsampling_still_learns(self, rng):
+        X = rng.random((200, 10))
+        y = X[:, 3] * 4.0
+        tree = DecisionTreeRegressor(
+            max_features="sqrt", min_samples_leaf=5, random_state=0
+        ).fit(X, y)
+        pred = tree.predict(X)
+        assert np.corrcoef(pred, y)[0, 1] > 0.8
+
+    def test_depth_property(self):
+        X = np.linspace(0, 1, 32)[:, None]
+        y = np.arange(32.0)
+        tree = DecisionTreeRegressor(random_state=0).fit(X, y)
+        assert tree.depth >= 5  # needs 32 leaves
+
+
+class TestMaxFeaturesSpec:
+    def test_specs(self):
+        from repro.ml.tree import _resolve_max_features
+
+        assert _resolve_max_features(None, 16) == 16
+        assert _resolve_max_features("sqrt", 16) == 4
+        assert _resolve_max_features("log2", 16) == 4
+        assert _resolve_max_features(0.5, 16) == 8
+        assert _resolve_max_features(5, 16) == 5
+        assert _resolve_max_features(99, 16) == 16
+
+    def test_invalid_specs(self):
+        from repro.ml.tree import _resolve_max_features
+
+        with pytest.raises(ValueError):
+            _resolve_max_features("bogus", 4)
+        with pytest.raises(ValueError):
+            _resolve_max_features(0.0, 4)
+        with pytest.raises(ValueError):
+            _resolve_max_features(0, 4)

@@ -1,0 +1,199 @@
+"""Tests for the monitoring substrate: tree, storage, alignment, streaming."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CorrelationWiseSmoothing
+from repro.monitoring.alignment import align_series, build_sensor_matrix
+from repro.monitoring.sensor_tree import SensorTree
+from repro.monitoring.storage import (
+    load_segment,
+    load_sensor_csv,
+    save_segment,
+    save_sensor_csv,
+)
+from repro.monitoring.streaming import OnlineSignatureStream
+
+
+class TestSensorTree:
+    def test_add_and_get(self):
+        tree = SensorTree()
+        tree.add("rack0/chassis1/node2/power", unit="W")
+        node = tree.get("rack0/chassis1/node2/power")
+        assert node.is_sensor
+        assert node.metadata["unit"] == "W"
+
+    def test_contains(self):
+        tree = SensorTree()
+        tree.add("a/b/c")
+        assert "a/b/c" in tree
+        assert "a/b" not in tree  # intermediate node, not a sensor
+        assert "x/y" not in tree
+
+    def test_duplicate_rejected(self):
+        tree = SensorTree()
+        tree.add("a/b")
+        with pytest.raises(ValueError, match="already"):
+            tree.add("a/b")
+
+    def test_sensors_sorted(self):
+        tree = SensorTree()
+        tree.add("b/s2")
+        tree.add("a/s1")
+        tree.add("a/s0")
+        assert tree.sensors() == ["a/s0", "a/s1", "b/s2"]
+        assert len(tree) == 3
+
+    def test_subtree_listing(self):
+        tree = SensorTree()
+        tree.add("rack0/node0/power")
+        tree.add("rack0/node1/power")
+        tree.add("rack1/node0/power")
+        assert len(tree.sensors("rack0")) == 2
+
+    def test_glob(self):
+        tree = SensorTree()
+        tree.add("rack0/node0/power")
+        tree.add("rack0/node1/power")
+        tree.add("rack0/node1/temp")
+        tree.add("rack1/node0/power")
+        assert tree.glob("rack0/*/power") == [
+            "rack0/node0/power",
+            "rack0/node1/power",
+        ]
+        assert tree.glob("*/node0/*") == [
+            "rack0/node0/power",
+            "rack1/node0/power",
+        ]
+
+    def test_invalid_path(self):
+        tree = SensorTree()
+        with pytest.raises(ValueError):
+            tree.add("///")
+
+
+class TestCSVStorage:
+    def test_roundtrip(self, tmp_path):
+        ts = np.arange(10.0)
+        vals = np.linspace(0.0, 1.0, 10)
+        save_sensor_csv(tmp_path / "s.csv", ts, vals)
+        ts2, vals2 = load_sensor_csv(tmp_path / "s.csv")
+        assert np.allclose(ts2, ts)
+        assert np.allclose(vals2, vals, atol=1e-7)
+
+    def test_header_format(self, tmp_path):
+        save_sensor_csv(tmp_path / "s.csv", np.arange(2.0), np.arange(2.0))
+        first = (tmp_path / "s.csv").read_text().splitlines()[0]
+        assert first == "timestamp,value"
+
+    def test_rejects_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_sensor_csv(tmp_path / "s.csv", np.arange(3.0), np.arange(2.0))
+
+
+class TestSegmentStorage:
+    def test_roundtrip(self, tmp_path, infrastructure_segment):
+        root = save_segment(infrastructure_segment, tmp_path / "seg")
+        loaded = load_segment(root)
+        assert loaded.spec.name == infrastructure_segment.spec.name
+        assert loaded.n_components == infrastructure_segment.n_components
+        orig = infrastructure_segment.components[0]
+        got = loaded.components[0]
+        assert got.sensor_names == orig.sensor_names
+        assert np.allclose(got.matrix, orig.matrix, atol=1e-6, rtol=1e-6)
+        assert np.allclose(got.target, orig.target, atol=1e-6)
+
+    def test_roundtrip_with_labels(self, tmp_path, application_segment):
+        root = save_segment(application_segment, tmp_path / "seg")
+        loaded = load_segment(root)
+        assert np.array_equal(
+            loaded.components[0].labels, application_segment.components[0].labels
+        )
+        assert loaded.label_names == application_segment.label_names
+
+
+class TestAlignment:
+    def test_linear_interpolation(self):
+        ts = np.array([0.0, 10.0])
+        vals = np.array([0.0, 1.0])
+        out = align_series(ts, vals, np.array([0.0, 5.0, 10.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_previous_value_hold(self):
+        ts = np.array([0.0, 10.0])
+        vals = np.array([1.0, 2.0])
+        out = align_series(ts, vals, np.array([0.0, 9.9, 10.0]), kind="previous")
+        assert np.allclose(out, [1.0, 1.0, 2.0])
+
+    def test_extends_edges(self):
+        out = align_series(
+            np.array([5.0, 6.0]), np.array([1.0, 2.0]), np.array([0.0, 10.0])
+        )
+        assert np.allclose(out, [1.0, 2.0])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            align_series(np.array([1.0, 0.0]), np.array([0.0, 1.0]), np.array([0.5]))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            align_series(np.array([0.0]), np.array([1.0]), np.array([0.0]), kind="cubic")
+
+    def test_build_sensor_matrix(self):
+        series = {
+            "b": (np.array([0.0, 1.0, 2.0, 3.0]), np.array([0.0, 1.0, 2.0, 3.0])),
+            "a": (np.array([0.5, 1.5, 2.5]), np.array([5.0, 5.0, 5.0])),
+        }
+        matrix, names, clock = build_sensor_matrix(series)
+        assert names == ["a", "b"]  # sorted
+        assert matrix.shape == (2, clock.shape[0])
+        # Clock spans the intersection [0.5, 2.5].
+        assert clock[0] == pytest.approx(0.5)
+        assert clock[-1] <= 2.5 + 1e-9
+        assert np.allclose(matrix[0], 5.0)
+
+    def test_build_rejects_disjoint_ranges(self):
+        series = {
+            "a": (np.array([0.0, 1.0]), np.array([0.0, 1.0])),
+            "b": (np.array([5.0, 6.0]), np.array([0.0, 1.0])),
+        }
+        with pytest.raises(ValueError, match="overlap"):
+            build_sensor_matrix(series)
+
+    def test_build_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_sensor_matrix({})
+
+
+class TestOnlineStream:
+    def test_matches_offline_pipeline(self, rng):
+        hist = rng.random((6, 300))
+        cs = CorrelationWiseSmoothing(blocks=3).fit(hist)
+        wl, ws = 20, 10
+        offline = cs.transform_series(hist, wl, ws)
+        stream = OnlineSignatureStream(cs, wl=wl, ws=ws)
+        online = stream.run(hist.T)
+        assert len(online) == offline.shape[0]
+        for k in range(len(online)):
+            assert np.allclose(online[k], offline[k]), f"signature {k}"
+
+    def test_emission_schedule(self, rng):
+        hist = rng.random((4, 100))
+        cs = CorrelationWiseSmoothing(blocks=2).fit(hist)
+        stream = OnlineSignatureStream(cs, wl=10, ws=5)
+        emitted_at = [
+            i for i, x in enumerate(hist.T) if stream.push(x) is not None
+        ]
+        assert emitted_at[0] == 9           # first full window
+        assert all(b - a == 5 for a, b in zip(emitted_at, emitted_at[1:]))
+
+    def test_rejects_unfitted(self):
+        with pytest.raises(ValueError):
+            OnlineSignatureStream(CorrelationWiseSmoothing(blocks=2), 5, 2)
+
+    def test_rejects_wrong_sample_shape(self, rng):
+        hist = rng.random((4, 50))
+        cs = CorrelationWiseSmoothing(blocks=2).fit(hist)
+        stream = OnlineSignatureStream(cs, wl=5, ws=2)
+        with pytest.raises(ValueError):
+            stream.push(np.zeros(3))

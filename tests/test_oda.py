@@ -1,0 +1,231 @@
+"""Tests for the ODA control-loop substrate (knobs, plant, controllers, loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CorrelationWiseSmoothing, signature_features
+from repro.datasets.windows import future_mean_target
+from repro.ml import RandomForestRegressor
+from repro.monitoring.streaming import OnlineSignatureStream
+from repro.oda import (
+    CPUFrequencyKnob,
+    CoolingSetpointKnob,
+    FaultResponseController,
+    Knob,
+    ODAControlLoop,
+    PowerCapController,
+    SimulatedNodePlant,
+)
+
+
+class TestKnob:
+    def test_clamps_to_bounds(self):
+        k = Knob("k", 0.0, 1.0)
+        assert k.apply(5.0) == 1.0
+        assert k.apply(-3.0) == 0.0
+
+    def test_quantization(self):
+        k = Knob("k", 0.0, 1.0, step=0.25)
+        assert k.apply(0.6) == pytest.approx(0.5)
+        assert k.apply(0.63) == pytest.approx(0.75)
+
+    def test_history_records_changes_only(self):
+        k = Knob("k", 0.0, 1.0, step=0.1, initial=1.0)
+        k.apply(0.5, tick=3)
+        k.apply(0.5, tick=4)  # no-op
+        k.apply(0.4, tick=5)
+        assert k.actuation_count == 2
+        assert k.history == [(3, 0.5), (5, pytest.approx(0.4))]
+
+    def test_nudge(self):
+        k = Knob("k", 0.0, 1.0, initial=0.5)
+        assert k.nudge(0.2) == pytest.approx(0.7)
+        assert k.nudge(-1.0) == 0.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Knob("k", 1.0, 0.0)
+        with pytest.raises(ValueError):
+            Knob("k", 0.0, 1.0, step=0.0)
+
+    def test_presets(self):
+        f = CPUFrequencyKnob()
+        assert f.setting == 1.0
+        c = CoolingSetpointKnob()
+        assert c.setting == pytest.approx(0.3)
+
+
+class TestPlant:
+    def test_step_shape_and_progress(self):
+        plant = SimulatedNodePlant(seed=0, total_t=50, n_sensors=28)
+        s = plant.step()
+        assert s.shape == (28,)
+        assert plant.tick == 1
+
+    def test_rejects_too_few_sensors(self):
+        with pytest.raises(ValueError, match="power_node"):
+            SimulatedNodePlant(seed=0, total_t=10, n_sensors=10)
+
+    def test_exhaustion(self):
+        plant = SimulatedNodePlant(seed=0, total_t=5)
+        for _ in range(5):
+            plant.step()
+        with pytest.raises(StopIteration):
+            plant.step()
+
+    def test_run_open_loop(self):
+        plant = SimulatedNodePlant(seed=0, total_t=100)
+        M = plant.run_open_loop(60)
+        assert M.shape == (plant.n_sensors, 60)
+
+    def test_frequency_cap_lowers_power(self):
+        """The closed-loop property: capping frequency cuts power draw."""
+        free = SimulatedNodePlant(seed=1, total_t=400)
+        capped_knob = CPUFrequencyKnob(initial=0.5)
+        capped = SimulatedNodePlant(seed=1, total_t=400, knob=capped_knob)
+        free.run_open_loop(400)
+        capped.run_open_loop(400)
+        assert capped.true_power() <= free.true_power() + 0.02
+        # Stronger: compare mean power over the run.
+        f2 = SimulatedNodePlant(seed=1, total_t=400)
+        c2 = SimulatedNodePlant(
+            seed=1, total_t=400, knob=CPUFrequencyKnob(initial=0.5)
+        )
+        pf = [float(f2.step()[list(f2.sensor_names).index('power_node')])
+              for _ in range(400)]
+        pc = [float(c2.step()[list(c2.sensor_names).index('power_node')])
+              for _ in range(400)]
+        assert np.mean(pc) < np.mean(pf)
+
+
+def _trained_stack(seed=0, total_t=1200, blocks=4, wl=10, ws=5, horizon=3):
+    plant = SimulatedNodePlant(seed=seed, total_t=total_t)
+    history = plant.run_open_loop(total_t)
+    power_row = list(plant.sensor_names).index("power_node")
+    cs = CorrelationWiseSmoothing(blocks=blocks).fit(history)
+    sigs = cs.transform_series(history, wl, ws)
+    targets, n_use = future_mean_target(history[power_row], wl, ws, horizon)
+    model = RandomForestRegressor(10, random_state=0).fit(
+        signature_features(sigs[:n_use]), targets
+    )
+    return cs, model
+
+
+class TestPowerCapController:
+    def test_steps_down_when_over_cap(self):
+        cs, model = _trained_stack()
+        knob = CPUFrequencyKnob()
+        ctrl = PowerCapController(model, knob, power_cap=1e-6)  # always over
+        sig = np.zeros(4, dtype=complex)
+        applied = ctrl.decide(sig, tick=0)
+        assert applied is not None and applied < 1.0
+
+    def test_steps_up_with_headroom(self):
+        cs, model = _trained_stack()
+        knob = CPUFrequencyKnob(initial=0.5)
+        ctrl = PowerCapController(model, knob, power_cap=100.0)  # never over
+        applied = ctrl.decide(np.zeros(4, dtype=complex), tick=0)
+        assert applied is not None and applied > 0.5
+
+    def test_hysteresis_band_no_action(self):
+        cs, model = _trained_stack()
+        knob = CPUFrequencyKnob()
+        ctrl = PowerCapController(model, knob, power_cap=100.0)
+        # Already at upper bound and under cap -> no actuation.
+        assert ctrl.decide(np.zeros(4, dtype=complex), tick=0) is None
+
+    def test_rejects_bad_params(self):
+        cs, model = _trained_stack()
+        with pytest.raises(ValueError):
+            PowerCapController(model, CPUFrequencyKnob(), power_cap=0.0)
+        with pytest.raises(ValueError):
+            PowerCapController(model, CPUFrequencyKnob(), power_cap=1.0,
+                               headroom=1.5)
+
+
+class _ConstantClassifier:
+    def __init__(self, label):
+        self.label = label
+
+    def predict(self, X):
+        return np.asarray([self.label] * len(X))
+
+
+class TestFaultResponseController:
+    def test_debounce(self):
+        ctrl = FaultResponseController(
+            _ConstantClassifier(3), min_consecutive=3
+        )
+        sig = np.zeros(2, dtype=complex)
+        ctrl.decide(sig, 0)
+        ctrl.decide(sig, 1)
+        assert not ctrl.alerts
+        ctrl.decide(sig, 2)
+        assert len(ctrl.alerts) == 1
+        assert ctrl.alerts[0] == (2, 3)
+
+    def test_healthy_resets_streak(self):
+        healthy = _ConstantClassifier(0)
+        ctrl = FaultResponseController(healthy, min_consecutive=1)
+        ctrl.decide(np.zeros(2, dtype=complex), 0)
+        assert not ctrl.alerts
+
+    def test_quarantine_knob(self):
+        knob = CPUFrequencyKnob()
+        ctrl = FaultResponseController(
+            _ConstantClassifier(1), knob=knob, min_consecutive=1
+        )
+        applied = ctrl.decide(np.zeros(2, dtype=complex), 0)
+        assert applied == knob.lower
+
+    def test_knob_restored_on_healthy(self):
+        knob = CPUFrequencyKnob(initial=0.5)
+        ctrl = FaultResponseController(
+            _ConstantClassifier(0), knob=knob, min_consecutive=1
+        )
+        applied = ctrl.decide(np.zeros(2, dtype=complex), 0)
+        assert applied == knob.upper
+
+
+class TestODAControlLoop:
+    def test_loop_reduces_overshoot(self):
+        cs, model = _trained_stack(seed=0, total_t=1500)
+        cap = 0.6
+
+        def run(with_controller):
+            knob = CPUFrequencyKnob()
+            plant = SimulatedNodePlant(seed=5, total_t=1200, knob=knob)
+            stream = OnlineSignatureStream(cs, wl=10, ws=5)
+            ctrl = (
+                PowerCapController(model, knob, power_cap=cap)
+                if with_controller else None
+            )
+            return ODAControlLoop(plant, stream, ctrl).run(1200)
+
+        baseline = run(False)
+        controlled = run(True)
+        assert controlled.n_signatures == baseline.n_signatures
+        assert controlled.power_overshoot(cap) < baseline.power_overshoot(cap)
+        assert controlled.n_actuations > 0
+
+    def test_monitoring_only_mode(self):
+        cs, _ = _trained_stack(total_t=600)
+        plant = SimulatedNodePlant(seed=2, total_t=300)
+        stream = OnlineSignatureStream(cs, wl=10, ws=5)
+        report = ODAControlLoop(plant, stream, None).run(300)
+        assert report.n_signatures > 0
+        assert report.n_actuations == 0
+
+    def test_rejects_sensor_mismatch(self):
+        cs, _ = _trained_stack(total_t=600)
+        plant = SimulatedNodePlant(seed=2, total_t=100, n_sensors=28)
+        stream = OnlineSignatureStream(cs, wl=10, ws=5)
+        with pytest.raises(ValueError):
+            ODAControlLoop(plant, stream, None)
+
+    def test_report_metrics_empty(self):
+        from repro.oda.loop import LoopReport
+
+        r = LoopReport()
+        assert r.power_overshoot(0.5) == 0.0
+        assert r.time_above(0.5) == 0.0

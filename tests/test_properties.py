@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.similarity import (
+    collapsed_distribution,
+    js_divergence_2d,
+    nearest_neighbor_upsample,
+)
+from repro.core.blocks import block_bounds
+from repro.core.pipeline import CorrelationWiseSmoothing, signature_features
+from repro.core.scaling import rescale_signature
+from repro.core.smoothing import smooth
+from repro.core.sorting import normalize_rows
+from repro.core.training import (
+    correlation_ordering,
+    global_correlation,
+    shifted_correlation_matrix,
+)
+from repro.datasets.windows import window_majority_labels, window_starts
+from repro.ml.metrics import f1_score, nrmse
+
+# Bounded-float matrices that keep correlations numerically sane.
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 12), st.integers(3, 40)),
+    elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def matrix_and_blocks(draw):
+    n = draw(st.integers(1, 20))
+    wl = draw(st.integers(1, 30))
+    l = draw(st.integers(1, n))
+    M = draw(
+        arrays(
+            np.float64,
+            (n, wl),
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        )
+    )
+    return M, l
+
+
+class TestBlockBoundsProperties:
+    @given(st.integers(1, 500), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_coverage_monotone_and_bounded(self, n, data):
+        l = data.draw(st.integers(1, n))
+        starts, ends = block_bounds(n, l)
+        assert starts[0] == 0
+        assert ends[-1] == n
+        # Starts/ends monotone non-decreasing, every block non-empty.
+        assert np.all(np.diff(starts) >= 0)
+        assert np.all(np.diff(ends) >= 0)
+        assert np.all(ends > starts)
+        # Widths differ by at most 1 sensor.
+        widths = ends - starts
+        assert widths.max() - widths.min() <= 1
+        # Full coverage, no gaps.
+        covered = np.zeros(n, dtype=bool)
+        for s, e in zip(starts, ends):
+            covered[s:e] = True
+        assert covered.all()
+
+
+class TestCorrelationProperties:
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_correlation_matrix_invariants(self, S):
+        rho = shifted_correlation_matrix(S)
+        assert rho.shape == (S.shape[0],) * 2
+        assert np.all(rho >= -1e-12) and np.all(rho <= 2.0 + 1e-12)
+        assert np.allclose(rho, rho.T)
+
+    @given(matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_ordering_is_permutation(self, S):
+        rho = shifted_correlation_matrix(S)
+        p = correlation_ordering(rho, global_correlation(rho))
+        assert sorted(p.tolist()) == list(range(S.shape[0]))
+
+
+class TestSmoothingProperties:
+    @given(matrix_and_blocks())
+    @settings(max_examples=80, deadline=None)
+    def test_signature_bounded_by_window(self, mb):
+        M, l = mb
+        sig = smooth(M, l)
+        assert sig.shape == (l,)
+        assert np.all(sig.real >= M.min() - 1e-9)
+        assert np.all(sig.real <= M.max() + 1e-9)
+        # Derivative means are bounded by the value range over the window.
+        assert np.all(np.abs(sig.imag) <= (M.max() - M.min()) + 1e-9)
+
+    @given(matrix_and_blocks())
+    @settings(max_examples=50, deadline=None)
+    def test_global_mean_preserved_when_divisible(self, mb):
+        M, l = mb
+        n = M.shape[0]
+        if n % l != 0:
+            return  # overlapping blocks double-count some rows
+        sig = smooth(M, l)
+        # Equal-width non-overlapping blocks: the mean of block means is
+        # the global mean.
+        assert np.mean(sig.real) == pytest.approx(M.mean(), abs=1e-9)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(2, 20)),
+               elements=st.floats(0.0, 1.0, allow_nan=False).map(
+                   lambda x: round(x, 3))),
+        st.floats(-5.0, 5.0, allow_nan=False).map(lambda x: round(x, 3)),
+        st.floats(0.1, 10.0, allow_nan=False).map(lambda x: round(x, 3)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_affine_invariance_of_normalized_signature(self, M, shift, scale):
+        """Min-max normalization makes CS invariant to affine sensor scaling.
+
+        Elements are rounded to three decimals so float absorption (tiny
+        values vanishing when the shift is added) cannot manufacture a
+        spurious constant row.
+        """
+        cs1 = CorrelationWiseSmoothing(blocks=1).fit(M)
+        cs2 = CorrelationWiseSmoothing(blocks=1).fit(M * scale + shift)
+        s1 = cs1.transform(M)
+        s2 = cs2.transform(M * scale + shift)
+        assert np.allclose(s1, s2, atol=1e-8)
+
+
+class TestNormalizeProperties:
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 10), st.integers(1, 30)),
+               elements=st.floats(-1e6, 1e6, allow_nan=False)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_in_unit_interval(self, M):
+        out = normalize_rows(M, M.min(axis=1), M.max(axis=1))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+class TestRescaleProperties:
+    @given(
+        arrays(np.complex128, st.integers(1, 30),
+               elements=st.complex_numbers(max_magnitude=10.0, allow_nan=False,
+                                           allow_infinity=False)),
+        st.integers(1, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rescale_stays_within_envelope(self, sig, L):
+        out = rescale_signature(sig, L)
+        assert out.shape == (L,)
+        assert out.real.min() >= sig.real.min() - 1e-9
+        assert out.real.max() <= sig.real.max() + 1e-9
+
+    @given(
+        arrays(np.complex128, st.integers(1, 20),
+               elements=st.complex_numbers(max_magnitude=5.0, allow_nan=False,
+                                           allow_infinity=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rescale_identity(self, sig):
+        assert np.allclose(rescale_signature(sig, sig.shape[0]), sig)
+
+
+class TestFeatureProperties:
+    @given(
+        arrays(np.complex128, st.tuples(st.integers(1, 10), st.integers(1, 10)),
+               elements=st.complex_numbers(max_magnitude=10.0, allow_nan=False,
+                                           allow_infinity=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_feature_roundtrip(self, sigs):
+        f = signature_features(sigs)
+        l = sigs.shape[1]
+        assert np.allclose(f[:, :l], sigs.real)
+        assert np.allclose(f[:, l:], sigs.imag)
+
+
+class TestWindowProperties:
+    @given(st.integers(1, 200), st.integers(1, 50), st.integers(1, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_window_count_formula(self, t, wl, ws):
+        starts = window_starts(t, wl, ws)
+        if t < wl:
+            assert starts.size == 0
+        else:
+            assert starts.size == (t - wl) // ws + 1
+            assert starts[-1] + wl <= t
+
+    @given(
+        arrays(np.int64, st.integers(10, 100), elements=st.integers(0, 4)),
+        st.integers(2, 10),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_majority_label_is_a_window_label(self, labels, wl, ws):
+        y = window_majority_labels(labels, wl, ws)
+        starts = window_starts(labels.shape[0], wl, ws)
+        for k, s in enumerate(starts):
+            window = labels[s : s + wl]
+            assert y[k] in window
+            # It really is (one of) the most frequent labels.
+            counts = np.bincount(window, minlength=5)
+            assert counts[y[k]] == counts.max()
+
+
+class TestSimilarityProperties:
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(2, 40)),
+               elements=st.floats(0.0, 1.0, allow_nan=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distribution_sums_to_one(self, M):
+        P = collapsed_distribution(M, bins=8)
+        assert P.sum() == pytest.approx(1.0)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(2, 5), st.integers(5, 30)),
+               elements=st.floats(0.0, 1.0, allow_nan=False)),
+        arrays(np.float64, st.tuples(st.integers(2, 5), st.integers(5, 30)),
+               elements=st.floats(0.0, 1.0, allow_nan=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_js_bounded_and_symmetric(self, A, B):
+        rows = min(A.shape[0], B.shape[0])
+        A, B = A[:rows], B[:rows]
+        ab = js_divergence_2d(A, B)
+        ba = js_divergence_2d(B, A)
+        assert 0.0 <= ab <= 1.0 + 1e-9
+        assert ab == pytest.approx(ba, abs=1e-9)
+
+    @given(st.integers(1, 10), st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_upsample_preserves_value_set(self, l, n):
+        X = np.arange(l, dtype=np.float64)[:, None]
+        up = nearest_neighbor_upsample(X, n)
+        assert set(np.unique(up)) <= set(range(l))
+
+
+class TestMetricProperties:
+    @given(
+        arrays(np.int64, st.integers(2, 60), elements=st.integers(0, 3)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_scores_one(self, y):
+        assert f1_score(y, y.copy()) == pytest.approx(1.0)
+
+    @given(
+        arrays(np.float64, st.integers(2, 50),
+               elements=st.floats(-100.0, 100.0, allow_nan=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nrmse_nonnegative_and_zero_iff_exact(self, y):
+        assert nrmse(y, y.copy()) == pytest.approx(0.0)
+        if y.max() > y.min():
+            noisy = y + 1.0
+            assert nrmse(y, noisy) > 0.0
