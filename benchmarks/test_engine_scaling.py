@@ -1,0 +1,255 @@
+"""Benchmark: the unified engine vs the seed's execution strategies.
+
+Three comparisons, each against a faithful re-implementation of the
+seed's code path:
+
+* **fleet** — ``FleetSignatureEngine.transform_fleet`` (one batched call
+  for the whole fleet, nodes stacked into a ``(nodes, n, t)`` tensor)
+  vs the seed's only option: a per-node Python loop over
+  ``CorrelationWiseSmoothing.transform_series``.  Acceptance: >= 2x at
+  fleet scale (the recorded speedups are far above that).
+* **stream** — the incremental ``OnlineSignatureStream.push`` (running
+  prefix sums, O(n) per emit) vs the seed's push (fancy-indexed window
+  re-gather + full sort/smooth per emit, O(n * wl)).
+* **series** — the engine's vectorized ``transform_batch`` route of
+  ``transform_series`` vs the seed's default per-window ``transform``
+  loop (exercised through the correlation-matrix baseline, which used
+  that default in the seed).
+
+Results merge into ``results/engine_scaling.csv`` and a summary is
+written to ``BENCH_engine.json`` for the performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.corrmat import CorrelationMatrixSignature
+from repro.core.pipeline import CorrelationWiseSmoothing
+from repro.core.smoothing import smooth
+from repro.core.sorting import sort_rows
+from repro.engine.fleet import FleetSignatureEngine
+from repro.engine.windows import windowed_view
+from repro.monitoring.streaming import OnlineSignatureStream
+
+from benchmarks.conftest import merge_csv
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS_CSV = ROOT / "results" / "engine_scaling.csv"
+SUMMARY_JSON = ROOT / "BENCH_engine.json"
+CSV_HEADERS = (
+    "Kind", "Nodes", "Sensors", "wl",
+    "t", "Seed time [s]", "Engine time [s]", "Speedup",
+)
+
+# (nodes, sensors, t, wl, ws): fleet regimes where many nodes ship a
+# bounded window of recent samples for one batched signature pass.
+FLEET_GRID = [
+    (32, 8, 400, 16, 8),
+    (32, 24, 400, 48, 24),
+    (128, 8, 400, 48, 24),
+    (128, 16, 200, 32, 8),
+    (192, 12, 256, 32, 8),
+    (256, 8, 256, 16, 8),
+]
+#: The acceptance cell: >= 100 nodes, one batched call, >= 2x.
+FLEET_ACCEPTANCE = (256, 8, 256, 16, 8)
+
+_summary: dict = {}
+_rows: list[tuple] = []
+
+
+def _best_of(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Seed-equivalent reference implementations
+# ----------------------------------------------------------------------
+class _SeedStream:
+    """The seed's OnlineSignatureStream push path, verbatim in spirit:
+    ring buffer + np.arange % gather + full sort/smooth per emit."""
+
+    def __init__(self, cs, wl, ws):
+        self.cs, self.wl, self.ws = cs, wl, ws
+        n = cs.model.n_sensors
+        self._buf = np.empty((n, wl + 1))
+        self._count = 0
+
+    def push(self, sample):
+        size = self._buf.shape[1]
+        self._buf[:, self._count % size] = sample
+        self._count += 1
+        if self._count < self.wl or (self._count - self.wl) % self.ws != 0:
+            return None
+        cols = np.arange(self._count - self.wl, self._count) % size
+        window = self._buf[:, cols]
+        prev = None
+        if self._count > self.wl:
+            prev = self._buf[:, (self._count - self.wl - 1) % size].copy()
+        return self.cs.transform(window, prev_column=prev)
+
+
+def _seed_transform_series(method, S, wl, ws):
+    """The seed SignatureMethod.transform_series default: a per-window
+    Python loop over transform()."""
+    n, t = S.shape
+    starts = range(0, t - wl + 1, ws)
+    return np.stack([method.transform(S[:, s : s + wl]) for s in starts])
+
+
+def _seed_fleet_loop(data, blocks, wl, ws):
+    """The seed's only fleet option: per-node fit-once models, then a
+    Python loop of single-node transform_series calls."""
+    out = {}
+    for path, S in data.items():
+        cs = CorrelationWiseSmoothing(blocks=blocks)
+        cs.set_model(_seed_fleet_loop.models[path])
+        out[path] = cs.transform_series(S, wl, ws)
+    return out
+
+
+_seed_fleet_loop.models = {}
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("nodes,sensors,t,wl,ws", FLEET_GRID)
+def test_fleet_batched_vs_per_node_loop(nodes, sensors, t, wl, ws):
+    rng = np.random.default_rng(nodes * 1000 + sensors * 10 + wl)
+    data = {f"rack{i % 8}/node{i}": rng.random((sensors, t)) for i in range(nodes)}
+    blocks = max(2, sensors // 4)
+
+    engine = FleetSignatureEngine(blocks=blocks, wl=wl, ws=ws)
+    engine.fit_fleet(data)
+    _seed_fleet_loop.models = {p: engine.model(p) for p in data}
+
+    t_seed = _best_of(lambda: _seed_fleet_loop(data, blocks, wl, ws))
+    t_engine = _best_of(lambda: engine.transform_fleet(data))
+
+    # Same bits out of both paths.
+    ref = _seed_fleet_loop(data, blocks, wl, ws)
+    got = engine.transform_fleet(data)
+    assert all(np.array_equal(ref[p], got[p]) for p in data)
+
+    speedup = t_seed / max(t_engine, 1e-12)
+    _rows.append(("fleet", nodes, sensors, wl, t, t_seed, t_engine, speedup))
+    print(
+        f"\nfleet {nodes}x{sensors}x{wl}: seed {t_seed * 1e3:.2f} ms, "
+        f"engine {t_engine * 1e3:.2f} ms ({speedup:.1f}x)"
+    )
+    if (nodes, sensors, t, wl, ws) == FLEET_ACCEPTANCE:
+        _summary["fleet_speedup_acceptance"] = round(speedup, 2)
+        # Acceptance: >= 100 nodes in one batched call, >= 2x over the
+        # seed's per-node loop.
+        assert speedup >= 2.0, f"fleet speedup only {speedup:.2f}x"
+
+
+def test_stream_incremental_vs_seed_push():
+    # The in-band regime the paper targets: a node with ~100 sensors and
+    # a dense emit schedule, where the seed's O(n * wl) re-gather +
+    # re-normalize per emit dwarfs the incremental O(n) update.
+    rng = np.random.default_rng(7)
+    n, t, wl, ws = 96, 3000, 128, 4
+    hist = rng.random((n, t))
+    cs = CorrelationWiseSmoothing(blocks=12).fit(hist)
+
+    def run_seed():
+        stream = _SeedStream(cs, wl, ws)
+        return [s for x in hist.T if (s := stream.push(x)) is not None]
+
+    def run_engine():
+        stream = OnlineSignatureStream(cs, wl=wl, ws=ws)
+        return [s for x in hist.T if (s := stream.push(x)) is not None]
+
+    a, b = run_seed(), run_engine()
+    assert len(a) == len(b)
+    assert all(np.allclose(x, y) for x, y in zip(a, b))
+
+    t_seed = _best_of(run_seed)
+    t_engine = _best_of(run_engine)
+    speedup = t_seed / max(t_engine, 1e-12)
+    _rows.append(("stream", 1, n, wl, t, t_seed, t_engine, speedup))
+    _summary["stream_push_speedup"] = round(speedup, 2)
+    print(
+        f"\nstream n={n} wl={wl}: seed {t_seed * 1e3:.1f} ms, "
+        f"engine {t_engine * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert t_engine < t_seed, "incremental stream must beat the seed push path"
+
+
+def test_stream_push_block_vs_seed_push():
+    rng = np.random.default_rng(8)
+    n, t, wl, ws = 96, 3000, 128, 4
+    hist = rng.random((n, t))
+    cs = CorrelationWiseSmoothing(blocks=12).fit(hist)
+
+    def run_seed():
+        stream = _SeedStream(cs, wl, ws)
+        return [s for x in hist.T if (s := stream.push(x)) is not None]
+
+    def run_block():
+        return OnlineSignatureStream(cs, wl=wl, ws=ws).push_block(hist)
+
+    t_seed = _best_of(run_seed)
+    t_block = _best_of(run_block)
+    speedup = t_seed / max(t_block, 1e-12)
+    _rows.append(("stream-block", 1, n, wl, t, t_seed, t_block, speedup))
+    _summary["stream_push_block_speedup"] = round(speedup, 2)
+    print(
+        f"\npush_block n={n} wl={wl}: seed {t_seed * 1e3:.1f} ms, "
+        f"block {t_block * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert t_block < t_seed
+
+
+def test_series_vectorized_vs_seed_loop():
+    rng = np.random.default_rng(9)
+    n, t, wl, ws = 12, 600, 32, 4
+    S = rng.random((n, t))
+    method = CorrelationMatrixSignature()
+
+    ref = _seed_transform_series(method, S, wl, ws)
+    got = method.transform_series(S, wl, ws)
+    assert np.allclose(ref, got)
+
+    t_seed = _best_of(lambda: _seed_transform_series(method, S, wl, ws))
+    t_engine = _best_of(lambda: method.transform_series(S, wl, ws))
+    speedup = t_seed / max(t_engine, 1e-12)
+    _rows.append(("series", 1, n, wl, t, t_seed, t_engine, speedup))
+    _summary["transform_series_speedup"] = round(speedup, 2)
+    print(
+        f"\nseries n={n} wl={wl}: seed loop {t_seed * 1e3:.1f} ms, "
+        f"engine {t_engine * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert t_engine < t_seed
+
+
+def test_engine_scaling_rows(benchmark):
+    """Persist the sweep + summary (and keep --benchmark-only happy)."""
+    rng = np.random.default_rng(10)
+    S = rng.random((8, 200))
+    cs = CorrelationWiseSmoothing(blocks=4).fit(S)
+    benchmark.pedantic(lambda: cs.transform_series(S, 16, 8), rounds=1, iterations=1)
+
+    merge_csv(RESULTS_CSV, CSV_HEADERS, _rows, n_key_cols=4)
+    _summary["windowed_view_is_zero_copy"] = bool(
+        np.shares_memory(windowed_view(S, 16, 8), S)
+    )
+    # Single-window sanity anchor: one smooth() call stays microseconds.
+    sorted_w = sort_rows(S[:, :16], cs.model)
+    t_single = _best_of(lambda: smooth(sorted_w, 4), repeats=5)
+    _summary["single_smooth_us"] = round(t_single * 1e6, 1)
+    SUMMARY_JSON.write_text(json.dumps(_summary, indent=2, sort_keys=True) + "\n")
+    print(f"\nBENCH_engine summary: {json.dumps(_summary, sort_keys=True)}")

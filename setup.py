@@ -1,0 +1,141 @@
+"""Setup shim for editable installs.
+
+Package metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on minimal environments where the
+``wheel`` package is unavailable (setuptools' PEP 660 editable path
+imports ``wheel.wheelfile`` and a ``bdist_wheel`` command from it).  On
+such environments the shims below provide the few pieces setuptools
+actually needs — a pure-lib tag, the ``WHEEL`` file, egg-info to
+dist-info conversion and a RECORD-writing zip — without touching the
+environment (nothing is installed; the shims live only in this build
+process).  When the real ``wheel`` package is importable the shims stay
+out of the way entirely.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import shutil
+import sys
+import zipfile
+
+from setuptools import setup
+
+_TAG = ("py3", "none", "any")
+
+
+def _have_wheel_pkg() -> bool:
+    try:
+        import wheel.wheelfile  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _make_shims():
+    """Build the bdist_wheel command + wheel.wheelfile module stand-ins."""
+    import types
+
+    from distutils.core import Command
+
+    class WheelFile(zipfile.ZipFile):
+        """Zip that appends a PEP 376 RECORD on close (wheel-pkg subset)."""
+
+        def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+            super().__init__(file, mode, compression=compression)
+            stem = os.path.basename(os.fspath(file)).split(".whl")[0]
+            name, version = stem.split("-")[:2]
+            self._record_path = f"{name}-{version}.dist-info/RECORD"
+            self._records: list[str] = []
+
+        def _record(self, arcname: str, data: bytes) -> None:
+            digest = base64.urlsafe_b64encode(
+                hashlib.sha256(data).digest()
+            ).rstrip(b"=").decode("ascii")
+            self._records.append(f"{arcname},sha256={digest},{len(data)}")
+
+        def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+            super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+            arcname = getattr(zinfo_or_arcname, "filename", zinfo_or_arcname)
+            if isinstance(data, str):
+                data = data.encode("utf-8")
+            self._record(arcname, data)
+
+        def write(self, filename, arcname=None, *args, **kwargs):
+            super().write(filename, arcname, *args, **kwargs)
+            with open(filename, "rb") as fh:
+                self._record(arcname or filename, fh.read())
+
+        def write_files(self, base_dir):
+            for root, _dirs, files in os.walk(base_dir):
+                for fname in sorted(files):
+                    path = os.path.join(root, fname)
+                    self.write(path, os.path.relpath(path, base_dir))
+
+        def close(self):
+            if self.mode != "r" and self._records:
+                lines = self._records + [f"{self._record_path},,"]
+                self._records = []
+                super().writestr(self._record_path, "\n".join(lines) + "\n")
+            super().close()
+
+    class bdist_wheel(Command):
+        """The three entry points setuptools' editable path calls."""
+
+        description = "minimal bdist_wheel stand-in (editable installs only)"
+        user_options: list = []
+
+        def initialize_options(self):
+            pass
+
+        def finalize_options(self):
+            pass
+
+        def run(self):  # pragma: no cover - full wheels need the real pkg
+            raise RuntimeError(
+                "building distributable wheels requires the 'wheel' package; "
+                "this shim only supports editable installs"
+            )
+
+        def get_tag(self):
+            return _TAG
+
+        def write_wheelfile(self, dist_info_dir):
+            content = (
+                "Wheel-Version: 1.0\n"
+                "Generator: repro-cs setup shim\n"
+                "Root-Is-Purelib: true\n"
+                f"Tag: {'-'.join(_TAG)}\n"
+            )
+            with open(os.path.join(dist_info_dir, "WHEEL"), "w") as fh:
+                fh.write(content)
+
+        def egg2dist(self, egg_info_dir, dist_info_dir):
+            os.makedirs(dist_info_dir, exist_ok=True)
+            shutil.copyfile(
+                os.path.join(egg_info_dir, "PKG-INFO"),
+                os.path.join(dist_info_dir, "METADATA"),
+            )
+            entry_points = os.path.join(egg_info_dir, "entry_points.txt")
+            if os.path.exists(entry_points):
+                shutil.copyfile(
+                    entry_points,
+                    os.path.join(dist_info_dir, "entry_points.txt"),
+                )
+
+    wheelfile_mod = types.ModuleType("wheel.wheelfile")
+    wheelfile_mod.WheelFile = WheelFile
+    wheel_mod = types.ModuleType("wheel")
+    wheel_mod.wheelfile = wheelfile_mod
+    return bdist_wheel, wheel_mod, wheelfile_mod
+
+
+if _have_wheel_pkg():
+    setup()
+else:
+    _bdist_wheel, _wheel_mod, _wheelfile_mod = _make_shims()
+    sys.modules.setdefault("wheel", _wheel_mod)
+    sys.modules.setdefault("wheel.wheelfile", _wheelfile_mod)
+    setup(cmdclass={"bdist_wheel": _bdist_wheel})

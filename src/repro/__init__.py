@@ -3,6 +3,11 @@ Knowledge Extraction for HPC Monitoring Data" (Netti et al., IPDPS 2021).
 
 Subpackages
 -----------
+``repro.engine``
+    The unified windowed-execution subsystem: window plans, zero-copy
+    views, prefix-sum reductions, batched sort/smooth kernels, the
+    incremental streaming core, streaming (Welford) training and the
+    fleet-scale batched signature service.
 ``repro.core``
     The CS algorithm itself (training / sorting / smoothing stages).
 ``repro.baselines``
@@ -23,12 +28,16 @@ Subpackages
 """
 
 from repro.core import CSModel, CorrelationWiseSmoothing, signature_features
+from repro.engine.fleet import FleetSignatureEngine
+from repro.engine.trainer import IncrementalCSTrainer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CSModel",
     "CorrelationWiseSmoothing",
+    "FleetSignatureEngine",
+    "IncrementalCSTrainer",
     "signature_features",
     "__version__",
 ]

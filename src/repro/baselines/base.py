@@ -6,6 +6,14 @@ with ``l << n * wl`` (Section III-A).  This module defines the abstract
 base class shared by the baselines and by the CS adapter used in the
 experiment harness, plus a small registry so experiments can select
 methods by name (``"tuncer"``, ``"bodik"``, ``"lan"``, ``"cs-20"``, ...).
+
+Windowed execution routes through :mod:`repro.engine`:
+:meth:`SignatureMethod.transform_series` builds one zero-copy
+:func:`~repro.engine.windows.windowed_view` of all windows and hands the
+stack to :meth:`SignatureMethod.transform_batch`, which every shipped
+method implements as a single vectorized kernel — the historical
+per-window Python loop survives only as the documented fallback for
+third-party subclasses that implement nothing but ``transform``.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ import abc
 from typing import Callable
 
 import numpy as np
+
+from repro.engine.windows import WindowPlan, windowed_view
 
 __all__ = ["SignatureMethod", "register_method", "get_method", "list_methods"]
 
@@ -36,18 +46,32 @@ class SignatureMethod(abc.ABC):
     def feature_length(self, n: int, wl: int) -> int:
         """Length of the produced feature vector for given window shape."""
 
+    def transform_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Map a stack of windows ``(num, n, wl)`` to ``(num, l)`` features.
+
+        Fallback implementation loops over :meth:`transform`; every
+        shipped method overrides this with one vectorized kernel.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError(f"window stack must be 3-D, got shape {windows.shape}")
+        num, n, wl = windows.shape
+        if num == 0:
+            return np.empty((0, self.feature_length(n, wl)))
+        return np.stack([self.transform(w) for w in windows])
+
     def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
         """Feature vectors for every sliding window of ``S``.
 
-        Default implementation loops over windows calling
-        :meth:`transform`; subclasses override with vectorized versions.
+        Plans the windows with the engine, takes one zero-copy strided
+        view of all of them and defers to :meth:`transform_batch`.
         """
         S = np.asarray(S, dtype=np.float64)
         n, t = S.shape
-        if t < wl:
+        plan = WindowPlan(t, wl, ws)
+        if plan.num == 0:
             return np.empty((0, self.feature_length(n, wl)))
-        starts = range(0, t - wl + 1, ws)
-        return np.stack([self.transform(S[:, s : s + wl]) for s in starts])
+        return self.transform_batch(windowed_view(S, wl, ws))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -86,16 +110,3 @@ def get_method(name: str) -> SignatureMethod:
 def list_methods() -> list[str]:
     """Names of all statically registered methods."""
     return sorted(_REGISTRY)
-
-
-def _windowed_view(S: np.ndarray, wl: int, ws: int) -> np.ndarray:
-    """Strided view of all complete windows: shape ``(num, n, wl)``.
-
-    Zero-copy: uses :func:`numpy.lib.stride_tricks.sliding_window_view`
-    and slices the window axis with step ``ws``, per the guide's advice to
-    prefer views over copies.
-    """
-    S = np.ascontiguousarray(S, dtype=np.float64)
-    view = np.lib.stride_tricks.sliding_window_view(S, wl, axis=1)
-    # view shape: (n, t - wl + 1, wl) -> take every ws-th window.
-    return view[:, ::ws, :].transpose(1, 0, 2)

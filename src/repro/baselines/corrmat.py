@@ -27,17 +27,22 @@ class CorrelationMatrixSignature(SignatureMethod):
         Sw = np.asarray(Sw, dtype=np.float64)
         if Sw.ndim != 2:
             raise ValueError(f"window must be 2-D, got shape {Sw.shape}")
-        n, wl = Sw.shape
+        return self.transform_batch(Sw[None])[0]
+
+    def transform_batch(self, windows: np.ndarray) -> np.ndarray:
+        """All windows' correlation triangles in one batched matmul."""
+        W = np.asarray(windows, dtype=np.float64)
+        num, n, wl = W.shape
         if wl < 2:
-            return np.zeros(self.feature_length(n, wl))
-        centered = Sw - Sw.mean(axis=1, keepdims=True)
-        sigma = np.sqrt(np.einsum("ij,ij->i", centered, centered))
-        denom = np.outer(sigma, sigma)
+            return np.zeros((num, self.feature_length(n, wl)))
+        centered = W - W.mean(axis=2, keepdims=True)
+        sigma = np.sqrt(np.einsum("wij,wij->wi", centered, centered))
+        denom = sigma[:, :, None] * sigma[:, None, :]
+        cov = centered @ centered.transpose(0, 2, 1)
         with np.errstate(divide="ignore", invalid="ignore"):
-            corr = np.where(denom > 0, (centered @ centered.T) / np.where(
-                denom > 0, denom, 1.0), 0.0)
+            corr = np.where(denom > 0, cov / np.where(denom > 0, denom, 1.0), 0.0)
         iu = np.triu_indices(n, k=1)
-        return corr[iu]
+        return corr[:, iu[0], iu[1]]
 
     def feature_length(self, n: int, wl: int) -> int:
         return n * (n - 1) // 2

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import SignatureMethod, _windowed_view, register_method
+from repro.baselines.base import SignatureMethod, register_method
 from repro.core.blocks import block_bounds
+from repro.engine.windows import segment_means
 
 __all__ = ["LanSignature", "DEFAULT_WR"]
 
@@ -31,12 +32,7 @@ def _mean_filter(windows: np.ndarray, wr: int) -> np.ndarray:
     """Sub-sample the time axis of ``(num, n, wl)`` windows to ``wr``."""
     num, n, wl = windows.shape
     starts, ends = block_bounds(wl, wr)
-    csum = np.concatenate(
-        [np.zeros((num, n, 1)), np.cumsum(windows, axis=2)], axis=2
-    )
-    widths = (ends - starts).astype(np.float64)
-    means = (csum[:, :, ends] - csum[:, :, starts]) / widths
-    return means.reshape(num, n * wr)
+    return segment_means(windows, starts, ends).reshape(num, n * wr)
 
 
 class LanSignature(SignatureMethod):
@@ -66,11 +62,9 @@ class LanSignature(SignatureMethod):
             raise ValueError(f"window must be 2-D, got shape {Sw.shape}")
         return _mean_filter(Sw[None], self._effective_wr(Sw.shape[1]))[0]
 
-    def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
-        S = np.asarray(S, dtype=np.float64)
-        if S.shape[1] < wl:
-            return np.empty((0, self.feature_length(S.shape[0], wl)))
-        return _mean_filter(_windowed_view(S, wl, ws), self._effective_wr(wl))
+    def transform_batch(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)
+        return _mean_filter(windows, self._effective_wr(windows.shape[2]))
 
     def feature_length(self, n: int, wl: int) -> int:
         return n * self._effective_wr(wl)

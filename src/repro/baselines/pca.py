@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import SignatureMethod, _windowed_view, register_method
+from repro.baselines.base import SignatureMethod, register_method
 from repro.ml.decomposition import PCA
 
 __all__ = ["PCASignature"]
@@ -70,19 +70,19 @@ class PCASignature(SignatureMethod):
         proj = pca.transform(Sw.T)  # (wl, k)
         return np.concatenate([proj.mean(axis=0), proj.std(axis=0)])
 
-    def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
-        S = np.asarray(S, dtype=np.float64)
-        if self._pca is None:
-            self.fit(S)
-        pca = self._require_fit(S.shape[0])
-        if S.shape[1] < wl:
-            return np.empty((0, self.feature_length(S.shape[0], wl)))
-        windows = _windowed_view(S, wl, ws)  # (num, n, wl)
-        k = pca.components_.shape[0]
+    def transform_batch(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)  # (num, n, wl)
+        pca = self._require_fit(windows.shape[1])
         # Project all windows at once: (num, wl, k).
         centered = windows.transpose(0, 2, 1) - pca.mean_
         proj = centered @ pca.components_.T
         return np.concatenate([proj.mean(axis=1), proj.std(axis=1)], axis=1)
+
+    def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
+        S = np.asarray(S, dtype=np.float64)
+        if self._pca is None:
+            self.fit(S)
+        return super().transform_series(S, wl, ws)
 
     def feature_length(self, n: int, wl: int) -> int:
         k = self.n_components if self._pca is None else self._pca.components_.shape[0]

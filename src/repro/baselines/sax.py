@@ -16,8 +16,9 @@ from __future__ import annotations
 import numpy as np
 from scipy.stats import norm
 
-from repro.baselines.base import SignatureMethod, _windowed_view, register_method
+from repro.baselines.base import SignatureMethod, register_method
 from repro.core.blocks import block_bounds
+from repro.engine.windows import segment_means
 
 __all__ = ["SAXSignature"]
 
@@ -68,12 +69,7 @@ class SAXSignature(SignatureMethod):
         num, n, wl = windows.shape
         seg = min(self.segments, wl)
         starts, ends = block_bounds(wl, seg)
-        z = self._normalize(windows)
-        csum = np.concatenate(
-            [np.zeros((num, n, 1)), np.cumsum(z, axis=2)], axis=2
-        )
-        widths = (ends - starts).astype(np.float64)
-        paa = (csum[:, :, ends] - csum[:, :, starts]) / widths
+        paa = segment_means(self._normalize(windows), starts, ends)
         symbols = np.searchsorted(self._breakpoints, paa.reshape(num, -1))
         return symbols.astype(np.float64)
 
@@ -83,13 +79,14 @@ class SAXSignature(SignatureMethod):
             raise ValueError(f"window must be 2-D, got shape {Sw.shape}")
         return self._symbols(Sw[None])[0]
 
+    def transform_batch(self, windows: np.ndarray) -> np.ndarray:
+        return self._symbols(np.asarray(windows, dtype=np.float64))
+
     def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
         S = np.asarray(S, dtype=np.float64)
         if self._mean is None:
             self.fit(S)
-        if S.shape[1] < wl:
-            return np.empty((0, self.feature_length(S.shape[0], wl)))
-        return self._symbols(_windowed_view(S, wl, ws))
+        return super().transform_series(S, wl, ws)
 
     def feature_length(self, n: int, wl: int) -> int:
         return n * min(self.segments, wl)

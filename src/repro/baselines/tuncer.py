@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import SignatureMethod, _windowed_view, register_method
+from repro.baselines.base import SignatureMethod, register_method
 
 __all__ = ["TuncerSignature", "FEATURES_PER_SENSOR"]
 
@@ -57,11 +57,8 @@ class TuncerSignature(SignatureMethod):
             raise ValueError(f"window must be 2-D, got shape {Sw.shape}")
         return _features(Sw[None])[0]
 
-    def transform_series(self, S: np.ndarray, wl: int, ws: int) -> np.ndarray:
-        S = np.asarray(S, dtype=np.float64)
-        if S.shape[1] < wl:
-            return np.empty((0, self.feature_length(S.shape[0], wl)))
-        return _features(_windowed_view(S, wl, ws))
+    def transform_batch(self, windows: np.ndarray) -> np.ndarray:
+        return _features(np.asarray(windows, dtype=np.float64))
 
     def feature_length(self, n: int, wl: int) -> int:
         return n * FEATURES_PER_SENSOR

@@ -22,11 +22,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.windows import partition_bounds
+
 __all__ = ["block_bounds", "block_widths", "block_sensor_map"]
 
 
 def block_bounds(n: int, l: int) -> tuple[np.ndarray, np.ndarray]:
     """Start (inclusive) and end (exclusive) row indices of each block.
+
+    The partition arithmetic lives in
+    :func:`repro.engine.windows.partition_bounds` (the engine reuses it
+    for time-axis sub-sampling as well); this wrapper keeps the paper's
+    sensor-block vocabulary.
 
     Parameters
     ----------
@@ -41,17 +48,7 @@ def block_bounds(n: int, l: int) -> tuple[np.ndarray, np.ndarray]:
         Two integer arrays of shape ``(l,)``; block ``j`` aggregates sorted
         rows ``starts[j] : ends[j]``.
     """
-    if l < 1:
-        raise ValueError(f"need at least one block, got l={l}")
-    if n < 1:
-        raise ValueError(f"need at least one sensor row, got n={n}")
-    if l > n:
-        raise ValueError(f"cannot form l={l} blocks from n={n} rows")
-    idx = np.arange(l, dtype=np.int64)
-    starts = (idx * n) // l
-    # ceil((j+1) * n / l) without floating point.
-    ends = -(-((idx + 1) * n) // l)
-    return starts.astype(np.intp), ends.astype(np.intp)
+    return partition_bounds(n, l)
 
 
 def block_widths(n: int, l: int) -> np.ndarray:

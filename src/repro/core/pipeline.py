@@ -157,9 +157,21 @@ class CorrelationWiseSmoothing:
         return smooth(sorted_window, l, prev_column=prev_sorted)
 
     def transform_series(
-        self, S: np.ndarray, wl: int, ws: int
+        self,
+        S: np.ndarray,
+        wl: int,
+        ws: int,
+        *,
+        exact_first_derivative: bool = True,
     ) -> np.ndarray:
         """Signatures for every sliding window of a full sensor matrix.
+
+        Windowed execution routes through :mod:`repro.engine`: one sort
+        pass over the matrix, then the prefix-sum smoothing kernel — no
+        per-window Python loop.  The result is bit-identical to feeding
+        the same samples through
+        :class:`~repro.monitoring.streaming.OnlineSignatureStream` or
+        :class:`~repro.engine.fleet.FleetSignatureEngine`.
 
         Parameters
         ----------
@@ -167,6 +179,10 @@ class CorrelationWiseSmoothing:
             Sensor matrix of shape ``(n, t)``.
         wl, ws:
             Aggregation window length and step, in samples.
+        exact_first_derivative:
+            When true (the default, matching online operation), windows
+            with a preceding sample in ``S`` use it for their first
+            backward difference.
 
         Returns
         -------
@@ -178,7 +194,9 @@ class CorrelationWiseSmoothing:
         model = self._require_model()
         sorted_data = sort_rows(S, model)
         l = self._effective_blocks(model.n_sensors)
-        return smooth_windows(sorted_data, l, wl, ws)
+        return smooth_windows(
+            sorted_data, l, wl, ws, exact_first_derivative=exact_first_derivative
+        )
 
     def fit_transform_series(
         self, S: np.ndarray, wl: int, ws: int

@@ -15,9 +15,13 @@ two parts on comparable scales.  When the sample preceding the window is
 known (online operation) it can be supplied so the first column has a true
 backward difference; otherwise that column's difference is defined as 0.
 
-The implementation is a cumulative-sum reduction: ``O(wl * n)`` work as
-stated in the paper, and ``O(n + l)`` beyond the single pass over the
-window even though blocks may overlap.
+Windowed execution routes through :mod:`repro.engine`:
+:func:`smooth_windows` is a thin validating wrapper around the batched
+kernel :func:`repro.engine.batch.smooth_windows_batch`, and the block
+reduction of :func:`smooth` is the engine's prefix-sum
+:func:`~repro.engine.windows.segment_means`.  Complexity is unchanged
+from the paper: ``O(wl * n)`` per window series, ``O(n + l)`` beyond the
+single pass even though blocks may overlap.
 """
 
 from __future__ import annotations
@@ -25,15 +29,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.blocks import block_bounds
+from repro.engine.batch import smooth_windows_batch
+from repro.engine.windows import segment_means
 
 __all__ = ["smooth", "smooth_windows"]
-
-
-def _block_means(row_means: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
-    """Mean of ``row_means`` over each ``[start, end)`` range via cumsum."""
-    csum = np.concatenate(([0.0], np.cumsum(row_means)))
-    widths = (ends - starts).astype(np.float64)
-    return (csum[ends] - csum[starts]) / widths
 
 
 def smooth(
@@ -89,8 +88,8 @@ def smooth(
         deriv_row_means = (W[:, -1] - W[:, 0]) / wl
 
     signature = np.empty(l, dtype=np.complex128)
-    signature.real = _block_means(value_row_means, starts, ends)
-    signature.imag = _block_means(deriv_row_means, starts, ends)
+    signature.real = segment_means(value_row_means, starts, ends)
+    signature.imag = segment_means(deriv_row_means, starts, ends)
     return signature
 
 
@@ -107,6 +106,9 @@ def smooth_windows(
     Slides a window of length ``wl`` with step ``ws`` over the time axis of
     ``sorted_data`` (shape ``(n, t)``) and smooths each window.  Windows
     start at ``0, ws, 2*ws, ...`` and only complete windows are emitted.
+    This is the 2-D entry point of the engine's
+    :func:`~repro.engine.batch.smooth_windows_batch` kernel, which also
+    serves stacked fleets of matrices.
 
     Parameters
     ----------
@@ -132,42 +134,6 @@ def smooth_windows(
     X = np.asarray(sorted_data, dtype=np.float64)
     if X.ndim != 2:
         raise ValueError(f"sorted data must be 2-D, got shape {X.shape}")
-    n, t = X.shape
-    if wl < 1 or ws < 1:
-        raise ValueError("wl and ws must be positive")
-    if t < wl:
-        return np.empty((0, l), dtype=np.complex128)
-    num = (t - wl) // ws + 1
-    starts_t = np.arange(num) * ws
-    bstarts, bends = block_bounds(n, l)
-
-    # Row-level prefix sums over time let us take every window mean without
-    # touching the data once per window: O(n*t) total.
-    csum_t = np.concatenate(
-        [np.zeros((n, 1)), np.cumsum(X, axis=1)], axis=1
+    return smooth_windows_batch(
+        X, l, wl, ws, exact_first_derivative=exact_first_derivative
     )
-    # value_row_means[w, row] = mean of X[row, s:s+wl]
-    value_row_means = (csum_t[:, starts_t + wl] - csum_t[:, starts_t]).T / wl
-
-    last_cols = X[:, starts_t + wl - 1].T  # (num, n)
-    if exact_first_derivative:
-        ref_idx = np.maximum(starts_t - 1, 0)
-        first_refs = np.where(
-            (starts_t > 0)[:, None], X[:, ref_idx].T, X[:, starts_t].T
-        )
-    else:
-        first_refs = X[:, starts_t].T
-    deriv_row_means = (last_cols - first_refs) / wl
-
-    # Block reduction across rows for all windows at once.
-    csum_rows_val = np.concatenate(
-        [np.zeros((num, 1)), np.cumsum(value_row_means, axis=1)], axis=1
-    )
-    csum_rows_der = np.concatenate(
-        [np.zeros((num, 1)), np.cumsum(deriv_row_means, axis=1)], axis=1
-    )
-    widths = (bends - bstarts).astype(np.float64)
-    out = np.empty((num, l), dtype=np.complex128)
-    out.real = (csum_rows_val[:, bends] - csum_rows_val[:, bstarts]) / widths
-    out.imag = (csum_rows_der[:, bends] - csum_rows_der[:, bstarts]) / widths
-    return out

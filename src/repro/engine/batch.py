@@ -1,0 +1,178 @@
+"""Batched implementations of the CS sort and smooth stages.
+
+These kernels generalize the 2-D sorting/smoothing stages of
+``repro.core`` to arbitrary leading batch axes, so a whole fleet of
+nodes — each with its own trained model — can be sorted and smoothed in
+a handful of NumPy calls instead of a per-node Python loop.  The 2-D
+case is bit-identical to the historical single-node implementations
+(verified by the engine equivalence tests), which is what lets
+``repro.core.smoothing`` delegate here without disturbing any recorded
+result.
+
+To stay cycle-free these kernels import only :mod:`repro.engine.windows`
+(pure NumPy); higher core layers import *us*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.windows import (
+    WindowPlan,
+    partition_bounds,
+    segment_means,
+    window_means,
+)
+
+__all__ = [
+    "normalize_rows_batch",
+    "smooth_windows_batch",
+    "sort_rows_batch",
+]
+
+
+def normalize_rows_batch(
+    X: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    clip: bool = True,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Min-max normalize each row of a stack of sensor matrices.
+
+    Parameters
+    ----------
+    X:
+        Array of shape ``(..., n, t)``.
+    lower, upper:
+        Per-row bounds of shape ``(..., n)`` matching the leading axes.
+    clip:
+        Clip the result into ``[0, 1]`` (what an online deployment needs
+        when live values stray outside the training bounds).
+    out:
+        Optional preallocated float64 output of ``X``'s shape; pass ``X``
+        itself for in-place operation on float64 input.
+
+    Rows whose bounds collapse (constant during training) map to the
+    neutral value 0.5, exactly as in the single-matrix sorting stage.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if X.ndim < 2:
+        raise ValueError(f"need at least a (n, t) matrix, got shape {X.shape}")
+    if lower.shape != X.shape[:-1] or upper.shape != X.shape[:-1]:
+        raise ValueError(
+            f"bounds shape mismatch: data {X.shape}, "
+            f"lower {lower.shape}, upper {upper.shape}"
+        )
+    span = upper - lower
+    degenerate = span <= 0.0
+    safe_span = np.where(degenerate, 1.0, span)
+    if out is None:
+        out = np.empty_like(X)
+    np.subtract(X, lower[..., None], out=out)
+    np.divide(out, safe_span[..., None], out=out)
+    if degenerate.any():
+        out[degenerate, :] = 0.5
+    if clip:
+        np.clip(out, 0.0, 1.0, out=out)
+    return out
+
+
+def sort_rows_batch(
+    X: np.ndarray,
+    permutation: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    clip: bool = True,
+) -> np.ndarray:
+    """Apply the full sorting stage to a stack of sensor matrices.
+
+    Parameters
+    ----------
+    X:
+        Raw matrices of shape ``(..., n, t)`` in original row order.
+    permutation:
+        Per-matrix permutation vectors, shape ``(..., n)``.
+    lower, upper:
+        Per-matrix normalization bounds, shape ``(..., n)``, in
+        *original* row order (as stored in each CS model).
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted, normalized matrices of shape ``(..., n, t)``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    permutation = np.asarray(permutation, dtype=np.intp)
+    # Permute first (a gather), then normalize with permuted bounds — the
+    # same order as the 2-D sorting stage, writing the output contiguously.
+    gathered = np.take_along_axis(X, permutation[..., None], axis=-2)
+    lower_p = np.take_along_axis(
+        np.asarray(lower, dtype=np.float64), permutation, axis=-1
+    )
+    upper_p = np.take_along_axis(
+        np.asarray(upper, dtype=np.float64), permutation, axis=-1
+    )
+    return normalize_rows_batch(gathered, lower_p, upper_p, clip=clip, out=gathered)
+
+
+def smooth_windows_batch(
+    sorted_data: np.ndarray,
+    l: int,
+    wl: int,
+    ws: int,
+    *,
+    exact_first_derivative: bool = True,
+) -> np.ndarray:
+    """Signatures for every sliding window of a stack of sorted matrices.
+
+    The batched form of the smoothing stage: prefix sums over the time
+    axis give every window's row means without touching the data once per
+    window, a telescoped backward difference gives the derivative part,
+    and one prefix sum over the row axis reduces both into blocks — all
+    with arbitrary leading batch axes.
+
+    Parameters
+    ----------
+    sorted_data:
+        Sorted, normalized matrices of shape ``(..., n, t)``.
+    l:
+        Blocks per signature, ``1 <= l <= n``.
+    wl, ws:
+        Aggregation window length and step, in samples.
+    exact_first_derivative:
+        When true, windows with a preceding sample use it for the first
+        backward difference (Equation 3 computes the derivative matrix
+        from the full series).
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex array of shape ``(..., num, l)``.
+    """
+    X = np.asarray(sorted_data, dtype=np.float64)
+    if X.ndim < 2:
+        raise ValueError(f"sorted data must be at least 2-D, got shape {X.shape}")
+    n, t = X.shape[-2], X.shape[-1]
+    plan = WindowPlan(t, wl, ws)
+    bstarts, bends = partition_bounds(n, l)
+    lead = X.shape[:-2]
+    if plan.num == 0:
+        return np.empty(lead + (0, l), dtype=np.complex128)
+
+    # (..., n, num) -> (..., num, n): one value mean per window row.
+    value_row_means = np.moveaxis(window_means(X, plan), -1, -2)
+
+    # Row means of backward differences telescope to (last - ref) / wl.
+    last_cols = np.moveaxis(X[..., :, plan.lasts], -1, -2)
+    first_refs = np.moveaxis(X[..., :, plan.first_refs(exact_first_derivative)], -1, -2)
+    deriv_row_means = (last_cols - first_refs) / wl
+
+    out = np.empty(lead + (plan.num, l), dtype=np.complex128)
+    out.real = segment_means(value_row_means, bstarts, bends)
+    out.imag = segment_means(deriv_row_means, bstarts, bends)
+    return out

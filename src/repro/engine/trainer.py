@@ -1,0 +1,183 @@
+"""Incremental CS training: streaming min-max + Welford co-moments.
+
+The offline training stage needs the full historical matrix in memory to
+compute the shifted correlation matrix, the greedy ordering and the
+normalization bounds.  :class:`IncrementalCSTrainer` maintains the same
+statistics from a stream of sample blocks — running minima/maxima plus a
+Welford-style co-moment matrix merged with Chan's parallel update — so a
+deployed node can retrain its CS model when correlations drift without
+ever re-reading history.  Two trainers can also be :meth:`merge`\\ d,
+which gives shard-parallel training for free: train one accumulator per
+shard, merge, then :meth:`train` once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import CSModel
+from repro.core.training import correlation_ordering, global_correlation
+
+__all__ = ["IncrementalCSTrainer"]
+
+
+class IncrementalCSTrainer:
+    """Streaming accumulator producing :class:`~repro.core.model.CSModel`\\ s.
+
+    Parameters
+    ----------
+    n_sensors:
+        Optional row count; inferred from the first update when omitted.
+    sensor_names:
+        Optional names of the rows, stored in trained models.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.engine.trainer import IncrementalCSTrainer
+    >>> rng = np.random.default_rng(0)
+    >>> S = rng.random((6, 400))
+    >>> tr = IncrementalCSTrainer()
+    >>> for k in range(0, 400, 64):
+    ...     tr = tr.update(S[:, k:k+64])
+    >>> model = tr.train()
+    >>> model.n_sensors
+    6
+    """
+
+    def __init__(
+        self,
+        n_sensors: int | None = None,
+        *,
+        sensor_names: Sequence[str] | None = None,
+    ):
+        self._names = tuple(sensor_names) if sensor_names is not None else None
+        self._count = 0
+        self._mean: np.ndarray | None = None
+        self._m2: np.ndarray | None = None
+        self._lower: np.ndarray | None = None
+        self._upper: np.ndarray | None = None
+        if n_sensors is not None:
+            self._allocate(int(n_sensors))
+
+    def _allocate(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("need at least one sensor row")
+        self._mean = np.zeros(n)
+        self._m2 = np.zeros((n, n))
+        self._lower = np.full(n, np.inf)
+        self._upper = np.full(n, -np.inf)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_sensors(self) -> int | None:
+        return None if self._mean is None else int(self._mean.shape[0])
+
+    @property
+    def n_seen(self) -> int:
+        """Total samples absorbed so far."""
+        return self._count
+
+    # ------------------------------------------------------------------
+    def update(self, block: np.ndarray) -> "IncrementalCSTrainer":
+        """Absorb a block of samples (columns), shape ``(n, m)`` or ``(n,)``."""
+        B = np.asarray(block, dtype=np.float64)
+        if B.ndim == 1:
+            B = B[:, None]
+        if B.ndim != 2:
+            raise ValueError(f"block must be 1-D or 2-D, got shape {B.shape}")
+        if not np.isfinite(B).all():
+            raise ValueError("block contains NaN or infinite values")
+        if self._mean is None:
+            self._allocate(B.shape[0])
+        assert self._mean is not None and self._m2 is not None
+        if B.shape[0] != self._mean.shape[0]:
+            raise ValueError(
+                f"block has {B.shape[0]} rows but trainer tracks "
+                f"{self._mean.shape[0]} sensors"
+            )
+        m = B.shape[1]
+        if m == 0:
+            return self
+        np.minimum(self._lower, B.min(axis=1), out=self._lower)
+        np.maximum(self._upper, B.max(axis=1), out=self._upper)
+        bmean = B.mean(axis=1)
+        centered = B - bmean[:, None]
+        bm2 = centered @ centered.T
+        if self._count == 0:
+            self._mean = bmean
+            self._m2 = bm2
+        else:
+            delta = bmean - self._mean
+            total = self._count + m
+            self._m2 += bm2 + np.outer(delta, delta) * (self._count * m / total)
+            self._mean += delta * (m / total)
+        self._count += m
+        return self
+
+    def merge(self, other: "IncrementalCSTrainer") -> "IncrementalCSTrainer":
+        """Fold another trainer's statistics into this one (sharded training)."""
+        if other._count == 0:
+            return self
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            self._lower = other._lower.copy()
+            self._upper = other._upper.copy()
+            return self
+        if other._mean.shape != self._mean.shape:
+            raise ValueError("cannot merge trainers with different sensor counts")
+        np.minimum(self._lower, other._lower, out=self._lower)
+        np.maximum(self._upper, other._upper, out=self._upper)
+        delta = other._mean - self._mean
+        total = self._count + other._count
+        self._m2 += other._m2 + np.outer(delta, delta) * (
+            self._count * other._count / total
+        )
+        self._mean += delta * (other._count / total)
+        self._count = total
+        return self
+
+    # ------------------------------------------------------------------
+    def shifted_correlation(self) -> np.ndarray:
+        """Shifted correlation matrix (Equation 1) from the co-moments.
+
+        Follows the same conventions as the offline training stage:
+        entries clipped into ``[0, 2]`` and constant rows neutral (1.0)
+        with everything including themselves.
+        """
+        if self._count < 2:
+            raise ValueError("need at least two samples to correlate rows")
+        sigma = np.sqrt(np.clip(np.diagonal(self._m2), 0.0, None))
+        denom = np.outer(sigma, sigma)
+        constant = sigma == 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rho = np.where(
+                denom > 0.0, self._m2 / np.where(denom > 0.0, denom, 1.0), 0.0
+            )
+        np.clip(rho, -1.0, 1.0, out=rho)
+        rho += 1.0
+        if constant.any():
+            rho[constant, :] = 1.0
+            rho[:, constant] = 1.0
+        return rho
+
+    def train(self) -> CSModel:
+        """Build a :class:`CSModel` from the absorbed statistics."""
+        rho = self.shifted_correlation()
+        p = correlation_ordering(rho, global_correlation(rho))
+        return CSModel(
+            permutation=p,
+            lower=self._lower.copy(),
+            upper=self._upper.copy(),
+            sensor_names=self._names,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IncrementalCSTrainer(n_sensors={self.n_sensors}, "
+            f"n_seen={self._count})"
+        )

@@ -1,0 +1,210 @@
+"""Window plans and prefix-sum reductions — the engine's lowest layer.
+
+Before this subsystem existed the repository computed sliding windows
+four different ways (a per-window Python loop in the signature-method
+base class, a private strided-view helper, a bespoke cumulative-sum path
+in the smoothing stage, and a ring-buffer re-gather in the online
+stream).  This module is the single source of truth they all route
+through now:
+
+* :class:`WindowPlan` — the schedule of a ``(wl, ws)`` sliding window
+  over a time axis: window count, start/last indices, backward-difference
+  reference indices and the streaming emit rule.
+* :func:`windowed_view` — zero-copy strided view of all complete
+  windows, for methods that genuinely need the raw samples of every
+  window (percentile baselines and the like).
+* :func:`prefix_sums` / :func:`window_sums` / :func:`window_means` —
+  O(t) prefix-sum window reductions that never materialize windows.
+* :func:`segment_means` — mean over arbitrary ``[start, end)`` ranges of
+  the last axis via one prefix sum; this single primitive implements the
+  CS block reduction, Lan's mean filter and SAX's piecewise aggregation.
+* :func:`partition_bounds` — the near-equal partition of ``n`` items
+  into ``l`` contiguous (possibly overlapping) segments used both for
+  CS blocks over sensors and for time-axis sub-sampling.
+
+Everything here is pure NumPy with no intra-package dependencies, so any
+layer (core, baselines, monitoring, experiments) can import it without
+cycles.  All functions accept arbitrary leading batch axes: the time (or
+segment) axis is always the last one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WindowPlan",
+    "partition_bounds",
+    "prefix_sums",
+    "segment_means",
+    "segment_sums",
+    "window_means",
+    "window_sums",
+    "windowed_view",
+]
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """Schedule of a sliding window of length ``wl`` and step ``ws``.
+
+    Parameters
+    ----------
+    t:
+        Length of the time axis (number of samples seen so far, for
+        streaming use).
+    wl:
+        Aggregation window length in samples.
+    ws:
+        Step between successive windows in samples.
+    """
+
+    t: int
+    wl: int
+    ws: int
+
+    def __post_init__(self) -> None:
+        if self.wl < 1 or self.ws < 1:
+            raise ValueError("wl and ws must be positive")
+        if self.t < 0:
+            raise ValueError("t must be non-negative")
+
+    @property
+    def num(self) -> int:
+        """Number of complete windows."""
+        if self.t < self.wl:
+            return 0
+        return (self.t - self.wl) // self.ws + 1
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Start index of every complete window: ``0, ws, 2*ws, ...``."""
+        return np.arange(self.num, dtype=np.intp) * self.ws
+
+    @property
+    def lasts(self) -> np.ndarray:
+        """Index of the final sample of every complete window."""
+        return self.starts + self.wl - 1
+
+    def first_refs(self, exact: bool = True) -> np.ndarray:
+        """Reference index for each window's first backward difference.
+
+        With ``exact`` (online operation, matching Equation 3 of the
+        paper) a window starting at ``s > 0`` references sample ``s - 1``;
+        the very first window references its own first sample, making its
+        first difference zero.  Without ``exact`` every window references
+        its own first sample.
+        """
+        starts = self.starts
+        if not exact:
+            return starts
+        return np.where(starts > 0, starts - 1, starts)
+
+    def emits_at(self, count: int) -> bool:
+        """Whether a stream that has absorbed ``count`` samples emits now.
+
+        This is the single emit rule shared by the offline plan and the
+        online stream: a signature is due once the first full window is
+        available and then every ``ws`` samples.
+        """
+        return count >= self.wl and (count - self.wl) % self.ws == 0
+
+
+def partition_bounds(n: int, l: int) -> tuple[np.ndarray, np.ndarray]:
+    """Partition ``n`` contiguous items into ``l`` near-equal segments.
+
+    Segment ``j`` covers ``[starts[j], ends[j])`` with
+    ``starts[j] = floor(j * n / l)`` and ``ends[j] = ceil((j+1) * n / l)``
+    — the paper's Equation 2 blocking scheme in 0-indexed half-open form.
+    When ``n % l != 0`` the widened segments are spread uniformly and
+    neighbouring segments may overlap by one item.
+    """
+    if l < 1:
+        raise ValueError(f"need at least one block, got l={l}")
+    if n < 1:
+        raise ValueError(f"need at least one sensor row, got n={n}")
+    if l > n:
+        raise ValueError(f"cannot form l={l} blocks from n={n} rows")
+    idx = np.arange(l, dtype=np.int64)
+    starts = (idx * n) // l
+    # ceil((j+1) * n / l) without floating point.
+    ends = -(-((idx + 1) * n) // l)
+    return starts.astype(np.intp), ends.astype(np.intp)
+
+
+def windowed_view(S: np.ndarray, wl: int, ws: int) -> np.ndarray:
+    """Strided view of all complete windows along the last axis.
+
+    Zero-copy: uses :func:`numpy.lib.stride_tricks.sliding_window_view`
+    and slices the window axis with step ``ws``.
+
+    Parameters
+    ----------
+    S:
+        Array of shape ``(..., n, t)``; the time axis is last.
+    wl, ws:
+        Window length and step, in samples.
+
+    Returns
+    -------
+    numpy.ndarray
+        View of shape ``(..., num, n, wl)``; for the common 2-D input
+        this is ``(num, n, wl)``.  Empty (``num == 0``) when ``t < wl``.
+    """
+    S = np.ascontiguousarray(S, dtype=np.float64)
+    if S.ndim < 2:
+        raise ValueError(f"need at least a (n, t) matrix, got shape {S.shape}")
+    plan = WindowPlan(S.shape[-1], wl, ws)
+    if plan.num == 0:
+        return np.empty(S.shape[:-2] + (0, S.shape[-2], wl))
+    view = np.lib.stride_tricks.sliding_window_view(S, wl, axis=-1)
+    # view shape: (..., n, t - wl + 1, wl) -> take every ws-th window and
+    # move the window index in front of the row axis.
+    return np.moveaxis(view[..., ::ws, :], -2, -3)
+
+
+def prefix_sums(X: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sums along the last axis, with a leading zero.
+
+    ``out[..., k]`` is the sum of ``X[..., :k]``, so any contiguous range
+    sum is one subtraction: ``out[..., e] - out[..., s]``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    out = np.empty(X.shape[:-1] + (X.shape[-1] + 1,), dtype=np.float64)
+    out[..., 0] = 0.0
+    np.cumsum(X, axis=-1, out=out[..., 1:])
+    return out
+
+
+def window_sums(X: np.ndarray, plan: WindowPlan) -> np.ndarray:
+    """Sum of every planned window along the last axis: ``(..., num)``."""
+    csum = prefix_sums(X)
+    starts = plan.starts
+    return csum[..., starts + plan.wl] - csum[..., starts]
+
+
+def window_means(X: np.ndarray, plan: WindowPlan) -> np.ndarray:
+    """Mean of every planned window along the last axis: ``(..., num)``."""
+    return window_sums(X, plan) / plan.wl
+
+
+def segment_sums(
+    X: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Sums of ``X`` over ``[start, end)`` ranges of the last axis."""
+    csum = prefix_sums(X)
+    return csum[..., ends] - csum[..., starts]
+
+
+def segment_means(
+    X: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Means of ``X`` over ``[start, end)`` ranges of the last axis.
+
+    One prefix sum serves every range even when ranges overlap; this is
+    the reduction behind CS blocks, Lan's mean filter and SAX's PAA.
+    """
+    widths = (np.asarray(ends) - np.asarray(starts)).astype(np.float64)
+    return segment_sums(X, starts, ends) / widths

@@ -13,7 +13,13 @@ of that pipeline the reproduction needs:
   unevenly sampled series onto a common clock (the "interpolation
   pre-processing step" of Section III-A);
 * :mod:`~repro.monitoring.streaming` — an online sliding-window feed that
-  emits CS signatures as new samples arrive (in-band ODA operation).
+  emits CS signatures as new samples arrive (in-band ODA operation),
+  backed by the incremental engine core (O(n) per emitted signature).
+
+Fleet-scale operation composes these pieces with :mod:`repro.engine`:
+:meth:`SensorTree.parent_groups` enumerates the monitored components and
+:class:`~repro.engine.fleet.FleetSignatureEngine` batches their
+signature computation.
 """
 
 from repro.monitoring.alignment import align_series, build_sensor_matrix

@@ -98,6 +98,34 @@ class SensorTree:
                 return [prefix]
         return [path for path, _ in self._walk(node, prefix)]
 
+    def parent_groups(self, pattern: str | None = None) -> dict[str, list[str]]:
+        """Sensor paths grouped by their parent path (their component).
+
+        The parent of ``rack0/node3/power`` is ``rack0/node3`` — the
+        monitored component that owns the sensor.  This is the natural
+        unit for fleet-scale signature computation: each group becomes
+        one node of a :class:`~repro.engine.fleet.FleetSignatureEngine`,
+        with the group's sensors as the rows of that node's matrix.
+
+        Parameters
+        ----------
+        pattern:
+            Optional glob restricting the grouped sensors (same
+            per-segment semantics as :meth:`glob`).
+
+        Returns
+        -------
+        dict
+            Parent path to sorted list of its sensor paths; top-level
+            sensors group under ``""``.
+        """
+        paths = self.glob(pattern) if pattern is not None else self.sensors()
+        groups: dict[str, list[str]] = {}
+        for path in paths:
+            parent, _, _ = path.rpartition(_SEP)
+            groups.setdefault(parent, []).append(path)
+        return groups
+
     def glob(self, pattern: str) -> list[str]:
         """Sensor paths matching a glob pattern (per path segment).
 

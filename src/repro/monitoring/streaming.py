@@ -3,9 +3,15 @@
 The CS algorithm "is designed for lightweight online operation": a
 monitoring agent on a compute node pushes one sample vector per tick, and
 every ``ws`` ticks a signature over the last ``wl`` samples is emitted.
-:class:`OnlineSignatureStream` implements that loop with a preallocated
-ring buffer — no per-sample allocation — and keeps the previous sample
-around so the first backward difference of each window is exact.
+:class:`OnlineSignatureStream` implements that loop on top of the
+engine's :class:`~repro.engine.streaming.IncrementalSignatureCore`:
+each pushed sample is sorted/normalized once and folded into running
+prefix sums, so an emit costs ``O(n)`` instead of re-gathering and
+re-normalizing the whole ``(n, wl)`` window as the seed implementation
+did.  Emitted signatures are bit-identical to the offline
+:meth:`~repro.core.pipeline.CorrelationWiseSmoothing.transform_series`
+on the same samples.  :meth:`OnlineSignatureStream.push_block` is the
+batched entry point for agents that deliver samples in bursts.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.pipeline import CorrelationWiseSmoothing
+from repro.engine.streaming import IncrementalSignatureCore
 
 __all__ = ["OnlineSignatureStream"]
 
@@ -55,54 +62,61 @@ class OnlineSignatureStream:
         self.cs = cs
         self.wl = int(wl)
         self.ws = int(ws)
-        n = cs.model.n_sensors
-        # Ring buffer sized wl+1 so the sample preceding the current
-        # window is always retained for the exact first difference.
-        self._buf = np.empty((n, self.wl + 1))
-        self._count = 0  # total samples pushed
-        self.emitted = 0
+        self._core = IncrementalSignatureCore(
+            cs.model, cs.signature_length(), self.wl, self.ws
+        )
 
     @property
     def n_sensors(self) -> int:
-        return self._buf.shape[0]
+        return self._core.n_sensors
+
+    @property
+    def emitted(self) -> int:
+        """Signatures emitted so far."""
+        return self._core.emitted
+
+    @property
+    def count(self) -> int:
+        """Samples absorbed so far."""
+        return self._core.count
 
     def push(self, sample: np.ndarray) -> np.ndarray | None:
         """Feed one sample vector; return a signature when one is due.
 
         A signature is emitted once the first full window is available and
         then every ``ws`` samples, covering the most recent ``wl`` ticks.
-        Returns ``None`` on non-emitting ticks.
+        Returns ``None`` on non-emitting ticks.  Cost is ``O(n)`` per call.
         """
-        sample = np.asarray(sample, dtype=np.float64)
-        if sample.shape != (self.n_sensors,):
-            raise ValueError(
-                f"sample shape {sample.shape} does not match "
-                f"({self.n_sensors},) sensors"
-            )
-        self._buf[:, self._count % self._buf.shape[1]] = sample
-        self._count += 1
-        if self._count < self.wl:
-            return None
-        if (self._count - self.wl) % self.ws != 0:
-            return None
-        window, prev = self._window_view()
-        self.emitted += 1
-        return self.cs.transform(window, prev_column=prev)
+        return self._core.push(sample)
 
-    def _window_view(self) -> tuple[np.ndarray, np.ndarray | None]:
-        """Materialize the last ``wl`` samples (+ preceding one if any)."""
-        size = self._buf.shape[1]
-        end = self._count % size
-        # Columns of the window, oldest first.
-        cols = (np.arange(self._count - self.wl, self._count)) % size
-        window = self._buf[:, cols]
-        prev = None
-        if self._count > self.wl:
-            prev = self._buf[:, (self._count - self.wl - 1) % size].copy()
-        return window, prev
+    def push_block(self, block: np.ndarray) -> np.ndarray:
+        """Feed a burst of samples as columns ``(n, m)``; return due signatures.
+
+        Equivalent to ``m`` :meth:`push` calls (bit-identical output) but
+        normalizes, prefix-sums and emits in vectorized form.  Returns a
+        complex ``(k, l)`` array of the ``k`` signatures whose windows
+        completed inside the block.
+        """
+        return self._core.push_block(block)
+
+    def window_view(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Current *sorted, normalized* window and its preceding column.
+
+        Rebuilt from at most two contiguous slices of the ring buffer (no
+        per-element modulo gather).  Matches the corresponding slice of
+        ``sort_rows(S, model)`` in offline operation.
+        """
+        return self._core.window_view()
 
     def run(self, samples: Iterable[np.ndarray]) -> list[np.ndarray]:
-        """Push an iterable of samples; collect all emitted signatures."""
+        """Push an iterable of samples; collect all emitted signatures.
+
+        A 2-D array input (``(t, n)``, samples as rows — the transpose of
+        the usual sensor-matrix layout, matching what iterating the
+        matrix columns yields) takes the batched :meth:`push_block` path.
+        """
+        if isinstance(samples, np.ndarray) and samples.ndim == 2:
+            return list(self._core.push_block(samples.T))
         out = []
         for sample in samples:
             sig = self.push(sample)

@@ -89,6 +89,26 @@ class ODAControlLoop:
         self.stream = stream
         self.controller = controller
 
+    def prefill(self, history: np.ndarray) -> int:
+        """Warm the stream's window state with historical samples.
+
+        Feeds a ``(n, t)`` matrix of past samples through the stream's
+        batched :meth:`~repro.monitoring.streaming.OnlineSignatureStream.
+        push_block` entry point before control starts, so the first
+        in-loop decision happens after ``ws`` ticks instead of a full
+        ``wl``-sample warm-up.  Signatures emitted during prefill are
+        discarded (no plant state existed for them to act on).
+
+        Returns the number of discarded warm-up signatures.
+        """
+        history = np.asarray(history, dtype=np.float64)
+        if history.ndim != 2 or history.shape[0] != self.stream.n_sensors:
+            raise ValueError(
+                f"history shape {history.shape} does not match "
+                f"({self.stream.n_sensors}, t) sensors"
+            )
+        return int(self.stream.push_block(history).shape[0])
+
     def run(self, ticks: int) -> LoopReport:
         """Run the loop for up to ``ticks`` plant ticks."""
         report = LoopReport()

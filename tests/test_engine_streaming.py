@@ -1,0 +1,211 @@
+"""Tests for the incremental streaming core and the engine-backed stream.
+
+The strongest guarantees here are *exact* (``np.array_equal``, not
+``allclose``): the incremental per-push path, the batched ``push_block``
+path and the offline ``transform_series`` path must emit bit-identical
+signatures because they perform the same float operations in the same
+association order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CorrelationWiseSmoothing
+from repro.core.sorting import sort_rows
+from repro.engine.streaming import IncrementalSignatureCore
+from repro.monitoring.streaming import OnlineSignatureStream
+
+
+def _fitted(rng, n=6, t=300, blocks=3):
+    hist = rng.random((n, t))
+    return hist, CorrelationWiseSmoothing(blocks=blocks).fit(hist)
+
+
+class TestPushExactEquivalence:
+    @pytest.mark.parametrize(
+        "n,t,wl,ws,blocks",
+        [
+            (6, 300, 20, 10, 3),
+            (4, 97, 13, 5, 4),   # wl > ws, ragged tail
+            (5, 80, 7, 11, 1),   # ws > wl (gaps between windows)
+            (3, 40, 40, 3, 2),   # single window spanning everything
+        ],
+    )
+    def test_push_matches_offline_bitwise(self, rng, n, t, wl, ws, blocks):
+        hist = rng.random((n, t))
+        cs = CorrelationWiseSmoothing(blocks=blocks).fit(hist)
+        offline = cs.transform_series(hist, wl, ws)
+        stream = OnlineSignatureStream(cs, wl=wl, ws=ws)
+        online = [s for x in hist.T if (s := stream.push(x)) is not None]
+        assert len(online) == offline.shape[0]
+        for k, sig in enumerate(online):
+            assert np.array_equal(sig, offline[k]), f"signature {k}"
+
+    def test_first_window_derivative_edge(self, rng):
+        """The first window has no preceding sample: derivative ref is its
+        own first column (zero first difference), matching the offline
+        exact-first-derivative convention at the s=0 boundary."""
+        hist, cs = _fitted(rng)
+        stream = OnlineSignatureStream(cs, wl=30, ws=30)
+        first = [s for x in hist.T[:30] if (s := stream.push(x)) is not None]
+        offline = cs.transform_series(hist[:, :30], 30, 30)
+        assert len(first) == 1
+        assert np.array_equal(first[0], offline[0])
+        # All later windows use the true preceding sample: differs from
+        # the inexact convention, proving the exact path is exercised.
+        inexact = cs.transform_series(hist, 30, 30, exact_first_derivative=False)
+        exact = cs.transform_series(hist, 30, 30)
+        assert not np.allclose(exact[1:], inexact[1:])
+
+
+class TestPushBlock:
+    @pytest.mark.parametrize("chunks", [[1], [3, 7, 1], [64], [13, 200]])
+    def test_block_matches_push_bitwise(self, rng, chunks):
+        hist, cs = _fitted(rng, t=311)
+        wl, ws = 16, 6
+        offline = cs.transform_series(hist, wl, ws)
+        stream = OnlineSignatureStream(cs, wl=wl, ws=ws)
+        got = []
+        i, j = 0, 0
+        while i < hist.shape[1]:
+            m = chunks[j % len(chunks)]
+            j += 1
+            got.extend(stream.push_block(hist[:, i : i + m]))
+            i += m
+        assert len(got) == offline.shape[0]
+        for k, sig in enumerate(got):
+            assert np.array_equal(sig, offline[k]), f"signature {k}"
+
+    def test_interleaved_push_and_block(self, rng):
+        hist, cs = _fitted(rng, t=200)
+        offline = cs.transform_series(hist, 16, 6)
+        stream = OnlineSignatureStream(cs, 16, 6)
+        got = []
+        i = 0
+        use_block = False
+        while i < 200:
+            if use_block:
+                got.extend(stream.push_block(hist[:, i : i + 9]))
+                i += 9
+            else:
+                sig = stream.push(hist[:, i])
+                i += 1
+                if sig is not None:
+                    got.append(sig)
+            use_block = not use_block
+        assert len(got) == offline.shape[0]
+        assert all(np.array_equal(a, b) for a, b in zip(got, offline))
+
+    def test_empty_block(self, rng):
+        hist, cs = _fitted(rng)
+        stream = OnlineSignatureStream(cs, 10, 5)
+        out = stream.push_block(hist[:, :0])
+        assert out.shape == (0, 3)
+        assert stream.count == 0
+
+    def test_run_array_fast_path(self, rng):
+        hist, cs = _fitted(rng)
+        offline = cs.transform_series(hist, 20, 10)
+        fast = OnlineSignatureStream(cs, 20, 10).run(hist.T)
+        slow = OnlineSignatureStream(cs, 20, 10).run(iter(hist.T))
+        assert len(fast) == len(slow) == offline.shape[0]
+        for a, b, c in zip(fast, slow, offline):
+            assert np.array_equal(a, b)
+            assert np.array_equal(a, c)
+
+    def test_rejects_bad_shapes(self, rng):
+        hist, cs = _fitted(rng)
+        stream = OnlineSignatureStream(cs, 10, 5)
+        with pytest.raises(ValueError):
+            stream.push(np.zeros(3))
+        with pytest.raises(ValueError):
+            stream.push_block(np.zeros((3, 10)))
+
+
+class TestWindowView:
+    def test_matches_sorted_offline_window(self, rng):
+        """Satellite check: the ring-buffer window view (two contiguous
+        slices, no modulo gather) stays in parity with transform_series's
+        sorted data at every emit position."""
+        hist, cs = _fitted(rng, n=5, t=120)
+        wl, ws = 16, 7
+        sorted_all = sort_rows(hist, cs.model)
+        stream = OnlineSignatureStream(cs, wl=wl, ws=ws)
+        checked = 0
+        for i, x in enumerate(hist.T):
+            if stream.push(x) is None:
+                continue
+            s = i + 1 - wl
+            window, prev = stream.window_view()
+            assert np.array_equal(window, sorted_all[:, s : s + wl])
+            if s == 0:
+                assert prev is None
+            else:
+                assert np.array_equal(prev, sorted_all[:, s - 1])
+            checked += 1
+        assert checked > wl // ws  # wrap-around cases were exercised
+
+    def test_raises_before_first_window(self, rng):
+        hist, cs = _fitted(rng)
+        stream = OnlineSignatureStream(cs, 10, 5)
+        stream.push(hist[:, 0])
+        with pytest.raises(ValueError):
+            stream.window_view()
+
+
+class TestCoreDirect:
+    def test_core_validates(self, rng):
+        hist, cs = _fitted(rng)
+        with pytest.raises(ValueError):
+            IncrementalSignatureCore(cs.model, 3, 0, 1)
+        with pytest.raises(ValueError):
+            IncrementalSignatureCore(cs.model, 99, 10, 5)  # l > n
+
+    def test_emitted_and_count_track(self, rng):
+        hist, cs = _fitted(rng)
+        core = IncrementalSignatureCore(cs.model, 3, 10, 5)
+        core.push_block(hist[:, :40])
+        assert core.count == 40
+        assert core.emitted == 7  # windows at 0,5,...,30
+
+    def test_constant_sensor_neutral(self, rng):
+        hist = rng.random((4, 100))
+        hist[2] = 1.5  # constant row -> degenerate bounds
+        cs = CorrelationWiseSmoothing(blocks=2).fit(hist)
+        offline = cs.transform_series(hist, 10, 5)
+        stream = OnlineSignatureStream(cs, 10, 5)
+        online = [s for x in hist.T if (s := stream.push(x)) is not None]
+        assert all(np.array_equal(a, b) for a, b in zip(online, offline))
+
+
+class TestReanchoring:
+    def test_window_sums_correct_across_reanchor(self, rng):
+        """Forcing a tiny re-anchor interval must leave every emitted
+        signature correct (allclose to offline; re-anchoring trades bit
+        parity for bounded long-run precision)."""
+        hist, cs = _fitted(rng, t=400)
+        offline = cs.transform_series(hist, 16, 6)
+        stream = OnlineSignatureStream(cs, 16, 6)
+        stream._core._REANCHOR_INTERVAL = 50  # several re-anchors in-run
+        got = []
+        i = 0
+        while i < 400:  # alternate push and push_block across anchors
+            got.extend(stream._core.push_block(hist[:, i : i + 7]))
+            i += 7
+            for _ in range(5):
+                if i >= 400:
+                    break
+                sig = stream.push(hist[:, i])
+                i += 1
+                if sig is not None:
+                    got.append(sig)
+        assert len(got) == offline.shape[0]
+        assert all(np.allclose(a, b) for a, b in zip(got, offline))
+        assert stream._core._last_anchor > 0  # re-anchor actually fired
+
+    def test_default_interval_preserves_bit_parity(self, rng):
+        hist, cs = _fitted(rng, t=300)
+        offline = cs.transform_series(hist, 16, 6)
+        stream = OnlineSignatureStream(cs, 16, 6)
+        got = [s for x in hist.T if (s := stream.push(x)) is not None]
+        assert all(np.array_equal(a, b) for a, b in zip(got, offline))

@@ -1,0 +1,128 @@
+"""Tests for the incremental (streaming) CS trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import shifted_correlation_matrix, train_cs_model
+from repro.engine.trainer import IncrementalCSTrainer
+
+
+def _chunked(S, sizes):
+    out, i = [], 0
+    while i < S.shape[1]:
+        m = sizes[len(out) % len(sizes)]
+        out.append(S[:, i : i + m])
+        i += m
+    return out
+
+
+class TestIncrementalStatistics:
+    def test_bounds_exact(self, rng):
+        S = rng.standard_normal((5, 200))
+        tr = IncrementalCSTrainer()
+        for chunk in _chunked(S, [7, 31, 1, 64]):
+            tr.update(chunk)
+        assert tr.n_seen == 200
+        model = tr.train()
+        assert np.array_equal(model.lower, S.min(axis=1))
+        assert np.array_equal(model.upper, S.max(axis=1))
+
+    def test_correlation_matches_offline(self, rng):
+        S = rng.standard_normal((6, 500))
+        tr = IncrementalCSTrainer()
+        for chunk in _chunked(S, [13, 50, 200]):
+            tr.update(chunk)
+        rho_stream = tr.shifted_correlation()
+        rho_batch = shifted_correlation_matrix(S)
+        assert np.allclose(rho_stream, rho_batch, atol=1e-10)
+
+    def test_permutation_matches_offline(self, correlated_matrix):
+        tr = IncrementalCSTrainer()
+        for chunk in _chunked(correlated_matrix, [40, 100, 3]):
+            tr.update(chunk)
+        model = tr.train()
+        reference = train_cs_model(correlated_matrix)
+        assert np.array_equal(model.permutation, reference.permutation)
+
+    def test_single_sample_updates(self, rng):
+        S = rng.random((4, 60))
+        tr = IncrementalCSTrainer()
+        for col in S.T:
+            tr.update(col)
+        assert tr.n_seen == 60
+        assert np.allclose(
+            tr.shifted_correlation(), shifted_correlation_matrix(S), atol=1e-9
+        )
+
+    def test_constant_row_neutral(self, rng):
+        S = rng.random((4, 100))
+        S[1] = 2.0
+        tr = IncrementalCSTrainer().update(S[:, :50]).update(S[:, 50:])
+        rho = tr.shifted_correlation()
+        assert np.allclose(rho[1, :], 1.0)
+        assert np.allclose(rho[:, 1], 1.0)
+
+    def test_sensor_names_stored(self, rng):
+        names = ("a", "b", "c")
+        tr = IncrementalCSTrainer(sensor_names=names).update(rng.random((3, 20)))
+        assert tr.train().sensor_names == names
+
+
+class TestMerge:
+    def test_merge_equals_sequential(self, rng):
+        S = rng.standard_normal((5, 300))
+        left = IncrementalCSTrainer().update(S[:, :120])
+        right = IncrementalCSTrainer().update(S[:, 120:])
+        merged = left.merge(right)
+        assert merged.n_seen == 300
+        assert np.allclose(
+            merged.shifted_correlation(), shifted_correlation_matrix(S), atol=1e-10
+        )
+        model = merged.train()
+        assert np.array_equal(model.lower, S.min(axis=1))
+        assert np.array_equal(model.upper, S.max(axis=1))
+
+    def test_merge_into_empty(self, rng):
+        S = rng.random((4, 80))
+        full = IncrementalCSTrainer().update(S)
+        empty = IncrementalCSTrainer()
+        empty.merge(full)
+        assert empty.n_seen == 80
+        assert np.allclose(
+            empty.shifted_correlation(), shifted_correlation_matrix(S), atol=1e-10
+        )
+
+    def test_merge_shape_mismatch(self, rng):
+        a = IncrementalCSTrainer().update(rng.random((3, 10)))
+        b = IncrementalCSTrainer().update(rng.random((4, 10)))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestValidation:
+    def test_needs_two_samples(self, rng):
+        tr = IncrementalCSTrainer().update(rng.random(4))
+        with pytest.raises(ValueError):
+            tr.train()
+
+    def test_rejects_nan(self):
+        tr = IncrementalCSTrainer()
+        with pytest.raises(ValueError):
+            tr.update(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_row_mismatch(self, rng):
+        tr = IncrementalCSTrainer().update(rng.random((3, 5)))
+        with pytest.raises(ValueError):
+            tr.update(rng.random((4, 5)))
+
+    def test_drift_retrain_workflow(self, rng):
+        """The motivating use: keep absorbing post-deployment samples and
+        retrain when drift is suspected — without re-reading history."""
+        base = rng.random((5, 200))
+        drifted = base.copy()
+        drifted[0] = rng.random(200) * 10.0  # sensor 0 changes scale
+        tr = IncrementalCSTrainer().update(base)
+        model_before = tr.train()
+        tr.update(drifted)
+        model_after = tr.train()
+        assert model_after.upper[0] > model_before.upper[0]

@@ -1,0 +1,188 @@
+"""Tests for the engine's window plans and prefix-sum reductions."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import block_bounds
+from repro.datasets.windows import window_starts
+from repro.engine.windows import (
+    WindowPlan,
+    partition_bounds,
+    prefix_sums,
+    segment_means,
+    segment_sums,
+    window_means,
+    window_sums,
+    windowed_view,
+)
+
+
+class TestWindowPlan:
+    def test_counts_match_window_starts(self):
+        for t, wl, ws in [(100, 10, 5), (9, 10, 1), (10, 10, 10), (57, 13, 7)]:
+            plan = WindowPlan(t, wl, ws)
+            starts = window_starts(t, wl, ws)
+            assert plan.num == starts.size
+            assert np.array_equal(plan.starts, starts)
+
+    def test_lasts(self):
+        plan = WindowPlan(30, 10, 5)
+        assert np.array_equal(plan.lasts, plan.starts + 9)
+
+    def test_first_refs_exact(self):
+        plan = WindowPlan(40, 10, 5)
+        refs = plan.first_refs(True)
+        assert refs[0] == 0  # first window has no preceding sample
+        assert np.array_equal(refs[1:], plan.starts[1:] - 1)
+
+    def test_first_refs_inexact(self):
+        plan = WindowPlan(40, 10, 5)
+        assert np.array_equal(plan.first_refs(False), plan.starts)
+
+    def test_emit_rule_matches_offline_schedule(self):
+        plan = WindowPlan(200, 12, 5)
+        emits = [c for c in range(1, 201) if plan.emits_at(c)]
+        # One emit per planned window, at start + wl samples.
+        assert np.array_equal(np.asarray(emits), plan.starts + plan.wl)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowPlan(10, 0, 1)
+        with pytest.raises(ValueError):
+            WindowPlan(10, 1, 0)
+        with pytest.raises(ValueError):
+            WindowPlan(-1, 1, 1)
+
+
+class TestWindowedView:
+    def test_matches_manual_slices(self, rng):
+        S = rng.random((4, 37))
+        view = windowed_view(S, 8, 3)
+        starts = window_starts(37, 8, 3)
+        assert view.shape == (starts.size, 4, 8)
+        for k, s in enumerate(starts):
+            assert np.array_equal(view[k], S[:, s : s + 8])
+
+    def test_zero_copy(self, rng):
+        S = rng.random((3, 50))
+        view = windowed_view(S, 10, 2)
+        assert np.shares_memory(view, np.ascontiguousarray(S))
+
+    def test_short_series_empty(self, rng):
+        S = rng.random((3, 5))
+        assert windowed_view(S, 6, 1).shape == (0, 3, 6)
+
+    def test_batched_leading_axis(self, rng):
+        S = rng.random((5, 4, 30))
+        view = windowed_view(S, 6, 4)
+        for b in range(5):
+            assert np.array_equal(view[b], windowed_view(S[b], 6, 4))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            windowed_view(np.arange(10.0), 2, 1)
+
+
+class TestReductions:
+    def test_prefix_sums(self, rng):
+        X = rng.random((3, 10))
+        csum = prefix_sums(X)
+        assert csum.shape == (3, 11)
+        assert np.allclose(csum[:, 0], 0.0)
+        assert np.allclose(csum[:, -1], X.sum(axis=1))
+
+    def test_window_sums_and_means(self, rng):
+        X = rng.random((4, 25))
+        plan = WindowPlan(25, 6, 3)
+        sums = window_sums(X, plan)
+        means = window_means(X, plan)
+        for k, s in enumerate(plan.starts):
+            assert np.allclose(sums[:, k], X[:, s : s + 6].sum(axis=1))
+            assert np.allclose(means[:, k], X[:, s : s + 6].mean(axis=1))
+
+    def test_segment_reductions(self, rng):
+        X = rng.random((2, 9))
+        starts = np.array([0, 3, 5])
+        ends = np.array([3, 7, 9])
+        sums = segment_sums(X, starts, ends)
+        means = segment_means(X, starts, ends)
+        for j, (s, e) in enumerate(zip(starts, ends)):
+            assert np.allclose(sums[:, j], X[:, s:e].sum(axis=1))
+            assert np.allclose(means[:, j], X[:, s:e].mean(axis=1))
+
+    def test_overlapping_segments(self, rng):
+        X = rng.random(10)
+        starts, ends = partition_bounds(10, 3)
+        means = segment_means(X, starts, ends)
+        assert means.shape == (3,)
+        for j, (s, e) in enumerate(zip(starts, ends)):
+            assert means[j] == pytest.approx(X[s:e].mean())
+
+
+class TestPartitionBounds:
+    def test_is_block_bounds(self):
+        for n, l in [(10, 3), (7, 7), (100, 1), (31, 20)]:
+            ps, pe = partition_bounds(n, l)
+            bs, be = block_bounds(n, l)
+            assert np.array_equal(ps, bs)
+            assert np.array_equal(pe, be)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_bounds(3, 4)
+        with pytest.raises(ValueError):
+            partition_bounds(0, 1)
+        with pytest.raises(ValueError):
+            partition_bounds(3, 0)
+
+
+class TestBatchKernels:
+    """The ND kernels must match their 2-D core counterparts bitwise."""
+
+    def test_sort_rows_batch_matches_sort_rows(self, rng):
+        from repro.core.pipeline import CorrelationWiseSmoothing
+        from repro.core.sorting import sort_rows
+        from repro.engine.batch import sort_rows_batch
+
+        mats = [rng.random((5, 40)) for _ in range(6)]
+        models = [CorrelationWiseSmoothing().fit(S).model for S in mats]
+        stack = np.stack(mats)
+        out = sort_rows_batch(
+            stack,
+            np.stack([m.permutation for m in models]),
+            np.stack([m.lower for m in models]),
+            np.stack([m.upper for m in models]),
+        )
+        for k, (S, m) in enumerate(zip(mats, models)):
+            assert np.array_equal(out[k], sort_rows(S, m))
+
+    def test_normalize_rows_batch_matches_2d(self, rng):
+        from repro.core.sorting import normalize_rows
+        from repro.engine.batch import normalize_rows_batch
+
+        X = rng.random((3, 4, 20)) * 4.0 - 1.0
+        lower = X.min(axis=2) + 0.1   # force some clipping
+        upper = X.max(axis=2) - 0.1
+        upper[0, 0] = lower[0, 0]     # and one degenerate row
+        out = normalize_rows_batch(X, lower, upper)
+        for k in range(3):
+            assert np.array_equal(out[k], normalize_rows(X[k], lower[k], upper[k]))
+
+    def test_smooth_windows_batch_matches_2d(self, rng):
+        from repro.core.smoothing import smooth_windows
+        from repro.engine.batch import smooth_windows_batch
+
+        X = rng.random((4, 6, 50))
+        for exact in (True, False):
+            out = smooth_windows_batch(X, 3, 10, 4, exact_first_derivative=exact)
+            for k in range(4):
+                ref = smooth_windows(X[k], 3, 10, 4, exact_first_derivative=exact)
+                assert np.array_equal(out[k], ref)
+
+    def test_smooth_windows_batch_validation(self):
+        from repro.engine.batch import smooth_windows_batch
+
+        with pytest.raises(ValueError):
+            smooth_windows_batch(np.zeros(5), 1, 2, 1)
+        with pytest.raises(ValueError):
+            smooth_windows_batch(np.zeros((2, 10)), 3, 2, 1)  # l > n

@@ -229,3 +229,31 @@ class TestODAControlLoop:
         r = LoopReport()
         assert r.power_overshoot(0.5) == 0.0
         assert r.time_above(0.5) == 0.0
+
+
+class TestPrefill:
+    def test_prefill_warms_stream(self):
+        """A prefilled loop emits its first in-loop signature within ws
+        ticks instead of waiting a full wl-sample warm-up."""
+        cs, _ = _trained_stack(total_t=600)
+        history = SimulatedNodePlant(seed=9, total_t=200).run_open_loop(200)
+
+        cold_plant = SimulatedNodePlant(seed=3, total_t=100)
+        cold = ODAControlLoop(cold_plant, OnlineSignatureStream(cs, wl=50, ws=5))
+        cold_report = cold.run(20)
+
+        warm_plant = SimulatedNodePlant(seed=3, total_t=100)
+        warm = ODAControlLoop(warm_plant, OnlineSignatureStream(cs, wl=50, ws=5))
+        discarded = warm.prefill(history)
+        warm_report = warm.run(20)
+
+        assert cold_report.n_signatures == 0      # still inside warm-up
+        assert discarded > 0                      # prefill emitted and dropped
+        assert warm_report.n_signatures >= 20 // 5 - 1
+
+    def test_prefill_rejects_bad_shape(self):
+        cs, _ = _trained_stack(total_t=600)
+        plant = SimulatedNodePlant(seed=3, total_t=100)
+        loop = ODAControlLoop(plant, OnlineSignatureStream(cs, wl=10, ws=5))
+        with pytest.raises(ValueError):
+            loop.prefill(np.zeros((3, 50)))
