@@ -24,6 +24,22 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 TREES = int(os.environ.get("REPRO_BENCH_TREES", "20"))
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under ``benchmarks/`` as ``slow``.
+
+    The tier-1 command deselects them via the ``-m "not slow"`` in
+    ``pyproject.toml``'s addopts; run ``pytest benchmarks -m slow`` to
+    execute the figure/table reproductions and scaling benchmarks.
+    (The hook sees the whole session's items, so filter by path.)
+    """
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def bench_trees() -> int:
     return TREES

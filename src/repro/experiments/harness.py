@@ -22,8 +22,8 @@ from repro.datasets.generators import SegmentData, WindowedDataset, build_ml_dat
 from repro.engine.fleet import FleetSignatureEngine
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.model_selection import (
-    cross_validate_classifier,
-    cross_validate_regressor,
+    repeated_cross_validate_classifier,
+    repeated_cross_validate_regressor,
 )
 
 __all__ = [
@@ -149,28 +149,35 @@ def make_method_factory(
     return lambda: get_method(name)
 
 
-def _cross_validate(
+def _cross_validate_repeated(
     dataset: WindowedDataset,
     *,
     trees: int,
     n_splits: int,
+    repeats: int,
     seed: int | None,
 ) -> np.ndarray:
+    """(repeats, n_splits) scores; folds/models seeded ``seed + r``.
+
+    The repeated drivers compute the fold grouping once and redraw only
+    the per-repeat shuffles, producing the same folds, models and scores
+    as building a fresh splitter per repeat.
+    """
     if dataset.task == "classification":
-        return cross_validate_classifier(
-            lambda: RandomForestClassifier(trees, random_state=seed),
+        return repeated_cross_validate_classifier(
+            lambda s: RandomForestClassifier(trees, random_state=s),
             dataset.X,
             dataset.y,
             n_splits=n_splits,
-            shuffle=True,
+            repeats=repeats,
             random_state=seed,
         )
-    return cross_validate_regressor(
-        lambda: RandomForestRegressor(trees, random_state=seed),
+    return repeated_cross_validate_regressor(
+        lambda s: RandomForestRegressor(trees, random_state=s),
         dataset.X,
         dataset.y,
         n_splits=n_splits,
-        shuffle=True,
+        repeats=repeats,
         random_state=seed,
     )
 
@@ -192,17 +199,19 @@ def run_method_on_segment(
     (the two bar sections of Figure 3a).
     """
     factory = make_method_factory(method, real_only=real_only)
+    # The feature matrix is generated once and shared by all repeats;
+    # only the CV shuffles differ per repeat.
     dataset = build_ml_dataset(segment, factory)
-    scores = []
-    cv_time = 0.0
-    for r in range(max(repeats, 1)):
-        start = time.perf_counter()
-        fold_scores = _cross_validate(
-            dataset, trees=trees, n_splits=n_splits, seed=seed + r
-        )
-        cv_time += time.perf_counter() - start
-        scores.append(fold_scores.mean())
-    scores_arr = np.asarray(scores)
+    start = time.perf_counter()
+    fold_scores = _cross_validate_repeated(
+        dataset,
+        trees=trees,
+        n_splits=n_splits,
+        repeats=max(repeats, 1),
+        seed=seed,
+    )
+    cv_time = time.perf_counter() - start
+    scores_arr = fold_scores.mean(axis=1)
     name = method if isinstance(method, str) else factory().name
     if real_only and isinstance(name, str) and not name.endswith("-R"):
         name = f"{name}-R"

@@ -39,6 +39,8 @@ from repro.ml.model_selection import (
     StratifiedKFold,
     cross_validate_classifier,
     cross_validate_regressor,
+    repeated_cross_validate_classifier,
+    repeated_cross_validate_regressor,
     train_test_split,
 )
 from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
@@ -56,6 +58,8 @@ __all__ = [
     "train_test_split",
     "cross_validate_classifier",
     "cross_validate_regressor",
+    "repeated_cross_validate_classifier",
+    "repeated_cross_validate_regressor",
     "LabelEncoder",
     "MinMaxScaler",
     "StandardScaler",

@@ -1,0 +1,539 @@
+"""Frozen seed implementation of the CART trees and random forests.
+
+This module preserves, verbatim in behaviour, the pre-optimization ML
+engine: the per-node ``np.argsort`` recursive tree builder (one-hot +
+``cumsum`` Gini scan, cumulative-moment MSE scan) and the forests that
+loop over 50 sequential per-tree walks at predict time.
+
+It exists for two reasons:
+
+* the golden-model tests in ``tests/test_ml_golden.py`` assert that the
+  presorted iterative builder in :mod:`repro.ml.tree` produces
+  bit-identical node arrays and predictions;
+* ``benchmarks/test_ml_scaling.py`` measures the optimized engine
+  against this exact code path and records the speedups in
+  ``BENCH_ml.json``.
+
+Do not modify this file when optimizing the live engine — it is the
+baseline the optimizations are measured and verified against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SeedDecisionTreeClassifier",
+    "SeedDecisionTreeRegressor",
+    "SeedRandomForestClassifier",
+    "SeedRandomForestRegressor",
+]
+
+_LEAF = -1
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    """Translate a max_features spec into a concrete column count."""
+    if max_features is None:
+        return n_features
+    if isinstance(max_features, str):
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "log2":
+            return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+        raise ValueError(f"unknown max_features spec {max_features!r}")
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError("float max_features must be in (0, 1]")
+        return max(1, int(max_features * n_features))
+    mf = int(max_features)
+    if mf < 1:
+        raise ValueError("max_features must be >= 1")
+    return min(mf, n_features)
+
+
+class _TreeBuilder:
+    """Shared recursive builder; criterion handled by subclass hooks."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features,
+        rng: np.random.Generator,
+    ):
+        self.max_depth = np.inf if max_depth is None else int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.rng = rng
+        # Flat tree arrays, grown via Python lists during the build.
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.values: list[np.ndarray] = []
+
+    # Subclass hooks ----------------------------------------------------
+    def node_value(self, idx: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def node_impurity(self, idx: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def split_gain(self, idx: np.ndarray, order: np.ndarray, col: np.ndarray):
+        """Best split of one sorted feature; returns (gain, pos) or None.
+
+        ``order`` sorts ``idx`` by ``col`` (already gathered values);
+        ``pos`` is the count of samples in the left child.
+        """
+        raise NotImplementedError
+
+    # Build -------------------------------------------------------------
+    def build(self, X: np.ndarray, idx: np.ndarray, depth: int) -> int:
+        node = len(self.feature)
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.values.append(self.node_value(idx))
+
+        m = idx.shape[0]
+        if (
+            depth >= self.max_depth
+            or m < self.min_samples_split
+            or m < 2 * self.min_samples_leaf
+            or self.node_impurity(idx) <= 1e-12
+        ):
+            return node
+
+        n_features = X.shape[1]
+        k = _resolve_max_features(self.max_features, n_features)
+        # Sample without replacement; when k == n_features skip the shuffle.
+        if k < n_features:
+            candidates = self.rng.choice(n_features, size=k, replace=False)
+        else:
+            candidates = np.arange(n_features)
+
+        best_gain = 0.0
+        best_feature = _LEAF
+        best_pos = -1
+        best_order: np.ndarray | None = None
+        for f in candidates:
+            col = X[idx, f]
+            if col[0] == col[-1] and (col == col[0]).all():
+                continue  # constant feature: no valid split
+            order = np.argsort(col)
+            found = self.split_gain(idx, order, col[order])
+            if found is None:
+                continue
+            gain, pos = found
+            if gain > best_gain + 1e-15:
+                best_gain = gain
+                best_feature = int(f)
+                best_pos = pos
+                best_order = order
+
+        if best_feature == _LEAF or best_order is None:
+            return node
+
+        col = X[idx, best_feature][best_order]
+        thr = 0.5 * (col[best_pos - 1] + col[best_pos])
+        # Guard against degenerate thresholds from float averaging.
+        if not col[best_pos - 1] < thr:
+            thr = col[best_pos]
+        left_idx = idx[best_order[:best_pos]]
+        right_idx = idx[best_order[best_pos:]]
+        self.feature[node] = best_feature
+        self.threshold[node] = float(thr)
+        self.left[node] = self.build(X, left_idx, depth + 1)
+        self.right[node] = self.build(X, right_idx, depth + 1)
+        return node
+
+    def finalize(self):
+        return (
+            np.asarray(self.feature, dtype=np.intp),
+            np.asarray(self.threshold, dtype=np.float64),
+            np.asarray(self.left, dtype=np.intp),
+            np.asarray(self.right, dtype=np.intp),
+            np.stack(self.values),
+        )
+
+
+class _ClassificationBuilder(_TreeBuilder):
+    def __init__(self, y: np.ndarray, n_classes: int, **kw):
+        super().__init__(**kw)
+        self.y = y
+        self.n_classes = n_classes
+        self.min_leaf = self.min_samples_leaf
+
+    def node_value(self, idx: np.ndarray) -> np.ndarray:
+        return np.bincount(self.y[idx], minlength=self.n_classes).astype(
+            np.float64
+        ) / idx.shape[0]
+
+    def node_impurity(self, idx: np.ndarray) -> float:
+        p = self.node_value(idx)
+        return float(1.0 - np.einsum("i,i->", p, p))
+
+    def split_gain(self, idx, order, sorted_col):
+        m = order.shape[0]
+        labels = self.y[idx[order]]
+        onehot = np.zeros((m, self.n_classes))
+        onehot[np.arange(m), labels] = 1.0
+        left_counts = np.cumsum(onehot, axis=0)  # counts including row i
+        total = left_counts[-1]
+        # Candidate split after position i (left size i+1); valid where the
+        # feature value changes and both children satisfy min_samples_leaf.
+        sizes_left = np.arange(1, m + 1, dtype=np.float64)
+        sizes_right = m - sizes_left
+        valid = np.empty(m, dtype=bool)
+        valid[:-1] = sorted_col[1:] > sorted_col[:-1]
+        valid[-1] = False
+        if self.min_leaf > 1:
+            valid &= (sizes_left >= self.min_leaf) & (sizes_right >= self.min_leaf)
+        if not valid.any():
+            return None
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gini_left = 1.0 - np.einsum(
+                "ij,ij->i", left_counts, left_counts
+            ) / (sizes_left**2)
+            right_counts = total - left_counts
+            safe_right = np.where(sizes_right > 0, sizes_right, 1.0)
+            gini_right = 1.0 - np.einsum(
+                "ij,ij->i", right_counts, right_counts
+            ) / (safe_right**2)
+        parent = 1.0 - np.einsum("i,i->", total, total) / m**2
+        weighted = (sizes_left * gini_left + sizes_right * gini_right) / m
+        gains = np.where(valid, parent - weighted, -np.inf)
+        best = int(np.argmax(gains))
+        if gains[best] <= 0.0:
+            return None
+        return float(gains[best]), best + 1
+
+
+class _RegressionBuilder(_TreeBuilder):
+    def __init__(self, y: np.ndarray, **kw):
+        super().__init__(**kw)
+        self.y = y
+        self.min_leaf = self.min_samples_leaf
+
+    def node_value(self, idx: np.ndarray) -> np.ndarray:
+        return np.asarray([self.y[idx].mean()])
+
+    def node_impurity(self, idx: np.ndarray) -> float:
+        return float(self.y[idx].var())
+
+    def split_gain(self, idx, order, sorted_col):
+        m = order.shape[0]
+        targets = self.y[idx[order]]
+        csum = np.cumsum(targets)
+        csum2 = np.cumsum(targets * targets)
+        total, total2 = csum[-1], csum2[-1]
+        sizes_left = np.arange(1, m + 1, dtype=np.float64)
+        sizes_right = m - sizes_left
+        valid = np.empty(m, dtype=bool)
+        valid[:-1] = sorted_col[1:] > sorted_col[:-1]
+        valid[-1] = False
+        if self.min_leaf > 1:
+            valid &= (sizes_left >= self.min_leaf) & (sizes_right >= self.min_leaf)
+        if not valid.any():
+            return None
+        # Variance * size == sum(y^2) - (sum y)^2 / size ; minimize the sum
+        # of child SSEs == maximize parent SSE - children SSE.
+        sse_left = csum2 - csum**2 / sizes_left
+        safe_right = np.where(sizes_right > 0, sizes_right, 1.0)
+        sse_right = (total2 - csum2) - (total - csum) ** 2 / safe_right
+        sse_right = np.where(sizes_right > 0, sse_right, 0.0)
+        parent_sse = total2 - total**2 / m
+        gains = np.where(valid, (parent_sse - sse_left - sse_right) / m, -np.inf)
+        best = int(np.argmax(gains))
+        if gains[best] <= 1e-15:
+            return None
+        return float(gains[best]), best + 1
+
+
+class _BaseDecisionTree:
+    """Shared fit/predict plumbing for the two tree flavours."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._fitted = False
+
+    def _rng(self) -> np.random.Generator:
+        if isinstance(self.random_state, np.random.Generator):
+            return self.random_state
+        return np.random.default_rng(self.random_state)
+
+    def _check_X(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        return X
+
+    def _apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by every row of ``X``."""
+        if not self._fitted:
+            raise RuntimeError("tree is not fitted")
+        X = self._check_X(X)
+        node = np.zeros(X.shape[0], dtype=np.intp)
+        active = self._feature[node] != _LEAF
+        while active.any():
+            cur = node[active]
+            f = self._feature[cur]
+            thr = self._threshold[cur]
+            go_left = X[active, f] <= thr
+            nxt = np.where(go_left, self._left[cur], self._right[cur])
+            node[active] = nxt
+            active = self._feature[node] != _LEAF
+        return node
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes in the fitted tree."""
+        if not self._fitted:
+            raise RuntimeError("tree is not fitted")
+        return int(self._feature.shape[0])
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (root-only tree has depth 0)."""
+        if not self._fitted:
+            raise RuntimeError("tree is not fitted")
+        depths = np.zeros(self.node_count, dtype=np.intp)
+        for node in range(self.node_count):
+            for child in (self._left[node], self._right[node]):
+                if child != _LEAF:
+                    depths[child] = depths[node] + 1
+        return int(depths.max())
+
+
+class SeedDecisionTreeClassifier(_BaseDecisionTree):
+    """CART classifier with Gini impurity splits."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SeedDecisionTreeClassifier":
+        X = self._check_X(X)
+        y = np.asarray(y)
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be 1-D with one label per row of X")
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        builder = _ClassificationBuilder(
+            y_enc.astype(np.intp),
+            n_classes=self.classes_.shape[0],
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=self._rng(),
+        )
+        builder.build(X, np.arange(X.shape[0], dtype=np.intp), 0)
+        (
+            self._feature,
+            self._threshold,
+            self._left,
+            self._right,
+            self._values,
+        ) = builder.finalize()
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates (leaf class frequencies)."""
+        nodes = self._apply(X)
+        return self._values[nodes]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class SeedDecisionTreeRegressor(_BaseDecisionTree):
+    """CART regressor with variance-reduction (MSE) splits."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SeedDecisionTreeRegressor":
+        X = self._check_X(X)
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be 1-D with one target per row of X")
+        builder = _RegressionBuilder(
+            y,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=self._rng(),
+        )
+        builder.build(X, np.arange(X.shape[0], dtype=np.intp), 0)
+        (
+            self._feature,
+            self._threshold,
+            self._left,
+            self._right,
+            self._values,
+        ) = builder.finalize()
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        nodes = self._apply(X)
+        return self._values[nodes][:, 0]
+
+
+class _SeedBaseForest:
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bool(bootstrap)
+        self.random_state = random_state
+        self.estimators_: list = []
+
+    def _tree_factory(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        m = X.shape[0]
+        seeds = np.random.SeedSequence(self.random_state).spawn(self.n_estimators)
+        self.estimators_ = []
+        for seq in seeds:
+            rng = np.random.default_rng(seq)
+            if self.bootstrap:
+                sample = rng.integers(0, m, size=m)
+            else:
+                sample = np.arange(m)
+            tree = self._tree_factory(rng)
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.estimators_)
+
+    def _require_fit(self) -> None:
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted")
+
+
+class SeedRandomForestClassifier(_SeedBaseForest):
+    """Bootstrap-aggregated Gini CART classifier (soft voting).
+
+    Parameters mirror the paper's setup; ``max_features`` defaults to
+    ``"sqrt"`` as in scikit-learn's classifier forests.
+    """
+
+    def __init__(self, n_estimators: int = 50, *, max_features="sqrt", **kw):
+        super().__init__(n_estimators, max_features=max_features, **kw)
+
+    def _tree_factory(self, rng: np.random.Generator) -> SeedDecisionTreeClassifier:
+        return SeedDecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=rng,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SeedRandomForestClassifier":
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+        self._fit_forest(X, y)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean of per-tree leaf class frequencies (soft voting)."""
+        self._require_fit()
+        X = np.asarray(X, dtype=np.float64)
+        proba = np.zeros((X.shape[0], self.classes_.shape[0]))
+        for tree in self.estimators_:
+            tree_proba = tree.predict_proba(X)
+            # Trees trained on bootstrap samples may miss rare classes;
+            # align their columns onto the forest's class set.
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            proba[:, cols] += tree_proba
+        proba /= len(self.estimators_)
+        return proba
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class SeedRandomForestRegressor(_SeedBaseForest):
+    """Bootstrap-aggregated variance-reduction CART regressor.
+
+    ``max_features`` defaults to one third of the features (Breiman's
+    classic regression-forest recommendation) and ``min_samples_leaf`` to
+    5, which keeps continuous-target trees from degenerating into one
+    leaf per sample; both can be overridden.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        *,
+        max_features=1 / 3,
+        min_samples_leaf: int = 5,
+        **kw,
+    ):
+        super().__init__(
+            n_estimators,
+            max_features=max_features,
+            min_samples_leaf=min_samples_leaf,
+            **kw,
+        )
+
+    def _tree_factory(self, rng: np.random.Generator) -> SeedDecisionTreeRegressor:
+        return SeedDecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=rng,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SeedRandomForestRegressor":
+        self._fit_forest(X, np.asarray(y, dtype=np.float64))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fit()
+        X = np.asarray(X, dtype=np.float64)
+        acc = np.zeros(X.shape[0])
+        for tree in self.estimators_:
+            acc += tree.predict(X)
+        return acc / len(self.estimators_)

@@ -6,6 +6,15 @@ effectiveness in many ODA use cases as well as its robustness against
 over-fitting".  Defaults follow scikit-learn 0.20 semantics: bootstrap
 sampling, ``max_features="sqrt"`` for classification and all features for
 regression.
+
+Prediction is **batched across the whole forest**: at fit time every
+tree's flat node arrays are stacked into ``(n_trees, max_nodes)``
+matrices (leaf values pre-aligned onto the forest's class set, so the
+per-call ``np.searchsorted`` of the old path is gone), and a single
+lockstep walk advances every ``(sample, tree)`` pair together instead of
+running 50 sequential per-tree traversals.  Per-tree accumulation stays
+sequential, so the batched probabilities are bit-identical to the
+per-tree loop.
 """
 
 from __future__ import annotations
@@ -15,6 +24,76 @@ import numpy as np
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 
 __all__ = ["RandomForestClassifier", "RandomForestRegressor"]
+
+_LEAF = -1
+
+
+class _ForestStack:
+    """Concatenated node arrays of a fitted forest for lockstep
+    prediction.
+
+    Every tree's flat arrays are laid end to end and the child pointers
+    are rebased to *absolute* node indices, so the frontier walk below
+    needs only contiguous 1-D gathers — no per-tree loop and no 2-D
+    fancy indexing on the hot path.
+    """
+
+    __slots__ = ("n_trees", "base", "feature", "threshold", "left",
+                 "right", "values")
+
+    def __init__(self, trees, values: list[np.ndarray]):
+        self.n_trees = len(trees)
+        sizes = np.array([t._feature.shape[0] for t in trees], dtype=np.intp)
+        self.base = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+        self.feature = np.concatenate([t._feature for t in trees])
+        self.threshold = np.concatenate([t._threshold for t in trees])
+        # Rebase child links; leaf markers stay negative.
+        self.left = np.concatenate(
+            [np.where(t._left == _LEAF, _LEAF, t._left + b)
+             for t, b in zip(trees, self.base)]
+        )
+        self.right = np.concatenate(
+            [np.where(t._right == _LEAF, _LEAF, t._right + b)
+             for t, b in zip(trees, self.base)]
+        )
+        self.values = np.concatenate(values, axis=0)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Absolute leaf index per (sample, tree), shape ``(n, n_trees)``.
+
+        Every pair advances one level per pass; pairs that reach a leaf
+        drop out of the frontier.
+        """
+        n, n_feat = X.shape
+        n_trees = self.n_trees
+        cur = np.tile(self.base, n)
+        x_base = np.repeat(np.arange(n, dtype=np.intp) * n_feat, n_trees)
+        x_flat = X.ravel()
+        feature, threshold = self.feature, self.threshold
+        left, right = self.left, self.right
+        alive = np.flatnonzero(feature[cur] != _LEAF)
+        while alive.size:
+            c_a = cur[alive]
+            f = feature[c_a]
+            go_left = x_flat[x_base[alive] + f] <= threshold[c_a]
+            nxt = np.where(go_left, left[c_a], right[c_a])
+            cur[alive] = nxt
+            alive = alive[feature[nxt] != _LEAF]
+        return cur.reshape(n, n_trees)
+
+    def accumulate(self, X: np.ndarray) -> np.ndarray:
+        """Sum of per-tree leaf values, ``(n_samples, val_dim)``.
+
+        The walk is batched; the accumulation loops over trees in fit
+        order so the floating-point sum matches the sequential per-tree
+        path bit for bit.
+        """
+        leaves = self.apply(X)
+        per_tree = self.values[leaves]  # (n, n_trees, val_dim)
+        acc = np.zeros((X.shape[0], self.values.shape[1]))
+        for t in range(self.n_trees):
+            acc += per_tree[:, t]
+        return acc
 
 
 class _BaseForest:
@@ -28,6 +107,8 @@ class _BaseForest:
         max_features=None,
         bootstrap: bool = True,
         random_state: int | None = None,
+        splitter: str = "exact",
+        max_bins: int = 256,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -38,9 +119,16 @@ class _BaseForest:
         self.max_features = max_features
         self.bootstrap = bool(bootstrap)
         self.random_state = random_state
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.estimators_: list = []
+        self._stack: _ForestStack | None = None
 
     def _tree_factory(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def _tree_values(self, tree) -> np.ndarray:
+        """Leaf-value matrix of one tree, aligned for stacking."""
         raise NotImplementedError
 
     def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
@@ -62,6 +150,10 @@ class _BaseForest:
             tree = self._tree_factory(rng)
             tree.fit(X[sample], y[sample])
             self.estimators_.append(tree)
+        self._stack = _ForestStack(
+            self.estimators_,
+            [self._tree_values(t) for t in self.estimators_],
+        )
 
     @property
     def is_fitted(self) -> bool:
@@ -76,7 +168,9 @@ class RandomForestClassifier(_BaseForest):
     """Bootstrap-aggregated Gini CART classifier (soft voting).
 
     Parameters mirror the paper's setup; ``max_features`` defaults to
-    ``"sqrt"`` as in scikit-learn's classifier forests.
+    ``"sqrt"`` as in scikit-learn's classifier forests.  ``splitter``
+    and ``max_bins`` forward to the trees (``"hist"`` trades exact split
+    placement for O(max_bins) scans per feature).
     """
 
     def __init__(self, n_estimators: int = 50, *, max_features="sqrt", **kw):
@@ -89,7 +183,18 @@ class RandomForestClassifier(_BaseForest):
             min_samples_leaf=self.min_samples_leaf,
             max_features=self.max_features,
             random_state=rng,
+            splitter=self.splitter,
+            max_bins=self.max_bins,
         )
+
+    def _tree_values(self, tree) -> np.ndarray:
+        # Trees trained on bootstrap samples may miss rare classes;
+        # align their value columns onto the forest's class set once
+        # here instead of per predict call.
+        vals = np.zeros((tree._values.shape[0], self.classes_.shape[0]))
+        cols = np.searchsorted(self.classes_, tree.classes_)
+        vals[:, cols] = tree._values
+        return vals
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         y = np.asarray(y)
@@ -102,13 +207,7 @@ class RandomForestClassifier(_BaseForest):
         """Mean of per-tree leaf class frequencies (soft voting)."""
         self._require_fit()
         X = np.asarray(X, dtype=np.float64)
-        proba = np.zeros((X.shape[0], self.classes_.shape[0]))
-        for tree in self.estimators_:
-            tree_proba = tree.predict_proba(X)
-            # Trees trained on bootstrap samples may miss rare classes;
-            # align their columns onto the forest's class set.
-            cols = np.searchsorted(self.classes_, tree.classes_)
-            proba[:, cols] += tree_proba
+        proba = self._stack.accumulate(X)
         proba /= len(self.estimators_)
         return proba
 
@@ -148,7 +247,12 @@ class RandomForestRegressor(_BaseForest):
             min_samples_leaf=self.min_samples_leaf,
             max_features=self.max_features,
             random_state=rng,
+            splitter=self.splitter,
+            max_bins=self.max_bins,
         )
+
+    def _tree_values(self, tree) -> np.ndarray:
+        return tree._values
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         self._fit_forest(X, np.asarray(y, dtype=np.float64))
@@ -157,7 +261,5 @@ class RandomForestRegressor(_BaseForest):
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fit()
         X = np.asarray(X, dtype=np.float64)
-        acc = np.zeros(X.shape[0])
-        for tree in self.estimators_:
-            acc += tree.predict(X)
+        acc = self._stack.accumulate(X)[:, 0]
         return acc / len(self.estimators_)

@@ -23,9 +23,51 @@ __all__ = [
     "train_test_split",
     "cross_validate_classifier",
     "cross_validate_regressor",
+    "repeated_cross_validate_classifier",
+    "repeated_cross_validate_regressor",
 ]
 
 Split = tuple[np.ndarray, np.ndarray]
+
+
+def _class_grouping(y_enc: np.ndarray, n_classes: int):
+    """Per-class grouping of sample indices, reusable across repeats.
+
+    Returns ``(order, starts, counts, ranks)``: ``order`` lists sample
+    indices grouped by class (ascending within each class — exactly the
+    concatenation of the per-class ``np.flatnonzero`` scans it
+    replaces), ``starts``/``counts`` delimit the class slices and
+    ``ranks`` is the within-class position of every slot of ``order``.
+    """
+    order = np.argsort(y_enc, kind="stable")
+    counts = np.bincount(y_enc, minlength=n_classes)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    ranks = np.arange(y_enc.shape[0]) - np.repeat(starts, counts)
+    return order, starts, counts, ranks
+
+
+def _stratified_fold_ids(
+    order: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    ranks: np.ndarray,
+    n_splits: int,
+    rng: np.random.Generator | None,
+) -> np.ndarray:
+    """Fold id per sample: round-robin within each (shuffled) class.
+
+    Shuffling runs per class in class order on slices of a copy of
+    ``order`` — the same RNG consumption as shuffling each class's
+    member list separately, so fold membership is identical to the
+    historical per-class loop for a fixed seed.
+    """
+    if rng is not None:
+        order = order.copy()
+        for c in range(counts.shape[0]):
+            rng.shuffle(order[starts[c] : starts[c] + counts[c]])
+    fold_of = np.empty(order.shape[0], dtype=np.intp)
+    fold_of[order] = ranks % n_splits
+    return fold_of
 
 
 class KFold:
@@ -85,20 +127,17 @@ class StratifiedKFold:
         if len(X) != m:
             raise ValueError("X and y have inconsistent lengths")
         classes, y_enc = np.unique(y, return_inverse=True)
-        smallest = np.bincount(y_enc).min()
+        order, starts, counts, ranks = _class_grouping(y_enc, classes.shape[0])
+        smallest = counts.min()
         if smallest < self.n_splits:
             raise ValueError(
                 f"the least populated class has {smallest} members, fewer "
                 f"than n_splits={self.n_splits}"
             )
-        rng = np.random.default_rng(self.random_state)
-        # Assign a fold id to every sample, round-robin within each class.
-        fold_of = np.empty(m, dtype=np.intp)
-        for c in range(classes.shape[0]):
-            members = np.flatnonzero(y_enc == c)
-            if self.shuffle:
-                rng.shuffle(members)
-            fold_of[members] = np.arange(members.shape[0]) % self.n_splits
+        rng = np.random.default_rng(self.random_state) if self.shuffle else None
+        fold_of = _stratified_fold_ids(
+            order, starts, counts, ranks, self.n_splits, rng
+        )
         for fold in range(self.n_splits):
             test = np.flatnonzero(fold_of == fold)
             train = np.flatnonzero(fold_of != fold)
@@ -130,12 +169,21 @@ def train_test_split(
         strat = np.asarray(stratify)
         if strat.shape[0] != m:
             raise ValueError("stratify must match array length")
+        # Group by class with one stable argsort, shuffle each class
+        # slice (same RNG stream as the historical per-class loop), then
+        # mark the first ceil-rounded share of every class as test in a
+        # single slice assignment.
+        _, strat_enc = np.unique(strat, return_inverse=True)
+        order, starts, counts, ranks = _class_grouping(
+            strat_enc, int(strat_enc.max()) + 1
+        )
+        for c in range(counts.shape[0]):
+            rng.shuffle(order[starts[c] : starts[c] + counts[c]])
+        n_test_per = np.maximum(
+            1, np.round(counts * test_size).astype(np.intp)
+        )
         test_mask = np.zeros(m, dtype=bool)
-        for c in np.unique(strat):
-            members = np.flatnonzero(strat == c)
-            rng.shuffle(members)
-            n_test = max(1, int(round(members.shape[0] * test_size)))
-            test_mask[members[:n_test]] = True
+        test_mask[order] = ranks < np.repeat(n_test_per, counts)
         test_idx = np.flatnonzero(test_mask)
         train_idx = np.flatnonzero(~test_mask)
     else:
@@ -195,3 +243,89 @@ def cross_validate_regressor(
         model.fit(X[train], y[train])
         scores.append(score_fn(y[test], model.predict(X[test])))
     return np.asarray(scores)
+
+
+def _repeat_seed(random_state: int | None, repeat: int) -> int | None:
+    return None if random_state is None else random_state + repeat
+
+
+def repeated_cross_validate_classifier(
+    model_factory: Callable[[int | None], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_splits: int = 5,
+    repeats: int = 1,
+    random_state: int | None = None,
+    score_fn: Callable[[np.ndarray, np.ndarray], float] = ml_score_classification,
+) -> np.ndarray:
+    """Repeated stratified CV; returns scores of shape (repeats, n_splits).
+
+    The per-class grouping of ``y`` is computed once and only the
+    within-class shuffles are redrawn per repeat, so fold membership is
+    identical to building a fresh shuffled ``StratifiedKFold`` with seed
+    ``random_state + r`` for every repeat — without re-deriving the
+    class partition ``repeats`` times.  ``model_factory`` receives that
+    per-repeat seed.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    classes, y_enc = np.unique(y, return_inverse=True)
+    order, starts, counts, ranks = _class_grouping(y_enc, classes.shape[0])
+    if counts.min() < n_splits:
+        raise ValueError(
+            f"the least populated class has {counts.min()} members, fewer "
+            f"than n_splits={n_splits}"
+        )
+    scores = np.empty((max(repeats, 1), n_splits))
+    for r in range(max(repeats, 1)):
+        seed = _repeat_seed(random_state, r)
+        fold_of = _stratified_fold_ids(
+            order, starts, counts, ranks, n_splits, np.random.default_rng(seed)
+        )
+        for fold in range(n_splits):
+            test = np.flatnonzero(fold_of == fold)
+            train = np.flatnonzero(fold_of != fold)
+            model = model_factory(seed)
+            model.fit(X[train], y[train])
+            scores[r, fold] = score_fn(y[test], model.predict(X[test]))
+    return scores
+
+
+def repeated_cross_validate_regressor(
+    model_factory: Callable[[int | None], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_splits: int = 5,
+    repeats: int = 1,
+    random_state: int | None = None,
+    score_fn: Callable[[np.ndarray, np.ndarray], float] = ml_score_regression,
+) -> np.ndarray:
+    """Repeated shuffled K-fold CV; scores of shape (repeats, n_splits).
+
+    Fold sizes are computed once; each repeat redraws only the shuffle
+    with seed ``random_state + r``, matching a fresh shuffled
+    :class:`KFold` per repeat.  ``model_factory`` receives the seed.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    m = X.shape[0]
+    if m < n_splits:
+        raise ValueError(f"cannot split {m} samples into {n_splits} folds")
+    sizes = np.full(n_splits, m // n_splits, dtype=np.intp)
+    sizes[: m % n_splits] += 1
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    scores = np.empty((max(repeats, 1), n_splits))
+    for r in range(max(repeats, 1)):
+        seed = _repeat_seed(random_state, r)
+        indices = np.arange(m)
+        np.random.default_rng(seed).shuffle(indices)
+        for fold in range(n_splits):
+            lo, hi = bounds[fold], bounds[fold + 1]
+            test = indices[lo:hi]
+            train = np.concatenate([indices[:lo], indices[hi:]])
+            model = model_factory(seed)
+            model.fit(X[train], y[train])
+            scores[r, fold] = score_fn(y[test], model.predict(X[test]))
+    return scores

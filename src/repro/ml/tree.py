@@ -1,22 +1,58 @@
 """CART decision trees (classification and regression).
 
-Vectorized CART: at each node the best split is found by sorting the
-candidate feature columns and scanning impurity decrease with prefix sums
-— no per-sample Python loops.  Classification uses Gini impurity (the
-paper's random-forest configuration), regression uses variance reduction
-(MSE criterion).
+Presorted, batched CART: every feature column is argsorted **once per
+tree** and the sorted layout is partitioned down the recursion
+(sklearn-style), so no node ever re-sorts; feature-subsampled trees
+instead sort each node's candidate submatrix in one batched call (tie
+order cannot affect the integer prefix counts, so any sort kind yields
+the same tree).  At each node the Gini / variance scan runs over *all*
+candidate features in one batched prefix-count pass, and the build
+itself is an explicit-stack loop that emits the flat node arrays
+(feature, threshold, children, values) directly — no Python recursion,
+no per-sample loops.
 
-Trees are stored in flat arrays (feature, threshold, children, values), so
-prediction is an iterative array walk suitable for batched inputs.
+Two split modes:
+
+* ``splitter="exact"`` (default) — evaluates every distinct-value
+  boundary, replicating the original recursive one-hot/``cumsum``
+  builder (frozen in :mod:`repro.ml._seed_reference`): the same RNG
+  consumption order, the same floating-point gain expressions, the same
+  first-maximum tie-breaking.  Classification trees (integer class
+  counts) and regression trees with exactly-representable target
+  statistics are **bit-identical** to the seed; float-target regression
+  agrees to within last-ulp rounding (node statistics and, under tied
+  feature values, the prefix moments accumulate targets in a different
+  sample order than the seed's per-node sort), which can only change a
+  split when competing gains sit within the 1e-15 selection epsilon.
+* ``splitter="hist"`` — quantile-binned (histogram) splits: each feature
+  is bucketed into at most ``max_bins`` quantile bins once per tree and
+  candidate thresholds are bin edges.  O(max_bins) candidate positions
+  per feature regardless of node size, which wins for large sample
+  counts; split placement is approximate, so results can differ from
+  exact mode (leaf statistics stay exact).
+
+Prediction is an iterative array walk over the flat node arrays,
+suitable for batched inputs.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+try:  # pragma: no cover - exercised implicitly by every fit
+    # The raw einsum kernel skips the public wrapper's dispatch/parse
+    # overhead, which adds up over thousands of per-node split scans.
+    from numpy._core._multiarray_umath import c_einsum as _einsum
+except ImportError:  # pragma: no cover
+    _einsum = np.einsum
+
 __all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
 
 _LEAF = -1
+
+#: Gain must beat the running best by this margin to displace it
+#: (matches the seed builder's candidate-feature scan).
+_GAIN_EPS = 1e-15
 
 
 def _resolve_max_features(max_features, n_features: int) -> int:
@@ -39,8 +75,41 @@ def _resolve_max_features(max_features, n_features: int) -> int:
     return min(mf, n_features)
 
 
+def _quantile_bin(X: np.ndarray, max_bins: int):
+    """Per-feature quantile binning: (codes, edges).
+
+    ``codes[f, i]`` is the bin of sample ``i`` on feature ``f`` and
+    ``edges[f]`` the ascending cut points; ``code <= b`` is equivalent to
+    ``x <= edges[f][b]``, so a bin split maps onto the ordinary
+    ``x <= threshold`` prediction rule.
+    """
+    m, n = X.shape
+    codes = np.zeros((n, m), dtype=np.int16)
+    edges: list[np.ndarray] = []
+    qs = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    for f in range(n):
+        col = X[:, f]
+        cuts = np.unique(np.quantile(col, qs))
+        # Drop cut points at/above the column max: they cannot separate.
+        cuts = cuts[cuts < col.max()] if cuts.size else cuts
+        edges.append(cuts)
+        if cuts.size:
+            codes[f] = np.searchsorted(cuts, col, side="left")
+    return codes, edges
+
+
 class _TreeBuilder:
-    """Shared recursive builder; criterion handled by subclass hooks."""
+    """Iterative presorted builder; criterion handled by subclass hooks.
+
+    The sorted layout is one ``(n_features, m)`` matrix ``S`` of sample
+    ids — row ``f`` stably sorted by feature ``f`` — partitioned in
+    lockstep at every split, so a node is a ``[start, end)`` slice of
+    every row and no node ever re-sorts.  Split scans are batched across
+    all candidate features of a node and restricted to the first
+    ``m_node - 1`` positions (the last position can never split), which
+    removes every division-by-zero guard from the seed formulas while
+    producing bit-identical gains.
+    """
 
     def __init__(
         self,
@@ -50,12 +119,21 @@ class _TreeBuilder:
         min_samples_leaf: int,
         max_features,
         rng: np.random.Generator,
+        splitter: str = "exact",
+        max_bins: int = 256,
     ):
         self.max_depth = np.inf if max_depth is None else int(max_depth)
         self.min_samples_split = int(min_samples_split)
         self.min_samples_leaf = int(min_samples_leaf)
+        self.min_leaf = self.min_samples_leaf
         self.max_features = max_features
         self.rng = rng
+        if splitter not in ("exact", "hist"):
+            raise ValueError(f"unknown splitter {splitter!r}")
+        self.splitter = splitter
+        if not 2 <= int(max_bins) <= 2**15:
+            raise ValueError("max_bins must be in [2, 32768]")
+        self.max_bins = int(max_bins)
         # Flat tree arrays, grown via Python lists during the build.
         self.feature: list[int] = []
         self.threshold: list[float] = []
@@ -64,80 +142,267 @@ class _TreeBuilder:
         self.values: list[np.ndarray] = []
 
     # Subclass hooks ----------------------------------------------------
-    def node_value(self, idx: np.ndarray) -> np.ndarray:
+    def node_value(self, labels: np.ndarray) -> np.ndarray:
+        """Leaf payload from the node's targets (any sample order).
+
+        Called exactly once per node, before any impurity query."""
         raise NotImplementedError
 
-    def node_impurity(self, idx: np.ndarray) -> float:
+    def node_impurity_cached(self, labels: np.ndarray) -> float:
+        """Node impurity; may reuse statistics cached by the preceding
+        ``node_value`` call and cache parent terms for the split scan."""
         raise NotImplementedError
 
-    def split_gain(self, idx: np.ndarray, order: np.ndarray, col: np.ndarray):
-        """Best split of one sorted feature; returns (gain, pos) or None.
+    def batch_split_gains(self, cols: np.ndarray, labs: np.ndarray):
+        """Best split per candidate feature of one node (exact mode).
 
-        ``order`` sorts ``idx`` by ``col`` (already gathered values);
-        ``pos`` is the count of samples in the left child.
+        ``cols``/``labs`` are ``(k, m)``: each row a feature's sorted
+        values and the labels/targets in that order.  Returns
+        ``(gains, pos)`` per row, with ``-inf`` gain where no valid
+        positive-gain split exists and ``pos`` the left-child size of
+        the row's best split.
         """
         raise NotImplementedError
 
-    # Build -------------------------------------------------------------
-    def build(self, X: np.ndarray, idx: np.ndarray, depth: int) -> int:
-        node = len(self.feature)
-        self.feature.append(_LEAF)
-        self.threshold.append(0.0)
-        self.left.append(_LEAF)
-        self.right.append(_LEAF)
-        self.values.append(self.node_value(idx))
+    def begin_tree(self, m: int, n: int) -> None:
+        """Per-tree precomputation (size/rank scratch arrays)."""
+        self._szl = np.arange(1, m + 1, dtype=np.float64)
+        self._szl2 = self._szl**2
+        # Row-rank scratch for the per-feature gather: on wide data the
+        # candidate count k can exceed the sample count m.
+        self._rk = np.arange(max(m, n), dtype=np.intp)
+        self._k = _resolve_max_features(self.max_features, n)
+        self._all_features = np.arange(n)
 
-        m = idx.shape[0]
-        if (
-            depth >= self.max_depth
-            or m < self.min_samples_split
-            or m < 2 * self.min_samples_leaf
-            or self.node_impurity(idx) <= 1e-12
-        ):
-            return node
+    def batch_hist_gains(self, hist: np.ndarray, m: int):
+        """Best split per candidate feature from per-bin statistics.
 
-        n_features = X.shape[1]
-        k = _resolve_max_features(self.max_features, n_features)
-        # Sample without replacement; when k == n_features skip the shuffle.
-        if k < n_features:
-            candidates = self.rng.choice(n_features, size=k, replace=False)
-        else:
-            candidates = np.arange(n_features)
+        ``hist`` is ``(k, n_bins, ...)`` per-bin counts/moments; returns
+        ``(gains, bins)`` per row with ``-inf`` where no valid split.
+        """
+        raise NotImplementedError
 
+    def node_histograms(self, codes: np.ndarray, labs: np.ndarray):
+        """Per-bin statistics ``(k, n_bins, ...)`` for hist mode."""
+        raise NotImplementedError
+
+    # Shared helpers ----------------------------------------------------
+    def _pick_feature(self, gains: np.ndarray) -> int:
+        """Sequential first-winner scan over candidate gains.
+
+        Bit-for-bit the seed builder's loop: a candidate displaces the
+        running best only when its gain exceeds it by ``_GAIN_EPS``.
+        Returns the winning row or -1.
+        """
         best_gain = 0.0
-        best_feature = _LEAF
-        best_pos = -1
-        best_order: np.ndarray | None = None
-        for f in candidates:
-            col = X[idx, f]
-            if col[0] == col[-1] and (col == col[0]).all():
-                continue  # constant feature: no valid split
-            order = np.argsort(col)
-            found = self.split_gain(idx, order, col[order])
-            if found is None:
+        best_row = -1
+        for j, g in enumerate(gains.tolist()):
+            if g > best_gain + _GAIN_EPS:
+                best_gain = g
+                best_row = j
+        return best_row
+
+    def _candidates(self, n_features: int) -> np.ndarray:
+        # Sample without replacement; when k == n_features skip the shuffle.
+        k = self._k
+        if k < n_features:
+            return self.rng.choice(n_features, size=k, replace=False)
+        return self._all_features
+
+    # Build -------------------------------------------------------------
+    def build(self, X: np.ndarray) -> None:
+        if self.splitter == "hist":
+            self._build_hist(X)
+        else:
+            self._build_exact(X)
+
+    def _build_exact(self, X: np.ndarray) -> None:
+        m, n = X.shape
+        self.begin_tree(m, n)
+        # Two sorted-layout strategies, both bit-identical to the seed's
+        # per-node argsort at every value boundary (tie order inside a
+        # run of equal values cannot change any integer prefix count):
+        #
+        # * when every feature is a candidate at every node (``k == n``)
+        #   each column is presorted ONCE and the ``(n, m)`` layout is
+        #   partitioned down the recursion sklearn-style — per-node
+        #   cost O(n * m_node), no node ever re-sorts;
+        # * when features are subsampled (forests), presorting all n
+        #   columns buys little (deep nodes would still pay O(m_total)
+        #   to extract their slice), so each node argsorts just its
+        #   candidate submatrix in ONE batched call — per-node cost
+        #   O(k * m_node log m_node), independent of both n and m_total.
+        presort = self._k >= n
+        # Feature-major copy: every sort, gather and scan below runs
+        # along contiguous rows.
+        XT = np.ascontiguousarray(X.T)
+        if presort:
+            S = np.argsort(XT, axis=1)
+            in_left = np.zeros(m, dtype=bool)
+        else:
+            idx = np.arange(m, dtype=np.intp)
+        y_flat = self.targets_flat()
+        feature, threshold = self.feature, self.threshold
+        left, right, values = self.left, self.right, self.values
+        max_depth = self.max_depth
+        min_split = max(self.min_samples_split, 2 * self.min_samples_leaf)
+
+        # (start, end, depth, parent, is_left); node ids are assigned at
+        # pop time, so LIFO order with the right child pushed first
+        # reproduces the seed recursion's pre-order numbering exactly.
+        stack: list[tuple[int, int, int, int, bool]] = [(0, m, 0, -1, False)]
+        while stack:
+            start, end, depth, parent, is_left = stack.pop()
+            node = len(feature)
+            feature.append(_LEAF)
+            threshold.append(0.0)
+            left.append(_LEAF)
+            right.append(_LEAF)
+            ids = S[0, start:end] if presort else idx[start:end]
+            node_labels = y_flat[ids]
+            values.append(self.node_value(node_labels))
+            if parent >= 0:
+                if is_left:
+                    left[parent] = node
+                else:
+                    right[parent] = node
+
+            m_node = end - start
+            if (
+                depth >= max_depth
+                or m_node < min_split
+                or self.node_impurity_cached(node_labels) <= 1e-12
+            ):
                 continue
-            gain, pos = found
-            if gain > best_gain + 1e-15:
-                best_gain = gain
-                best_feature = int(f)
-                best_pos = pos
-                best_order = order
 
-        if best_feature == _LEAF or best_order is None:
-            return node
+            candidates = self._candidates(n)
+            k = candidates.shape[0]
+            if presort:
+                Sc = S[:, start:end]  # (n, m_node) view, rows sorted
+                cols = XT[candidates[:, None], Sc]
+            else:
+                sub = XT[candidates[:, None], ids[None, :]]  # (k, m_node)
+                order = np.argsort(sub, axis=1)
+                cols = np.take_along_axis(sub, order, axis=1)
+                Sc = ids[order]
+            # Presorted layout makes the constant-feature check O(1) per
+            # candidate: first element vs last element.  Constant rows —
+            # common deep in bootstrap trees — are dropped before the
+            # scan; their relative order is preserved, so the sequential
+            # winner scan matches the seed's skip-and-continue loop.
+            moving = cols[:, 0] < cols[:, -1]
+            n_moving = int(np.count_nonzero(moving))
+            if n_moving == 0:
+                continue
+            if n_moving < k:
+                sel = np.flatnonzero(moving)
+                cols = cols[sel]
+                Sc = Sc[sel]
+            else:
+                sel = None
+            gains, pos = self.batch_split_gains(cols, y_flat[Sc])
+            row = self._pick_feature(gains)
+            if row < 0:
+                continue
 
-        col = X[idx, best_feature][best_order]
-        thr = 0.5 * (col[best_pos - 1] + col[best_pos])
-        # Guard against degenerate thresholds from float averaging.
-        if not col[best_pos - 1] < thr:
-            thr = col[best_pos]
-        left_idx = idx[best_order[:best_pos]]
-        right_idx = idx[best_order[best_pos:]]
-        self.feature[node] = best_feature
-        self.threshold[node] = float(thr)
-        self.left[node] = self.build(X, left_idx, depth + 1)
-        self.right[node] = self.build(X, right_idx, depth + 1)
-        return node
+            best_pos = int(pos[row])
+            col = cols[row]
+            thr = 0.5 * (col[best_pos - 1] + col[best_pos])
+            # Guard against degenerate thresholds from float averaging.
+            if not col[best_pos - 1] < thr:
+                thr = col[best_pos]
+            feature[node] = int(candidates[row if sel is None else sel[row]])
+            threshold[node] = float(thr)
+
+            mid = start + best_pos
+            if presort:
+                # Stable partition of the presorted layout: every
+                # feature row keeps its own sort order, samples going
+                # left slide to the front of the node's slice.
+                left_ids = Sc[row, :best_pos].copy()
+                in_left[left_ids] = True
+                block = S[:, start:end]
+                bm = in_left[block]
+                lefts = block[bm].reshape(n, best_pos)
+                rights = block[~bm].reshape(n, m_node - best_pos)
+                S[:, start:mid] = lefts
+                S[:, mid:end] = rights
+                in_left[left_ids] = False
+            else:
+                # Child membership is the winning row's sorted ids split
+                # at the boundary; segment-internal order is irrelevant.
+                idx[start:mid] = Sc[row, :best_pos]
+                idx[mid:end] = Sc[row, best_pos:]
+
+            stack.append((mid, end, depth + 1, node, False))
+            stack.append((start, mid, depth + 1, node, True))
+
+    def _build_hist(self, X: np.ndarray) -> None:
+        # Node emission / stop checks deliberately mirror _build_exact
+        # inline rather than through a shared helper: the loops are the
+        # dispatch-bound hot path and per-node call overhead is what
+        # this engine exists to remove.  Keep the two in sync.
+        m, n = X.shape
+        self.begin_tree(m, n)
+        codes, edges = _quantile_bin(X, self.max_bins)
+        y_flat = self.targets_flat()
+        idx = np.arange(m, dtype=np.intp)
+        min_split = max(self.min_samples_split, 2 * self.min_samples_leaf)
+
+        stack: list[tuple[int, int, int, int, bool]] = [(0, m, 0, -1, False)]
+        while stack:
+            start, end, depth, parent, is_left = stack.pop()
+            node = len(self.feature)
+            self.feature.append(_LEAF)
+            self.threshold.append(0.0)
+            self.left.append(_LEAF)
+            self.right.append(_LEAF)
+            ids = idx[start:end]
+            node_labels = y_flat[ids]
+            self.values.append(self.node_value(node_labels))
+            if parent >= 0:
+                if is_left:
+                    self.left[parent] = node
+                else:
+                    self.right[parent] = node
+
+            m_node = end - start
+            if (
+                depth >= self.max_depth
+                or m_node < min_split
+                or self.node_impurity_cached(node_labels) <= 1e-12
+            ):
+                continue
+
+            candidates = self._candidates(n)
+            node_codes = codes[candidates[:, None], ids[None, :]]
+            hist = self.node_histograms(node_codes, node_labels)
+            gains, bins = self.batch_hist_gains(hist, m_node)
+            row = self._pick_feature(gains)
+            if row < 0:
+                continue
+
+            best_feature = int(candidates[row])
+            best_bin = int(bins[row])
+            self.feature[node] = best_feature
+            self.threshold[node] = float(edges[best_feature][best_bin])
+
+            go_left = node_codes[row] <= best_bin
+            best_pos = int(np.count_nonzero(go_left))
+            mid = start + best_pos
+            # ``ids`` views ``idx``: materialize both halves before
+            # writing back into the slice.
+            lefts = ids[go_left]
+            rights = ids[~go_left]
+            idx[start:mid] = lefts
+            idx[mid:end] = rights
+
+            stack.append((mid, end, depth + 1, node, False))
+            stack.append((start, mid, depth + 1, node, True))
+
+    # Target plumbing (subclass-provided) -------------------------------
+    def targets_flat(self) -> np.ndarray:
+        raise NotImplementedError
 
     def finalize(self):
         return (
@@ -154,92 +419,186 @@ class _ClassificationBuilder(_TreeBuilder):
         super().__init__(**kw)
         self.y = y
         self.n_classes = n_classes
-        self.min_leaf = self.min_samples_leaf
+        self._crange = np.arange(n_classes)
+        self._remap = np.zeros(n_classes, dtype=np.intp)
 
-    def node_value(self, idx: np.ndarray) -> np.ndarray:
-        return np.bincount(self.y[idx], minlength=self.n_classes).astype(
-            np.float64
-        ) / idx.shape[0]
+    def targets_flat(self) -> np.ndarray:
+        return self.y
 
-    def node_impurity(self, idx: np.ndarray) -> float:
-        p = self.node_value(idx)
-        return float(1.0 - np.einsum("i,i->", p, p))
+    def node_value(self, labels: np.ndarray) -> np.ndarray:
+        # Float class counts are exact integers; cache them for the
+        # impurity query and the split scan of the same node.
+        m = labels.shape[0]
+        cf = np.bincount(labels, minlength=self.n_classes).astype(np.float64)
+        self._counts = cf
+        self._m_node = m
+        value = cf / m
+        self._value = value
+        return value
 
-    def split_gain(self, idx, order, sorted_col):
-        m = order.shape[0]
-        labels = self.y[idx[order]]
-        onehot = np.zeros((m, self.n_classes))
-        onehot[np.arange(m), labels] = 1.0
-        left_counts = np.cumsum(onehot, axis=0)  # counts including row i
-        total = left_counts[-1]
-        # Candidate split after position i (left size i+1); valid where the
-        # feature value changes and both children satisfy min_samples_leaf.
-        sizes_left = np.arange(1, m + 1, dtype=np.float64)
-        sizes_right = m - sizes_left
-        valid = np.empty(m, dtype=bool)
-        valid[:-1] = sorted_col[1:] > sorted_col[:-1]
-        valid[-1] = False
+    def node_impurity_cached(self, labels: np.ndarray) -> float:
+        cf = self._counts
+        v = self._value
+        # The seed-formula parent impurity and the node-local class set,
+        # both reused by batch_split_gains.
+        self._parent = 1.0 - (cf @ cf) / self._m_node**2
+        present = np.flatnonzero(cf)
+        self._present = present
+        self._n_present = present.shape[0]
+        if self._n_present < cf.shape[0]:
+            self._remap[present] = np.arange(self._n_present)
+        return float(1.0 - v @ v)
+
+    def batch_split_gains(self, cols, labs):
+        k, m = cols.shape
+        # Split after position i (left size i+1) is valid where the
+        # sorted value changes; position m-1 can never split, so every
+        # scan below runs on the first m-1 positions only.
+        valid = cols[:, 1:] > cols[:, :-1]
+        # Restrict the prefix counts to the classes present in the node
+        # (absent classes contribute zero to every squared-count sum) and
+        # lay them out class-major so the cumsum runs along contiguous
+        # memory.  All counts are exact integers (int32 while the
+        # squared-count sums fit), so dividing by the float sizes
+        # reproduces the seed's one-hot/cumsum Gini scan bit for bit.
+        counts = self._counts
+        if self._n_present < counts.shape[0]:
+            labs = self._remap[labs]
+            counts = counts[self._present]
+        nc = counts.shape[0]
+        dt = np.int32 if m * m * nc < 2**31 else np.int64
+        left = np.cumsum(
+            labs[:, None, :-1] == self._crange[:nc, None], axis=2, dtype=dt
+        )
+        right = counts.astype(dt)[None, :, None] - left
+        szl = self._szl[: m - 1]
+        szr = m - szl
+        gini_left = 1.0 - _einsum("kcm,kcm->km", left, left) / self._szl2[: m - 1]
+        gini_right = 1.0 - _einsum("kcm,kcm->km", right, right) / (szr**2)
+        weighted = (szl * gini_left + szr * gini_right) / m
+        gains = np.where(valid, self._parent - weighted, -np.inf)
         if self.min_leaf > 1:
-            valid &= (sizes_left >= self.min_leaf) & (sizes_right >= self.min_leaf)
-        if not valid.any():
-            return None
-        with np.errstate(divide="ignore", invalid="ignore"):
-            gini_left = 1.0 - np.einsum(
-                "ij,ij->i", left_counts, left_counts
-            ) / (sizes_left**2)
-            right_counts = total - left_counts
-            safe_right = np.where(sizes_right > 0, sizes_right, 1.0)
-            gini_right = 1.0 - np.einsum(
-                "ij,ij->i", right_counts, right_counts
-            ) / (safe_right**2)
-        parent = 1.0 - np.einsum("i,i->", total, total) / m**2
+            lo = self.min_leaf - 1
+            hi = m - self.min_leaf
+            gains[:, :lo] = -np.inf
+            gains[:, hi:] = -np.inf
+        best = np.argmax(gains, axis=1)
+        gbest = gains[self._rk[:k], best]
+        gbest = np.where(gbest > 0.0, gbest, -np.inf)
+        return gbest, best + 1
+
+    def node_histograms(self, codes, labels):
+        k = codes.shape[0]
+        nbins = self.max_bins
+        flat = (np.arange(k)[:, None] * nbins + codes) * self.n_classes + labels
+        return np.bincount(
+            flat.ravel(), minlength=k * nbins * self.n_classes
+        ).reshape(k, nbins, self.n_classes)
+
+    def batch_hist_gains(self, hist, m):
+        k = hist.shape[0]
+        ccum = np.cumsum(hist, axis=1).astype(np.float64)  # (k, B, nc)
+        total = ccum[:, -1, :]
+        sizes_left = ccum.sum(axis=2)  # (k, B)
+        sizes_right = m - sizes_left
+        valid = (sizes_left >= self.min_leaf) & (sizes_right >= self.min_leaf)
+        safe_left = np.where(sizes_left > 0, sizes_left, 1.0)
+        safe_right = np.where(sizes_right > 0, sizes_right, 1.0)
+        right = total[:, None, :] - ccum
+        gini_left = 1.0 - np.einsum("kbc,kbc->kb", ccum, ccum) / safe_left**2
+        gini_right = 1.0 - np.einsum("kbc,kbc->kb", right, right) / safe_right**2
+        parent = 1.0 - np.einsum("kc,kc->k", total, total) / m**2
         weighted = (sizes_left * gini_left + sizes_right * gini_right) / m
-        gains = np.where(valid, parent - weighted, -np.inf)
-        best = int(np.argmax(gains))
-        if gains[best] <= 0.0:
-            return None
-        return float(gains[best]), best + 1
+        gains = np.where(valid, parent[:, None] - weighted, -np.inf)
+        best = np.argmax(gains, axis=1)
+        gbest = gains[np.arange(k), best]
+        gbest = np.where(gbest > 0.0, gbest, -np.inf)
+        return gbest, best
 
 
 class _RegressionBuilder(_TreeBuilder):
     def __init__(self, y: np.ndarray, **kw):
         super().__init__(**kw)
         self.y = y
-        self.min_leaf = self.min_samples_leaf
 
-    def node_value(self, idx: np.ndarray) -> np.ndarray:
-        return np.asarray([self.y[idx].mean()])
+    def targets_flat(self) -> np.ndarray:
+        return self.y
 
-    def node_impurity(self, idx: np.ndarray) -> float:
-        return float(self.y[idx].var())
+    def node_value(self, labels: np.ndarray) -> np.ndarray:
+        # labels.sum()/m uses the same pairwise reduction as
+        # labels.mean(), so the stored value is bit-identical to the
+        # seed's.
+        return np.asarray([labels.sum() / labels.shape[0]])
 
-    def split_gain(self, idx, order, sorted_col):
-        m = order.shape[0]
-        targets = self.y[idx[order]]
-        csum = np.cumsum(targets)
-        csum2 = np.cumsum(targets * targets)
-        total, total2 = csum[-1], csum2[-1]
-        sizes_left = np.arange(1, m + 1, dtype=np.float64)
-        sizes_right = m - sizes_left
-        valid = np.empty(m, dtype=bool)
-        valid[:-1] = sorted_col[1:] > sorted_col[:-1]
-        valid[-1] = False
-        if self.min_leaf > 1:
-            valid &= (sizes_left >= self.min_leaf) & (sizes_right >= self.min_leaf)
-        if not valid.any():
-            return None
+    def node_impurity_cached(self, labels: np.ndarray) -> float:
+        # Two-pass variance like the seed: the one-pass E[x^2]-E[x]^2
+        # form cancels catastrophically for offset targets (e.g.
+        # y ~ 1e8 + U(0,1) reads as pure) and would collapse the tree.
+        return float(labels.var())
+
+    def batch_split_gains(self, cols, labs):
+        k, m = cols.shape
+        valid = cols[:, 1:] > cols[:, :-1]
+        # Prefix moments over the first m-1 positions; the full-column
+        # totals extend the same sequential cumsum by one term, keeping
+        # every float identical to the seed's full-length scan.
+        sq = labs * labs
+        csum = np.cumsum(labs[:, :-1], axis=1)
+        csum2 = np.cumsum(sq[:, :-1], axis=1)
+        total = csum[:, -1] + labs[:, -1]
+        total2 = csum2[:, -1] + sq[:, -1]
+        szl = self._szl[: m - 1]
+        szr = m - szl
         # Variance * size == sum(y^2) - (sum y)^2 / size ; minimize the sum
         # of child SSEs == maximize parent SSE - children SSE.
-        sse_left = csum2 - csum**2 / sizes_left
-        safe_right = np.where(sizes_right > 0, sizes_right, 1.0)
-        sse_right = (total2 - csum2) - (total - csum) ** 2 / safe_right
-        sse_right = np.where(sizes_right > 0, sse_right, 0.0)
+        sse_left = csum2 - csum**2 / szl
+        sse_right = (total2[:, None] - csum2) - (
+            total[:, None] - csum
+        ) ** 2 / szr
         parent_sse = total2 - total**2 / m
-        gains = np.where(valid, (parent_sse - sse_left - sse_right) / m, -np.inf)
-        best = int(np.argmax(gains))
-        if gains[best] <= 1e-15:
-            return None
-        return float(gains[best]), best + 1
+        gains = np.where(
+            valid, (parent_sse[:, None] - sse_left - sse_right) / m, -np.inf
+        )
+        if self.min_leaf > 1:
+            gains[:, : self.min_leaf - 1] = -np.inf
+            gains[:, m - self.min_leaf :] = -np.inf
+        best = np.argmax(gains, axis=1)
+        gbest = gains[self._rk[:k], best]
+        gbest = np.where(gbest > _GAIN_EPS, gbest, -np.inf)
+        return gbest, best + 1
+
+    def node_histograms(self, codes, targets):
+        k = codes.shape[0]
+        nbins = self.max_bins
+        flat = (np.arange(k)[:, None] * nbins + codes).ravel()
+        size = k * nbins
+        t = np.broadcast_to(targets, codes.shape).ravel()
+        cnt = np.bincount(flat, minlength=size).astype(np.float64)
+        s1 = np.bincount(flat, weights=t, minlength=size)
+        s2 = np.bincount(flat, weights=t * t, minlength=size)
+        return np.stack([cnt, s1, s2], axis=-1).reshape(k, nbins, 3)
+
+    def batch_hist_gains(self, hist, m):
+        k = hist.shape[0]
+        ccum = np.cumsum(hist, axis=1)  # (k, B, 3): count, sum, sum^2
+        cnt, csum, csum2 = ccum[..., 0], ccum[..., 1], ccum[..., 2]
+        total, total2 = csum[:, -1], csum2[:, -1]
+        sizes_right = m - cnt
+        valid = (cnt >= self.min_leaf) & (sizes_right >= self.min_leaf)
+        safe_left = np.where(cnt > 0, cnt, 1.0)
+        safe_right = np.where(sizes_right > 0, sizes_right, 1.0)
+        sse_left = csum2 - csum**2 / safe_left
+        sse_right = (total2[:, None] - csum2) - (
+            total[:, None] - csum
+        ) ** 2 / safe_right
+        parent_sse = total2 - total**2 / m
+        gains = np.where(
+            valid, (parent_sse[:, None] - sse_left - sse_right) / m, -np.inf
+        )
+        best = np.argmax(gains, axis=1)
+        gbest = gains[np.arange(k), best]
+        gbest = np.where(gbest > _GAIN_EPS, gbest, -np.inf)
+        return gbest, best
 
 
 class _BaseDecisionTree:
@@ -253,18 +612,33 @@ class _BaseDecisionTree:
         min_samples_leaf: int = 1,
         max_features=None,
         random_state: int | np.random.Generator | None = None,
+        splitter: str = "exact",
+        max_bins: int = 256,
     ):
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.splitter = splitter
+        self.max_bins = max_bins
         self._fitted = False
 
     def _rng(self) -> np.random.Generator:
         if isinstance(self.random_state, np.random.Generator):
             return self.random_state
         return np.random.default_rng(self.random_state)
+
+    def _builder_kwargs(self) -> dict:
+        return dict(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=self._rng(),
+            splitter=self.splitter,
+            max_bins=self.max_bins,
+        )
 
     def _check_X(self, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)
@@ -321,13 +695,9 @@ class DecisionTreeClassifier(_BaseDecisionTree):
         builder = _ClassificationBuilder(
             y_enc.astype(np.intp),
             n_classes=self.classes_.shape[0],
-            max_depth=self.max_depth,
-            min_samples_split=self.min_samples_split,
-            min_samples_leaf=self.min_samples_leaf,
-            max_features=self.max_features,
-            rng=self._rng(),
+            **self._builder_kwargs(),
         )
-        builder.build(X, np.arange(X.shape[0], dtype=np.intp), 0)
+        builder.build(X)
         (
             self._feature,
             self._threshold,
@@ -356,15 +726,8 @@ class DecisionTreeRegressor(_BaseDecisionTree):
         y = np.asarray(y, dtype=np.float64)
         if y.shape != (X.shape[0],):
             raise ValueError("y must be 1-D with one target per row of X")
-        builder = _RegressionBuilder(
-            y,
-            max_depth=self.max_depth,
-            min_samples_split=self.min_samples_split,
-            min_samples_leaf=self.min_samples_leaf,
-            max_features=self.max_features,
-            rng=self._rng(),
-        )
-        builder.build(X, np.arange(X.shape[0], dtype=np.intp), 0)
+        builder = _RegressionBuilder(y, **self._builder_kwargs())
+        builder.build(X)
         (
             self._feature,
             self._threshold,

@@ -1,0 +1,37 @@
+"""Lightweight performance-regression guard for the ML engine.
+
+``benchmarks/test_ml_scaling.py`` (run with ``pytest benchmarks -m
+slow``) records the speedups of the presorted/batched ML engine over the
+frozen seed implementation in ``BENCH_ml.json``.  This tier-1 test fails
+if any recorded speedup has fallen below 1.0 — i.e. if a change made the
+"optimized" path slower than the seed path it replaced — without costing
+tier-1 any benchmark runtime.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SUMMARY_JSON = ROOT / "BENCH_ml.json"
+
+
+def _load_summary() -> dict:
+    if not SUMMARY_JSON.exists():
+        pytest.skip("BENCH_ml.json not generated yet (run pytest benchmarks -m slow)")
+    return json.loads(SUMMARY_JSON.read_text())
+
+
+def test_summary_has_headline_speedups():
+    summary = _load_summary()
+    for key in ("forest_fit_speedup", "forest_predict_speedup", "tree_fit_speedup"):
+        assert key in summary, f"BENCH_ml.json is missing {key}"
+
+
+def test_no_speedup_regressed_below_one():
+    summary = _load_summary()
+    speedups = {k: v for k, v in summary.items() if k.endswith("_speedup") or "_speedup_" in k}
+    assert speedups, "BENCH_ml.json records no speedups"
+    slow = {k: v for k, v in speedups.items() if v < 1.0}
+    assert not slow, f"ML engine slower than the seed path: {slow}"

@@ -1,0 +1,325 @@
+"""Golden-model tests: the presorted/batched CART engine vs the seed.
+
+The optimized builder in :mod:`repro.ml.tree` and the batched forest
+predictor in :mod:`repro.ml.forest` must reproduce the frozen seed
+implementation (:mod:`repro.ml._seed_reference`) **bit for bit** in
+exact-split mode: identical flat node arrays (feature, threshold,
+children, values) and identical predictions, for classification and
+regression, across both sorted-layout strategies (presorted-partitioned
+for full-feature candidates, batched per-node subset sort for
+feature-subsampled trees).
+
+Regression fixtures use integer-valued targets so that every prefix sum
+in the variance scan is exact; classification is exact by construction
+(integer class counts).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml._seed_reference import (
+    SeedDecisionTreeClassifier,
+    SeedDecisionTreeRegressor,
+    SeedRandomForestClassifier,
+    SeedRandomForestRegressor,
+)
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def assert_same_tree(seed_tree, new_tree):
+    assert seed_tree.node_count == new_tree.node_count
+    assert np.array_equal(seed_tree._feature, new_tree._feature)
+    assert np.array_equal(seed_tree._threshold, new_tree._threshold)
+    assert np.array_equal(seed_tree._left, new_tree._left)
+    assert np.array_equal(seed_tree._right, new_tree._right)
+    assert np.array_equal(seed_tree._values, new_tree._values)
+
+
+@pytest.fixture
+def cls_data():
+    rng = np.random.default_rng(1234)
+    X = rng.random((300, 12))
+    y = rng.integers(0, 5, 300)
+    return X, y
+
+
+@pytest.fixture
+def cls_ties_data():
+    """Quantized features: heavy value ties exercise boundary handling."""
+    rng = np.random.default_rng(99)
+    X = np.round(rng.random((260, 9)), 1)
+    y = rng.integers(0, 4, 260)
+    return X, y
+
+
+@pytest.fixture
+def reg_data():
+    """Integer targets keep every prefix-sum bit-exact."""
+    rng = np.random.default_rng(77)
+    X = rng.random((320, 8))
+    y = rng.integers(0, 60, 320).astype(np.float64)
+    return X, y
+
+
+class TestGoldenClassifierTree:
+    @pytest.mark.parametrize("max_features", [None, "sqrt", "log2", 4])
+    def test_node_arrays_identical(self, cls_data, max_features):
+        X, y = cls_data
+        a = SeedDecisionTreeClassifier(max_features=max_features, random_state=5).fit(X, y)
+        b = DecisionTreeClassifier(max_features=max_features, random_state=5).fit(X, y)
+        assert_same_tree(a, b)
+
+    @pytest.mark.parametrize("kw", [
+        {"min_samples_leaf": 4},
+        {"min_samples_split": 10},
+        {"max_depth": 5},
+        {"max_depth": 1},
+    ])
+    def test_hyperparameters_identical(self, cls_data, kw):
+        X, y = cls_data
+        a = SeedDecisionTreeClassifier(random_state=2, **kw).fit(X, y)
+        b = DecisionTreeClassifier(random_state=2, **kw).fit(X, y)
+        assert_same_tree(a, b)
+
+    @pytest.mark.parametrize("max_features", [None, "sqrt"])
+    def test_tied_values_identical(self, cls_ties_data, max_features):
+        X, y = cls_ties_data
+        a = SeedDecisionTreeClassifier(
+            max_features=max_features, random_state=7, min_samples_leaf=3
+        ).fit(X, y)
+        b = DecisionTreeClassifier(
+            max_features=max_features, random_state=7, min_samples_leaf=3
+        ).fit(X, y)
+        assert_same_tree(a, b)
+
+    def test_predictions_identical(self, cls_data):
+        X, y = cls_data
+        rng = np.random.default_rng(0)
+        X_test = rng.random((500, X.shape[1]))
+        a = SeedDecisionTreeClassifier(max_features="sqrt", random_state=9).fit(X, y)
+        b = DecisionTreeClassifier(max_features="sqrt", random_state=9).fit(X, y)
+        assert np.array_equal(a.predict(X_test), b.predict(X_test))
+        assert np.array_equal(a.predict_proba(X_test), b.predict_proba(X_test))
+
+
+class TestGoldenRegressorTree:
+    @pytest.mark.parametrize("max_features", [None, 1 / 3, "sqrt"])
+    def test_node_arrays_identical(self, reg_data, max_features):
+        X, y = reg_data
+        a = SeedDecisionTreeRegressor(
+            max_features=max_features, random_state=5, min_samples_leaf=5
+        ).fit(X, y)
+        b = DecisionTreeRegressor(
+            max_features=max_features, random_state=5, min_samples_leaf=5
+        ).fit(X, y)
+        assert_same_tree(a, b)
+
+    def test_depth_limited_identical(self, reg_data):
+        X, y = reg_data
+        a = SeedDecisionTreeRegressor(max_depth=4, random_state=1).fit(X, y)
+        b = DecisionTreeRegressor(max_depth=4, random_state=1).fit(X, y)
+        assert_same_tree(a, b)
+
+    def test_predictions_identical(self, reg_data):
+        X, y = reg_data
+        X_test = np.random.default_rng(3).random((400, X.shape[1]))
+        a = SeedDecisionTreeRegressor(random_state=4, min_samples_leaf=5).fit(X, y)
+        b = DecisionTreeRegressor(random_state=4, min_samples_leaf=5).fit(X, y)
+        assert np.array_equal(a.predict(X_test), b.predict(X_test))
+
+
+class TestNumericalEdges:
+    def test_offset_targets_do_not_collapse_regression_tree(self):
+        # One-pass E[x^2]-E[x]^2 variance cancels catastrophically here;
+        # the stop criterion must use the stable two-pass form.
+        rng = np.random.default_rng(0)
+        X = rng.random((200, 3))
+        y = 1e8 + rng.random(200)
+        a = SeedDecisionTreeRegressor(random_state=0, min_samples_leaf=5).fit(X, y)
+        b = DecisionTreeRegressor(random_state=0, min_samples_leaf=5).fit(X, y)
+        assert b.node_count == a.node_count
+        assert b.node_count > 20
+
+    def test_wide_data_more_features_than_samples(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((6, 20))
+        y = np.array([0, 1, 0, 1, 0, 1])
+        a = SeedDecisionTreeClassifier(random_state=0).fit(X, y)
+        b = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert_same_tree(a, b)
+        Xr = rng.random((10, 200))
+        yr = rng.integers(0, 2, 10)
+        rf_a = SeedRandomForestClassifier(3, random_state=0).fit(Xr, yr)
+        rf_b = RandomForestClassifier(3, random_state=0).fit(Xr, yr)
+        assert np.array_equal(rf_a.predict_proba(Xr), rf_b.predict_proba(Xr))
+
+    def test_float_targets_predictions_match_seed_closely(self):
+        # Tied feature values + float targets: tie order feeding the
+        # cumsums differs from the seed's per-node sort, so agreement is
+        # to rounding, not necessarily bit-exact.
+        rng = np.random.default_rng(2)
+        X = np.round(rng.random((300, 6)), 1)
+        y = rng.random(300)
+        a = SeedDecisionTreeRegressor(random_state=0, min_samples_leaf=5).fit(X, y)
+        b = DecisionTreeRegressor(random_state=0, min_samples_leaf=5).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X), rtol=1e-12, atol=1e-12)
+
+
+class TestGoldenForest:
+    def test_classifier_proba_identical(self, cls_data):
+        X, y = cls_data
+        a = SeedRandomForestClassifier(20, random_state=0).fit(X, y)
+        b = RandomForestClassifier(20, random_state=0).fit(X, y)
+        for t_seed, t_new in zip(a.estimators_, b.estimators_):
+            assert_same_tree(t_seed, t_new)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_classifier_rare_class_identical(self):
+        # A class so rare some bootstrap samples miss it: exercises the
+        # fit-time class-column alignment against the seed's per-call
+        # searchsorted.
+        rng = np.random.default_rng(8)
+        X = rng.random((120, 3))
+        y = np.zeros(120, dtype=int)
+        y[:5] = 1
+        X[:5] += 10.0
+        a = SeedRandomForestClassifier(15, random_state=3).fit(X, y)
+        b = RandomForestClassifier(15, random_state=3).fit(X, y)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_regressor_predict_identical(self, reg_data):
+        X, y = reg_data
+        a = SeedRandomForestRegressor(15, random_state=0).fit(X, y)
+        b = RandomForestRegressor(15, random_state=0).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_no_bootstrap_identical(self, cls_data):
+        X, y = cls_data
+        a = SeedRandomForestClassifier(8, bootstrap=False, random_state=1).fit(X, y)
+        b = RandomForestClassifier(8, bootstrap=False, random_state=1).fit(X, y)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+
+class TestBatchedPredictProperty:
+    """Batched forest predict must equal the per-tree walk exactly."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_train=st.integers(30, 90),
+        n_test=st.integers(1, 60),
+        n_features=st.integers(2, 7),
+        n_classes=st.integers(2, 5),
+        n_trees=st.integers(1, 12),
+    )
+    def test_classifier_batched_equals_per_tree(
+        self, seed, n_train, n_test, n_features, n_classes, n_trees
+    ):
+        rng = np.random.default_rng(seed)
+        X = rng.random((n_train, n_features))
+        y = rng.integers(0, n_classes, n_train)
+        X_test = rng.random((n_test, n_features))
+        rf = RandomForestClassifier(n_trees, random_state=seed % 1000).fit(X, y)
+        # Reference: sequential per-tree accumulation with column alignment.
+        ref = np.zeros((n_test, rf.classes_.shape[0]))
+        for tree in rf.estimators_:
+            cols = np.searchsorted(rf.classes_, tree.classes_)
+            ref[:, cols] += tree.predict_proba(X_test)
+        ref /= len(rf.estimators_)
+        assert np.array_equal(rf.predict_proba(X_test), ref)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_train=st.integers(30, 80),
+        n_test=st.integers(1, 40),
+        n_trees=st.integers(1, 10),
+    )
+    def test_regressor_batched_equals_per_tree(self, seed, n_train, n_test, n_trees):
+        rng = np.random.default_rng(seed)
+        X = rng.random((n_train, 4))
+        y = rng.random(n_train)
+        X_test = rng.random((n_test, 4))
+        rf = RandomForestRegressor(n_trees, random_state=seed % 1000).fit(X, y)
+        ref = np.zeros(n_test)
+        for tree in rf.estimators_:
+            ref += tree.predict(X_test)
+        ref /= len(rf.estimators_)
+        assert np.array_equal(rf.predict(X_test), ref)
+
+
+class TestHistogramMode:
+    def test_learns_separable_blobs(self):
+        rng = np.random.default_rng(0)
+        X0 = rng.normal(0.0, 0.3, size=(80, 3))
+        X1 = rng.normal(2.0, 0.3, size=(80, 3))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 80 + [1] * 80)
+        tree = DecisionTreeClassifier(splitter="hist", max_bins=16, random_state=0).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.97
+
+    def test_forest_hist_learns(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((300, 5))
+        y = ((X[:, 0] + X[:, 1]) > 1.0).astype(int)
+        rf = RandomForestClassifier(
+            15, random_state=0, splitter="hist", max_bins=32
+        ).fit(X, y)
+        assert (rf.predict(X) == y).mean() > 0.9
+
+    def test_regression_hist(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((400, 3))
+        y = 3.0 * X[:, 0] + X[:, 1]
+        tree = DecisionTreeRegressor(
+            splitter="hist", max_bins=64, min_samples_leaf=5, random_state=0
+        ).fit(X, y)
+        assert np.corrcoef(tree.predict(X), y)[0, 1] > 0.95
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((200, 4))
+        y = rng.integers(0, 3, 200)
+        a = DecisionTreeClassifier(splitter="hist", max_features="sqrt", random_state=5).fit(X, y)
+        b = DecisionTreeClassifier(splitter="hist", max_features="sqrt", random_state=5).fit(X, y)
+        assert_same_tree(a, b)
+
+    def test_thresholds_come_from_bin_edges(self):
+        rng = np.random.default_rng(4)
+        X = rng.random((250, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        max_bins = 8
+        tree = DecisionTreeClassifier(splitter="hist", max_bins=max_bins, random_state=0).fit(X, y)
+        from repro.ml.tree import _quantile_bin
+
+        _, edges = _quantile_bin(X, max_bins)
+        internal = tree._feature != -1
+        for f, thr in zip(tree._feature[internal], tree._threshold[internal]):
+            assert thr in edges[f]
+
+    def test_bins_bound_distinct_thresholds(self):
+        # With B bins a feature offers at most B-1 distinct cut points
+        # across the entire tree.
+        rng = np.random.default_rng(5)
+        X = rng.random((400, 3))
+        y = rng.integers(0, 4, 400)
+        max_bins = 4
+        tree = DecisionTreeClassifier(
+            splitter="hist", max_bins=max_bins, random_state=0
+        ).fit(X, y)
+        internal = tree._feature != -1
+        for f in range(X.shape[1]):
+            thresholds = tree._threshold[internal & (tree._feature == f)]
+            assert np.unique(thresholds).size <= max_bins - 1
+
+    def test_rejects_bad_splitter_and_bins(self):
+        X = np.random.default_rng(0).random((30, 2))
+        y = np.zeros(30, dtype=int)
+        with pytest.raises(ValueError, match="splitter"):
+            DecisionTreeClassifier(splitter="bogus").fit(X, y)
+        with pytest.raises(ValueError, match="max_bins"):
+            DecisionTreeClassifier(splitter="hist", max_bins=1).fit(X, y)

@@ -9,6 +9,8 @@ from repro.ml.model_selection import (
     StratifiedKFold,
     cross_validate_classifier,
     cross_validate_regressor,
+    repeated_cross_validate_classifier,
+    repeated_cross_validate_regressor,
     train_test_split,
 )
 
@@ -142,3 +144,57 @@ class TestCrossValidateDrivers:
 
         cross_validate_classifier(factory, X, y, n_splits=3, random_state=0)
         assert len(built) == 3
+
+
+class TestRepeatedCrossValidate:
+    """The repeats API must equal a fresh splitter per repeat exactly."""
+
+    def test_classifier_matches_per_repeat_loop(self, rng):
+        X = rng.random((120, 5))
+        y = (X[:, 0] + X[:, 1] > 1.0).astype(int)
+        rep = repeated_cross_validate_classifier(
+            lambda s: RandomForestClassifier(6, random_state=s),
+            X, y, repeats=3, random_state=11,
+        )
+        loop = np.stack([
+            cross_validate_classifier(
+                lambda: RandomForestClassifier(6, random_state=11 + r),
+                X, y, random_state=11 + r,
+            )
+            for r in range(3)
+        ])
+        assert rep.shape == (3, 5)
+        assert np.array_equal(rep, loop)
+
+    def test_regressor_matches_per_repeat_loop(self, rng):
+        X = rng.random((110, 4))
+        y = 2.0 * X[:, 0] + X[:, 2]
+        rep = repeated_cross_validate_regressor(
+            lambda s: RandomForestRegressor(6, random_state=s),
+            X, y, repeats=3, random_state=4,
+        )
+        loop = np.stack([
+            cross_validate_regressor(
+                lambda: RandomForestRegressor(6, random_state=4 + r),
+                X, y, random_state=4 + r,
+            )
+            for r in range(3)
+        ])
+        assert np.array_equal(rep, loop)
+
+    def test_repeats_differ_from_each_other(self, rng):
+        X = rng.random((100, 4))
+        y = (X[:, 0] > 0.5).astype(int)
+        rep = repeated_cross_validate_classifier(
+            lambda s: RandomForestClassifier(4, random_state=s),
+            X, y, repeats=2, random_state=0,
+        )
+        assert not np.array_equal(rep[0], rep[1])
+
+    def test_rejects_too_small_class(self):
+        y = np.array([0] * 20 + [1] * 3)
+        with pytest.raises(ValueError, match="least populated"):
+            repeated_cross_validate_classifier(
+                lambda s: RandomForestClassifier(2, random_state=s),
+                np.zeros((23, 2)), y, repeats=2, random_state=0,
+            )
