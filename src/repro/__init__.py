@@ -25,13 +25,16 @@ Subpackages
     root-cause drill-down.
 ``repro.experiments``
     Runnable reproductions of every table and figure in the paper.
+``repro.scenarios``
+    Declarative scenario registry + unified experiment runner with a
+    content-addressed artifact cache (``python -m repro list|run``).
 """
 
 from repro.core import CSModel, CorrelationWiseSmoothing, signature_features
 from repro.engine.fleet import FleetSignatureEngine
 from repro.engine.trainer import IncrementalCSTrainer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CSModel",

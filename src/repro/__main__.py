@@ -1,0 +1,8 @@
+"""``python -m repro`` — the unified scenario CLI (see ``repro.cli``)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

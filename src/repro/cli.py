@@ -1,0 +1,167 @@
+"""Unified experiment CLI: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+``repro list``
+    Show every registered scenario (name, kind, paper artifact, grid
+    size, description).
+``repro run <name>``
+    Execute one scenario through the generic runner, with the shared
+    ``--seed/--repeats/--scale/--smoke/--cache-dir`` flags plus output
+    sinks (``--csv/--jsonl/--markdown``) and ``--out`` for binary
+    artifacts.
+``repro run-all``
+    Execute every registered scenario (optionally filtered by ``--tag``),
+    writing per-scenario CSV/markdown into ``--results-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.reporting import (
+    CSVSink,
+    MarkdownSink,
+    print_table,
+)
+from repro.scenarios.options import (
+    add_shared_options,
+    options_from_args,
+    sinks_from_args,
+)
+from repro.scenarios.registry import get_scenario, list_scenarios
+from repro.scenarios.runner import execute
+
+__all__ = ["main", "console_main"]
+
+
+def _status(message: str) -> None:
+    """Progress/log output; stderr so stdout stays machine-consumable."""
+    print(message, file=sys.stderr)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_scenarios(tag=args.tag)
+    rows = [
+        (
+            s.name,
+            s.kind,
+            s.paper or "—",
+            len(s.datasets),
+            len(s.methods),
+            s.description,
+        )
+        for s in specs
+    ]
+    print_table(
+        ("Name", "Kind", "Paper artifact", "Datasets", "Methods", "Description"),
+        rows,
+        title="Registered scenarios",
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as exc:
+        _status(f"error: {exc.args[0]}")
+        return 2
+    options = options_from_args(args)
+    result = execute(spec, options=options, sinks=sinks_from_args(args))
+    stats = result.cache_stats
+    cache_note = ""
+    if options.cache_dir:
+        cache_note = (
+            f"  cache: {stats['segment_hits'] + stats['dataset_hits']} hits, "
+            f"{stats['segment_misses'] + stats['dataset_misses']} misses"
+        )
+    _status(
+        f"[{spec.name}] done in {result.wall_time_s:.2f}s "
+        f"({len(result.rows)} rows){cache_note}"
+    )
+    for path in result.artifact_paths:
+        _status(f"[{spec.name}] wrote {path}")
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    specs = list_scenarios(tag=args.tag)
+    results_dir = Path(args.results_dir) if args.results_dir else None
+    failures = []
+    for spec in specs:
+        _status(f"[{spec.name}] running ...")
+        sinks = sinks_from_args(args, table=not args.quiet)
+        if results_dir is not None:
+            sinks.append(CSVSink(results_dir / f"{spec.name}.csv"))
+            sinks.append(MarkdownSink(results_dir / f"{spec.name}.md"))
+        try:
+            result = execute(
+                spec, options=options_from_args(args), sinks=sinks
+            )
+        except Exception as exc:  # surface every failure, run the rest
+            failures.append((spec.name, exc))
+            _status(f"[{spec.name}] FAILED: {exc}")
+            continue
+        _status(
+            f"[{spec.name}] done in {result.wall_time_s:.2f}s "
+            f"({len(result.rows)} rows)"
+        )
+    if failures:
+        _status(f"{len(failures)}/{len(specs)} scenarios failed")
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative scenario runner for the CS reproduction "
+        "(paper figures/tables plus extended coverage).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show registered scenarios")
+    p_list.add_argument("--tag", default=None, help="filter by tag")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one scenario")
+    p_run.add_argument("name", help="registered scenario name")
+    add_shared_options(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_all = sub.add_parser("run-all", help="run every registered scenario")
+    p_all.add_argument("--tag", default=None, help="filter by tag")
+    p_all.add_argument(
+        "--results-dir",
+        default=None,
+        help="write per-scenario CSV + markdown summaries here",
+    )
+    p_all.add_argument(
+        "--quiet", action="store_true", help="suppress stdout tables"
+    )
+    add_shared_options(
+        p_all, "--seed", "--repeats", "--scale", "--trees", "--smoke",
+        "--cache-dir", "--out",
+    )
+    p_all.set_defaults(func=_cmd_run_all)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+def console_main() -> None:  # pragma: no cover - setuptools entry point
+    import os
+
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly with
+        # the conventional 128 + SIGPIPE status instead of a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

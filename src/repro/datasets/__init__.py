@@ -17,6 +17,7 @@ Layout
 ``faults``      The eight fault models of the Fault segment.
 ``windows``     Window extraction and label/target alignment.
 ``generators``  The five segment generators + windowed ML dataset builders.
+``recipes``     Declarative, content-addressable dataset recipes.
 """
 
 from repro.datasets.generators import (
@@ -30,6 +31,7 @@ from repro.datasets.generators import (
     generate_segment,
 )
 from repro.datasets.gpu import GPU_SPEC, generate_gpu
+from repro.datasets.recipes import DatasetRecipe, recipe
 from repro.datasets.schema import (
     ARCHITECTURES,
     SEGMENTS,
@@ -44,6 +46,7 @@ from repro.datasets.windows import (
 
 __all__ = [
     "ARCHITECTURES",
+    "DatasetRecipe",
     "GPU_SPEC",
     "SEGMENTS",
     "SegmentData",
@@ -58,6 +61,7 @@ __all__ = [
     "generate_power",
     "generate_segment",
     "get_segment_spec",
+    "recipe",
     "window_majority_labels",
     "window_starts",
 ]

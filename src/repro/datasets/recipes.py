@@ -1,0 +1,187 @@
+"""Declarative, content-addressable dataset recipes.
+
+A :class:`DatasetRecipe` describes *how to produce* one HPC-ODA segment —
+the generator name, its seed/scale/keyword parameters and optional
+post-generation perturbations (sensor noise, slow drift) — as a frozen,
+serializable value.  Two recipes with equal fields always produce
+bit-identical segments, so the recipe's canonical JSON form can serve as
+a content-address for cached artifacts (see ``repro.scenarios.cache``).
+
+This mirrors the generator-dataset primitive of spec-driven benchmark
+harnesses: the recipe identifies a *parametric function*, not a file, and
+``(recipe) -> data`` is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.datasets.generators import SegmentData, generate_segment
+from repro.datasets.schema import get_segment_spec
+
+__all__ = ["DatasetRecipe", "recipe"]
+
+
+def _frozen_params(params) -> tuple[tuple[str, Any], ...]:
+    """Normalize generator kwargs into a sorted, hashable tuple of pairs."""
+    if isinstance(params, dict):
+        items = params.items()
+    else:
+        items = tuple(params)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class DatasetRecipe:
+    """Everything needed to (re)generate one segment deterministically.
+
+    Attributes
+    ----------
+    segment:
+        Segment generator name (``fault``, ``application``, ...).
+    seed:
+        Base RNG seed passed to the generator.
+    scale:
+        Segment-length multiplier (the generators' ``scale`` argument).
+    params:
+        Extra generator keyword arguments (``t``, ``nodes``, ``racks``)
+        as a sorted tuple of ``(name, value)`` pairs.
+    noise_std:
+        When positive, additive Gaussian sensor noise applied after
+        generation, expressed as a fraction of each sensor's standard
+        deviation (robustness scenarios).
+    drift:
+        When nonzero, a linear per-sensor ramp of this magnitude (again
+        in per-sensor standard deviations, random sign) added over the
+        series — a slow sensor-calibration drift.
+    noise_seed:
+        Seed of the perturbation RNG (independent of ``seed``).
+    label:
+        Display name used in result rows; defaults to ``segment``.
+        Distinguishes recipe variants (e.g. ``application+noise5%``).
+    """
+
+    segment: str
+    seed: int = 0
+    scale: float = 1.0
+    params: tuple[tuple[str, Any], ...] = ()
+    noise_std: float = 0.0
+    drift: float = 0.0
+    noise_seed: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        get_segment_spec(self.segment)  # fail fast on unknown segments
+        object.__setattr__(self, "params", _frozen_params(self.params))
+
+    # -- identity ------------------------------------------------------
+    @property
+    def display(self) -> str:
+        """Row label: explicit ``label`` or the plain segment name."""
+        return self.label or self.segment
+
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict; field order is irrelevant (keys are sorted
+        during canonicalization, see ``repro.scenarios.spec``)."""
+        return {
+            "segment": self.segment,
+            "seed": self.seed,
+            "scale": self.scale,
+            "params": self.params_dict(),
+            "noise_std": self.noise_std,
+            "drift": self.drift,
+            "noise_seed": self.noise_seed,
+            "label": self.label,
+        }
+
+    def cache_dict(self) -> dict[str, Any]:
+        """The fields that determine the *generated data* (cache identity).
+
+        Drops ``label`` (display-only) and, when no perturbation is
+        configured, ``noise_seed`` (no random draw consumes it) — so
+        recipes that build bit-identical segments share cached artifacts
+        across scenarios.
+        """
+        data = self.to_dict()
+        del data["label"]
+        if self.noise_std == 0.0 and self.drift == 0.0:
+            del data["noise_seed"]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DatasetRecipe":
+        return cls(
+            segment=data["segment"],
+            seed=data.get("seed", 0),
+            scale=data.get("scale", 1.0),
+            params=_frozen_params(data.get("params", {})),
+            noise_std=data.get("noise_std", 0.0),
+            drift=data.get("drift", 0.0),
+            noise_seed=data.get("noise_seed", 0),
+            label=data.get("label", ""),
+        )
+
+    # -- derivation ----------------------------------------------------
+    def with_overrides(
+        self, *, seed: int | None = None, scale: float | None = None
+    ) -> "DatasetRecipe":
+        """Copy with the shared ``--seed``/``--scale`` CLI flags applied."""
+        out = self
+        if seed is not None:
+            out = replace(out, seed=int(seed))
+        if scale is not None:
+            out = replace(out, scale=float(scale))
+        return out
+
+    # -- materialization ----------------------------------------------
+    def build(self) -> SegmentData:
+        """Generate the segment (plus perturbations) this recipe names."""
+        segment = generate_segment(
+            self.segment, seed=self.seed, scale=self.scale, **self.params_dict()
+        )
+        if self.noise_std > 0.0 or self.drift != 0.0:
+            _perturb(segment, self.noise_std, self.drift, self.noise_seed)
+        return segment
+
+
+def _perturb(
+    segment: SegmentData, noise_std: float, drift: float, noise_seed: int
+) -> None:
+    """Apply deterministic sensor noise / drift to a fresh segment.
+
+    Only sensor readings are perturbed; labels and regression targets are
+    untouched, so robustness scenarios measure how signature methods cope
+    with degraded telemetry on an unchanged task.
+    """
+    for ci, comp in enumerate(segment.components):
+        rng = np.random.default_rng(np.random.SeedSequence([noise_seed, 83, ci]))
+        m = comp.matrix
+        row_std = m.std(axis=1, keepdims=True)
+        ref = np.where(row_std > 0.0, row_std, 1.0)
+        if noise_std > 0.0:
+            m += rng.normal(0.0, 1.0, size=m.shape) * (noise_std * ref)
+        if drift != 0.0:
+            ramp = np.linspace(0.0, 1.0, m.shape[1])
+            sign = rng.choice(np.array([-1.0, 1.0]), size=(m.shape[0], 1))
+            m += drift * ref * sign * ramp
+
+
+def recipe(segment: str, /, **kwargs: Any) -> DatasetRecipe:
+    """Shorthand constructor: generator kwargs become ``params``.
+
+    ``recipe("application", t=2400, nodes=16)`` is
+    ``DatasetRecipe("application", params=(("nodes", 16), ("t", 2400)))``;
+    recipe fields (``seed``, ``scale``, ``noise_std``, ``drift``,
+    ``noise_seed``, ``label``) are picked out by name.
+    """
+    fields = {}
+    for name in ("seed", "scale", "noise_std", "drift", "noise_seed", "label"):
+        if name in kwargs:
+            fields[name] = kwargs.pop(name)
+    return DatasetRecipe(segment, params=_frozen_params(kwargs), **fields)

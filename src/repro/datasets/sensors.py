@@ -17,6 +17,7 @@ is what the Cross-Architecture experiment exercises.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -189,7 +190,11 @@ def node_sensor_bank(
     produces differently scaled readings per architecture, while a bank's
     exact composition is drawn from ``rng``.
     """
-    arch_rng = np.random.default_rng(abs(hash(arch)) % (2**32))
+    # zlib.crc32, not hash(): string hashing is salted per process
+    # (PYTHONHASHSEED), which would make "deterministic" generation differ
+    # between processes — fatal for the content-addressed artifact cache
+    # and for byte-identical re-runs.
+    arch_rng = np.random.default_rng(zlib.crc32(arch.encode("utf-8")))
     arch_gain = arch_rng.uniform(0.7, 1.3, size=len(CHANNELS))
     specs: list[SensorSpec] = []
 

@@ -1,8 +1,12 @@
 """Runnable reproductions of every table and figure in the paper.
 
-Each module regenerates one artifact of Section IV and can be run as a
-script (``python -m repro.experiments.fig3``); see DESIGN.md §5 for the
-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+Every experiment is a declarative scenario spec registered in
+``repro.scenarios.builtin`` and executed by the generic runner; the
+modules below are thin compatibility shims that keep the historical
+``run()`` APIs and per-script CLIs (``python -m repro.experiments.fig3``)
+working.  Prefer the unified CLI: ``python -m repro list`` /
+``python -m repro run fig3``.  See EXPERIMENTS.md for the scenario ->
+paper-artifact map.
 
 =============  =====================================================
 Module         Paper artifact

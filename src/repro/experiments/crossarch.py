@@ -13,6 +13,11 @@ The paper reports F1 = 0.995 with a random forest and 0.992 with a
 multi-layer perceptron; our synthetic segment should land similarly high,
 and — crucially — the experiment is *impossible* with the baselines,
 whose signature lengths differ per node (we verify that too).
+
+The experiment is the registered ``crossarch`` scenario spec; this module
+keeps the historical API (:class:`CrossArchResult`,
+:func:`baseline_signature_lengths`) and CLI as thin shims over the
+generic runner (equivalent to ``python -m repro run crossarch``).
 """
 
 from __future__ import annotations
@@ -20,16 +25,16 @@ from __future__ import annotations
 import argparse
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.baselines.base import get_method
-from repro.datasets.generators import build_ml_dataset, generate_cross_architecture
-from repro.experiments.reporting import print_table
-from repro.ml.forest import RandomForestClassifier
-from repro.ml.metrics import f1_score
-from repro.ml.mlp import MLPClassifier
-from repro.ml.model_selection import StratifiedKFold
-from repro.ml.preprocessing import StandardScaler
+from repro.datasets.generators import generate_cross_architecture
+from repro.datasets.recipes import recipe
+from repro.scenarios.options import (
+    add_shared_options,
+    options_from_args,
+    sinks_from_args,
+)
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import execute
 
 __all__ = ["CrossArchResult", "run", "baseline_signature_lengths", "main"]
 
@@ -70,55 +75,37 @@ def run(
     mlp_max_iter: int = 150,
 ) -> CrossArchResult:
     """Run the merged-dataset classification with RF and MLP models."""
-    segment = generate_cross_architecture(seed=seed, t=t)
-    dataset = build_ml_dataset(segment, lambda: get_method(f"cs-{blocks}"))
-    X, y = dataset.X, dataset.y.astype(np.intp)
-    per_arch = {
-        comp.arch: int((dataset.groups == i).sum())
-        for i, comp in enumerate(segment.components)
-    }
-
-    rf_scores = []
-    mlp_scores = []
-    splitter = StratifiedKFold(n_splits=5, shuffle=True, random_state=seed)
-    for train, test in splitter.split(X, y):
-        rf = RandomForestClassifier(trees, random_state=seed).fit(X[train], y[train])
-        rf_scores.append(f1_score(y[test], rf.predict(X[test])))
-        scaler = StandardScaler().fit(X[train])
-        mlp = MLPClassifier(max_iter=mlp_max_iter, random_state=seed)
-        mlp.fit(scaler.transform(X[train]), y[train])
-        mlp_scores.append(f1_score(y[test], mlp.predict(scaler.transform(X[test]))))
-    return CrossArchResult(
-        rf_f1=float(np.mean(rf_scores)),
-        mlp_f1=float(np.mean(mlp_scores)),
-        n_samples=dataset.n_samples,
-        signature_size=dataset.signature_size,
-        per_arch_counts=per_arch,
+    spec = get_scenario("crossarch").with_datasets(
+        (recipe("cross-architecture", seed=seed, t=t),)
+    ).with_evaluation(
+        blocks=blocks, trees=trees, seed=seed, mlp_max_iter=mlp_max_iter
     )
+    return execute(spec).extras["result"]
 
 
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point for the Section IV-F experiment."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--blocks", type=int, default=20)
-    parser.add_argument("--trees", type=int, default=50)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--t", type=int, default=1600)
-    args = parser.parse_args(argv)
-    result = run(blocks=args.blocks, trees=args.trees, seed=args.seed, t=args.t)
-    print_table(
-        ("Model", "F1 (merged 3-arch dataset)", "Paper"),
-        [
-            ("Random forest", round(result.rf_f1, 4), 0.995),
-            ("MLP", round(result.mlp_f1, 4), 0.992),
-        ],
-        title="Section IV-F — cross-architecture application classification",
+    add_shared_options(
+        parser, "--trees", "--seed", "--smoke", "--cache-dir", "--csv",
+        "--jsonl", "--markdown",
     )
-    print(f"\nSamples: {result.n_samples}  per arch: {result.per_arch_counts}")
-    print(f"CS signature size (uniform across architectures): "
-          f"{result.signature_size}")
-    lengths = baseline_signature_lengths(seed=args.seed)
-    print(f"Tuncer signature sizes per architecture (incompatible): {lengths}")
+    parser.add_argument("--blocks", type=int, default=None,
+                        help="CS block count (default 20, Section IV-F)")
+    parser.add_argument("--t", type=int, default=None,
+                        help="samples per architecture (default 1600)")
+    args = parser.parse_args(argv)
+    overrides = {"blocks": args.blocks} if args.blocks is not None else None
+    datasets = None
+    if args.t is not None:
+        datasets = (recipe("cross-architecture", t=args.t),)
+    execute(
+        get_scenario("crossarch"),
+        options=options_from_args(
+            args, evaluation=overrides, datasets=datasets
+        ),
+        sinks=sinks_from_args(args),
+    )
 
 
 if __name__ == "__main__":

@@ -13,39 +13,36 @@ The expected qualitative outcome, as in the paper: CS matches the
 baselines' scores while its signatures are up to ~10x smaller and its
 times up to ~10x lower; Fault needs a high block count, Infrastructure is
 accurate already at CS-5.
+
+The experiment itself is the registered ``fig3`` scenario spec
+(``repro.scenarios.builtin``); this module is a thin compatibility shim:
+:func:`run` executes the spec through the generic runner and ``main``
+exposes the historical CLI (``python -m repro.experiments.fig3``), which
+is equivalent to ``python -m repro run fig3``.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.datasets.generators import generate_segment
-from repro.experiments.harness import (
-    DEFAULT_METHODS,
-    ExperimentResult,
-    run_method_on_segment,
+from repro.datasets.recipes import DatasetRecipe
+from repro.experiments.harness import DEFAULT_METHODS, ExperimentResult
+from repro.scenarios.builtin import PAPER_SEGMENTS
+from repro.scenarios.evaluations import GRID_HEADERS
+from repro.scenarios.options import (
+    add_shared_options,
+    options_from_args,
+    sinks_from_args,
 )
-from repro.experiments.reporting import print_table, save_csv
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import execute
 
-__all__ = ["FIG3_SEGMENTS", "run", "main"]
+__all__ = ["FIG3_SEGMENTS", "HEADERS", "run", "main"]
 
 #: The four segments of Figure 3 (Cross-Architecture is Section IV-F).
-FIG3_SEGMENTS: tuple[str, ...] = (
-    "fault",
-    "application",
-    "power",
-    "infrastructure",
-)
+FIG3_SEGMENTS: tuple[str, ...] = PAPER_SEGMENTS
 
-HEADERS = (
-    "Segment",
-    "Method",
-    "Sig. size",
-    "Gen time [s]",
-    "CV time [s]",
-    "ML score",
-    "Std",
-)
+HEADERS = GRID_HEADERS
 
 
 def run(
@@ -59,52 +56,34 @@ def run(
     segment_kwargs: dict | None = None,
 ) -> list[ExperimentResult]:
     """Run the full Figure 3 grid; returns one result per cell."""
-    results: list[ExperimentResult] = []
-    for seg_name in segments:
-        kwargs = dict(segment_kwargs or {})
-        segment = generate_segment(seg_name, seed=seed, scale=scale, **kwargs)
-        for method in methods:
-            results.append(
-                run_method_on_segment(
-                    segment,
-                    method,
-                    trees=trees,
-                    repeats=repeats,
-                    seed=seed,
-                )
-            )
-    return results
+    spec = get_scenario("fig3").with_datasets(
+        DatasetRecipe(
+            segment=name,
+            seed=seed,
+            scale=scale,
+            params=dict(segment_kwargs or {}),
+        )
+        for name in segments
+    ).with_methods(methods).with_evaluation(
+        trees=trees, repeats=repeats, seed=seed
+    )
+    return execute(spec).extras["results"]
 
 
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point for the Figure 3 grid."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trees", type=int, default=50)
-    parser.add_argument("--repeats", type=int, default=1,
-                        help="cross-validation repetitions (paper: 5)")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument("--segments", nargs="*", default=list(FIG3_SEGMENTS))
-    parser.add_argument("--methods", nargs="*", default=list(DEFAULT_METHODS))
-    parser.add_argument("--csv", type=str, default=None,
-                        help="also write results to this CSV path")
+    add_shared_options(
+        parser, "--trees", "--repeats", "--seed", "--scale", "--smoke",
+        "--cache-dir", "--csv", "--jsonl", "--markdown", "--methods",
+        "--segments",
+    )
     args = parser.parse_args(argv)
-    results = run(
-        segments=tuple(args.segments),
-        methods=tuple(args.methods),
-        trees=args.trees,
-        repeats=args.repeats,
-        seed=args.seed,
-        scale=args.scale,
+    execute(
+        get_scenario("fig3"),
+        options=options_from_args(args),
+        sinks=sinks_from_args(args),
     )
-    rows = [r.row() for r in results]
-    print_table(
-        HEADERS,
-        rows,
-        title="Figure 3 — times (a), signature sizes (b) and ML scores (c)",
-    )
-    if args.csv:
-        save_csv(args.csv, HEADERS, rows)
 
 
 if __name__ == "__main__":

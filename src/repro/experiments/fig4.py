@@ -15,6 +15,11 @@ Expected shapes, as in the paper: JS divergence decreases and the ML
 score increases monotonically with l; Fault and Power react strongly to
 l, Infrastructure barely; dropping the imaginary parts raises the JS
 divergence everywhere but hurts the ML score mainly for Power and Fault.
+
+The experiment is the registered ``fig4`` scenario spec; this module
+keeps the historical API (:func:`run`, :class:`Fig4Point`,
+:func:`segment_js_divergence`) and CLI as thin shims over the generic
+runner (equivalent to ``python -m repro run fig4``).
 """
 
 from __future__ import annotations
@@ -26,30 +31,26 @@ import numpy as np
 
 from repro.analysis.similarity import cs_compression_divergence
 from repro.core.pipeline import CorrelationWiseSmoothing
-from repro.datasets.generators import SegmentData, generate_segment
-from repro.experiments.harness import run_method_on_segment
-from repro.experiments.reporting import print_table, save_csv
+from repro.datasets.generators import SegmentData
+from repro.datasets.recipes import DatasetRecipe
+from repro.scenarios.builtin import PAPER_SEGMENTS
+from repro.scenarios.evaluations import LENGTH_SWEEP_HEADERS
+from repro.scenarios.options import (
+    add_shared_options,
+    options_from_args,
+    sinks_from_args,
+)
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import execute
 
 __all__ = ["FIG4_SEGMENTS", "SIGNATURE_LENGTHS", "run", "main", "Fig4Point"]
 
-FIG4_SEGMENTS: tuple[str, ...] = (
-    "fault",
-    "application",
-    "power",
-    "infrastructure",
-)
+FIG4_SEGMENTS: tuple[str, ...] = PAPER_SEGMENTS
 
 #: The x-axis of Figure 4.
 SIGNATURE_LENGTHS: tuple[int | str, ...] = (5, 10, 20, 40, "all")
 
-HEADERS = (
-    "Segment",
-    "l",
-    "Real only",
-    "JS divergence",
-    "ML score",
-    "Sig. size",
-)
+HEADERS = LENGTH_SWEEP_HEADERS
 
 
 @dataclass
@@ -108,55 +109,34 @@ def run(
     with_real_only: bool = True,
 ) -> list[Fig4Point]:
     """Compute the Figure 4 curves; returns one point per cell."""
-    points: list[Fig4Point] = []
-    for seg_name in segments:
-        segment = generate_segment(seg_name, seed=seed, scale=scale)
-        for l in lengths:
-            for real_only in (False, True) if with_real_only else (False,):
-                method = f"cs-{l}"
-                js = segment_js_divergence(segment, l, real_only=real_only)
-                res = run_method_on_segment(
-                    segment, method, trees=trees, seed=seed, real_only=real_only
-                )
-                points.append(
-                    Fig4Point(
-                        segment=seg_name,
-                        length=str(l),
-                        real_only=real_only,
-                        js_divergence=js,
-                        ml_score=res.ml_score,
-                        signature_size=res.signature_size,
-                    )
-                )
-    return points
+    spec = get_scenario("fig4").with_datasets(
+        DatasetRecipe(segment=name, seed=seed, scale=scale)
+        for name in segments
+    ).with_evaluation(
+        lengths=tuple(lengths),
+        with_real_only=bool(with_real_only),
+        trees=trees,
+        seed=seed,
+    )
+    return execute(spec).extras["points"]
 
 
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point for the Figure 4 sweep."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trees", type=int, default=50)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument("--segments", nargs="*", default=list(FIG4_SEGMENTS))
+    add_shared_options(
+        parser, "--trees", "--seed", "--scale", "--smoke", "--cache-dir",
+        "--csv", "--jsonl", "--markdown", "--segments",
+    )
     parser.add_argument("--no-real-only", action="store_true",
                         help="skip the -R (real components only) variants")
-    parser.add_argument("--csv", type=str, default=None)
     args = parser.parse_args(argv)
-    points = run(
-        segments=tuple(args.segments),
-        trees=args.trees,
-        seed=args.seed,
-        scale=args.scale,
-        with_real_only=not args.no_real_only,
+    overrides = {"with_real_only": False} if args.no_real_only else None
+    execute(
+        get_scenario("fig4"),
+        options=options_from_args(args, evaluation=overrides),
+        sinks=sinks_from_args(args),
     )
-    rows = [p.row() for p in points]
-    print_table(
-        HEADERS,
-        rows,
-        title="Figure 4 — JS divergence (a) and ML score (b) vs signature length",
-    )
-    if args.csv:
-        save_csv(args.csv, HEADERS, rows)
 
 
 if __name__ == "__main__":

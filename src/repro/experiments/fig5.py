@@ -12,6 +12,10 @@ slightly super-linear in ``wl`` (their percentiles cost
 ``O(wl log wl)``); CS is linear in both and roughly an order of magnitude
 faster than Tuncer/Bodik at the high end, with the block count having
 only a minor effect.
+
+The experiment is the registered ``fig5`` scenario spec; this module
+keeps the historical API and CLI as thin shims over the generic runner
+(equivalent to ``python -m repro run fig5``).
 """
 
 from __future__ import annotations
@@ -23,7 +27,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.harness import DEFAULT_METHODS, make_method_factory
-from repro.experiments.reporting import print_table, save_csv
+from repro.scenarios.builtin import FIG5_N_GRID, FIG5_WL_GRID
+from repro.scenarios.evaluations import TIMING_HEADERS
+from repro.scenarios.options import (
+    add_shared_options,
+    options_from_args,
+    sinks_from_args,
+)
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import execute
 
 __all__ = [
     "DEFAULT_WL_GRID",
@@ -35,10 +47,10 @@ __all__ = [
 ]
 
 #: Scaled-down versions of the paper's 10..10k sweeps; override via CLI.
-DEFAULT_WL_GRID: tuple[int, ...] = (10, 250, 500, 1000, 2000, 4000)
-DEFAULT_N_GRID: tuple[int, ...] = (10, 250, 500, 1000, 2000, 4000)
+DEFAULT_WL_GRID: tuple[int, ...] = FIG5_WL_GRID
+DEFAULT_N_GRID: tuple[int, ...] = FIG5_N_GRID
 
-HEADERS = ("Axis", "Method", "wl", "n", "Median time [s]")
+HEADERS = TIMING_HEADERS
 
 
 @dataclass
@@ -97,57 +109,39 @@ def run(
     Methods with a fixed block count are skipped for matrix sizes where
     ``l > n`` (e.g. CS-40 needs at least 40 dimensions).
     """
-    points: list[TimingPoint] = []
-
-    def blocks_of(name: str) -> int | None:
-        if name.lower().startswith("cs-") and name.lower() != "cs-all":
-            return int(name[3:])
-        return None
-
-    for wl in wl_grid:
-        for m in methods:
-            b = blocks_of(m)
-            if b is not None and b > fixed_n:
-                continue
-            t = time_single_signature(m, fixed_n, wl, repeats=repeats, seed=seed)
-            points.append(TimingPoint("wl", m, wl, fixed_n, t))
-    for n in n_grid:
-        for m in methods:
-            b = blocks_of(m)
-            if b is not None and b > n:
-                continue
-            t = time_single_signature(m, n, fixed_wl, repeats=repeats, seed=seed)
-            points.append(TimingPoint("n", m, fixed_wl, n, t))
-    return points
+    spec = get_scenario("fig5").with_methods(methods).with_evaluation(
+        wl_grid=tuple(wl_grid),
+        n_grid=tuple(n_grid),
+        fixed_n=fixed_n,
+        fixed_wl=fixed_wl,
+        repeats=repeats,
+        seed=seed,
+    )
+    return execute(spec).extras["points"]
 
 
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point for the Figure 5 timing sweeps."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--repeats", type=int, default=20)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--wl-grid", nargs="*", type=int,
-                        default=list(DEFAULT_WL_GRID))
-    parser.add_argument("--n-grid", nargs="*", type=int,
-                        default=list(DEFAULT_N_GRID))
-    parser.add_argument("--methods", nargs="*", default=list(DEFAULT_METHODS))
-    parser.add_argument("--csv", type=str, default=None)
+    add_shared_options(
+        parser, "--repeats", "--seed", "--smoke", "--csv", "--jsonl",
+        "--markdown", "--methods",
+    )
+    parser.add_argument("--wl-grid", nargs="*", type=int, default=None,
+                        help="window lengths for the wl sweep")
+    parser.add_argument("--n-grid", nargs="*", type=int, default=None,
+                        help="dimension counts for the n sweep")
     args = parser.parse_args(argv)
-    points = run(
-        methods=tuple(args.methods),
-        wl_grid=tuple(args.wl_grid),
-        n_grid=tuple(args.n_grid),
-        repeats=args.repeats,
-        seed=args.seed,
+    overrides = {}
+    if args.wl_grid is not None:
+        overrides["wl_grid"] = tuple(args.wl_grid)
+    if args.n_grid is not None:
+        overrides["n_grid"] = tuple(args.n_grid)
+    execute(
+        get_scenario("fig5"),
+        options=options_from_args(args, evaluation=overrides or None),
+        sinks=sinks_from_args(args),
     )
-    rows = [p.row() for p in points]
-    print_table(
-        HEADERS,
-        rows,
-        title="Figure 5 — time to compute one signature vs wl (a) and n (b)",
-    )
-    if args.csv:
-        save_csv(args.csv, HEADERS, rows)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,11 @@ The paper's interpretation hooks are reproduced by the workload models:
 Kripke shows clear iterations in both components, Linpack constant load
 with a pronounced initialization phase, Quicksilver light load with a
 periodic frequency pattern, and AMG (Figure 2) a memory-usage gradient.
+
+The experiment is the registered ``fig6`` scenario spec; this module
+keeps the historical API (:func:`application_heatmaps`,
+:func:`run_intervals`) and CLI as thin shims over the generic runner
+(equivalent to ``python -m repro run fig6 --out figures``).
 """
 
 from __future__ import annotations
@@ -24,16 +29,18 @@ import numpy as np
 from repro.analysis.visualization import (
     add_boundaries,
     ascii_heatmap,
-    save_pgm,
     signature_heatmaps,
     to_grayscale,
 )
 from repro.core.pipeline import CorrelationWiseSmoothing
-from repro.datasets.generators import SegmentData, generate_application
+from repro.datasets.generators import SegmentData
+from repro.datasets.recipes import recipe
+from repro.scenarios.builtin import FIG6_APPS
+from repro.scenarios.options import add_shared_options, options_from_args
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import RunOptions, execute
 
 __all__ = ["FIG6_APPS", "HeatmapResult", "run_intervals", "application_heatmaps", "run", "main"]
-
-FIG6_APPS: tuple[str, ...] = ("Kripke", "Linpack", "Quicksilver")
 
 
 @dataclass
@@ -130,41 +137,48 @@ def run(
     out_dir: str | Path | None = None,
 ) -> list[HeatmapResult]:
     """Generate the Application segment and compute all heatmaps."""
-    segment = generate_application(seed=seed, t=t, nodes=nodes)
-    results = []
-    for app in apps:
-        res = application_heatmaps(segment, app, blocks=blocks)
-        results.append(res)
-        if out_dir is not None:
-            out = Path(out_dir)
-            out.mkdir(parents=True, exist_ok=True)
-            save_pgm(out / f"fig6_{app.lower()}_real.pgm", res.real_image)
-            save_pgm(out / f"fig6_{app.lower()}_imag.pgm", res.imag_image)
-    return results
+    spec = get_scenario("fig6").with_datasets(
+        (recipe("application", seed=seed, t=t, nodes=nodes),)
+    ).with_evaluation(apps=tuple(apps), blocks=blocks)
+    result = execute(spec, options=RunOptions(out_dir=out_dir))
+    return result.extras["results"]
 
 
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point: render and save the Figure 6 heatmaps."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--apps", nargs="*", default=list(FIG6_APPS),
-                        help="applications to render (e.g. AMG for Figure 2)")
-    parser.add_argument("--blocks", type=int, default=160)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--t", type=int, default=2400,
-                        help="samples of Application-segment data to generate")
-    parser.add_argument("--nodes", type=int, default=16)
-    parser.add_argument("--out", type=str, default="figures",
-                        help="directory for the PGM images")
+    add_shared_options(parser, "--seed", "--smoke", "--cache-dir", "--out",
+                       out="figures")
+    parser.add_argument("--apps", nargs="*", default=None,
+                        help="applications to render (e.g. AMG for Figure 2; "
+                        "default: Kripke Linpack Quicksilver)")
+    parser.add_argument("--blocks", type=int, default=None,
+                        help="CS block count (default 160, paper's Figure 6)")
+    parser.add_argument("--t", type=int, default=None,
+                        help="samples of Application-segment data to generate "
+                        "(default 2400)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="nodes in the generated segment (default 16)")
     args = parser.parse_args(argv)
-    results = run(
-        apps=tuple(args.apps),
-        blocks=args.blocks,
-        seed=args.seed,
-        t=args.t,
-        nodes=args.nodes,
-        out_dir=args.out,
+    overrides = {}
+    if args.apps is not None:
+        overrides["apps"] = tuple(args.apps)
+    if args.blocks is not None:
+        overrides["blocks"] = args.blocks
+    datasets = None
+    if args.t is not None or args.nodes is not None:
+        datasets = (recipe(
+            "application",
+            t=args.t if args.t is not None else 2400,
+            nodes=args.nodes if args.nodes is not None else 16,
+        ),)
+    result = execute(
+        get_scenario("fig6"),
+        options=options_from_args(
+            args, evaluation=overrides or None, datasets=datasets
+        ),
     )
-    for res in results:
+    for res in result.extras["results"]:
         print(f"\n=== {res.app}: real components "
               f"({res.signatures.shape[0]} signatures x {res.signatures.shape[1]} blocks) ===")
         print(ascii_heatmap(255 - res.real_image.astype(np.float64)))

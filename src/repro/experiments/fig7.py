@@ -5,6 +5,10 @@ Cross-Architecture nodes (Skylake, Knights Landing, AMD Rome).  Each node
 has a different sensor count and response scaling, yet — because CS
 signatures of a fixed block count are comparable across systems — the
 same performance patterns appear in all three heatmaps.
+
+The experiment is the registered ``fig7`` scenario spec; this module
+keeps the historical API (:func:`node_heatmap`) and CLI as thin shims
+over the generic runner (equivalent to ``python -m repro run fig7``).
 """
 
 from __future__ import annotations
@@ -18,13 +22,16 @@ import numpy as np
 from repro.analysis.visualization import (
     add_boundaries,
     ascii_heatmap,
-    save_pgm,
     signature_heatmaps,
     to_grayscale,
 )
 from repro.core.pipeline import CorrelationWiseSmoothing
-from repro.datasets.generators import ComponentData, generate_cross_architecture
+from repro.datasets.generators import ComponentData
+from repro.datasets.recipes import recipe
 from repro.experiments.fig6 import run_intervals
+from repro.scenarios.options import add_shared_options, options_from_args
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import RunOptions, execute
 
 __all__ = ["NodeHeatmap", "node_heatmap", "run", "main"]
 
@@ -86,49 +93,44 @@ def run(
     out_dir: str | Path | None = None,
 ) -> list[NodeHeatmap]:
     """Generate the Cross-Architecture segment and compute all heatmaps."""
-    segment = generate_cross_architecture(seed=seed, t=t)
-    try:
-        label_id = segment.label_names.index(app)
-    except ValueError:
-        raise KeyError(
-            f"unknown application {app!r}; known: {segment.label_names}"
-        ) from None
-    results = []
-    for comp in segment.components:
-        res = node_heatmap(
-            comp, label_id, segment.spec.wl, segment.spec.ws, blocks=blocks
-        )
-        if res is None:
-            continue
-        results.append(res)
-        if out_dir is not None:
-            out = Path(out_dir)
-            out.mkdir(parents=True, exist_ok=True)
-            save_pgm(out / f"fig7_{res.arch}_real.pgm", res.real_image)
-            save_pgm(out / f"fig7_{res.arch}_imag.pgm", res.imag_image)
-    return results
+    spec = get_scenario("fig7").with_datasets(
+        (recipe("cross-architecture", seed=seed, t=t),)
+    ).with_evaluation(app=app, blocks=blocks)
+    result = execute(spec, options=RunOptions(out_dir=out_dir))
+    return result.extras["results"]
 
 
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point: render and save the Figure 7 heatmaps."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--app", type=str, default="LAMMPS")
-    parser.add_argument("--blocks", type=int, default=20)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--t", type=int, default=2600)
-    parser.add_argument("--out", type=str, default="figures")
+    add_shared_options(parser, "--seed", "--smoke", "--cache-dir", "--out",
+                       out="figures")
+    parser.add_argument("--app", type=str, default=None,
+                        help="application to render (default LAMMPS)")
+    parser.add_argument("--blocks", type=int, default=None,
+                        help="CS block count (default 20, paper's Figure 7)")
+    parser.add_argument("--t", type=int, default=None,
+                        help="samples per architecture (default 2600)")
     args = parser.parse_args(argv)
-    results = run(
-        app=args.app,
-        blocks=args.blocks,
-        seed=args.seed,
-        t=args.t,
-        out_dir=args.out,
+    overrides = {}
+    if args.app is not None:
+        overrides["app"] = args.app
+    if args.blocks is not None:
+        overrides["blocks"] = args.blocks
+    datasets = None
+    if args.t is not None:
+        datasets = (recipe("cross-architecture", t=args.t),)
+    result = execute(
+        get_scenario("fig7"),
+        options=options_from_args(
+            args, evaluation=overrides or None, datasets=datasets
+        ),
     )
-    for res in results:
-        print(f"\n=== {args.app} on {res.arch} ({res.n_sensors} sensors) — real ===")
+    app = result.spec.evaluation_dict()["app"]
+    for res in result.extras["results"]:
+        print(f"\n=== {app} on {res.arch} ({res.n_sensors} sensors) — real ===")
         print(ascii_heatmap(255 - res.real_image.astype(np.float64)))
-        print(f"--- {args.app} on {res.arch} — imaginary ---")
+        print(f"--- {app} on {res.arch} — imaginary ---")
         print(ascii_heatmap(255 - res.imag_image.astype(np.float64)))
     print(f"\nPGM images written to {args.out}/")
 

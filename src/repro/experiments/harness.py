@@ -30,7 +30,9 @@ __all__ = [
     "DEFAULT_METHODS",
     "ExperimentResult",
     "FleetRunResult",
+    "evaluate_windowed_dataset",
     "make_method_factory",
+    "method_display_name",
     "run_fleet_on_segment",
     "run_method_on_segment",
 ]
@@ -182,6 +184,55 @@ def _cross_validate_repeated(
     )
 
 
+def evaluate_windowed_dataset(
+    dataset: WindowedDataset,
+    *,
+    segment_name: str,
+    method_name: str,
+    trees: int = 50,
+    n_splits: int = 5,
+    repeats: int = 1,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Cross-validate one prebuilt signature set (the CV half of a cell).
+
+    The scenario runner calls this directly so cached signature sets skip
+    dataset generation entirely; :func:`run_method_on_segment` remains
+    the build-then-evaluate convenience wrapper.
+    """
+    start = time.perf_counter()
+    fold_scores = _cross_validate_repeated(
+        dataset,
+        trees=trees,
+        n_splits=n_splits,
+        repeats=max(repeats, 1),
+        seed=seed,
+    )
+    cv_time = time.perf_counter() - start
+    scores_arr = fold_scores.mean(axis=1)
+    return ExperimentResult(
+        segment=segment_name,
+        method=method_name,
+        ml_score=float(scores_arr.mean()),
+        ml_score_std=float(scores_arr.std()),
+        signature_size=dataset.signature_size,
+        generation_time_s=dataset.generation_time_s,
+        cv_time_s=cv_time / max(repeats, 1),
+        n_samples=dataset.n_samples,
+    )
+
+
+def method_display_name(
+    method: str | Callable[[], SignatureMethod], *, real_only: bool = False
+) -> str:
+    """Row label of a method spec (``-R`` suffix for real-only variants)."""
+    name = method if isinstance(method, str) else method().name
+    name = str(name)
+    if real_only and not name.endswith("-R"):
+        name = f"{name}-R"
+    return name
+
+
 def run_method_on_segment(
     segment: SegmentData,
     method: str | Callable[[], SignatureMethod],
@@ -202,26 +253,13 @@ def run_method_on_segment(
     # The feature matrix is generated once and shared by all repeats;
     # only the CV shuffles differ per repeat.
     dataset = build_ml_dataset(segment, factory)
-    start = time.perf_counter()
-    fold_scores = _cross_validate_repeated(
+    name = method if isinstance(method, str) else factory().name
+    return evaluate_windowed_dataset(
         dataset,
+        segment_name=segment.spec.name,
+        method_name=method_display_name(name, real_only=real_only),
         trees=trees,
         n_splits=n_splits,
-        repeats=max(repeats, 1),
+        repeats=repeats,
         seed=seed,
-    )
-    cv_time = time.perf_counter() - start
-    scores_arr = fold_scores.mean(axis=1)
-    name = method if isinstance(method, str) else factory().name
-    if real_only and isinstance(name, str) and not name.endswith("-R"):
-        name = f"{name}-R"
-    return ExperimentResult(
-        segment=segment.spec.name,
-        method=str(name),
-        ml_score=float(scores_arr.mean()),
-        ml_score_std=float(scores_arr.std()),
-        signature_size=dataset.signature_size,
-        generation_time_s=dataset.generation_time_s,
-        cv_time_s=cv_time / max(repeats, 1),
-        n_samples=dataset.n_samples,
     )

@@ -1,16 +1,38 @@
-"""Plain-text table formatting for experiment output.
+"""Pluggable result sinks for experiment output.
 
-The benchmarks print the same rows/series the paper's figures plot; this
-module renders them as aligned fixed-width tables (and optionally CSV) so
-results are directly comparable with EXPERIMENTS.md.
+The experiment runner produces the same rows/series the paper's figures
+plot; this module renders them through interchangeable *sinks* — aligned
+fixed-width text tables, CSV, JSON lines and markdown summaries — so any
+scenario can emit any combination of formats (results are directly
+comparable with EXPERIMENTS.md).
+
+The functional API (:func:`format_table`, :func:`save_csv`, ...) is the
+stable low-level layer; the :class:`Sink` classes adapt it to the
+scenario runner (``repro.scenarios.runner``), which hands each sink a
+result object exposing ``headers``, ``rows``, ``title`` and ``notes``.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Sequence
 
-__all__ = ["format_table", "print_table", "save_csv", "format_value"]
+__all__ = [
+    "format_table",
+    "print_table",
+    "save_csv",
+    "save_jsonl",
+    "save_markdown",
+    "format_value",
+    "Sink",
+    "TableSink",
+    "CSVSink",
+    "JSONLSink",
+    "MarkdownSink",
+    "SINK_TYPES",
+    "make_sink",
+]
 
 
 def format_value(value) -> str:
@@ -59,13 +81,143 @@ def print_table(
     print(format_table(headers, rows, title=title))
 
 
+def _csv_cell(text: str) -> str:
+    """RFC-4180 quoting: only cells containing specials get wrapped."""
+    if any(ch in text for ch in ',"\n\r'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
 def save_csv(
     path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]
 ) -> Path:
-    """Write rows as a simple comma-separated file."""
+    """Write rows as a comma-separated file (parent dirs created).
+
+    Cells containing commas, quotes or newlines are RFC-4180 quoted;
+    plain cells are written verbatim, so files without special characters
+    are byte-identical to the historical simple-join format.
+    """
     path = Path(path)
-    lines = [",".join(str(h) for h in headers)]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [",".join(_csv_cell(str(h)) for h in headers)]
     for row in rows:
-        lines.append(",".join(format_value(c) for c in row))
+        lines.append(",".join(_csv_cell(format_value(c)) for c in row))
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
     return path
+
+
+def save_jsonl(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]
+) -> Path:
+    """Write rows as JSON lines: one ``{header: value}`` object per row.
+
+    Values are emitted as native JSON types where possible (no display
+    rounding), so JSONL output is the machine-consumption format.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(dict(zip(headers, row)), default=str) + "\n")
+    return path
+
+
+def _md_cell(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def save_markdown(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    notes: Sequence[str] = (),
+) -> Path:
+    """Write a GitHub-flavored markdown summary table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    if title:
+        lines += [f"## {title}", ""]
+    lines.append("| " + " | ".join(_md_cell(str(h)) for h in headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_md_cell(format_value(c)) for c in row) + " |"
+        )
+    for note in notes:
+        text = note.strip()
+        if text:
+            lines += ["", text]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Sinks: the pluggable output layer of the scenario runner
+# ----------------------------------------------------------------------
+class Sink:
+    """Consumes one scenario result (duck-typed: ``headers``/``rows``/
+    ``title``/``notes`` attributes)."""
+
+    def emit(self, result) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class TableSink(Sink):
+    """Print the aligned text table (plus free-form notes) to stdout."""
+
+    def emit(self, result) -> None:
+        print_table(result.headers, result.rows, title=result.title)
+        for note in result.notes:
+            print(note)
+
+
+class CSVSink(Sink):
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def emit(self, result) -> None:
+        save_csv(self.path, result.headers, result.rows)
+
+
+class JSONLSink(Sink):
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def emit(self, result) -> None:
+        save_jsonl(self.path, result.headers, result.rows)
+
+
+class MarkdownSink(Sink):
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def emit(self, result) -> None:
+        save_markdown(
+            self.path,
+            result.headers,
+            result.rows,
+            title=result.title,
+            notes=result.notes,
+        )
+
+
+SINK_TYPES: dict[str, type[Sink]] = {
+    "table": TableSink,
+    "csv": CSVSink,
+    "jsonl": JSONLSink,
+    "markdown": MarkdownSink,
+}
+
+
+def make_sink(kind: str, *args) -> Sink:
+    """Instantiate a sink by registry name (``table``/``csv``/...)."""
+    try:
+        cls = SINK_TYPES[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown sink {kind!r}; known: {sorted(SINK_TYPES)}"
+        ) from None
+    return cls(*args)

@@ -5,16 +5,27 @@ system, component count, sensors per component, total data points, series
 length, sampling interval, number of feature sets and the ``wl``/``ws``
 parameters — the same columns as Table I of the paper (values reflect the
 scaled-down synthetic defaults; pass ``--scale`` to enlarge).
+
+The experiment is the registered ``table1`` scenario spec; this module
+keeps the historical API (:func:`segment_summary`) and CLI as thin shims
+over the generic runner (equivalent to ``python -m repro run table1``).
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.datasets.generators import SegmentData, generate_segment
+from repro.datasets.generators import SegmentData
+from repro.datasets.recipes import DatasetRecipe
 from repro.datasets.schema import SEGMENTS
 from repro.datasets.windows import window_starts
-from repro.experiments.reporting import print_table
+from repro.scenarios.options import (
+    add_shared_options,
+    options_from_args,
+    sinks_from_args,
+)
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import execute
 
 __all__ = ["segment_summary", "run", "main"]
 
@@ -63,22 +74,26 @@ def segment_summary(segment: SegmentData) -> tuple:
 
 def run(*, seed: int = 0, scale: float = 1.0) -> list[tuple]:
     """Generate every segment and return its Table I row."""
-    rows = []
-    for name in SEGMENTS:
-        segment = generate_segment(name, seed=seed, scale=scale)
-        rows.append(segment_summary(segment))
-    return rows
+    spec = get_scenario("table1").with_datasets(
+        DatasetRecipe(segment=name, seed=seed, scale=scale)
+        for name in SEGMENTS
+    )
+    return execute(spec).rows
 
 
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point for the Table I overview."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--scale", type=float, default=1.0,
-                        help="multiply segment lengths (1.0 = quick defaults)")
+    add_shared_options(
+        parser, "--seed", "--scale", "--smoke", "--cache-dir", "--csv",
+        "--jsonl", "--markdown",
+    )
     args = parser.parse_args(argv)
-    rows = run(seed=args.seed, scale=args.scale)
-    print_table(HEADERS, rows, title="Table I — HPC-ODA segment overview (synthetic)")
+    execute(
+        get_scenario("table1"),
+        options=options_from_args(args),
+        sinks=sinks_from_args(args),
+    )
 
 
 if __name__ == "__main__":

@@ -5,11 +5,23 @@ file, with each entry being a time-stamp/value pair."  This module reads
 and writes that format, and persists/loads whole
 :class:`~repro.datasets.generators.SegmentData` objects as a directory of
 per-component subdirectories plus a small JSON manifest.
+
+Two segment formats are supported:
+
+* :func:`save_segment` / :func:`load_segment` — the human-readable
+  HPC-ODA CSV layout (lossy: ``%.9g`` per value, but inspectable with
+  standard tools);
+* :func:`save_segment_npz` / :func:`load_segment_npz` — a single binary
+  ``.npz`` archive with an embedded JSON manifest.  Bit-exact float64
+  round-trip and roughly two orders of magnitude faster, which is what
+  the content-addressed artifact cache (``repro.scenarios.cache``)
+  layers on.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -17,7 +29,15 @@ import numpy as np
 from repro.datasets.generators import ComponentData, SegmentData
 from repro.datasets.schema import get_segment_spec
 
-__all__ = ["save_sensor_csv", "load_sensor_csv", "save_segment", "load_segment"]
+__all__ = [
+    "save_sensor_csv",
+    "load_sensor_csv",
+    "save_segment",
+    "load_segment",
+    "save_segment_npz",
+    "load_segment_npz",
+    "atomic_savez",
+]
 
 _HEADER = "timestamp,value"
 
@@ -129,6 +149,94 @@ def load_segment(root: str | Path) -> SegmentData:
         )
     return SegmentData(
         spec,
+        components,
+        label_names=tuple(manifest["label_names"]),
+        seed=manifest.get("seed"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Binary (.npz) segment format — exact round-trip, cache-grade speed
+# ----------------------------------------------------------------------
+_NPZ_FORMAT = "hpc-oda-segment-npz/v1"
+
+
+def atomic_savez(path: Path, **arrays: np.ndarray) -> None:
+    """``np.savez`` via temp file + rename: readers never see a partial
+    archive (shared by the segment format and the artifact cache)."""
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # failed write: don't litter the directory
+            tmp.unlink()
+
+
+def save_segment_npz(segment: SegmentData, path: str | Path) -> Path:
+    """Persist a segment as one ``.npz`` archive with a JSON manifest.
+
+    Matrices, labels and targets are stored as raw arrays (bit-exact
+    float64 round-trip); names, architectures and sensor metadata live in
+    an embedded JSON manifest.  The write is atomic (temp file + rename)
+    so a crashed writer never leaves a half-written cache entry behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format": _NPZ_FORMAT,
+        "segment": segment.spec.name,
+        "seed": segment.seed,
+        "label_names": list(segment.label_names),
+        "components": [
+            {
+                "name": comp.name,
+                "arch": comp.arch,
+                "sensors": list(comp.sensor_names),
+                "groups": list(comp.sensor_groups),
+                "has_labels": comp.labels is not None,
+                "has_target": comp.target is not None,
+            }
+            for comp in segment.components
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "manifest": np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+    }
+    for i, comp in enumerate(segment.components):
+        arrays[f"matrix_{i}"] = comp.matrix
+        if comp.labels is not None:
+            arrays[f"labels_{i}"] = comp.labels
+        if comp.target is not None:
+            arrays[f"target_{i}"] = comp.target
+    atomic_savez(path, **arrays)
+    return path
+
+
+def load_segment_npz(path: str | Path) -> SegmentData:
+    """Load a segment previously written by :func:`save_segment_npz`."""
+    with np.load(Path(path)) as data:
+        manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
+        if manifest.get("format") != _NPZ_FORMAT:
+            raise ValueError(f"unsupported segment format in {path}")
+        components = []
+        for i, entry in enumerate(manifest["components"]):
+            components.append(
+                ComponentData(
+                    name=entry["name"],
+                    matrix=data[f"matrix_{i}"],
+                    sensor_names=tuple(entry["sensors"]),
+                    sensor_groups=tuple(entry["groups"]),
+                    labels=data[f"labels_{i}"] if entry["has_labels"] else None,
+                    target=data[f"target_{i}"] if entry["has_target"] else None,
+                    arch=entry["arch"],
+                )
+            )
+    return SegmentData(
+        get_segment_spec(manifest["segment"]),
         components,
         label_names=tuple(manifest["label_names"]),
         seed=manifest.get("seed"),

@@ -1,0 +1,51 @@
+"""Declarative scenario registry + unified experiment runner.
+
+The paper's evaluation is a grid of (segment, method, knob) scenarios;
+this subsystem expresses every one of them — and arbitrarily many new
+ones — as declarative :class:`ScenarioSpec` values resolved through a
+registry and executed by one generic runner, with generated segments and
+signature sets reused across runs via a content-addressed artifact
+cache.
+
+Layout
+------
+``spec``         ScenarioSpec + canonical-JSON content hashing.
+``registry``     Name -> spec lookup (:func:`register`, :func:`get_scenario`).
+``cache``        ArtifactCache / ExecutionContext (content-addressed reuse).
+``evaluations``  The generic evaluation strategies ("kinds").
+``runner``       :func:`execute`: options -> spec -> evaluation -> sinks.
+``options``      Shared CLI flags used by `repro` and the legacy shims.
+``builtin``      The built-in catalog (paper + extended scenarios).
+
+Quick use::
+
+    from repro.scenarios import execute, get_scenario, RunOptions
+    result = execute(get_scenario("fig3"), options=RunOptions(smoke=True))
+"""
+
+from repro.scenarios.cache import ArtifactCache, ExecutionContext
+from repro.scenarios.evaluations import ScenarioResult, evaluation_kinds
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register,
+    scenario_names,
+)
+from repro.scenarios.runner import RunOptions, execute
+from repro.scenarios.spec import CACHE_VERSION, ScenarioSpec, content_key
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_VERSION",
+    "ExecutionContext",
+    "RunOptions",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "content_key",
+    "evaluation_kinds",
+    "execute",
+    "get_scenario",
+    "list_scenarios",
+    "register",
+    "scenario_names",
+]

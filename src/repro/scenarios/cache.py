@@ -1,0 +1,230 @@
+"""Content-addressed artifact cache + execution context.
+
+Scenario runs produce two expensive intermediate artifacts: generated
+segments (synthetic telemetry) and signature sets (the windowed ML
+feature matrices).  Both are pure functions of declarative inputs —
+a :class:`~repro.datasets.recipes.DatasetRecipe`, or a recipe plus a
+signature-method name and window parameters — so they are cached on disk
+under the content hash of those inputs (canonical JSON, stable across
+processes).  Only the cold run pays generation cost; repeated and
+*overlapping* runs (different scenarios sharing a recipe) reuse the
+artifacts.  Changing any recipe or method field changes the key, which
+is the entire invalidation story.
+
+Layout::
+
+    <cache-dir>/
+      segments/<key>/segment.npz      # repro.monitoring.storage npz format
+      segments/<key>/recipe.json      # provenance, for humans
+      datasets/<key>.npz              # X, y, groups + JSON meta
+      datasets/<key>.json             # provenance
+
+The :class:`ExecutionContext` wraps an optional cache with an in-memory
+memo so one run never generates the same segment twice (matching the
+historical scripts, which generated each segment once and reused it for
+every method).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.generators import SegmentData, WindowedDataset, build_ml_dataset
+from repro.datasets.recipes import DatasetRecipe
+from repro.monitoring.storage import (
+    atomic_savez,
+    load_segment_npz,
+    save_segment_npz,
+)
+from repro.scenarios.spec import CACHE_VERSION, content_key
+
+__all__ = ["ArtifactCache", "ExecutionContext", "segment_key", "dataset_key"]
+
+
+def segment_key(recipe: DatasetRecipe) -> str:
+    """Content address of the segment a recipe generates.
+
+    Uses ``recipe.cache_dict()``, so display-only fields (``label``) do
+    not fragment the cache: recipes building bit-identical segments
+    share artifacts across scenarios.
+    """
+    return content_key("segment", CACHE_VERSION, recipe.cache_dict())
+
+
+def dataset_key(
+    recipe: DatasetRecipe,
+    method: str,
+    *,
+    wl: int | None = None,
+    ws: int | None = None,
+    real_only: bool = False,
+) -> str:
+    """Content address of one (recipe, method, windowing) signature set."""
+    if not isinstance(method, str):
+        raise TypeError(
+            "only named methods are cacheable; got "
+            f"{type(method).__name__} (callable factories have no stable "
+            "content address)"
+        )
+    return content_key(
+        "dataset",
+        CACHE_VERSION,
+        recipe.cache_dict(),
+        method,
+        wl,
+        ws,
+        bool(real_only),
+    )
+
+
+class ArtifactCache:
+    """On-disk content-addressed store for segments and signature sets."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        (self.root / "segments").mkdir(parents=True, exist_ok=True)
+        (self.root / "datasets").mkdir(parents=True, exist_ok=True)
+
+    # -- segments ------------------------------------------------------
+    def _segment_path(self, key: str) -> Path:
+        return self.root / "segments" / key / "segment.npz"
+
+    def load_segment(self, key: str) -> SegmentData | None:
+        path = self._segment_path(key)
+        return load_segment_npz(path) if path.exists() else None
+
+    def save_segment(
+        self, key: str, segment: SegmentData, recipe: DatasetRecipe
+    ) -> None:
+        path = self._segment_path(key)
+        save_segment_npz(segment, path)
+        path.with_name("recipe.json").write_text(
+            json.dumps(recipe.to_dict(), indent=2, sort_keys=True)
+        )
+
+    # -- signature sets (windowed ML datasets) -------------------------
+    def _dataset_path(self, key: str) -> Path:
+        return self.root / "datasets" / f"{key}.npz"
+
+    def load_dataset(self, key: str) -> WindowedDataset | None:
+        path = self._dataset_path(key)
+        if not path.exists():
+            return None
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            return WindowedDataset(
+                X=data["X"],
+                y=data["y"],
+                task=meta["task"],
+                label_names=tuple(meta["label_names"]),
+                groups=data["groups"],
+                generation_time_s=meta["generation_time_s"],
+                signature_size=meta["signature_size"],
+            )
+
+    def save_dataset(
+        self, key: str, dataset: WindowedDataset, provenance: dict
+    ) -> None:
+        path = self._dataset_path(key)
+        meta = {
+            "task": dataset.task,
+            "label_names": list(dataset.label_names),
+            "generation_time_s": dataset.generation_time_s,
+            "signature_size": dataset.signature_size,
+        }
+        atomic_savez(
+            path,
+            X=dataset.X,
+            y=dataset.y,
+            groups=dataset.groups,
+            meta=np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+        path.with_suffix(".json").write_text(
+            json.dumps(provenance, indent=2, sort_keys=True)
+        )
+
+
+class ExecutionContext:
+    """Artifact provider handed to evaluation strategies.
+
+    ``segment(recipe)`` and ``dataset(recipe, method, ...)`` transparently
+    consult the disk cache (when configured) and an in-memory memo; cache
+    traffic is tallied in :attr:`stats`.  Without a cache the context
+    reproduces the historical behavior exactly: segments generated once
+    per run, signature sets built fresh.
+    """
+
+    def __init__(self, store: ArtifactCache | None = None):
+        self.store = store
+        self._segments: dict[str, SegmentData] = {}
+        self.stats = {
+            "segment_hits": 0,
+            "segment_misses": 0,
+            "dataset_hits": 0,
+            "dataset_misses": 0,
+        }
+
+    def segment(self, recipe: DatasetRecipe) -> SegmentData:
+        """The segment for ``recipe`` — memoized, then cache, then built."""
+        key = segment_key(recipe)
+        if key in self._segments:
+            return self._segments[key]
+        segment = self.store.load_segment(key) if self.store else None
+        if segment is not None:
+            self.stats["segment_hits"] += 1
+        else:
+            self.stats["segment_misses"] += 1
+            segment = recipe.build()
+            if self.store:
+                self.store.save_segment(key, segment, recipe)
+        self._segments[key] = segment
+        return segment
+
+    def dataset(
+        self,
+        recipe: DatasetRecipe,
+        method: str,
+        *,
+        wl: int | None = None,
+        ws: int | None = None,
+        real_only: bool = False,
+    ) -> WindowedDataset:
+        """The signature set for (recipe, method) — cache hit skips even
+        segment generation, which is where the big cached-run wins come
+        from.  Callable method factories have no stable content address
+        and bypass the store."""
+        from repro.experiments.harness import make_method_factory
+
+        store = self.store if isinstance(method, str) else None
+        key = (
+            dataset_key(recipe, method, wl=wl, ws=ws, real_only=real_only)
+            if store
+            else None
+        )
+        if store:
+            dataset = store.load_dataset(key)
+            if dataset is not None:
+                self.stats["dataset_hits"] += 1
+                return dataset
+        self.stats["dataset_misses"] += 1
+        segment = self.segment(recipe)
+        factory = make_method_factory(method, real_only=real_only)
+        dataset = build_ml_dataset(segment, factory, wl=wl, ws=ws)
+        if store:
+            store.save_dataset(
+                key,
+                dataset,
+                {
+                    "recipe": recipe.to_dict(),
+                    "method": method,
+                    "wl": wl,
+                    "ws": ws,
+                    "real_only": bool(real_only),
+                },
+            )
+        return dataset

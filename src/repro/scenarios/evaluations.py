@@ -1,0 +1,469 @@
+"""Generic evaluation strategies executed by the scenario runner.
+
+Each strategy ("kind") interprets a :class:`ScenarioSpec` — its dataset
+recipes, method grid and ``evaluation`` parameters — and drives the
+existing engine/harness/ML layers, returning a :class:`ScenarioResult`.
+The seven paper reproductions and all extended scenarios are expressed
+as specs over these eight kinds; registering a *new* scenario requires
+no new runner code, only a new spec.
+
+Domain helpers that predate the registry (``segment_js_divergence``,
+``application_heatmaps``, ``segment_summary``, ...) stay in their
+``repro.experiments`` modules and are imported lazily here, because the
+experiment modules import the scenario machinery at module level for
+their thin CLI shims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.experiments.harness import (
+    evaluate_windowed_dataset,
+    method_display_name,
+    run_fleet_on_segment,
+)
+from repro.scenarios.cache import ExecutionContext
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "GRID_HEADERS",
+    "LENGTH_SWEEP_HEADERS",
+    "TIMING_HEADERS",
+    "ScenarioResult",
+    "evaluation",
+    "evaluation_kinds",
+    "get_evaluation",
+]
+
+#: Columns of the (segment, method) score grids — Figure 3's layout.
+GRID_HEADERS: tuple[str, ...] = (
+    "Segment",
+    "Method",
+    "Sig. size",
+    "Gen time [s]",
+    "CV time [s]",
+    "ML score",
+    "Std",
+)
+
+#: Columns of the signature-length sweeps — Figure 4's layout.
+LENGTH_SWEEP_HEADERS: tuple[str, ...] = (
+    "Segment",
+    "l",
+    "Real only",
+    "JS divergence",
+    "ML score",
+    "Sig. size",
+)
+
+#: Columns of the single-signature timing sweeps — Figure 5's layout.
+TIMING_HEADERS: tuple[str, ...] = ("Axis", "Method", "wl", "n", "Median time [s]")
+
+FLEET_HEADERS: tuple[str, ...] = (
+    "Dataset",
+    "Nodes",
+    "Signatures",
+    "Fit [s]",
+    "Transform [s]",
+    "Sig/s",
+)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario execution.
+
+    ``headers``/``rows``/``title``/``notes`` feed the pluggable sinks;
+    ``artifacts`` maps relative file names to uint8 images the runner
+    writes as PGM; ``extras`` carries the domain objects the legacy
+    per-figure APIs return.
+    """
+
+    spec: ScenarioSpec
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple]
+    notes: list[str] = field(default_factory=list)
+    artifacts: dict[str, np.ndarray] = field(default_factory=dict)
+    artifact_paths: list = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+
+_EVALUATIONS: dict[
+    str, Callable[[ScenarioSpec, ExecutionContext], ScenarioResult]
+] = {}
+
+
+def evaluation(kind: str):
+    """Register an evaluation strategy under ``kind``."""
+
+    def decorate(fn):
+        _EVALUATIONS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def get_evaluation(kind: str):
+    try:
+        return _EVALUATIONS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown evaluation kind {kind!r}; known: {evaluation_kinds()}"
+        ) from None
+
+
+def evaluation_kinds() -> list[str]:
+    return sorted(_EVALUATIONS)
+
+
+# ----------------------------------------------------------------------
+# Score grids (Figure 3 and every recipe x method scenario)
+# ----------------------------------------------------------------------
+@evaluation("grid")
+def _run_grid(spec: ScenarioSpec, ctx: ExecutionContext) -> ScenarioResult:
+    """(recipe, method) score grid: one ExperimentResult per cell."""
+    ev = spec.evaluation_dict()
+    trees = int(ev.get("trees", 50))
+    repeats = int(ev.get("repeats", 1))
+    n_splits = int(ev.get("n_splits", 5))
+    seed = int(ev.get("seed", 0))
+    real_only = bool(ev.get("real_only", False))
+    results = []
+    for recipe in spec.datasets:
+        for method in spec.methods:
+            dataset = ctx.dataset(recipe, method, real_only=real_only)
+            results.append(
+                evaluate_windowed_dataset(
+                    dataset,
+                    segment_name=recipe.display,
+                    method_name=method_display_name(method, real_only=real_only),
+                    trees=trees,
+                    n_splits=n_splits,
+                    repeats=repeats,
+                    seed=seed,
+                )
+            )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=GRID_HEADERS,
+        rows=[r.row() for r in results],
+        extras={"results": results},
+    )
+
+
+# ----------------------------------------------------------------------
+# Signature-length sweep (Figure 4)
+# ----------------------------------------------------------------------
+@evaluation("length-sweep")
+def _run_length_sweep(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """JS divergence + ML score vs block count, per recipe."""
+    from repro.experiments.fig4 import Fig4Point, segment_js_divergence
+
+    ev = spec.evaluation_dict()
+    lengths = tuple(ev.get("lengths", (5, 10, 20, 40, "all")))
+    with_real_only = bool(ev.get("with_real_only", True))
+    trees = int(ev.get("trees", 50))
+    seed = int(ev.get("seed", 0))
+    bins = int(ev.get("bins", 64))
+    points: list[Fig4Point] = []
+    for recipe in spec.datasets:
+        segment = ctx.segment(recipe)
+        for l in lengths:
+            for real_only in (False, True) if with_real_only else (False,):
+                method = f"cs-{l}"
+                js = segment_js_divergence(
+                    segment, l, real_only=real_only, bins=bins
+                )
+                dataset = ctx.dataset(recipe, method, real_only=real_only)
+                res = evaluate_windowed_dataset(
+                    dataset,
+                    segment_name=recipe.display,
+                    method_name=method_display_name(method, real_only=real_only),
+                    trees=trees,
+                    seed=seed,
+                )
+                points.append(
+                    Fig4Point(
+                        segment=recipe.display,
+                        length=str(l),
+                        real_only=real_only,
+                        js_divergence=js,
+                        ml_score=res.ml_score,
+                        signature_size=res.signature_size,
+                    )
+                )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=LENGTH_SWEEP_HEADERS,
+        rows=[p.row() for p in points],
+        extras={"points": points},
+    )
+
+
+# ----------------------------------------------------------------------
+# Single-signature timing sweeps (Figure 5; random input matrices)
+# ----------------------------------------------------------------------
+@evaluation("timing")
+def _run_timing(spec: ScenarioSpec, ctx: ExecutionContext) -> ScenarioResult:
+    """Median time to compute one signature vs ``wl`` and vs ``n``."""
+    from repro.experiments.fig5 import TimingPoint, time_single_signature
+
+    ev = spec.evaluation_dict()
+    wl_grid = tuple(ev.get("wl_grid", ()))
+    n_grid = tuple(ev.get("n_grid", ()))
+    fixed_n = int(ev.get("fixed_n", 100))
+    fixed_wl = int(ev.get("fixed_wl", 100))
+    repeats = int(ev.get("repeats", 20))
+    seed = int(ev.get("seed", 0))
+
+    def blocks_of(name: str) -> int | None:
+        if name.lower().startswith("cs-") and name.lower() != "cs-all":
+            return int(name[3:])
+        return None
+
+    points: list[TimingPoint] = []
+    for wl in wl_grid:
+        for m in spec.methods:
+            b = blocks_of(m)
+            if b is not None and b > fixed_n:
+                continue
+            t = time_single_signature(m, fixed_n, wl, repeats=repeats, seed=seed)
+            points.append(TimingPoint("wl", m, int(wl), fixed_n, t))
+    for n in n_grid:
+        for m in spec.methods:
+            b = blocks_of(m)
+            if b is not None and b > n:
+                continue
+            t = time_single_signature(m, n, fixed_wl, repeats=repeats, seed=seed)
+            points.append(TimingPoint("n", m, fixed_wl, int(n), t))
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=TIMING_HEADERS,
+        rows=[p.row() for p in points],
+        extras={"points": points},
+    )
+
+
+# ----------------------------------------------------------------------
+# Application signature heatmaps (Figures 2 and 6)
+# ----------------------------------------------------------------------
+@evaluation("app-heatmap")
+def _run_app_heatmap(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """Per-application CS signature heatmaps over the stacked node matrix."""
+    from repro.experiments.fig6 import application_heatmaps
+
+    ev = spec.evaluation_dict()
+    apps = tuple(ev.get("apps", ()))
+    blocks = int(ev.get("blocks", 160))
+    prefix = str(ev.get("prefix", "fig6"))
+    recipe = spec.datasets[0]
+    segment = ctx.segment(recipe)
+    results = [
+        application_heatmaps(segment, app, blocks=blocks) for app in apps
+    ]
+    artifacts: dict[str, np.ndarray] = {}
+    rows = []
+    for res in results:
+        artifacts[f"{prefix}_{res.app.lower()}_real.pgm"] = res.real_image
+        artifacts[f"{prefix}_{res.app.lower()}_imag.pgm"] = res.imag_image
+        rows.append(
+            (
+                res.app,
+                res.signatures.shape[0],
+                res.signatures.shape[1],
+                int(res.boundaries.size),
+            )
+        )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=("Application", "Signatures", "Blocks", "Runs"),
+        rows=rows,
+        artifacts=artifacts,
+        extras={"results": results},
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-architecture heatmaps of one application (Figure 7)
+# ----------------------------------------------------------------------
+@evaluation("arch-heatmap")
+def _run_arch_heatmap(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """One application's heatmaps on each architecture of a segment."""
+    from repro.experiments.fig7 import node_heatmap
+
+    ev = spec.evaluation_dict()
+    app = str(ev.get("app", "LAMMPS"))
+    blocks = int(ev.get("blocks", 20))
+    prefix = str(ev.get("prefix", "fig7"))
+    recipe = spec.datasets[0]
+    segment = ctx.segment(recipe)
+    try:
+        label_id = segment.label_names.index(app)
+    except ValueError:
+        raise KeyError(
+            f"unknown application {app!r}; known: {segment.label_names}"
+        ) from None
+    results = []
+    artifacts: dict[str, np.ndarray] = {}
+    rows = []
+    for comp in segment.components:
+        res = node_heatmap(
+            comp, label_id, segment.spec.wl, segment.spec.ws, blocks=blocks
+        )
+        if res is None:
+            continue
+        results.append(res)
+        artifacts[f"{prefix}_{res.arch}_real.pgm"] = res.real_image
+        artifacts[f"{prefix}_{res.arch}_imag.pgm"] = res.imag_image
+        rows.append((res.arch, res.n_sensors, res.signatures.shape[0]))
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=("Architecture", "Sensors", "Signatures"),
+        rows=rows,
+        artifacts=artifacts,
+        extras={"results": results},
+    )
+
+
+# ----------------------------------------------------------------------
+# Merged cross-architecture classification (Section IV-F)
+# ----------------------------------------------------------------------
+@evaluation("merged-crossarch")
+def _run_merged_crossarch(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """RF + MLP classification over the merged multi-architecture dataset."""
+    from repro.experiments.crossarch import (
+        CrossArchResult,
+        baseline_signature_lengths,
+    )
+    from repro.ml.forest import RandomForestClassifier
+    from repro.ml.metrics import f1_score
+    from repro.ml.mlp import MLPClassifier
+    from repro.ml.model_selection import StratifiedKFold
+    from repro.ml.preprocessing import StandardScaler
+
+    ev = spec.evaluation_dict()
+    blocks = int(ev.get("blocks", 20))
+    trees = int(ev.get("trees", 50))
+    seed = int(ev.get("seed", 0))
+    n_splits = int(ev.get("n_splits", 5))
+    mlp_max_iter = int(ev.get("mlp_max_iter", 150))
+    recipe = spec.datasets[0]
+    segment = ctx.segment(recipe)
+    dataset = ctx.dataset(recipe, f"cs-{blocks}")
+    X, y = dataset.X, dataset.y.astype(np.intp)
+    per_arch = {
+        comp.arch: int((dataset.groups == i).sum())
+        for i, comp in enumerate(segment.components)
+    }
+    rf_scores = []
+    mlp_scores = []
+    splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, random_state=seed)
+    for train, test in splitter.split(X, y):
+        rf = RandomForestClassifier(trees, random_state=seed).fit(X[train], y[train])
+        rf_scores.append(f1_score(y[test], rf.predict(X[test])))
+        scaler = StandardScaler().fit(X[train])
+        mlp = MLPClassifier(max_iter=mlp_max_iter, random_state=seed)
+        mlp.fit(scaler.transform(X[train]), y[train])
+        mlp_scores.append(f1_score(y[test], mlp.predict(scaler.transform(X[test]))))
+    result = CrossArchResult(
+        rf_f1=float(np.mean(rf_scores)),
+        mlp_f1=float(np.mean(mlp_scores)),
+        n_samples=dataset.n_samples,
+        signature_size=dataset.signature_size,
+        per_arch_counts=per_arch,
+    )
+    lengths = baseline_signature_lengths(segment)
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=("Model", "F1 (merged 3-arch dataset)", "Paper"),
+        rows=[
+            ("Random forest", round(result.rf_f1, 4), 0.995),
+            ("MLP", round(result.mlp_f1, 4), 0.992),
+        ],
+        notes=[
+            f"\nSamples: {result.n_samples}  per arch: {result.per_arch_counts}",
+            "CS signature size (uniform across architectures): "
+            f"{result.signature_size}",
+            f"Tuncer signature sizes per architecture (incompatible): {lengths}",
+        ],
+        extras={"result": result},
+    )
+
+
+# ----------------------------------------------------------------------
+# Segment overview (Table I)
+# ----------------------------------------------------------------------
+@evaluation("segment-summary")
+def _run_segment_summary(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """One Table I row per recipe."""
+    from repro.experiments.table1 import HEADERS, segment_summary
+
+    rows = [segment_summary(ctx.segment(r)) for r in spec.datasets]
+    return ScenarioResult(
+        spec=spec, title=spec.title, headers=HEADERS, rows=rows
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet-scale batched signature throughput (engine/fleet routing)
+# ----------------------------------------------------------------------
+@evaluation("fleet")
+def _run_fleet(spec: ScenarioSpec, ctx: ExecutionContext) -> ScenarioResult:
+    """Batched whole-fleet signature computation per recipe.
+
+    Routes through :class:`repro.engine.fleet.FleetSignatureEngine` via
+    the harness, reporting fit/transform wall-clock and throughput —
+    the scaling view the per-figure scripts never covered.
+    """
+    ev = spec.evaluation_dict()
+    blocks = ev.get("blocks", "all")
+    if isinstance(blocks, str) and blocks != "all":
+        blocks = int(blocks)
+    shards = ev.get("shards")
+    rows = []
+    fleet_results = []
+    for recipe in spec.datasets:
+        segment = ctx.segment(recipe)
+        res = run_fleet_on_segment(segment, blocks=blocks, shards=shards)
+        fleet_results.append(res)
+        total_time = res.fit_time_s + res.transform_time_s
+        rows.append(
+            (
+                recipe.display,
+                res.n_nodes,
+                res.n_signatures,
+                round(res.fit_time_s, 4),
+                round(res.transform_time_s, 4),
+                round(res.n_signatures / total_time, 1) if total_time > 0 else 0.0,
+            )
+        )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=FLEET_HEADERS,
+        rows=rows,
+        extras={"results": fleet_results},
+    )

@@ -1,0 +1,136 @@
+"""The unified experiment runner: options -> spec -> evaluation -> sinks.
+
+:func:`execute` is the single entry point every surface goes through —
+the ``repro`` CLI, ``python -m repro``, and the legacy per-figure
+``main()`` shims — so all of them produce identical results (and
+byte-identical CSVs) for the same effective spec.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.datasets.recipes import DatasetRecipe
+from repro.experiments.reporting import Sink
+from repro.scenarios.cache import ArtifactCache, ExecutionContext
+from repro.scenarios.evaluations import ScenarioResult, get_evaluation
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["RunOptions", "apply_options", "execute"]
+
+
+@dataclass
+class RunOptions:
+    """The shared cross-scenario run options (one per CLI invocation).
+
+    ``None`` means "keep the spec's own value"; the spec stays the single
+    source of per-scenario defaults, which is what de-duplicates the
+    historical per-script argparse drift.  ``datasets`` and
+    ``evaluation`` carry *explicit* scenario-specific overrides (the
+    legacy shims' ``--t``/``--blocks``/``--apps``/... flags); like
+    ``segments``/``methods`` they always beat the smoke replacements.
+    """
+
+    seed: int | None = None
+    scale: float | None = None
+    repeats: int | None = None
+    trees: int | None = None
+    smoke: bool = False
+    cache_dir: str | Path | None = None
+    out_dir: str | Path | None = None
+    methods: Sequence[str] | None = None
+    segments: Sequence[str] | None = None
+    datasets: Sequence[DatasetRecipe] | None = None
+    evaluation: dict | None = None
+
+
+def apply_options(spec: ScenarioSpec, options: RunOptions) -> ScenarioSpec:
+    """Derive the effective spec for one run.
+
+    The smoke variant is applied first; every *explicit* override —
+    ``--segments``/``--methods``, recipe replacements and evaluation
+    parameters passed by a shim — beats the corresponding smoke
+    replacement (so ``--smoke --segments fault`` runs the *full-size*
+    fault recipes under the reduced evaluation: there is no generic
+    "smoke-sized" variant of an arbitrary segment, and explicitly
+    requested values are never silently dropped).  Every override lands
+    in a spec *field*, so it also lands in the content hash: any changed
+    option re-addresses the cached artifacts.
+    """
+    explicit_datasets = bool(options.segments or options.datasets)
+    if options.smoke:
+        smoke = spec.smoke_dict()
+        if "datasets" in smoke and not explicit_datasets:
+            spec = spec.with_datasets(smoke["datasets"])
+        if "methods" in smoke and not options.methods:
+            spec = spec.with_methods(smoke["methods"])
+        if "evaluation" in smoke:
+            merge = {
+                k: v
+                for k, v in dict(smoke["evaluation"]).items()
+                if k not in (options.evaluation or {})
+            }
+            spec = spec.with_evaluation(**merge)
+    if options.datasets:
+        spec = spec.with_datasets(options.datasets)
+    if options.segments:
+        spec = spec.with_datasets(
+            DatasetRecipe(segment=name) for name in options.segments
+        )
+    if options.methods:
+        spec = spec.with_methods(options.methods)
+    if options.seed is not None or options.scale is not None:
+        spec = spec.with_datasets(
+            r.with_overrides(seed=options.seed, scale=options.scale)
+            for r in spec.datasets
+        )
+    if options.seed is not None:
+        spec = spec.with_evaluation(seed=int(options.seed))
+    if options.repeats is not None:
+        spec = spec.with_evaluation(repeats=int(options.repeats))
+    if options.trees is not None:
+        spec = spec.with_evaluation(trees=int(options.trees))
+    if options.evaluation:
+        spec = spec.with_evaluation(**options.evaluation)
+    return spec
+
+
+def _write_artifacts(result: ScenarioResult, out_dir: Path) -> None:
+    from repro.analysis.visualization import save_pgm
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, image in result.artifacts.items():
+        result.artifact_paths.append(save_pgm(out_dir / name, image))
+
+
+def execute(
+    spec: ScenarioSpec,
+    *,
+    options: RunOptions | None = None,
+    sinks: Iterable[Sink] = (),
+    context: ExecutionContext | None = None,
+) -> ScenarioResult:
+    """Run one scenario spec end to end.
+
+    Applies the shared options, builds the execution context (opening the
+    content-addressed cache when ``cache_dir`` is set), dispatches to the
+    spec's evaluation kind, writes binary artifacts, then feeds every
+    sink.  Returns the full :class:`ScenarioResult`.
+    """
+    options = options or RunOptions()
+    spec = apply_options(spec, options)
+    if context is None:
+        store = ArtifactCache(options.cache_dir) if options.cache_dir else None
+        context = ExecutionContext(store)
+    start = time.perf_counter()
+    result = get_evaluation(spec.kind)(spec, context)
+    result.wall_time_s = time.perf_counter() - start
+    result.cache_stats = dict(context.stats)
+    if result.artifacts and options.out_dir is not None:
+        _write_artifacts(result, Path(options.out_dir))
+    for sink in sinks:
+        sink.emit(result)
+    return result

@@ -1,11 +1,13 @@
-"""Lightweight performance-regression guard for the ML engine.
+"""Lightweight performance-regression guards for recorded benchmarks.
 
-``benchmarks/test_ml_scaling.py`` (run with ``pytest benchmarks -m
-slow``) records the speedups of the presorted/batched ML engine over the
-frozen seed implementation in ``BENCH_ml.json``.  This tier-1 test fails
-if any recorded speedup has fallen below 1.0 — i.e. if a change made the
-"optimized" path slower than the seed path it replaced — without costing
-tier-1 any benchmark runtime.
+``benchmarks/test_ml_scaling.py`` records the speedups of the
+presorted/batched ML engine over the frozen seed implementation in
+``BENCH_ml.json``; ``benchmarks/test_scenario_cache.py`` records cold vs
+cached scenario runtimes in ``BENCH_scenarios.json`` (both run with
+``pytest benchmarks -m slow``).  These tier-1 tests fail if a recorded
+speedup has fallen below its floor — i.e. if a change made an
+"optimized" path slower than what it replaced — without costing tier-1
+any benchmark runtime.
 """
 
 import json
@@ -14,24 +16,53 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
-SUMMARY_JSON = ROOT / "BENCH_ml.json"
+ML_SUMMARY_JSON = ROOT / "BENCH_ml.json"
+SCENARIO_SUMMARY_JSON = ROOT / "BENCH_scenarios.json"
 
 
-def _load_summary() -> dict:
-    if not SUMMARY_JSON.exists():
-        pytest.skip("BENCH_ml.json not generated yet (run pytest benchmarks -m slow)")
-    return json.loads(SUMMARY_JSON.read_text())
+def _load_summary(path: Path) -> dict:
+    if not path.exists():
+        pytest.skip(
+            f"{path.name} not generated yet (run pytest benchmarks -m slow)"
+        )
+    return json.loads(path.read_text())
 
 
-def test_summary_has_headline_speedups():
-    summary = _load_summary()
-    for key in ("forest_fit_speedup", "forest_predict_speedup", "tree_fit_speedup"):
-        assert key in summary, f"BENCH_ml.json is missing {key}"
+class TestMLEngineGuard:
+    def test_summary_has_headline_speedups(self):
+        summary = _load_summary(ML_SUMMARY_JSON)
+        for key in ("forest_fit_speedup", "forest_predict_speedup", "tree_fit_speedup"):
+            assert key in summary, f"BENCH_ml.json is missing {key}"
+
+    def test_no_speedup_regressed_below_one(self):
+        summary = _load_summary(ML_SUMMARY_JSON)
+        speedups = {
+            k: v
+            for k, v in summary.items()
+            if k.endswith("_speedup") or "_speedup_" in k
+        }
+        assert speedups, "BENCH_ml.json records no speedups"
+        slow = {k: v for k, v in speedups.items() if v < 1.0}
+        assert not slow, f"ML engine slower than the seed path: {slow}"
 
 
-def test_no_speedup_regressed_below_one():
-    summary = _load_summary()
-    speedups = {k: v for k, v in summary.items() if k.endswith("_speedup") or "_speedup_" in k}
-    assert speedups, "BENCH_ml.json records no speedups"
-    slow = {k: v for k, v in speedups.items() if v < 1.0}
-    assert not slow, f"ML engine slower than the seed path: {slow}"
+class TestScenarioCacheGuard:
+    def test_headline_cached_speedup_at_least_5x(self):
+        """Acceptance floor: a cached scenario re-run is >= 5x faster."""
+        summary = _load_summary(SCENARIO_SUMMARY_JSON)
+        assert "cached_speedup" in summary, (
+            "BENCH_scenarios.json is missing the cached_speedup headline"
+        )
+        assert summary["cached_speedup"] >= 5.0, (
+            f"cached scenario re-run only {summary['cached_speedup']}x "
+            "faster than cold (floor: 5x)"
+        )
+
+    def test_no_cached_run_slower_than_cold(self):
+        summary = _load_summary(SCENARIO_SUMMARY_JSON)
+        ratios = {
+            k: v for k, v in summary.items() if k.endswith("_speedup_ratio")
+        }
+        assert ratios, "BENCH_scenarios.json records no cached/cold ratios"
+        slow = {k: v for k, v in ratios.items() if v < 1.0}
+        assert not slow, f"artifact cache is a pessimization for: {slow}"

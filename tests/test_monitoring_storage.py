@@ -1,0 +1,195 @@
+"""Round-trip and cache-key tests for ``repro.monitoring.storage``."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import ComponentData, SegmentData
+from repro.datasets.recipes import recipe
+from repro.datasets.schema import get_segment_spec
+from repro.monitoring.storage import (
+    load_segment,
+    load_segment_npz,
+    load_sensor_csv,
+    save_segment,
+    save_segment_npz,
+    save_sensor_csv,
+)
+from repro.scenarios.cache import dataset_key, segment_key
+
+
+def _tiny_segment(*, with_labels=True, with_target=False) -> SegmentData:
+    """A hand-built two-component segment with awkward sensor names."""
+    rng = np.random.default_rng(3)
+    spec = get_segment_spec("application")
+    components = []
+    for i, name in enumerate(("node/a", "node.b")):
+        matrix = rng.normal(1.0, 0.25, size=(3, 40))
+        components.append(
+            ComponentData(
+                name=name,
+                matrix=matrix,
+                sensor_names=("cpu/0/load", "mem used", "temp,core"),
+                sensor_groups=("cpu", "mem", "temp"),
+                labels=rng.integers(0, 3, size=40).astype(np.intp)
+                if with_labels else None,
+                target=rng.random(40) if with_target else None,
+                arch=f"arch{i}",
+            )
+        )
+    return SegmentData(spec, components, label_names=("a", "b", "c"), seed=11)
+
+
+class TestSensorCSV:
+    def test_round_trip(self, tmp_path):
+        ts = np.arange(5) * 0.5
+        values = np.array([1.0, -2.25, 0.0, 3.5e-4, 1e6])
+        save_sensor_csv(tmp_path / "s.csv", ts, values)
+        ts2, v2 = load_sensor_csv(tmp_path / "s.csv")
+        assert np.array_equal(ts, ts2)
+        assert np.array_equal(values, v2)
+
+    def test_rejects_mismatched_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_sensor_csv(tmp_path / "s.csv", np.arange(3), np.arange(4))
+
+
+class TestSegmentCSVFormat:
+    def test_round_trip_with_sanitized_names(self, tmp_path):
+        segment = _tiny_segment(with_labels=True)
+        root = save_segment(segment, tmp_path / "seg")
+        # '/' in component and sensor names must be sanitized on disk ...
+        assert (root / "node_a" / "cpu_0_load.csv").exists()
+        loaded = load_segment(root)
+        # ... but restored verbatim from the manifest.
+        assert [c.name for c in loaded.components] == ["node/a", "node.b"]
+        assert loaded.components[0].sensor_names == (
+            "cpu/0/load", "mem used", "temp,core",
+        )
+        assert loaded.label_names == ("a", "b", "c")
+        assert loaded.seed == 11
+        for orig, back in zip(segment.components, loaded.components):
+            # CSV stores %.9g: values survive to ~9 significant digits.
+            np.testing.assert_allclose(back.matrix, orig.matrix, rtol=1e-8)
+            assert np.array_equal(back.labels, orig.labels)
+            assert back.arch == orig.arch
+            assert back.sensor_groups == orig.sensor_groups
+
+    def test_timestamps_follow_sampling_interval(self, tmp_path):
+        segment = _tiny_segment()
+        root = save_segment(segment, tmp_path / "seg")
+        ts, _ = load_sensor_csv(root / "node_a" / "mem used.csv")
+        interval = segment.spec.sampling_interval_s
+        assert np.array_equal(ts, np.arange(40) * interval)
+
+
+class TestSegmentNPZFormat:
+    @pytest.mark.parametrize("with_labels,with_target", [
+        (True, False), (False, True), (True, True),
+    ])
+    def test_bit_exact_round_trip(self, tmp_path, with_labels, with_target):
+        segment = _tiny_segment(
+            with_labels=with_labels, with_target=with_target
+        )
+        path = save_segment_npz(segment, tmp_path / "seg.npz")
+        loaded = load_segment_npz(path)
+        assert loaded.spec.name == segment.spec.name
+        assert loaded.label_names == segment.label_names
+        assert loaded.seed == segment.seed
+        for orig, back in zip(segment.components, loaded.components):
+            assert np.array_equal(back.matrix, orig.matrix)  # bit-exact
+            assert back.sensor_names == orig.sensor_names
+            assert back.sensor_groups == orig.sensor_groups
+            assert back.name == orig.name and back.arch == orig.arch
+            if with_labels:
+                assert np.array_equal(back.labels, orig.labels)
+            else:
+                assert back.labels is None
+            if with_target:
+                assert np.array_equal(back.target, orig.target)
+            else:
+                assert back.target is None
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        import json
+
+        path = tmp_path / "x.npz"
+        np.savez(path, manifest=np.frombuffer(
+            json.dumps({"format": "other"}).encode(), dtype=np.uint8
+        ))
+        with pytest.raises(ValueError, match="unsupported segment format"):
+            load_segment_npz(path)
+
+
+class TestCacheKeyStability:
+    """Content keys must be stable across processes (no hash seeds)."""
+
+    SNIPPET = (
+        "from repro.datasets.recipes import recipe\n"
+        "from repro.scenarios.cache import dataset_key, segment_key\n"
+        "from repro.scenarios.registry import get_scenario\n"
+        "r = recipe('application', t=700, nodes=2, noise_std=0.05)\n"
+        "print(segment_key(r))\n"
+        "print(dataset_key(r, 'cs-20', wl=30, ws=5))\n"
+        "print(get_scenario('fig3').spec_hash())\n"
+    )
+
+    def _subprocess_keys(self) -> list[str]:
+        src = Path(__file__).resolve().parent.parent / "src"
+        out = subprocess.run(
+            [sys.executable, "-c", self.SNIPPET],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(src),
+                "PYTHONHASHSEED": "random",
+            },
+        )
+        return out.stdout.split()
+
+    def test_keys_match_across_processes(self):
+        from repro.scenarios.registry import get_scenario
+
+        r = recipe("application", t=700, nodes=2, noise_std=0.05)
+        local = [
+            segment_key(r),
+            dataset_key(r, "cs-20", wl=30, ws=5),
+            get_scenario("fig3").spec_hash(),
+        ]
+        assert self._subprocess_keys() == local
+
+    def test_generated_data_stable_across_hash_seeds(self):
+        """Recipes must build bit-identical segments in any process.
+
+        Guards against PYTHONHASHSEED leaking into generation (e.g. via
+        ``hash(str)``-derived RNG seeds), which would silently poison the
+        cross-process artifact cache.
+        """
+        snippet = (
+            "from repro.datasets.recipes import recipe\n"
+            "m = recipe('application', t=400, nodes=2).build()"
+            ".components[0].matrix\n"
+            "print(repr(float(m.sum())))\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        sums = set()
+        for seed in ("1", "2"):
+            out = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": str(src),
+                    "PYTHONHASHSEED": seed,
+                },
+            )
+            sums.add(out.stdout.strip())
+        assert len(sums) == 1, f"generation depends on PYTHONHASHSEED: {sums}"

@@ -1,0 +1,105 @@
+"""Tests for the pluggable reporting sinks and CSV robustness fixes."""
+
+import json
+
+import pytest
+
+from repro.experiments.reporting import (
+    CSVSink,
+    JSONLSink,
+    MarkdownSink,
+    TableSink,
+    make_sink,
+    save_csv,
+    save_jsonl,
+    save_markdown,
+)
+
+
+class TestSaveCSV:
+    def test_plain_cells_unchanged(self, tmp_path):
+        """Cells without specials keep the historical byte format."""
+        path = save_csv(tmp_path / "r.csv", ("a", "b"), [(1, 2.5)])
+        assert path.read_text() == "a,b\n1,2.5\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_csv(
+            tmp_path / "deep" / "nested" / "r.csv", ("a",), [(1,)]
+        )
+        assert path.exists()
+        assert path.read_text() == "a\n1\n"
+
+    def test_escapes_commas_and_quotes(self, tmp_path):
+        path = save_csv(
+            tmp_path / "r.csv",
+            ("name", "note"),
+            [("a,b", 'say "hi"'), ("plain", "x\ny")],
+        )
+        lines = path.read_text().splitlines()
+        assert lines[0] == "name,note"
+        assert lines[1] == '"a,b","say ""hi"""'
+        # embedded newline stays inside one quoted cell
+        assert '"x\ny"' in path.read_text()
+
+    def test_escaped_header(self, tmp_path):
+        path = save_csv(tmp_path / "r.csv", ("a,b",), [(1,)])
+        assert path.read_text().splitlines()[0] == '"a,b"'
+
+
+class TestJSONL:
+    def test_round_trip_types(self, tmp_path):
+        path = save_jsonl(
+            tmp_path / "r.jsonl",
+            ("name", "score", "flag"),
+            [("x", 0.5, True), ("y,z", 2, False)],
+        )
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert records == [
+            {"name": "x", "score": 0.5, "flag": True},
+            {"name": "y,z", "score": 2, "flag": False},
+        ]
+
+
+class TestMarkdown:
+    def test_table_structure(self, tmp_path):
+        path = save_markdown(
+            tmp_path / "r.md",
+            ("a", "b"),
+            [(1, "x|y")],
+            title="T",
+            notes=("\nnote line",),
+        )
+        text = path.read_text()
+        assert text.startswith("## T\n")
+        assert "| a | b |" in text
+        assert "x\\|y" in text  # pipes escaped
+        assert "note line" in text
+
+
+class _Result:
+    headers = ("a", "b")
+    rows = [(1, 2)]
+    title = "T"
+    notes = ["n1"]
+
+
+class TestSinks:
+    def test_table_sink_prints(self, capsys):
+        TableSink().emit(_Result())
+        out = capsys.readouterr().out
+        assert "T" in out and "n1" in out
+
+    def test_file_sinks_write(self, tmp_path):
+        res = _Result()
+        CSVSink(tmp_path / "r.csv").emit(res)
+        JSONLSink(tmp_path / "r.jsonl").emit(res)
+        MarkdownSink(tmp_path / "r.md").emit(res)
+        assert (tmp_path / "r.csv").read_text() == "a,b\n1,2\n"
+        assert json.loads((tmp_path / "r.jsonl").read_text()) == {"a": 1, "b": 2}
+        assert "## T" in (tmp_path / "r.md").read_text()
+
+    def test_make_sink_registry(self, tmp_path):
+        assert isinstance(make_sink("table"), TableSink)
+        assert isinstance(make_sink("csv", tmp_path / "x.csv"), CSVSink)
+        with pytest.raises(KeyError):
+            make_sink("nope")

@@ -1,0 +1,63 @@
+"""Tier-1 CI gate: every registered scenario must run end to end.
+
+``repro list`` must show the whole catalog, and each scenario must
+execute at ``--smoke`` scale through the real CLI (table + CSV sinks,
+artifact output) — so a spec that breaks cannot merge.
+"""
+
+import pytest
+
+from repro import cli
+from repro.scenarios.registry import list_scenarios, scenario_names
+
+SCENARIOS = scenario_names()
+
+
+class TestList:
+    def test_list_shows_every_scenario(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_list_tag_filter(self, capsys):
+        assert cli.main(["list", "--tag", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "noise-robustness" not in out
+
+
+class TestRunCLI:
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert cli.main(["run", "nope"]) == 2
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_smoke_run(self, name, tmp_path, capsys):
+        csv = tmp_path / f"{name}.csv"
+        code = cli.main([
+            "run", name,
+            "--smoke",
+            "--csv", str(csv),
+            "--out", str(tmp_path / "artifacts"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        lines = csv.read_text().splitlines()
+        assert len(lines) >= 2  # header + at least one result row
+        spec = next(s for s in list_scenarios() if s.name == name)
+        assert spec.title in captured.out
+
+    def test_heatmap_scenarios_write_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "figs"
+        assert cli.main(["run", "fig7", "--smoke", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert len(list(out.glob("fig7_*_real.pgm"))) == 3
+
+    def test_cached_rerun_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        for _ in range(2):
+            assert cli.main(
+                ["run", "table1", "--smoke", "--cache-dir", cache]
+            ) == 0
+        err = capsys.readouterr().err
+        assert "5 hits" in err
