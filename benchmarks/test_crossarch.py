@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import pytest
 
 from repro.experiments.crossarch import baseline_signature_lengths, run
 from benchmarks.conftest import SCALE, merge_csv

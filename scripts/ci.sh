@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+#
+# Offline friendly: no network installs.  The repository runs straight
+# off PYTHONPATH=src, so nothing needs to be pip-installed at all; when
+# an editable install is wanted on a wheel-less environment, use
+#
+#     pip install -e . --no-build-isolation
+#
+# (plain `pip install -e .` needs the `wheel` package, which minimal
+# containers lack; setup.py ships a shim that makes the legacy editable
+# path work without it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite (benchmarks deselected via -m 'not slow') =="
+python -m pytest -x -q
+
+echo "== bench guards (recorded speedup floors) =="
+python -m pytest tests/test_bench_guard.py -q
+
+# Lint runs when ruff is available; the lint job in GitHub Actions is
+# authoritative.  Installing ruff needs network access, so offline
+# containers simply skip this step.
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff lint =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping lint (CI's lint job runs it) =="
+fi
+
+echo "CI mirror passed."

@@ -1,8 +1,10 @@
-"""``python -m repro`` — the unified scenario CLI (see ``repro.cli``)."""
+"""``python -m repro`` — the unified scenario CLI (see ``repro.cli``).
 
-import sys
+Routes through :func:`repro.cli.console_main` so both entry points share
+the Ctrl-C (exit 130) and broken-pipe (exit 141) handling.
+"""
 
-from repro.cli import main
+from repro.cli import console_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    console_main()

@@ -10,7 +10,12 @@
   raw sensors that feed them ("root cause analysis is simplified").
 """
 
-from repro.analysis.rootcause import block_sensors, explain_difference
+from repro.analysis.rootcause import (
+    BlockFinding,
+    block_sensors,
+    explain_difference,
+    findings_payload,
+)
 from repro.analysis.similarity import (
     cs_compression_divergence,
     js_divergence_2d,
@@ -27,10 +32,12 @@ from repro.analysis.visualization import (
 )
 
 __all__ = [
+    "BlockFinding",
     "ascii_heatmap",
     "block_sensors",
     "cs_compression_divergence",
     "explain_difference",
+    "findings_payload",
     "js_divergence_2d",
     "kl_divergence",
     "nearest_neighbor_upsample",

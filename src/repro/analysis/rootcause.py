@@ -16,7 +16,12 @@ import numpy as np
 from repro.core.blocks import block_sensor_map
 from repro.core.model import CSModel
 
-__all__ = ["block_sensors", "explain_difference", "BlockFinding"]
+__all__ = [
+    "block_sensors",
+    "explain_difference",
+    "findings_payload",
+    "BlockFinding",
+]
 
 
 def block_sensors(model: CSModel, l: int, block: int) -> tuple[str, ...]:
@@ -52,6 +57,24 @@ class BlockFinding:
     def magnitude(self) -> float:
         """Combined deviation magnitude used for ranking."""
         return float(np.hypot(self.delta_real, self.delta_imag))
+
+    def to_dict(self, *, ndigits: int | None = None) -> dict:
+        """JSON-ready form (``ndigits`` rounds the float fields).
+
+        Key order and rounding are fixed so serialized findings are
+        byte-stable — alert payloads embed these in replayable JSONL.
+        """
+
+        def _num(x: float) -> float:
+            return round(x, ndigits) if ndigits is not None else x
+
+        return {
+            "block": self.block,
+            "delta_real": _num(self.delta_real),
+            "delta_imag": _num(self.delta_imag),
+            "magnitude": _num(self.magnitude),
+            "sensors": list(self.sensors),
+        }
 
 
 def explain_difference(
@@ -100,3 +123,10 @@ def explain_difference(
             )
         )
     return findings
+
+
+def findings_payload(
+    findings: list[BlockFinding], *, ndigits: int | None = None
+) -> list[dict]:
+    """Serializable rendering of a findings list (for alert payloads)."""
+    return [f.to_dict(ndigits=ndigits) for f in findings]

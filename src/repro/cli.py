@@ -13,6 +13,15 @@ Subcommands
 ``repro run-all``
     Execute every registered scenario (optionally filtered by ``--tag``),
     writing per-scenario CSV/markdown into ``--results-dir``.
+``repro detect``
+    Deterministic replay of a (cached) fault-fleet through the online
+    detection service (``repro.service``): alert JSONL to ``--alerts``
+    or stdout, scored summary to stderr.  Byte-identical output across
+    processes for the same flags.
+``repro serve``
+    The same fleet served *live*: bursts are ingested tick by tick and
+    alert events stream to stdout the moment they fire (Ctrl-C exits
+    cleanly with status 130).
 """
 
 from __future__ import annotations
@@ -115,6 +124,237 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Online detection service (repro serve / repro detect)
+# ----------------------------------------------------------------------
+def _service_defaults() -> dict[str, float | int]:
+    """Full-size preset: fleet shape here, knob defaults from the one
+    canonical ``repro.service.replay.SERVICE_DEFAULTS`` source (imported
+    lazily so ``repro list``/``run`` don't pay the service imports)."""
+    from repro.service.replay import SERVICE_DEFAULTS
+
+    return {"nodes": 3, "t": 6000, **SERVICE_DEFAULTS}
+
+
+def _service_smoke() -> dict[str, float | int]:
+    """The --smoke preset CI exercises (seconds-scale)."""
+    return {
+        **_service_defaults(),
+        "nodes": 2,
+        "t": 2500,
+        "blocks": 8,
+        "trees": 6,
+        "chunk": 200,
+    }
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    defaults = _service_defaults()
+    parser.add_argument(
+        "--nodes", type=int, default=None,
+        help="fleet size (independently seeded fault nodes; "
+        f"default {defaults['nodes']})",
+    )
+    parser.add_argument(
+        "--t", type=int, default=None,
+        help="samples per node; the leading --train-frac trains the "
+        f"fleet, the rest replays (default {defaults['t']})",
+    )
+    parser.add_argument(
+        "--segment", default="fault",
+        help="labeled segment generator behind every node (default: fault)",
+    )
+    parser.add_argument(
+        "--noise-std", type=float, default=0.0,
+        help="additive Gaussian sensor noise as a fraction of each "
+        "sensor's std (default 0)",
+    )
+    parser.add_argument(
+        "--blocks", type=int, default=None,
+        help=f"signature length l (default {defaults['blocks']})",
+    )
+    parser.add_argument(
+        "--trees", type=int, default=None,
+        help="shared fault-classifier forest size "
+        f"(default {defaults['trees']})",
+    )
+    parser.add_argument(
+        "--train-frac", type=float, default=None,
+        help="leading fraction of each node's history used for "
+        f"training (default {defaults['train_frac']})",
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=None,
+        help=f"samples per ingested burst (default {defaults['chunk']}; "
+        "serve uses 30 unless set)",
+    )
+    parser.add_argument(
+        "--open-after", type=int, default=None,
+        help="consecutive faulty windows before an alert opens "
+        f"(default {defaults['open_after']})",
+    )
+    parser.add_argument(
+        "--close-after", type=int, default=None,
+        help="consecutive healthy windows before an open alert closes "
+        f"(default {defaults['close_after']})",
+    )
+    parser.add_argument(
+        "--min-confidence", type=float, default=None,
+        help="faulty predictions below this confidence are treated as "
+        f"healthy (default {defaults['min_confidence']})",
+    )
+    parser.add_argument(
+        "--top-blocks", type=int, default=None,
+        help="deviating signature blocks attributed per opening alert "
+        f"(default {defaults['top_blocks']})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed: node i uses seed+i for generation, and the "
+        f"classifier forest uses it directly "
+        f"(default {defaults['seed']})",
+    )
+    parser.add_argument(
+        "--healthy-label", type=int, default=None,
+        help="integer class treated as 'no fault' "
+        f"(default {defaults['healthy_label']}, the fault segment's "
+        "healthy class; set explicitly for other --segment choices)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="ingestion shards (thread pool); never changes results",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed artifact cache; re-runs replay the "
+        "cached .npz segments instead of regenerating",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale preset (2 nodes, t=2500, 6 trees) used by CI",
+    )
+
+
+def _service_params(args: argparse.Namespace) -> dict[str, float | int]:
+    preset = _service_smoke() if args.smoke else _service_defaults()
+    params = {}
+    for name, fallback in preset.items():
+        explicit = getattr(args, name, None)
+        params[name] = fallback if explicit is None else explicit
+    return params
+
+
+def _build_service_setup(args: argparse.Namespace):
+    from repro.scenarios.cache import ArtifactCache, ExecutionContext
+    from repro.service.replay import fleet_recipes, prepare_fleet
+
+    params = _service_params(args)
+    store = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    context = ExecutionContext(store)
+    recipes = fleet_recipes(
+        int(params["nodes"]),
+        segment=args.segment,
+        t=int(params["t"]),
+        seed0=int(params["seed"]),
+        noise_std=float(args.noise_std),
+        noise_seed=11 if args.noise_std else 0,
+    )
+    setup = prepare_fleet(
+        recipes,
+        context=context,
+        blocks=int(params["blocks"]),
+        trees=int(params["trees"]),
+        train_frac=float(params["train_frac"]),
+        seed=int(params["seed"]),
+        healthy_label=int(params["healthy_label"]),
+    )
+    return setup, params, context
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table, save_csv
+    from repro.scenarios.evaluations import FLEET_DETECT_HEADERS
+    from repro.service.alerts import (
+        JSONLAlertSink,
+        MarkdownAlertSink,
+        StreamAlertSink,
+    )
+    from repro.service.replay import replay
+
+    setup, params, context = _build_service_setup(args)
+    sinks = []
+    if args.alerts:
+        sinks.append(JSONLAlertSink(args.alerts))
+    else:
+        sinks.append(StreamAlertSink(sys.stdout))
+    if args.markdown:
+        sinks.append(MarkdownAlertSink(args.markdown))
+    outcome = replay(
+        setup,
+        chunk=int(params["chunk"]),
+        open_after=int(params["open_after"]),
+        close_after=int(params["close_after"]),
+        min_confidence=float(params["min_confidence"]),
+        top_blocks=int(params["top_blocks"]),
+        shards=args.shards,
+        sinks=sinks,
+    )
+    row = outcome.row(f"{args.segment}-fleet-{setup.n_nodes}")
+    _status(
+        format_table(
+            FLEET_DETECT_HEADERS, [row], title="Fleet detection replay"
+        )
+    )
+    if args.csv:
+        save_csv(args.csv, FLEET_DETECT_HEADERS, [row])
+    if args.alerts:
+        _status(f"[detect] wrote {outcome.n_alerts} alerts to {args.alerts}")
+    if args.cache_dir:
+        stats = context.stats
+        _status(
+            f"[detect] cache: {stats['segment_hits']} hits, "
+            f"{stats['segment_misses']} misses"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.alerts import StreamAlertSink
+    from repro.service.replay import replay
+
+    setup, params, _ = _build_service_setup(args)
+    chunk = int(args.chunk) if args.chunk is not None else 30
+    horizon = max(m.shape[1] for m in setup.eval_data.values())
+    _status(
+        f"[serve] {setup.n_nodes} nodes, burst={chunk} samples, "
+        f"{horizon} samples queued (Ctrl-C to stop)"
+    )
+    # Same loop as `repro detect`, with live pacing and bounded memory
+    # (no prediction/alert history is retained, so scores are not
+    # computed — serving is about the event stream, not the replay score).
+    outcome = replay(
+        setup,
+        chunk=chunk,
+        open_after=int(params["open_after"]),
+        close_after=int(params["close_after"]),
+        min_confidence=float(params["min_confidence"]),
+        top_blocks=int(params["top_blocks"]),
+        shards=args.shards,
+        sinks=[StreamAlertSink(sys.stdout)],
+        interval=float(args.interval),
+        record_history=False,
+    )
+    # outcome.events is empty in serving mode (nothing is retained);
+    # the counts are always populated.  n_events = opens + closes.
+    closes = outcome.n_events - outcome.n_alerts
+    _status(
+        f"[serve] drained: {outcome.n_windows} windows classified, "
+        f"{outcome.n_events} alert events, "
+        f"{outcome.n_alerts - closes} alert(s) still open"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -147,6 +387,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", "--out",
     )
     p_all.set_defaults(func=_cmd_run_all)
+
+    p_detect = sub.add_parser(
+        "detect",
+        help="replay a (cached) fault fleet through the online "
+        "detection service",
+    )
+    _add_service_options(p_detect)
+    p_detect.add_argument(
+        "--alerts", default=None,
+        help="write the alert event stream as JSON lines here "
+        "(default: stdout); byte-identical across processes",
+    )
+    p_detect.add_argument(
+        "--csv", default=None,
+        help="also write the scored summary row as CSV",
+    )
+    p_detect.add_argument(
+        "--markdown", default=None,
+        help="also write a markdown alert summary table",
+    )
+    p_detect.set_defaults(func=_cmd_detect)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the simulated fleet live, streaming alert events "
+        "to stdout",
+    )
+    _add_service_options(p_serve)
+    p_serve.add_argument(
+        "--interval", type=float, default=0.0,
+        help="seconds to pause between ingested bursts (realistic "
+        "pacing; default 0 = as fast as possible)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -160,6 +434,11 @@ def console_main() -> None:  # pragma: no cover - setuptools entry point
 
     try:
         sys.exit(main())
+    except KeyboardInterrupt:
+        # Ctrl-C (e.g. stopping `repro serve`) is a normal way to leave;
+        # exit with the conventional 128 + SIGINT status instead of a
+        # traceback.
+        sys.exit(130)
     except BrokenPipeError:
         # Piping into `head` etc. closes stdout early; exit quietly with
         # the conventional 128 + SIGPIPE status instead of a traceback.

@@ -23,13 +23,12 @@ from typing import Callable
 import numpy as np
 
 from repro.baselines.base import SignatureMethod
-from repro.datasets.faults import FAULTS, HEALTHY_LABEL, fault_names
+from repro.datasets.faults import FAULTS, fault_names
 from repro.datasets.schema import ARCHITECTURES, SegmentSpec, get_segment_spec
-from repro.datasets.sensors import SensorBank, node_sensor_bank, rack_sensor_bank
+from repro.datasets.sensors import node_sensor_bank, rack_sensor_bank
 from repro.datasets.windows import (
     future_mean_target,
     window_majority_labels,
-    window_starts,
 )
 from repro.datasets.workloads import (
     APPLICATIONS,

@@ -161,6 +161,25 @@ class FleetSignatureEngine:
         """Blocks per signature emitted for one node."""
         return self._effective_blocks(self._models[path].n_sensors)
 
+    def stream(self, path: str):
+        """A live :class:`~repro.monitoring.streaming.OnlineSignatureStream`
+        for one node, built from its registered model.
+
+        The stream shares the engine's blocks/wl/ws, so signatures it
+        emits are bit-identical to :meth:`transform_node` over the same
+        samples — the online serving layer (``repro.service``) keys one
+        such stream per sensor-tree path.
+        """
+        from repro.monitoring.streaming import OnlineSignatureStream
+
+        model = self._models[path]
+        return OnlineSignatureStream.from_model(
+            model,
+            self._effective_blocks(model.n_sensors),
+            wl=self.wl,
+            ws=self.ws,
+        )
+
     def _effective_blocks(self, n: int) -> int:
         return n if self.blocks is None else min(self.blocks, n)
 

@@ -215,6 +215,18 @@ class RandomForestClassifier(_BaseForest):
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 
+    def predict_with_proba(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Labels and class probabilities from one stacked-forest pass.
+
+        Serving paths that need both (hard label for alerting, winning
+        probability as confidence) would otherwise walk the forest twice
+        — ``predict`` calls ``predict_proba`` internally.
+        """
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)], proba
+
 
 class RandomForestRegressor(_BaseForest):
     """Bootstrap-aggregated variance-reduction CART regressor.

@@ -20,6 +20,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.model import CSModel
 from repro.core.pipeline import CorrelationWiseSmoothing
 from repro.engine.streaming import IncrementalSignatureCore
 
@@ -65,6 +66,28 @@ class OnlineSignatureStream:
         self._core = IncrementalSignatureCore(
             cs.model, cs.signature_length(), self.wl, self.ws
         )
+
+    @classmethod
+    def from_model(
+        cls, model: "CSModel", blocks: int, *, wl: int, ws: int
+    ) -> "OnlineSignatureStream":
+        """Build a stream straight from a trained :class:`CSModel`.
+
+        Fleet-scale serving ships bare models per node (see
+        :meth:`repro.engine.fleet.FleetSignatureEngine.stream`) rather
+        than full estimator objects; streams built this way have
+        ``cs is None`` but behave identically otherwise.
+        """
+        if wl < 1 or ws < 1:
+            raise ValueError("wl and ws must be positive")
+        stream = cls.__new__(cls)
+        stream.cs = None
+        stream.wl = int(wl)
+        stream.ws = int(ws)
+        stream._core = IncrementalSignatureCore(
+            model, int(blocks), stream.wl, stream.ws
+        )
+        return stream
 
     @property
     def n_sensors(self) -> int:

@@ -279,6 +279,107 @@ SENSOR_DRIFT = register(ScenarioSpec(
     }),
 ))
 
+# The online-service replays (repro.service): fleets of independently
+# seeded fault nodes detected, classified and alerted on in lockstep.
+def _fault_fleet(
+    nodes: int, *, t: int, noise_std: float = 0.0, noise_seed: int = 0
+) -> tuple[DatasetRecipe, ...]:
+    """Recipes equal to ``repro.service.replay.fleet_recipes(...)``.
+
+    Built locally from plain recipes so registering/listing scenarios
+    does not import the service stack (the CLI keeps those imports lazy
+    on purpose); equality with ``fleet_recipes`` is test-enforced.
+    """
+    return tuple(
+        recipe(
+            "fault",
+            t=int(t),
+            seed=i,
+            noise_std=noise_std,
+            drift=0.0,
+            noise_seed=noise_seed,
+            label=f"fault#n{i}",
+        )
+        for i in range(nodes)
+    )
+
+
+_SMOKE_FLEET = _fault_fleet(2, t=2500)
+
+FLEET_DETECT = register(ScenarioSpec(
+    name="fleet-detect",
+    kind="fleet-detect",
+    title="Online fleet fault detection — ingest, classify, alert",
+    description="Deterministic replay of a 4-node fault fleet through "
+    "repro.service: windowed detection, lockstep batched classification "
+    "and threshold+hysteresis alerting scored against injected faults",
+    datasets=_fault_fleet(4, t=6000),
+    evaluation=pairs({
+        "blocks": 20,
+        "trees": 30,
+        "train_frac": 0.5,
+        "chunk": 256,
+        "open_after": 2,
+        "close_after": 2,
+        "seed": 0,
+    }),
+    tags=("extra", "service", "fleet"),
+    smoke=pairs({
+        "datasets": _SMOKE_FLEET,
+        "evaluation": {"blocks": 8, "trees": 6, "chunk": 200},
+    }),
+))
+
+FLEET_DETECT_SCALE = register(ScenarioSpec(
+    name="fleet-detect-scale",
+    kind="fleet-detect",
+    title="Online fleet fault detection — replay throughput vs fleet size",
+    description="Service replay over growing fleets (2 -> 4 -> 8 fault "
+    "nodes): alert quality stays flat while windows/second tracks the "
+    "batched hot path",
+    datasets=_fault_fleet(8, t=4000),
+    evaluation=pairs({
+        "fleet_sizes": (2, 4, 8),
+        "blocks": 20,
+        "trees": 20,
+        "train_frac": 0.5,
+        "chunk": 256,
+        "open_after": 2,
+        "close_after": 2,
+        "seed": 0,
+    }),
+    tags=("extra", "service", "fleet", "perf"),
+    smoke=pairs({
+        "datasets": _SMOKE_FLEET,
+        "evaluation": {"fleet_sizes": (2,), "blocks": 8, "trees": 6,
+                       "chunk": 200},
+    }),
+))
+
+FLEET_DETECT_NOISE = register(ScenarioSpec(
+    name="fleet-detect-noise",
+    kind="fleet-detect",
+    title="Online fleet fault detection — noisy telemetry",
+    description="The fleet-detect replay with 5% additive Gaussian "
+    "sensor noise on every node: how much alert precision/recall "
+    "survives degraded telemetry",
+    datasets=_fault_fleet(3, t=6000, noise_std=0.05, noise_seed=11),
+    evaluation=pairs({
+        "blocks": 20,
+        "trees": 30,
+        "train_frac": 0.5,
+        "chunk": 256,
+        "open_after": 2,
+        "close_after": 2,
+        "seed": 0,
+    }),
+    tags=("extra", "service", "fleet", "robustness"),
+    smoke=pairs({
+        "datasets": _fault_fleet(2, t=2500, noise_std=0.05, noise_seed=11),
+        "evaluation": {"blocks": 8, "trees": 6, "chunk": 200},
+    }),
+))
+
 CROSSARCH_LENGTHS = register(ScenarioSpec(
     name="crossarch-lengths",
     kind="grid",
@@ -302,5 +403,8 @@ EXTRA_SCENARIOS: tuple[ScenarioSpec, ...] = (
     FAULT_MIX,
     NOISE_ROBUSTNESS,
     SENSOR_DRIFT,
+    FLEET_DETECT,
+    FLEET_DETECT_SCALE,
+    FLEET_DETECT_NOISE,
     CROSSARCH_LENGTHS,
 )

@@ -4,7 +4,7 @@ Each strategy ("kind") interprets a :class:`ScenarioSpec` — its dataset
 recipes, method grid and ``evaluation`` parameters — and drives the
 existing engine/harness/ML layers, returning a :class:`ScenarioResult`.
 The seven paper reproductions and all extended scenarios are expressed
-as specs over these eight kinds; registering a *new* scenario requires
+as specs over these nine kinds; registering a *new* scenario requires
 no new runner code, only a new spec.
 
 Domain helpers that predate the registry (``segment_js_divergence``,
@@ -30,6 +30,7 @@ from repro.scenarios.cache import ExecutionContext
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
+    "FLEET_DETECT_HEADERS",
     "GRID_HEADERS",
     "LENGTH_SWEEP_HEADERS",
     "TIMING_HEADERS",
@@ -70,6 +71,19 @@ FLEET_HEADERS: tuple[str, ...] = (
     "Fit [s]",
     "Transform [s]",
     "Sig/s",
+)
+
+#: Columns of the online fleet fault-detection replays (repro.service).
+FLEET_DETECT_HEADERS: tuple[str, ...] = (
+    "Fleet",
+    "Nodes",
+    "Windows",
+    "Alerts",
+    "Window acc",
+    "Precision",
+    "Recall",
+    "Replay [s]",
+    "Win/s",
 )
 
 
@@ -466,4 +480,75 @@ def _run_fleet(spec: ScenarioSpec, ctx: ExecutionContext) -> ScenarioResult:
         headers=FLEET_HEADERS,
         rows=rows,
         extras={"results": fleet_results},
+    )
+
+
+# ----------------------------------------------------------------------
+# Online fleet fault detection (repro.service routing)
+# ----------------------------------------------------------------------
+@evaluation("fleet-detect")
+def _run_fleet_detect(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """Deterministic replay through the online detection service.
+
+    Each dataset recipe contributes its components as nodes of one
+    fleet; ``fleet_sizes`` (optional) replays growing recipe prefixes so
+    a single scenario sweeps fleet scale.  Rows report the alert
+    stream's quality against the injected ground truth plus replay
+    throughput.
+    """
+    from repro.service.replay import SERVICE_DEFAULTS, prepare_fleet, replay
+
+    ev = spec.evaluation_dict()
+
+    def param(name: str):
+        return ev.get(name, SERVICE_DEFAULTS[name])
+
+    blocks = int(param("blocks"))
+    trees = int(param("trees"))
+    train_frac = float(param("train_frac"))
+    chunk = int(param("chunk"))
+    open_after = int(param("open_after"))
+    close_after = int(param("close_after"))
+    min_confidence = float(param("min_confidence"))
+    top_blocks = int(param("top_blocks"))
+    seed = int(param("seed"))
+    healthy_label = int(param("healthy_label"))
+    sizes = tuple(ev.get("fleet_sizes", ())) or (len(spec.datasets),)
+    rows = []
+    outcomes = []
+    for size in sizes:
+        size = int(size)
+        if not 1 <= size <= len(spec.datasets):
+            raise ValueError(
+                f"fleet size {size} outside 1..{len(spec.datasets)} recipes"
+            )
+        setup = prepare_fleet(
+            spec.datasets[:size],
+            context=ctx,
+            blocks=blocks,
+            trees=trees,
+            train_frac=train_frac,
+            seed=seed,
+            healthy_label=healthy_label,
+        )
+        outcome = replay(
+            setup,
+            chunk=chunk,
+            open_after=open_after,
+            close_after=close_after,
+            min_confidence=min_confidence,
+            top_blocks=top_blocks,
+        )
+        outcomes.append(outcome)
+        rows.append(
+            outcome.row(f"{spec.datasets[0].segment}-fleet-{setup.n_nodes}")
+        )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=FLEET_DETECT_HEADERS,
+        rows=rows,
+        extras={"outcomes": outcomes},
     )

@@ -9,7 +9,7 @@ byte-identical CSVs) for the same effective spec.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 

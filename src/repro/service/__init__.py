@@ -1,0 +1,71 @@
+"""Online fleet fault-detection service.
+
+The paper's end goal is operational: signatures exist so a fleet can be
+*monitored* online, faults classified and causes localized.  This
+subpackage composes the existing layers into that one hot path:
+
+* :mod:`~repro.service.ingest` — sharded per-node ingestion: one
+  ring-buffered :class:`~repro.monitoring.streaming.OnlineSignatureStream`
+  per monitored node, keyed by
+  :class:`~repro.engine.fleet.FleetSignatureEngine` sensor-tree paths;
+* :mod:`~repro.service.classify` — training of the shared fault
+  classifier plus lockstep batched classification of every signature the
+  fleet emits in a tick (one stacked-forest predict call, not one per
+  node);
+* :mod:`~repro.service.alerts` — threshold + hysteresis alert policies
+  and streaming JSONL / markdown alert sinks (reusing
+  :mod:`repro.experiments.reporting`);
+* :mod:`~repro.service.detector` — :class:`FleetFaultDetector`, the
+  composed ingest → classify → alert hot path, plus the naive per-node
+  baseline loop it is benchmarked against;
+* :mod:`~repro.service.replay` — the deterministic replay driver that
+  feeds cached ``.npz`` segments (``monitoring.storage`` via the
+  ``repro.scenarios`` :class:`~repro.scenarios.cache.ArtifactCache`)
+  through the service and scores the resulting alert stream against the
+  injected ground truth.
+
+Replay is bit-deterministic: the same recipes, options and seeds produce
+*byte-identical* alert JSONL across processes (guarded by tests), which
+is what makes the alert stream diffable in CI.
+"""
+
+from repro.service.alerts import (
+    Alert,
+    AlertPolicy,
+    AlertSink,
+    JSONLAlertSink,
+    MarkdownAlertSink,
+    StreamAlertSink,
+)
+from repro.service.classify import FleetClassifier, TrainedFleet, train_fleet
+from repro.service.detector import FleetFaultDetector, detect_naive
+from repro.service.ingest import FleetIngest
+from repro.service.replay import (
+    FleetReplaySetup,
+    ReplayOutcome,
+    fleet_recipes,
+    node_path,
+    prepare_fleet,
+    replay,
+)
+
+__all__ = [
+    "Alert",
+    "AlertPolicy",
+    "AlertSink",
+    "FleetClassifier",
+    "FleetFaultDetector",
+    "FleetIngest",
+    "FleetReplaySetup",
+    "JSONLAlertSink",
+    "MarkdownAlertSink",
+    "ReplayOutcome",
+    "StreamAlertSink",
+    "TrainedFleet",
+    "detect_naive",
+    "fleet_recipes",
+    "node_path",
+    "prepare_fleet",
+    "replay",
+    "train_fleet",
+]

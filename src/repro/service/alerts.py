@@ -1,0 +1,266 @@
+"""Alert policies and streaming alert sinks.
+
+The classifier labels every emitted window; raw per-window labels are
+too twitchy to page an operator on, so each node's label stream runs
+through an :class:`AlertPolicy` — a threshold + hysteresis state
+machine:
+
+* *threshold*: an alert **opens** after ``open_after`` consecutive
+  faulty windows (a debounce against one-off misclassifications, the
+  same idea as :class:`repro.oda.controllers.FaultResponseController`'s
+  ``min_consecutive``);
+* *hysteresis*: an open alert **closes** only after ``close_after``
+  consecutive healthy windows, so a fault flickering around the decision
+  boundary yields one alert, not a storm.
+
+Sinks consume the resulting event stream.  The JSONL sink writes one
+JSON object per event (the machine format whose byte-identity across
+replay processes is test-enforced); the markdown sink renders a summary
+table through :func:`repro.experiments.reporting.save_markdown`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
+
+__all__ = [
+    "Alert",
+    "AlertPolicy",
+    "AlertSink",
+    "JSONLAlertSink",
+    "MarkdownAlertSink",
+    "StreamAlertSink",
+]
+
+
+@dataclass
+class Alert:
+    """One contiguous alert episode of one node's label stream.
+
+    ``label`` is the predicted class of the window that *opened* the
+    alert; ``label_counts`` tallies every faulty class of the episode —
+    including the triggering streak's earlier windows — so a fault that
+    is re-classified mid-episode is still one alert, with its class mix
+    recorded, and ``peak_confidence`` covers the same span as
+    ``n_windows``.  Windows count from the start of the replayed /
+    served period; ``first_faulty`` is ``opened - open_after + 1``, the
+    window the triggering streak began at.
+    """
+
+    opened: int
+    first_faulty: int
+    label: int
+    peak_confidence: float
+    n_windows: int = 0
+    closed: int | None = None
+    label_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def is_open(self) -> bool:
+        return self.closed is None
+
+    def dominant_label(self) -> int:
+        """Most frequent faulty class while open (ties: smallest id)."""
+        if not self.label_counts:
+            return self.label
+        best = max(self.label_counts.values())
+        return min(k for k, v in self.label_counts.items() if v == best)
+
+
+class AlertPolicy:
+    """Threshold + hysteresis alerting over one node's window labels.
+
+    Parameters
+    ----------
+    healthy_label:
+        Class value meaning "no fault".
+    open_after:
+        Consecutive faulty windows required to open an alert.
+    close_after:
+        Consecutive healthy windows required to close an open alert.
+    min_confidence:
+        Faulty predictions below this confidence are treated as healthy
+        (low-certainty flickers neither open nor sustain alerts).
+    keep_history:
+        When false, closed alerts are not retained on :attr:`history` —
+        long-running serving loops stay bounded in memory.
+    """
+
+    def __init__(
+        self,
+        *,
+        healthy_label: int = 0,
+        open_after: int = 2,
+        close_after: int = 2,
+        min_confidence: float = 0.0,
+        keep_history: bool = True,
+    ):
+        if open_after < 1 or close_after < 1:
+            raise ValueError("open_after and close_after must be >= 1")
+        if not 0.0 <= min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in [0, 1]")
+        self.healthy_label = int(healthy_label)
+        self.open_after = int(open_after)
+        self.close_after = int(close_after)
+        self.min_confidence = float(min_confidence)
+        self.keep_history = bool(keep_history)
+        self.alert: Alert | None = None
+        self.history: list[Alert] = []
+        # (label, confidence) of the pre-open faulty streak, so an
+        # opening alert credits the *whole* streak, not just the window
+        # that tipped it over the threshold.
+        self._streak: list[tuple[int, float]] = []
+        self._healthy_streak = 0
+
+    def update(
+        self, window: int, label: int, confidence: float
+    ) -> list[tuple[str, Alert]]:
+        """Advance one window; return ``("open"|"close", alert)`` events."""
+        label = int(label)
+        confidence = float(confidence)
+        faulty = (
+            label != self.healthy_label and confidence >= self.min_confidence
+        )
+        events: list[tuple[str, Alert]] = []
+        if faulty:
+            self._healthy_streak = 0
+            if self.alert is None:
+                self._streak.append((label, confidence))
+                if len(self._streak) >= self.open_after:
+                    counts: dict[int, int] = {}
+                    for streak_label, _ in self._streak:
+                        counts[streak_label] = counts.get(streak_label, 0) + 1
+                    self.alert = Alert(
+                        opened=window,
+                        first_faulty=window - self.open_after + 1,
+                        label=label,
+                        peak_confidence=max(c for _, c in self._streak),
+                        n_windows=len(self._streak),
+                        label_counts=counts,
+                    )
+                    self._streak = []
+                    if self.keep_history:
+                        self.history.append(self.alert)
+                    events.append(("open", self.alert))
+            else:
+                a = self.alert
+                a.n_windows += 1
+                a.peak_confidence = max(a.peak_confidence, confidence)
+                a.label_counts[label] = a.label_counts.get(label, 0) + 1
+        else:
+            self._healthy_streak += 1
+            self._streak = []
+            if (
+                self.alert is not None
+                and self._healthy_streak >= self.close_after
+            ):
+                self.alert.closed = window
+                events.append(("close", self.alert))
+                self.alert = None
+        return events
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+def event_line(event: dict) -> str:
+    """Canonical one-line JSON rendering of an alert event.
+
+    Compact separators, insertion-ordered keys, full float ``repr`` —
+    the exact bytes are a pure function of the event values, which is
+    what the byte-identical-replay guarantee rests on.
+    """
+    return json.dumps(event, separators=(",", ":"))
+
+
+class AlertSink:
+    """Consumes alert events one at a time; ``close()`` flushes."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Finalize the sink (default: nothing to flush)."""
+
+
+class JSONLAlertSink(AlertSink):
+    """Write one JSON line per event to a file (the replay format).
+
+    The file is created (truncating any previous run's output) as soon
+    as the sink is constructed — an alert-free replay must leave an
+    *empty* file behind, not a stale one, or the byte-identical-replay
+    contract silently breaks.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"alert sink for {self.path} is closed")
+        self._fh.write(event_line(event) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class StreamAlertSink(AlertSink):
+    """Write events to an open text stream, flushing each line.
+
+    ``repro serve`` uses this on stdout so an operator (or a pipe) sees
+    alerts the moment they fire.
+    """
+
+    def __init__(self, stream: IO[str]):
+        self.stream = stream
+
+    def emit(self, event: dict) -> None:
+        self.stream.write(event_line(event) + "\n")
+        self.stream.flush()
+
+
+class MarkdownAlertSink(AlertSink):
+    """Render the collected events as a markdown summary table on close."""
+
+    HEADERS = (
+        "Node",
+        "Event",
+        "Window",
+        "Label",
+        "Confidence",
+        "Top sensors",
+    )
+
+    def __init__(self, path: str | Path, *, title: str = "Alert stream"):
+        self.path = Path(path)
+        self.title = title
+        self._rows: list[tuple] = []
+
+    def emit(self, event: dict) -> None:
+        sensors = ", ".join(
+            s
+            for finding in event.get("attribution", ())
+            for s in finding.get("sensors", ())
+        )
+        self._rows.append(
+            (
+                event.get("node", ""),
+                event.get("event", ""),
+                event.get("window", ""),
+                event.get("label", ""),
+                event.get("confidence", event.get("peak_confidence", "")),
+                sensors,
+            )
+        )
+
+    def close(self) -> None:
+        from repro.experiments.reporting import save_markdown
+
+        save_markdown(self.path, self.HEADERS, self._rows, title=self.title)

@@ -1,0 +1,183 @@
+"""Fleet classifier training + lockstep batched classification.
+
+One shared random forest classifies the signatures of *every* node of
+the fleet (the cross-architecture property of CS signatures: a fixed
+block count gives uniform feature lengths regardless of per-node sensor
+counts).  At serving time the detector concatenates all signatures the
+fleet emitted in a tick and classifies them in a single stacked-forest
+pass — the per-node loop's ``nodes x emits`` single-row predict calls
+collapse into one batched call, which is where the service's measured
+speedup over the naive loop comes from (see
+``benchmarks/test_service_scaling.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.pipeline import signature_features
+from repro.datasets.generators import ComponentData
+from repro.datasets.windows import window_majority_labels
+from repro.engine.fleet import FleetSignatureEngine
+from repro.ml.forest import RandomForestClassifier
+
+__all__ = ["FleetClassifier", "TrainedFleet", "train_fleet"]
+
+
+class FleetClassifier:
+    """Batched signature classification with label decoding.
+
+    Parameters
+    ----------
+    forest:
+        A fitted :class:`~repro.ml.forest.RandomForestClassifier` over
+        CS signature features (``[real | imag]`` layout).
+    label_names:
+        Class-id to display-name mapping (index = integer label).
+    """
+
+    def __init__(self, forest: RandomForestClassifier, label_names=()):
+        self.forest = forest
+        self.label_names = tuple(label_names)
+
+    def classify(
+        self, signatures: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Labels + confidences for a ``(k, l)`` complex signature batch.
+
+        Returns ``(labels, confidence)``: integer class labels and the
+        winning class probability per signature, from one
+        ``predict_with_proba`` pass over the stacked forest.
+        """
+        sigs = np.asarray(signatures)
+        if sigs.shape[0] == 0:
+            return (
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=np.float64),
+            )
+        features = signature_features(sigs)
+        labels, proba = self.forest.predict_with_proba(features)
+        return labels, proba.max(axis=1)
+
+    def name_of(self, label) -> str:
+        """Display name of an integer class label."""
+        label = int(label)
+        if 0 <= label < len(self.label_names):
+            return str(self.label_names[label])
+        return str(label)
+
+
+@dataclass
+class TrainedFleet:
+    """Everything the online detector needs, produced by :func:`train_fleet`.
+
+    Attributes
+    ----------
+    engine:
+        Per-node CS models keyed by sensor-tree paths (streams are built
+        from these at ingest time).
+    classifier:
+        The shared :class:`FleetClassifier`.
+    references:
+        Per-node *healthy reference signature*: the mean training
+        signature over healthy-labeled windows, used by the alert
+        pipeline for root-cause attribution
+        (:func:`repro.analysis.rootcause.explain_difference`).
+    label_names:
+        Class-id to name mapping shared by every node.
+    healthy_label:
+        Integer class meaning "no fault" (0 for the Fault segment).
+    """
+
+    engine: FleetSignatureEngine
+    classifier: FleetClassifier
+    references: dict[str, np.ndarray]
+    label_names: tuple[str, ...] = ()
+    healthy_label: int = 0
+
+    @property
+    def paths(self) -> list[str]:
+        return self.engine.paths
+
+
+def train_fleet(
+    train_data: Mapping[str, ComponentData],
+    *,
+    blocks: int,
+    wl: int,
+    ws: int,
+    trees: int = 50,
+    seed: int = 0,
+    healthy_label: int = 0,
+    label_names=(),
+) -> TrainedFleet:
+    """Train the whole fleet from labeled per-node history.
+
+    Parameters
+    ----------
+    train_data:
+        Node path to its training :class:`ComponentData` (sensor matrix
+        ``(n, t)`` plus per-sample integer labels).
+    blocks:
+        Uniform signature length ``l`` — must be an ``int`` so features
+        stay mergeable across (possibly heterogeneous) nodes.
+    wl, ws:
+        Aggregation window length and step, in samples.
+    trees, seed:
+        Forest size and RNG seed of the shared classifier.
+    healthy_label:
+        Class meaning "no fault"; windows of this class feed the
+        per-node healthy reference signatures.
+    label_names:
+        Class-id to name mapping for alert payloads.
+
+    Notes
+    -----
+    Training signatures are computed through the *batched* fleet
+    transform (bit-identical to the per-node offline path), and windows
+    are labeled by per-window majority — the same convention
+    :func:`repro.datasets.generators.build_ml_dataset` uses.
+    """
+    blocks = int(blocks)
+    engine = FleetSignatureEngine(blocks=blocks, wl=wl, ws=ws)
+    order = sorted(train_data)
+    if not order:
+        raise ValueError("train_data must name at least one node")
+    for path in order:
+        comp = train_data[path]
+        if comp.labels is None:
+            raise ValueError(f"node {path!r} has no training labels")
+        engine.fit_node(path, comp.matrix, sensor_names=comp.sensor_names)
+    signatures = engine.transform_fleet(
+        {p: train_data[p].matrix for p in order}
+    )
+    features = []
+    labels = []
+    references: dict[str, np.ndarray] = {}
+    for path in order:
+        sigs = signatures[path]
+        y = window_majority_labels(train_data[path].labels, wl, ws)
+        if y.shape[0] != sigs.shape[0]:
+            raise ValueError(
+                f"node {path!r}: {sigs.shape[0]} signatures vs "
+                f"{y.shape[0]} window labels"
+            )
+        features.append(signature_features(sigs))
+        labels.append(y.astype(np.intp))
+        healthy = sigs[y == healthy_label]
+        references[path] = (
+            healthy.mean(axis=0) if healthy.shape[0] else sigs.mean(axis=0)
+        )
+    X = np.concatenate(features, axis=0)
+    y_all = np.concatenate(labels)
+    forest = RandomForestClassifier(trees, random_state=seed).fit(X, y_all)
+    return TrainedFleet(
+        engine=engine,
+        classifier=FleetClassifier(forest, label_names),
+        references=references,
+        label_names=tuple(label_names),
+        healthy_label=int(healthy_label),
+    )

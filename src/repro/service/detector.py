@@ -1,0 +1,243 @@
+"""The composed online hot path: ingest → classify → alert.
+
+:class:`FleetFaultDetector` is the service's per-tick work unit.  One
+``process_block`` call takes a burst of raw samples per node, pushes
+every burst through the ring-buffered incremental streams, classifies
+*all* signatures the fleet emitted in that tick with a single
+stacked-forest pass, drives each node's threshold + hysteresis
+:class:`~repro.service.alerts.AlertPolicy`, and attributes every opening
+alert back to raw sensors via
+:func:`repro.analysis.rootcause.explain_difference` against the node's
+healthy reference signature.
+
+:func:`detect_naive` is the baseline the batched path is benchmarked
+against — the obvious per-node loop (one ``push`` per sample, one
+single-row forest predict per signature).  Both paths produce identical
+alert events; only the batching differs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.rootcause import explain_difference, findings_payload
+from repro.core.pipeline import signature_features
+from repro.service.alerts import Alert, AlertPolicy
+from repro.service.classify import TrainedFleet
+from repro.service.ingest import FleetIngest
+
+__all__ = ["FleetFaultDetector", "detect_naive"]
+
+
+def _alert_event(
+    trained: TrainedFleet,
+    kind: str,
+    path: str,
+    alert: Alert,
+    window: int,
+    confidence: float,
+    signature: np.ndarray,
+    top_blocks: int,
+) -> dict:
+    """Serializable alert event (fixed key order, rounded floats)."""
+    name_of = trained.classifier.name_of
+    if kind == "open":
+        findings = explain_difference(
+            trained.engine.model(path),
+            trained.references[path],
+            signature,
+            top=top_blocks,
+        )
+        return {
+            "event": "open",
+            "node": path,
+            "window": window,
+            "first_faulty": alert.first_faulty,
+            "label": name_of(alert.label),
+            "confidence": round(confidence, 6),
+            "attribution": findings_payload(findings, ndigits=6),
+        }
+    return {
+        "event": "close",
+        "node": path,
+        "window": window,
+        "opened": alert.opened,
+        "label": name_of(alert.dominant_label()),
+        "windows": alert.n_windows,
+        "peak_confidence": round(alert.peak_confidence, 6),
+    }
+
+
+class FleetFaultDetector:
+    """Online fleet fault detection over a trained fleet.
+
+    Parameters
+    ----------
+    trained:
+        Output of :func:`repro.service.classify.train_fleet`.
+    open_after, close_after, min_confidence:
+        Per-node :class:`~repro.service.alerts.AlertPolicy` parameters.
+    top_blocks:
+        Deviating blocks attributed per opening alert.
+    shards:
+        Ingestion shards (see :class:`~repro.service.ingest.FleetIngest`);
+        never changes results.
+    record_history:
+        When true (the default, used by replay scoring), every window's
+        prediction is kept on :attr:`history` and closed alerts on each
+        policy's ``history``.  Long-running serving loops pass ``False``
+        so memory stays bounded regardless of uptime.
+    """
+
+    def __init__(
+        self,
+        trained: TrainedFleet,
+        *,
+        open_after: int = 2,
+        close_after: int = 2,
+        min_confidence: float = 0.0,
+        top_blocks: int = 3,
+        shards: int | None = None,
+        record_history: bool = True,
+    ):
+        self.trained = trained
+        self.ingest = FleetIngest(trained.engine, shards=shards)
+        self.top_blocks = int(top_blocks)
+        self.record_history = bool(record_history)
+        self._policies = {
+            p: AlertPolicy(
+                healthy_label=trained.healthy_label,
+                open_after=open_after,
+                close_after=close_after,
+                min_confidence=min_confidence,
+                keep_history=self.record_history,
+            )
+            for p in self.ingest.paths
+        }
+        self._windows = {p: 0 for p in self.ingest.paths}
+        #: Per-node prediction history: path -> (label ids, confidences).
+        #: Empty when ``record_history`` is false.
+        self.history: dict[str, tuple[list[int], list[float]]] = {
+            p: ([], []) for p in self.ingest.paths
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def paths(self) -> list[str]:
+        return self.ingest.paths
+
+    def policy(self, path: str) -> AlertPolicy:
+        return self._policies[path]
+
+    def windows_seen(self, path: str) -> int:
+        """Windows classified so far for one node."""
+        return self._windows[path]
+
+    def open_alerts(self) -> dict[str, Alert]:
+        """Currently open alert per node (nodes without one omitted)."""
+        return {
+            p: pol.alert
+            for p, pol in self._policies.items()
+            if pol.alert is not None
+        }
+
+    # ------------------------------------------------------------------
+    def process_block(self, data: Mapping[str, np.ndarray]) -> list[dict]:
+        """Ingest one burst per node; return the alert events it caused.
+
+        The hot path: every node's burst goes through its incremental
+        stream, all emitted signatures are classified in **one** batched
+        forest pass, and the per-node alert policies advance window by
+        window.  Events are ordered by (sorted node path, window).
+        """
+        signatures = self.ingest.push_blocks(data)
+        order = [p for p in sorted(signatures) if signatures[p].shape[0]]
+        if not order:
+            return []
+        stacked = np.concatenate([signatures[p] for p in order], axis=0)
+        labels, confidence = self.trained.classifier.classify(stacked)
+        events: list[dict] = []
+        pos = 0
+        for path in order:
+            sigs = signatures[path]
+            history_l, history_c = self.history[path]
+            policy = self._policies[path]
+            for j in range(sigs.shape[0]):
+                window = self._windows[path]
+                self._windows[path] = window + 1
+                label = int(labels[pos + j])
+                conf = float(confidence[pos + j])
+                if self.record_history:
+                    history_l.append(label)
+                    history_c.append(conf)
+                for kind, alert in policy.update(window, label, conf):
+                    events.append(
+                        _alert_event(
+                            self.trained,
+                            kind,
+                            path,
+                            alert,
+                            window,
+                            conf,
+                            sigs[j],
+                            self.top_blocks,
+                        )
+                    )
+            pos += sigs.shape[0]
+        return events
+
+
+def detect_naive(
+    trained: TrainedFleet,
+    data: Mapping[str, np.ndarray],
+    *,
+    open_after: int = 2,
+    close_after: int = 2,
+    min_confidence: float = 0.0,
+    top_blocks: int = 3,
+) -> list[dict]:
+    """The per-node baseline loop (events identical to the batched path).
+
+    For each node in turn: push samples one at a time, classify each
+    emitted signature with a single-row forest predict, advance that
+    node's policy.  This is what a straightforward implementation looks
+    like, and what ``benchmarks/test_service_scaling.py`` measures the
+    batched detector against.
+    """
+    events: list[dict] = []
+    forest = trained.classifier.forest
+    for path in sorted(data):
+        stream = trained.engine.stream(path)
+        policy = AlertPolicy(
+            healthy_label=trained.healthy_label,
+            open_after=open_after,
+            close_after=close_after,
+            min_confidence=min_confidence,
+        )
+        matrix = np.asarray(data[path], dtype=np.float64)
+        window = 0
+        for t in range(matrix.shape[1]):
+            signature = stream.push(matrix[:, t])
+            if signature is None:
+                continue
+            features = signature_features(signature[None, :])
+            label_arr, proba = forest.predict_with_proba(features)
+            label = int(label_arr[0])
+            conf = float(proba[0].max())
+            for kind, alert in policy.update(window, label, conf):
+                events.append(
+                    _alert_event(
+                        trained,
+                        kind,
+                        path,
+                        alert,
+                        window,
+                        conf,
+                        signature,
+                        top_blocks,
+                    )
+                )
+            window += 1
+    return events

@@ -1,0 +1,149 @@
+"""Sharded per-node fleet ingestion.
+
+A monitoring agent delivers each node's samples in bursts; the service
+keeps one ring-buffered
+:class:`~repro.monitoring.streaming.OnlineSignatureStream` per monitored
+node (keyed by the node's
+:class:`~repro.engine.fleet.FleetSignatureEngine` sensor-tree path) and
+pushes every burst through the O(n)-per-emit incremental core.  Nodes
+are partitioned into deterministic *shards* so multi-core deployments
+can drain the per-shard work on a thread pool (NumPy releases the GIL
+inside the heavy kernels); results are independent of the shard count,
+so single-core replay and sharded serving emit bit-identical signatures.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.fleet import FleetSignatureEngine
+    from repro.monitoring.streaming import OnlineSignatureStream
+
+__all__ = ["FleetIngest", "shard_of"]
+
+
+def shard_of(path: str, shards: int) -> int:
+    """Deterministic shard index of a node path (stable across processes).
+
+    Uses CRC-32, not ``hash()``: string hashing is salted per process
+    (PYTHONHASHSEED), which would assign nodes to different shards in
+    different processes — harmless for results (sharding never changes
+    them) but fatal for reproducing a deployment layout.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    return zlib.crc32(path.encode("utf-8")) % shards
+
+
+class FleetIngest:
+    """Per-node streaming signature state for a whole fleet.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.engine.fleet.FleetSignatureEngine` whose
+        registered nodes define the fleet; each node gets one stream
+        built from its trained model (same blocks/wl/ws as the engine).
+    paths:
+        Optional subset of the engine's node paths to ingest for;
+        defaults to every registered node.
+    shards:
+        Number of ingestion shards.  ``None``/1 processes nodes
+        sequentially; larger values drain shards on a thread pool.
+        Emitted signatures are identical either way.
+    """
+
+    def __init__(
+        self,
+        engine: "FleetSignatureEngine",
+        paths: Iterable[str] | None = None,
+        *,
+        shards: int | None = None,
+    ):
+        self.engine = engine
+        wanted = sorted(paths) if paths is not None else engine.paths
+        missing = [p for p in wanted if p not in engine]
+        if missing:
+            raise KeyError(f"no model fitted for node(s) {missing!r}")
+        self._streams: dict[str, OnlineSignatureStream] = {
+            p: engine.stream(p) for p in wanted
+        }
+        self.shards = int(shards) if shards else 1
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        # One pool for the object's lifetime: bursts arrive every tick,
+        # and spawning/joining a fresh pool per burst would dominate the
+        # per-shard NumPy work on small fleets.
+        self._pool = (
+            ThreadPoolExecutor(max_workers=self.shards)
+            if self.shards > 1
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def paths(self) -> list[str]:
+        """Sorted paths of all ingested nodes."""
+        return sorted(self._streams)
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._streams
+
+    def stream(self, path: str) -> "OnlineSignatureStream":
+        """The live stream of one node (KeyError if absent)."""
+        return self._streams[path]
+
+    def emitted(self, path: str) -> int:
+        """Signatures emitted so far for one node."""
+        return self._streams[path].emitted
+
+    def shard_map(self) -> dict[str, int]:
+        """Node path to shard index (deterministic, CRC-based)."""
+        return {p: shard_of(p, self.shards) for p in self.paths}
+
+    # ------------------------------------------------------------------
+    def push_block(self, path: str, block: np.ndarray) -> np.ndarray:
+        """Feed one node's burst ``(n, m)``; return its due signatures."""
+        return self._streams[path].push_block(block)
+
+    def push_blocks(
+        self, data: Mapping[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Feed many nodes' bursts; return each node's due signatures.
+
+        Nodes are processed in sorted-path order (within their shard), so
+        the result — a ``path -> (k, l)`` complex array mapping — is
+        deterministic.  With ``shards > 1`` the shard groups run on a
+        thread pool; per-node streams are independent, so the output is
+        bit-identical to sequential ingestion.
+        """
+        order = sorted(data)
+        missing = [p for p in order if p not in self._streams]
+        if missing:
+            raise KeyError(f"unknown node path(s) {missing!r}")
+        if self._pool is None or len(order) <= 1:
+            return {p: self._streams[p].push_block(data[p]) for p in order}
+        groups: dict[int, list[str]] = {}
+        for p in order:
+            groups.setdefault(shard_of(p, self.shards), []).append(p)
+
+        def _drain(paths: list[str]) -> dict[str, np.ndarray]:
+            return {p: self._streams[p].push_block(data[p]) for p in paths}
+
+        out: dict[str, np.ndarray] = {}
+        for part in self._pool.map(
+            _drain, [groups[s] for s in sorted(groups)]
+        ):
+            out.update(part)
+        return {p: out[p] for p in order}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FleetIngest(nodes={len(self)}, shards={self.shards})"

@@ -1,0 +1,394 @@
+"""Deterministic replay of cached segments through the detection service.
+
+The replay driver is how the service is tested, benchmarked and CI-gated:
+it materializes a fleet from dataset recipes (through an
+:class:`~repro.scenarios.cache.ExecutionContext`, so repeated runs load
+the cached ``.npz`` segments instead of regenerating), trains the fleet
+on the leading ``train_frac`` of each node's history, then feeds the
+remaining samples through :class:`~repro.service.detector.
+FleetFaultDetector` in fixed-size bursts and scores the alert stream
+against the injected ground truth.
+
+Everything downstream of the recipes is a pure function of declarative
+inputs, so two replays of the same setup — in the same process or across
+processes — produce **byte-identical** alert JSONL.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.datasets.generators import ComponentData
+from repro.datasets.recipes import DatasetRecipe, recipe
+from repro.datasets.windows import window_majority_labels
+from repro.scenarios.cache import ExecutionContext
+from repro.service.alerts import AlertSink
+from repro.service.classify import TrainedFleet, train_fleet
+from repro.service.detector import FleetFaultDetector
+
+__all__ = [
+    "SERVICE_DEFAULTS",
+    "FleetReplaySetup",
+    "ReplayOutcome",
+    "fleet_recipes",
+    "node_path",
+    "prepare_fleet",
+    "replay",
+]
+
+#: Canonical service knob defaults — the single source shared by the
+#: :func:`prepare_fleet` / :func:`replay` signatures, the
+#: ``fleet-detect`` evaluation kind and the ``repro serve`` /
+#: ``repro detect`` CLI presets, so the "same" configuration cannot
+#: silently drift between entry points (alert streams and cache keys
+#: both depend on these values).
+SERVICE_DEFAULTS: dict[str, int | float] = {
+    "blocks": 20,
+    "trees": 30,
+    "train_frac": 0.5,
+    "chunk": 256,
+    "open_after": 2,
+    "close_after": 2,
+    "min_confidence": 0.0,
+    "top_blocks": 3,
+    "seed": 0,
+    "healthy_label": 0,
+}
+
+
+def node_path(rack: int, node: int) -> str:
+    """Sensor-tree style path of one monitored node (``rack0/node03``)."""
+    return f"rack{rack}/node{node:02d}"
+
+
+def fleet_recipes(
+    nodes: int,
+    *,
+    segment: str = "fault",
+    t: int = 6000,
+    seed0: int = 0,
+    noise_std: float = 0.0,
+    drift: float = 0.0,
+    noise_seed: int = 0,
+) -> tuple[DatasetRecipe, ...]:
+    """Recipes for an ``nodes``-strong fault fleet.
+
+    Each node is one independently seeded segment (seeds ``seed0 ..
+    seed0 + nodes - 1``): same fault models and sensor bank layout,
+    different workload schedules and fault episodes — a homogeneous fleet
+    under heterogeneous load, which is the realistic serving scenario.
+    """
+    if nodes < 1:
+        raise ValueError("a fleet needs at least one node")
+    return tuple(
+        recipe(
+            segment,
+            t=int(t),
+            seed=seed0 + i,
+            noise_std=noise_std,
+            drift=drift,
+            noise_seed=noise_seed,
+            label=f"{segment}#n{i}",
+        )
+        for i in range(nodes)
+    )
+
+
+@dataclass
+class FleetReplaySetup:
+    """A trained fleet plus the held-out data to replay through it."""
+
+    trained: TrainedFleet
+    eval_data: dict[str, np.ndarray]
+    truth: dict[str, np.ndarray]
+    wl: int
+    ws: int
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.eval_data)
+
+    @property
+    def n_windows(self) -> int:
+        return sum(int(t.shape[0]) for t in self.truth.values())
+
+
+def prepare_fleet(
+    recipes: Sequence[DatasetRecipe],
+    *,
+    context: ExecutionContext | None = None,
+    blocks: int = SERVICE_DEFAULTS["blocks"],
+    trees: int = SERVICE_DEFAULTS["trees"],
+    train_frac: float = SERVICE_DEFAULTS["train_frac"],
+    seed: int = SERVICE_DEFAULTS["seed"],
+    wl: int | None = None,
+    ws: int | None = None,
+    healthy_label: int = SERVICE_DEFAULTS["healthy_label"],
+) -> FleetReplaySetup:
+    """Materialize, split and train a fleet from dataset recipes.
+
+    Every component of every recipe's segment becomes one node
+    (``rack<recipe>/node<component>``).  The leading ``train_frac`` of
+    each node's history trains its CS model and the shared classifier;
+    the remainder is the held-out period :func:`replay` feeds through
+    the detector, with per-window majority labels as ground truth.
+
+    ``healthy_label`` is the class meaning "no fault" — 0 for the fault
+    segment's ``healthy`` class.  Pass the right class explicitly when
+    replaying other labeled segments; otherwise class 0 (a real
+    workload class there) would silently be treated as healthy.
+    """
+    if not recipes:
+        raise ValueError("prepare_fleet needs at least one recipe")
+    if not 0.0 < train_frac < 1.0:
+        raise ValueError("train_frac must be in (0, 1)")
+    context = context or ExecutionContext()
+    train: dict[str, ComponentData] = {}
+    eval_data: dict[str, np.ndarray] = {}
+    raw_eval_labels: dict[str, np.ndarray] = {}
+    label_names: tuple[str, ...] = ()
+    healthy_label = int(healthy_label)
+    for rack, rcp in enumerate(recipes):
+        segment = context.segment(rcp)
+        seg_wl = segment.spec.wl if wl is None else int(wl)
+        seg_ws = segment.spec.ws if ws is None else int(ws)
+        if not label_names:
+            label_names = segment.label_names
+        for ci, comp in enumerate(segment.components):
+            if comp.labels is None:
+                raise ValueError(
+                    f"recipe {rcp.display!r} component {comp.name!r} has no "
+                    "labels; fleet detection needs a labeled segment"
+                )
+            path = node_path(rack, ci)
+            cut = int(comp.t * train_frac)
+            cut = max(seg_wl + seg_ws, min(cut, comp.t - seg_wl - seg_ws))
+            train[path] = ComponentData(
+                name=path,
+                matrix=comp.matrix[:, :cut],
+                sensor_names=comp.sensor_names,
+                sensor_groups=comp.sensor_groups,
+                labels=comp.labels[:cut],
+                arch=comp.arch,
+            )
+            eval_data[path] = comp.matrix[:, cut:]
+            raw_eval_labels[path] = comp.labels[cut:]
+        wl, ws = seg_wl, seg_ws  # uniform across the fleet from here on
+    trained = train_fleet(
+        train,
+        blocks=blocks,
+        wl=wl,
+        ws=ws,
+        trees=trees,
+        seed=seed,
+        healthy_label=healthy_label,
+        label_names=label_names,
+    )
+    truth = {
+        p: window_majority_labels(raw_eval_labels[p], wl, ws).astype(np.intp)
+        for p in sorted(eval_data)
+    }
+    return FleetReplaySetup(
+        trained=trained, eval_data=eval_data, truth=truth, wl=wl, ws=ws
+    )
+
+
+@dataclass
+class ReplayOutcome:
+    """Scored result of one replay run.
+
+    ``n_alerts``/``n_events`` are always populated; ``events`` holds the
+    full stream only when the replay recorded history (serving mode
+    streams events into sinks without retaining them).
+    """
+
+    events: list[dict]
+    n_nodes: int
+    n_windows: int
+    n_alerts: int
+    window_accuracy: float
+    alert_precision: float
+    episode_recall: float
+    replay_time_s: float
+    n_events: int = 0
+
+    @property
+    def windows_per_s(self) -> float:
+        if self.replay_time_s <= 0.0:
+            return 0.0
+        return self.n_windows / self.replay_time_s
+
+    def row(self, fleet_label: str) -> tuple:
+        """The summary row both ``repro detect`` and the ``fleet-detect``
+        scenario kind report (column order of ``FLEET_DETECT_HEADERS``)."""
+        return (
+            fleet_label,
+            self.n_nodes,
+            self.n_windows,
+            self.n_alerts,
+            round(self.window_accuracy, 4),
+            round(self.alert_precision, 4),
+            round(self.episode_recall, 4),
+            round(self.replay_time_s, 4),
+            round(self.windows_per_s, 1),
+        )
+
+
+def _episodes(truth: np.ndarray, healthy: int) -> list[tuple[int, int]]:
+    """Contiguous faulty runs ``[start, stop)`` in window space."""
+    faulty = np.asarray(truth) != healthy
+    if faulty.size == 0:
+        return []
+    edges = np.flatnonzero(np.diff(faulty.astype(np.int8)))
+    bounds = np.concatenate(([0], edges + 1, [faulty.size]))
+    return [
+        (int(a), int(b))
+        for a, b in zip(bounds[:-1], bounds[1:])
+        if faulty[a]
+    ]
+
+
+def _alert_spans(
+    events: Iterable[dict], path: str, n_windows: int
+) -> list[tuple[int, int]]:
+    """``[first_faulty, close)`` spans of one node's alerts."""
+    spans = []
+    open_start: int | None = None
+    for event in events:
+        if event.get("node") != path:
+            continue
+        if event["event"] == "open":
+            open_start = int(event["first_faulty"])
+        elif event["event"] == "close" and open_start is not None:
+            spans.append((open_start, int(event["window"]) + 1))
+            open_start = None
+    if open_start is not None:  # still open at end of replay
+        spans.append((open_start, n_windows))
+    return spans
+
+
+def score_events(
+    events: list[dict],
+    setup: FleetReplaySetup,
+    detector: FleetFaultDetector,
+) -> tuple[float, float, float]:
+    """(window accuracy, alert precision, episode recall) of one replay.
+
+    * window accuracy — per-window predicted class vs ground truth,
+      pooled over all nodes;
+    * alert precision — fraction of alert spans overlapping a true
+      faulty episode (an alert on healthy windows is a false page);
+    * episode recall — fraction of injected faulty episodes touched by
+      at least one alert span.
+    """
+    healthy = setup.trained.healthy_label
+    correct = 0
+    total = 0
+    true_positive_alerts = 0
+    total_alerts = 0
+    detected_episodes = 0
+    total_episodes = 0
+    for path in sorted(setup.eval_data):
+        truth = setup.truth[path]
+        predicted = np.asarray(detector.history[path][0], dtype=np.intp)
+        n = min(truth.shape[0], predicted.shape[0])
+        correct += int((predicted[:n] == truth[:n]).sum())
+        total += n
+        episodes = _episodes(truth[:n], healthy)
+        spans = _alert_spans(events, path, n)
+        total_alerts += len(spans)
+        total_episodes += len(episodes)
+        for a, b in spans:
+            if any(a < e_stop and e_start < b for e_start, e_stop in episodes):
+                true_positive_alerts += 1
+        for e_start, e_stop in episodes:
+            if any(a < e_stop and e_start < b for a, b in spans):
+                detected_episodes += 1
+    accuracy = correct / total if total else 0.0
+    precision = (
+        true_positive_alerts / total_alerts if total_alerts else 1.0
+    )
+    recall = detected_episodes / total_episodes if total_episodes else 1.0
+    return accuracy, precision, recall
+
+
+def replay(
+    setup: FleetReplaySetup,
+    *,
+    chunk: int = SERVICE_DEFAULTS["chunk"],
+    open_after: int = SERVICE_DEFAULTS["open_after"],
+    close_after: int = SERVICE_DEFAULTS["close_after"],
+    min_confidence: float = SERVICE_DEFAULTS["min_confidence"],
+    top_blocks: int = SERVICE_DEFAULTS["top_blocks"],
+    shards: int | None = None,
+    sinks: Sequence[AlertSink] = (),
+    interval: float = 0.0,
+    record_history: bool = True,
+) -> ReplayOutcome:
+    """Feed the held-out period through the detector in ``chunk``-bursts.
+
+    Every burst drives one :meth:`FleetFaultDetector.process_block`
+    call; events stream into ``sinks`` as they fire (and are closed at
+    the end), so ``repro serve`` and ``repro detect`` share this loop —
+    serving passes ``interval`` for live pacing and
+    ``record_history=False`` for bounded memory.  In that mode events
+    still stream into the sinks but are *not* retained on the returned
+    outcome (``events`` stays empty and only counts are kept), and the
+    ground-truth scores — which need the prediction history — are
+    reported as 0.0.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    detector = FleetFaultDetector(
+        setup.trained,
+        open_after=open_after,
+        close_after=close_after,
+        min_confidence=min_confidence,
+        top_blocks=top_blocks,
+        shards=shards,
+        record_history=record_history,
+    )
+    events: list[dict] = []
+    n_open = 0
+    n_events = 0
+    horizon = max(m.shape[1] for m in setup.eval_data.values())
+    start = time.perf_counter()
+    for lo in range(0, horizon, chunk):
+        burst = {
+            p: m[:, lo : lo + chunk]
+            for p, m in setup.eval_data.items()
+            if lo < m.shape[1]
+        }
+        for event in detector.process_block(burst):
+            n_events += 1
+            n_open += event["event"] == "open"
+            if record_history:
+                events.append(event)
+            for sink in sinks:
+                sink.emit(event)
+        if interval > 0.0:
+            time.sleep(interval)
+    replay_time = time.perf_counter() - start
+    for sink in sinks:
+        sink.close()
+    if record_history:
+        accuracy, precision, recall = score_events(events, setup, detector)
+    else:
+        accuracy = precision = recall = 0.0
+    return ReplayOutcome(
+        events=events,
+        n_nodes=setup.n_nodes,
+        n_windows=sum(
+            detector.windows_seen(p) for p in detector.paths
+        ),
+        n_alerts=n_open,
+        n_events=n_events,
+        window_accuracy=accuracy,
+        alert_precision=precision,
+        episode_recall=recall,
+        replay_time_s=replay_time,
+    )

@@ -3,11 +3,12 @@
 ``benchmarks/test_ml_scaling.py`` records the speedups of the
 presorted/batched ML engine over the frozen seed implementation in
 ``BENCH_ml.json``; ``benchmarks/test_scenario_cache.py`` records cold vs
-cached scenario runtimes in ``BENCH_scenarios.json`` (both run with
-``pytest benchmarks -m slow``).  These tier-1 tests fail if a recorded
-speedup has fallen below its floor — i.e. if a change made an
-"optimized" path slower than what it replaced — without costing tier-1
-any benchmark runtime.
+cached scenario runtimes in ``BENCH_scenarios.json``;
+``benchmarks/test_service_scaling.py`` records batched vs per-node fleet
+detection in ``BENCH_service.json`` (all run with ``pytest benchmarks -m
+slow``).  These tier-1 tests fail if a recorded speedup has fallen below
+its floor — i.e. if a change made an "optimized" path slower than what
+it replaced — without costing tier-1 any benchmark runtime.
 """
 
 import json
@@ -18,6 +19,7 @@ import pytest
 ROOT = Path(__file__).resolve().parent.parent
 ML_SUMMARY_JSON = ROOT / "BENCH_ml.json"
 SCENARIO_SUMMARY_JSON = ROOT / "BENCH_scenarios.json"
+SERVICE_SUMMARY_JSON = ROOT / "BENCH_service.json"
 
 
 def _load_summary(path: Path) -> dict:
@@ -66,3 +68,30 @@ class TestScenarioCacheGuard:
         assert ratios, "BENCH_scenarios.json records no cached/cold ratios"
         slow = {k: v for k, v in ratios.items() if v < 1.0}
         assert not slow, f"artifact cache is a pessimization for: {slow}"
+
+
+class TestServiceGuard:
+    def test_headline_batched_detection_at_least_2x(self):
+        """Acceptance floor: batched fleet detection is >= 2x the naive
+        per-node push/predict loop."""
+        summary = _load_summary(SERVICE_SUMMARY_JSON)
+        assert "batched_detect_speedup" in summary, (
+            "BENCH_service.json is missing the batched_detect_speedup "
+            "headline"
+        )
+        assert summary["batched_detect_speedup"] >= 2.0, (
+            f"batched fleet detection only "
+            f"{summary['batched_detect_speedup']}x the per-node loop "
+            "(floor: 2x)"
+        )
+
+    def test_no_service_speedup_below_one(self):
+        summary = _load_summary(SERVICE_SUMMARY_JSON)
+        speedups = {
+            k: v for k, v in summary.items() if k.endswith("_speedup")
+        }
+        assert speedups, "BENCH_service.json records no speedups"
+        slow = {k: v for k, v in speedups.items() if v < 1.0}
+        assert not slow, (
+            f"service hot path slower than the per-node baseline: {slow}"
+        )

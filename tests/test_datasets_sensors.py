@@ -56,7 +56,6 @@ class TestSensorBank:
         assert np.allclose(M[0], 0.5 + 2.0 * latent["compute"])
 
     def test_lag_smooths(self, rng):
-        t = 300
         step = {"compute": np.concatenate([np.zeros(150), np.ones(150)])}
         fast = SensorBank([SensorSpec("f", "cpu", weights={"compute": 1.0}, noise=0.0)])
         slow = SensorBank([

@@ -1,7 +1,6 @@
 """Smoke tests for the experiment CLI entry points (tiny configurations)."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import crossarch, fig5, fig6, fig7, table1
 

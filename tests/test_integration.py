@@ -7,14 +7,13 @@ signature rescaling preserves enough information for classification.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.rootcause import explain_difference
 from repro.baselines import get_method
 from repro.core.model import CSModel
 from repro.core.pipeline import CorrelationWiseSmoothing, signature_features
 from repro.core.scaling import rescale_signature_matrix
-from repro.datasets.generators import build_ml_dataset, generate_fault
+from repro.datasets.generators import build_ml_dataset
 from repro.experiments.fig6 import run_intervals
 from repro.ml import (
     RandomForestClassifier,

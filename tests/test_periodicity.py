@@ -8,7 +8,6 @@ series, faster ones are averaged away.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.pipeline import CorrelationWiseSmoothing
 

@@ -16,7 +16,7 @@ from repro.scenarios import (
 )
 from repro.scenarios.cache import dataset_key, segment_key
 from repro.scenarios.runner import apply_options
-from repro.scenarios.spec import canonical_json, content_key, pairs
+from repro.scenarios.spec import canonical_json, content_key
 
 PAPER_NAMES = {"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "crossarch"}
 EXTRA_NAMES = {

@@ -1,0 +1,236 @@
+"""Replay determinism + service CLI tests.
+
+The acceptance property of the online service: replaying a cached
+segment set produces **byte-identical** alert JSONL — within a process,
+and across separate processes with different hash seeds (the
+PYTHONHASHSEED lesson of the artifact cache).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.service.alerts import JSONLAlertSink, MarkdownAlertSink
+from repro.service.replay import fleet_recipes, prepare_fleet, replay
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    return prepare_fleet(
+        fleet_recipes(2, t=2000), blocks=8, trees=5, train_frac=0.5, seed=0
+    )
+
+
+class TestInProcessDeterminism:
+    def test_two_replays_identical_events(self, small_setup):
+        first = replay(small_setup, chunk=200)
+        second = replay(small_setup, chunk=200)
+        assert first.events == second.events
+        assert first.n_windows == second.n_windows
+
+    def test_jsonl_sink_bytes_identical(self, small_setup, tmp_path):
+        paths = []
+        for i in range(2):
+            out = tmp_path / f"alerts{i}.jsonl"
+            replay(small_setup, chunk=200, sinks=[JSONLAlertSink(out)])
+            paths.append(out)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        assert paths[0].stat().st_size > 0
+
+    def test_jsonl_sink_truncates_stale_output(self, tmp_path):
+        """An alert-free run must leave an empty file, not a stale one —
+        otherwise two 'identical' replays can differ byte for byte."""
+        out = tmp_path / "alerts.jsonl"
+        out.write_text('{"event":"open","stale":true}\n')
+        sink = JSONLAlertSink(out)
+        sink.close()
+        assert out.read_bytes() == b""
+
+    def test_serve_record_history_off_keeps_detector_empty(
+        self, small_setup
+    ):
+        from repro.service.alerts import AlertSink
+        from repro.service.detector import FleetFaultDetector
+
+        detector = FleetFaultDetector(
+            small_setup.trained, record_history=False
+        )
+        detector.process_block(small_setup.eval_data)
+        for path in detector.paths:
+            assert detector.history[path] == ([], [])
+            assert detector.policy(path).history == []
+
+        class _Collect(AlertSink):
+            def __init__(self):
+                self.events = []
+
+            def emit(self, event):
+                self.events.append(event)
+
+        collect = _Collect()
+        outcome = replay(
+            small_setup, chunk=200, record_history=False, sinks=[collect]
+        )
+        scored = replay(small_setup, chunk=200)
+        assert collect.events == scored.events  # sinks see the full stream
+        assert outcome.events == []  # ...but nothing is retained
+        assert outcome.n_events == len(scored.events)
+        assert outcome.n_alerts == scored.n_alerts
+        assert outcome.window_accuracy == 0.0  # scores need history
+
+    def test_markdown_sink_summarizes_events(self, small_setup, tmp_path):
+        md = tmp_path / "alerts.md"
+        outcome = replay(
+            small_setup,
+            chunk=200,
+            sinks=[MarkdownAlertSink(md, title="Alerts")],
+        )
+        text = md.read_text()
+        assert "## Alerts" in text
+        # header + separator + one row per event
+        assert len(text.splitlines()) == 2 + 2 + len(outcome.events)
+
+    def test_fresh_setup_reproduces_events(self):
+        outcomes = [
+            replay(
+                prepare_fleet(
+                    fleet_recipes(2, t=2000),
+                    blocks=8,
+                    trees=5,
+                    train_frac=0.5,
+                    seed=0,
+                ),
+                chunk=200,
+            )
+            for _ in range(2)
+        ]
+        assert outcomes[0].events == outcomes[1].events
+
+
+class TestCrossProcessDeterminism:
+    def _run_detect(self, alerts: Path, cache: Path, hash_seed: str) -> None:
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "detect",
+                "--smoke",
+                "--alerts",
+                str(alerts),
+                "--cache-dir",
+                str(cache),
+            ],
+            check=True,
+            capture_output=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(SRC),
+                "PYTHONHASHSEED": hash_seed,
+            },
+        )
+
+    def test_detect_replay_byte_identical_across_processes(self, tmp_path):
+        """The ISSUE acceptance criterion, verbatim: two separate
+        ``repro detect`` processes replaying the same cached segment set
+        write byte-identical alert JSONL."""
+        cache = tmp_path / "cache"
+        first = tmp_path / "alerts1.jsonl"
+        second = tmp_path / "alerts2.jsonl"
+        self._run_detect(first, cache, "0")
+        self._run_detect(second, cache, "1")
+        assert first.read_bytes() == second.read_bytes()
+        events = [
+            json.loads(line) for line in first.read_text().splitlines()
+        ]
+        assert any(e["event"] == "open" for e in events)
+
+
+class TestDetectCLI:
+    def test_detect_writes_alerts_csv_markdown(self, tmp_path, capsys):
+        alerts = tmp_path / "alerts.jsonl"
+        csv = tmp_path / "summary.csv"
+        md = tmp_path / "alerts.md"
+        code = cli.main([
+            "detect",
+            "--smoke",
+            "--alerts", str(alerts),
+            "--csv", str(csv),
+            "--markdown", str(md),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Fleet detection replay" in captured.err
+        assert alerts.exists() and md.exists()
+        lines = csv.read_text().splitlines()
+        assert lines[0].startswith("Fleet,")
+        assert len(lines) == 2
+
+    def test_detect_streams_events_to_stdout_by_default(self, capsys):
+        assert cli.main(["detect", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()]
+        assert events, "expected alert events on stdout"
+        assert {e["event"] for e in events} <= {"open", "close"}
+
+
+class TestServeCLI:
+    def test_serve_streams_events_and_summarizes(self, capsys):
+        assert cli.main(["serve", "--smoke"]) == 0
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        assert events
+        for event in events:
+            assert event["event"] in ("open", "close")
+            assert event["node"].startswith("rack")
+        assert "[serve] drained:" in captured.err
+
+    def test_serve_matches_detect_alert_stream(self, capsys):
+        """Live serving and batch replay are the same computation."""
+        assert cli.main(["serve", "--smoke", "--chunk", "200"]) == 0
+        serve_out = capsys.readouterr().out
+        assert cli.main(["detect", "--smoke", "--chunk", "200"]) == 0
+        detect_out = capsys.readouterr().out
+        assert serve_out == detect_out
+
+
+class TestLazyServiceImports:
+    def test_listing_scenarios_does_not_import_service_stack(self):
+        """`repro list` must stay light: registering the builtin catalog
+        (including the fleet-detect specs) may not pull repro.service."""
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.scenarios.registry import list_scenarios\n"
+                "import sys\n"
+                "assert list_scenarios(), 'no scenarios registered'\n"
+                "loaded = [m for m in sys.modules"
+                " if m.startswith('repro.service')]\n"
+                "assert not loaded, f'service imported eagerly: {loaded}'\n"
+                "print('lazy')\n",
+            ],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "lazy"
+
+
+class TestConsoleEntryPoint:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch):
+        def boom():
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "main", boom)
+        with pytest.raises(SystemExit) as excinfo:
+            cli.console_main()
+        assert excinfo.value.code == 130
