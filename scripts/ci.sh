@@ -21,6 +21,15 @@ python -m pytest -x -q
 echo "== bench guards (recorded speedup floors) =="
 python -m pytest tests/test_bench_guard.py -q
 
+# Opt-in benchmark refresh: regenerates results/*.csv + BENCH_*.json
+# through the same entry point developers use (`repro bench`).  Off by
+# default — the recorded summaries are committed and the guards above
+# enforce their floors without paying benchmark runtime.
+if [[ "${RUN_BENCH:-0}" == "1" ]]; then
+    echo "== benchmark suite (repro bench) =="
+    python -m repro bench
+fi
+
 # Lint runs when ruff is available; the lint job in GitHub Actions is
 # authoritative.  Installing ruff needs network access, so offline
 # containers simply skip this step.

@@ -355,6 +355,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Benchmark runner (repro bench)
+# ----------------------------------------------------------------------
+#: The benchmark files that refresh ``results/*.csv`` + ``BENCH_*.json``.
+BENCH_SUITES: dict[str, str] = {
+    "engine": "test_engine_scaling.py",
+    "ml": "test_ml_scaling.py",
+    "scenarios": "test_scenario_cache.py",
+    "service": "test_service_scaling.py",
+    "datagen": "test_datagen_scaling.py",
+}
+
+
+def _repo_root() -> Path:
+    """The checkout root (the parent of ``src/``); benchmarks live there."""
+    return Path(__file__).resolve().parents[2]
+
+
+def _bench_command(args: argparse.Namespace) -> list[str]:
+    """The pytest invocation for the requested benchmark selection."""
+    if args.all:
+        targets = ["benchmarks"]
+    else:
+        suites = args.suite or sorted(BENCH_SUITES)
+        targets = [str(Path("benchmarks") / BENCH_SUITES[s]) for s in suites]
+    cmd = [sys.executable, "-m", "pytest", *targets, "-m", "slow", "-q"]
+    if args.filter:
+        cmd += ["-k", args.filter]
+    return cmd
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the slow-marked benchmark suite, refreshing the recorded
+    ``results/*.csv`` tables and ``BENCH_*.json`` summaries that
+    ``tests/test_bench_guard.py`` enforces floors on.
+
+    Runs in a subprocess so the ``REPRO_BENCH_SCALE``/``REPRO_BENCH_TREES``
+    knobs are picked up at interpreter start, exactly as a manual
+    ``pytest benchmarks -m slow`` run would.
+    """
+    import os
+    import subprocess
+
+    if args.all and args.suite:
+        _status("error: --all and --suite are mutually exclusive")
+        return 2
+    root = _repo_root()
+    if not (root / "benchmarks").is_dir():
+        _status(
+            "error: benchmarks/ not found next to src/ — `repro bench` "
+            "runs from a source checkout"
+        )
+        return 2
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if args.scale is not None:
+        env["REPRO_BENCH_SCALE"] = str(args.scale)
+    if args.trees is not None:
+        env["REPRO_BENCH_TREES"] = str(args.trees)
+    cmd = _bench_command(args)
+    _status(f"[bench] {' '.join(cmd)}")
+    rc = subprocess.call(cmd, cwd=root, env=env)
+    if rc == 0:
+        _status(
+            "[bench] refreshed results/*.csv + BENCH_*.json "
+            "(guarded by tests/test_bench_guard.py)"
+        )
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -421,6 +493,36 @@ def build_parser() -> argparse.ArgumentParser:
         "pacing; default 0 = as fast as possible)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the slow-marked benchmark suite and refresh "
+        "results/*.csv + BENCH_*.json",
+    )
+    p_bench.add_argument(
+        "--suite", action="append", choices=sorted(BENCH_SUITES),
+        help="benchmark suite(s) to run (repeatable; default: all of "
+        f"{', '.join(sorted(BENCH_SUITES))})",
+    )
+    p_bench.add_argument(
+        "--all", action="store_true",
+        help="run every file under benchmarks/ (figure/table "
+        "reproductions included), not just the recorded-speedup suites",
+    )
+    p_bench.add_argument(
+        "--filter", "-k", default=None,
+        help="pytest -k expression to select individual benchmarks",
+    )
+    p_bench.add_argument(
+        "--scale", type=float, default=None,
+        help="REPRO_BENCH_SCALE for the run (enlarges datasets toward "
+        "paper sizes)",
+    )
+    p_bench.add_argument(
+        "--trees", type=int, default=None,
+        help="REPRO_BENCH_TREES for the run (forest size; paper uses 50)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -18,9 +18,19 @@ Layout
 ``windows``     Window extraction and label/target alignment.
 ``generators``  The five segment generators + windowed ML dataset builders.
 ``recipes``     Declarative, content-addressable dataset recipes.
+
+Generation runs through the batched scan engine (``repro.engine.scan``):
+whole node/rack/device planes render in one grouped pass and the
+sequential recurrences (sensor lag EMA, OU load drift, the power
+oscillator) evaluate as chunked affine scans.  Per-seed RNG draw order
+matches the frozen sample-by-sample reference
+(``datasets/_seed_reference.py``) bit for bit, numerics to
+``rtol <= 1e-10``; ``DATAGEN_VERSION`` versions the numerics in every
+artifact-cache key.
 """
 
 from repro.datasets.generators import (
+    DATAGEN_VERSION,
     SegmentData,
     WindowedDataset,
     generate_application,
@@ -46,6 +56,7 @@ from repro.datasets.windows import (
 
 __all__ = [
     "ARCHITECTURES",
+    "DATAGEN_VERSION",
     "DatasetRecipe",
     "GPU_SPEC",
     "SEGMENTS",

@@ -1,0 +1,490 @@
+"""Frozen seed implementation of the telemetry generators.
+
+This module preserves, verbatim in behaviour, the pre-vectorization data
+generation path: the sample-by-sample Python recurrences (``_ema``,
+``_ou_process``, ``_damped_oscillation``, the sensor response-lag
+smoothing loop) and the per-node / per-rack / per-device generator loops
+that call them.
+
+It exists for two reasons:
+
+* the golden-model tests in ``tests/test_datagen_golden.py`` assert
+  that the batched scan engine in :mod:`repro.datasets.generators` /
+  :mod:`repro.datasets.sensors` produces bit-identical labels, fault
+  episodes and schedules, and numerics within ``rtol=1e-10``;
+* ``benchmarks/test_datagen_scaling.py`` measures the vectorized cold
+  generation path against this exact code and records the speedups in
+  ``BENCH_datagen.json``.
+
+Pure vectorized building blocks that the optimization does not touch —
+the workload synthesizers, sensor-bank *construction* (all RNG draws),
+schedules and fault models — are imported from the live modules, so the
+reference consumes the exact same random streams as the optimized path;
+only the recurrence evaluation and the per-component orchestration are
+frozen here.
+
+Do not modify this file when optimizing the live generators — it is the
+baseline the optimizations are measured and verified against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.faults import FAULTS, fault_names
+from repro.datasets.generators import ComponentData, SegmentData
+from repro.datasets.schema import ARCHITECTURES, get_segment_spec
+from repro.datasets.sensors import (
+    SensorBank,
+    node_sensor_bank,
+    rack_sensor_bank,
+)
+from repro.datasets.workloads import (
+    APPLICATIONS,
+    CHANNELS,
+    IDLE,
+    WorkloadModel,
+    application_names,
+    build_schedule,
+)
+
+__all__ = [
+    "reference_ema",
+    "reference_ou_process",
+    "reference_damped_oscillation",
+    "reference_smooth_matrix",
+    "reference_latent",
+    "reference_render",
+    "reference_generate_segment",
+    "REFERENCE_GENERATORS",
+]
+
+
+# ----------------------------------------------------------------------
+# Sequential recurrences (the frozen hot loops)
+# ----------------------------------------------------------------------
+def reference_ema(x: np.ndarray, samples: int) -> np.ndarray:
+    """Exponential moving average with time constant ``samples``."""
+    if samples <= 1:
+        return x.copy()
+    alpha = 1.0 / samples
+    out = np.empty_like(x)
+    acc = x[0]
+    for i, v in enumerate(x):
+        acc += alpha * (v - acc)
+        out[i] = acc
+    return out
+
+
+def _reference_smooth(x: np.ndarray, samples: int) -> np.ndarray:
+    """The workload-model smoothing (returns ``x`` itself when <= 1)."""
+    if samples <= 1:
+        return x
+    alpha = 1.0 / samples
+    out = np.empty_like(x)
+    acc = x[0]
+    for i, v in enumerate(x):
+        acc += alpha * (v - acc)
+        out[i] = acc
+    return out
+
+
+def reference_smooth_matrix(x: np.ndarray, lag: int) -> np.ndarray:
+    """Exponential smoothing along the last axis (sequential in time)."""
+    if lag <= 1:
+        return x
+    alpha = 1.0 / lag
+    out = np.empty_like(x)
+    out[..., 0] = x[..., 0]
+    for i in range(1, x.shape[-1]):
+        out[..., i] = out[..., i - 1] + alpha * (x[..., i] - out[..., i - 1])
+    return out
+
+
+def reference_damped_oscillation(
+    t: int,
+    rng: np.random.Generator,
+    *,
+    stiffness: float = 0.03,
+    damping: float = 0.06,
+    drive: float = 0.01,
+) -> np.ndarray:
+    """Noise-driven damped oscillator evaluated sample by sample."""
+    x = np.zeros(t)
+    v = 0.0
+    kicks = drive * rng.standard_normal(t)
+    for i in range(1, t):
+        v = (1.0 - damping) * v - stiffness * x[i - 1] + kicks[i]
+        x[i] = x[i - 1] + v
+    return x
+
+
+def reference_ou_process(
+    t: int,
+    rng: np.random.Generator,
+    *,
+    mean: float = 0.5,
+    theta: float = 0.02,
+    sigma: float = 0.03,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> np.ndarray:
+    """Mean-reverting random process evaluated sample by sample."""
+    x = np.empty(t)
+    x[0] = mean
+    noise = sigma * rng.standard_normal(t)
+    for i in range(1, t):
+        x[i] = x[i - 1] + theta * (mean - x[i - 1]) + noise[i]
+    return np.clip(x, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Latent synthesis + rendering through the sequential recurrences
+# ----------------------------------------------------------------------
+def reference_latent(
+    model: WorkloadModel, t: int, config: int, rng: np.random.Generator
+) -> dict[str, np.ndarray]:
+    """``WorkloadModel.latent`` with the frozen smoothing loop."""
+    from repro.datasets.workloads import _CONFIG_SCALES, _phase
+
+    if t < 1:
+        raise ValueError("run length must be >= 1")
+    pscale, ascale, mscale = _CONFIG_SCALES[config % len(_CONFIG_SCALES)]
+    period = model.base_period * pscale
+    channels = model.synth(t, period, ascale, mscale, rng)
+    out: dict[str, np.ndarray] = {}
+    for name in CHANNELS:
+        if name == "freq":
+            continue
+        arr = channels.get(name)
+        if arr is None:
+            arr = np.zeros(t)
+        out[name] = np.clip(arr, 0.0, 1.5)
+    freq = 1.0 - 0.12 * _reference_smooth(out["compute"], 20)
+    if model.freq_oscillation > 0.0:
+        osc = 0.5 * (1.0 + np.sin(2 * np.pi * _phase(t, period, rng)))
+        freq = freq - model.freq_oscillation * osc
+    freq = freq + rng.normal(0.0, 0.004, size=t)
+    out["freq"] = np.clip(freq, 0.3, 1.2)
+    return out
+
+
+def _reference_concat_schedule_latents(
+    schedule: list[tuple[str, int, int]], rng: np.random.Generator
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    pieces: dict[str, list[np.ndarray]] = {ch: [] for ch in CHANNELS}
+    run_idx = []
+    for k, (app, config, length) in enumerate(schedule):
+        model = IDLE if app == "idle" else APPLICATIONS[app]
+        latent = reference_latent(model, length, config, rng)
+        for ch in CHANNELS:
+            pieces[ch].append(latent[ch])
+        run_idx.append(np.full(length, k, dtype=np.intp))
+    return (
+        {ch: np.concatenate(parts) for ch, parts in pieces.items()},
+        np.concatenate(run_idx),
+    )
+
+
+def _reference_labels_from_schedule(
+    schedule: list[tuple[str, int, int]],
+    run_idx: np.ndarray,
+    label_names: tuple[str, ...],
+) -> np.ndarray:
+    index = {name: i for i, name in enumerate(label_names)}
+    per_run = np.array([index[app] for app, _, _ in schedule], dtype=np.intp)
+    return per_run[run_idx]
+
+
+def reference_render(
+    bank: SensorBank, latent: dict[str, np.ndarray], rng: np.random.Generator
+) -> np.ndarray:
+    """``SensorBank.render`` with the frozen per-sample smoothing loop."""
+    t = None
+    for ch in CHANNELS:
+        if ch in latent:
+            t = np.asarray(latent[ch]).shape[0]
+            break
+    if t is None:
+        raise ValueError("latent input contains no known channels")
+    L = np.zeros((len(CHANNELS), t))
+    for j, ch in enumerate(CHANNELS):
+        if ch in latent:
+            arr = np.asarray(latent[ch], dtype=np.float64)
+            if arr.shape != (t,):
+                raise ValueError(
+                    f"channel {ch!r} has shape {arr.shape}, expected ({t},)"
+                )
+            L[j] = arr
+    raw = bank._mix @ L
+    for lag in np.unique(bank._lags):
+        if lag > 1:
+            rows = bank._lags == lag
+            raw[rows] = reference_smooth_matrix(raw[rows], int(lag))
+    out = bank._offset[:, None] + bank._gain[:, None] * raw
+    out += bank._noise[:, None] * rng.standard_normal(out.shape)
+    np.maximum(out, 0.0, where=bank._clip[:, None], out=out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Segment generators (frozen per-component orchestration)
+# ----------------------------------------------------------------------
+def reference_generate_fault(
+    seed: int | None = 0, *, t: int = 20000, scale: float = 1.0
+) -> SegmentData:
+    spec = get_segment_spec("fault")
+    t = max(int(t * scale), 4 * spec.wl)
+    rng = np.random.default_rng(seed)
+    schedule = build_schedule(t, rng, min_run=300, max_run=600)
+    latent, _run_idx = _reference_concat_schedule_latents(schedule, rng)
+
+    label_names = fault_names(include_healthy=True)
+    labels = np.zeros(t, dtype=np.intp)
+
+    episodes: list[tuple[int, int, int, int]] = []
+    cursor = int(rng.integers(spec.wl, 3 * spec.wl))
+    k = 0
+    while cursor < t - spec.wl:
+        fault_id = k % len(FAULTS)
+        setting = (k // len(FAULTS)) % 2
+        duration = int(rng.integers(150, 350))
+        stop = min(cursor + duration, t)
+        episodes.append((fault_id, setting, cursor, stop))
+        labels[cursor:stop] = fault_id + 1
+        FAULTS[fault_id].apply_channels(latent, cursor, stop, setting, rng)
+        cursor = stop + int(rng.integers(100, 300))
+        k += 1
+
+    bank = node_sensor_bank(spec.sensors, rng, arch="broadwell", n_cores=16)
+    matrix = reference_render(bank, latent, rng)
+    groups = {g: bank.indices_of_group(g) for g in set(bank.groups)}
+    for fault_id, setting, start, stop in episodes:
+        FAULTS[fault_id].apply_sensors(matrix, groups, start, stop, setting, rng)
+
+    component = ComponentData(
+        name="node0",
+        matrix=matrix,
+        sensor_names=bank.names,
+        sensor_groups=bank.groups,
+        labels=labels,
+        arch="broadwell",
+    )
+    return SegmentData(spec, [component], label_names=label_names, seed=seed)
+
+
+def reference_generate_application(
+    seed: int | None = 0,
+    *,
+    t: int = 1200,
+    nodes: int | None = None,
+    scale: float = 1.0,
+) -> SegmentData:
+    spec = get_segment_spec("application")
+    t = max(int(t * scale), 4 * spec.wl)
+    n_nodes = spec.nodes if nodes is None else int(nodes)
+    rng = np.random.default_rng(seed)
+    schedule = build_schedule(t, rng, min_run=250, max_run=500)
+    latent, run_idx = _reference_concat_schedule_latents(schedule, rng)
+    label_names = application_names(include_idle=False) + ("idle",)
+    labels = _reference_labels_from_schedule(schedule, run_idx, label_names)
+
+    components = []
+    for node in range(n_nodes):
+        node_rng = np.random.default_rng(
+            np.random.SeedSequence([0 if seed is None else seed, 17, node])
+        )
+        gain = node_rng.uniform(0.92, 1.08)
+        node_latent = {
+            ch: np.clip(
+                arr * gain + node_rng.normal(0.0, 0.01, size=arr.shape), 0.0, 1.6
+            )
+            for ch, arr in latent.items()
+        }
+        bank = node_sensor_bank(spec.sensors, node_rng, arch="skylake", n_cores=8)
+        components.append(
+            ComponentData(
+                name=f"node{node:02d}",
+                matrix=reference_render(bank, node_latent, node_rng),
+                sensor_names=bank.names,
+                sensor_groups=bank.groups,
+                labels=labels.copy(),
+                arch="skylake",
+            )
+        )
+    return SegmentData(spec, components, label_names=label_names, seed=seed)
+
+
+def reference_generate_power(
+    seed: int | None = 0, *, t: int = 8000, scale: float = 1.0
+) -> SegmentData:
+    spec = get_segment_spec("power")
+    t = max(int(t * scale), 4 * (spec.wl + spec.horizon))
+    rng = np.random.default_rng(seed)
+    schedule = [
+        (app, cfg, length)
+        for (app, cfg, length) in build_schedule(t, rng, min_run=250, max_run=500)
+        for cfg in (cfg % 2,)
+    ]
+    latent, _ = _reference_concat_schedule_latents(schedule, rng)
+    bank = node_sensor_bank(
+        spec.sensors, rng, arch="knights-landing", n_cores=8
+    )
+    matrix = reference_render(bank, latent, rng)
+    wobble = reference_damped_oscillation(
+        t, rng, stiffness=0.03, damping=0.06, drive=0.012
+    )
+    names = list(bank.names)
+    power_row = names.index("power_node")
+    dram_row = names.index("power_dram")
+    matrix[power_row] += wobble
+    matrix[dram_row] += 0.6 * wobble
+    np.maximum(matrix, 0.0, out=matrix)
+    component = ComponentData(
+        name="node0",
+        matrix=matrix,
+        sensor_names=bank.names,
+        sensor_groups=bank.groups,
+        target=matrix[power_row].copy(),
+        arch="knights-landing",
+    )
+    return SegmentData(spec, [component], seed=seed)
+
+
+def reference_generate_infrastructure(
+    seed: int | None = 0,
+    *,
+    t: int = 1400,
+    racks: int = 8,
+    scale: float = 1.0,
+) -> SegmentData:
+    spec = get_segment_spec("infrastructure")
+    t = max(int(t * scale), 4 * (spec.wl + spec.horizon))
+    components = []
+    for rack in range(int(racks)):
+        rng = np.random.default_rng(
+            np.random.SeedSequence([0 if seed is None else seed, 31, rack])
+        )
+        load = reference_ou_process(
+            t, rng, mean=0.55 + rng.uniform(-0.04, 0.04), theta=0.012, sigma=0.018
+        )
+        membw = np.clip(load * rng.uniform(0.5, 0.8) + 0.05, 0.0, 1.0)
+        latent = {
+            "compute": load,
+            "membw": membw,
+            "memory": np.clip(0.3 + 0.3 * load, 0.0, 1.0),
+            "io": np.full(t, 0.05),
+            "net": np.clip(0.2 * load + 0.05, 0.0, 1.0),
+            "freq": np.clip(1.0 - 0.1 * load, 0.0, 1.2),
+        }
+        bank = rack_sensor_bank(spec.sensors, rng, n_chassis=6)
+        matrix = reference_render(bank, latent, rng)
+        power_latent = 0.3 + 0.65 * load + 0.2 * membw
+        heat = reference_ema(power_latent, 40)
+        heat += rng.normal(0.0, 0.004, size=t)
+        components.append(
+            ComponentData(
+                name=f"rack{rack:02d}",
+                matrix=matrix,
+                sensor_names=bank.names,
+                sensor_groups=bank.groups,
+                target=heat,
+                arch="rack",
+            )
+        )
+    return SegmentData(spec, components, seed=seed)
+
+
+def reference_generate_cross_architecture(
+    seed: int | None = 0, *, t: int = 1600, scale: float = 1.0
+) -> SegmentData:
+    spec = get_segment_spec("cross-architecture")
+    t = max(int(t * scale), 4 * spec.wl)
+    label_names = application_names(include_idle=False)
+    components = []
+    for i, (arch, n_sensors, n_cores) in enumerate(ARCHITECTURES):
+        rng = np.random.default_rng(
+            np.random.SeedSequence([0 if seed is None else seed, 47, i])
+        )
+        schedule = build_schedule(
+            t, rng, min_run=250, max_run=450, include_idle=False
+        )
+        latent, run_idx = _reference_concat_schedule_latents(schedule, rng)
+        labels = _reference_labels_from_schedule(schedule, run_idx, label_names)
+        bank = node_sensor_bank(
+            n_sensors, rng, arch=arch, n_cores=min(n_cores, 8)
+        )
+        components.append(
+            ComponentData(
+                name=f"{arch}-node",
+                matrix=reference_render(bank, latent, rng),
+                sensor_names=bank.names,
+                sensor_groups=bank.groups,
+                labels=labels,
+                arch=arch,
+            )
+        )
+    return SegmentData(spec, components, label_names=label_names, seed=seed)
+
+
+def reference_generate_gpu(
+    seed: int | None = 0,
+    *,
+    t: int = 1400,
+    gpus: int | None = None,
+    scale: float = 1.0,
+) -> SegmentData:
+    from dataclasses import replace
+
+    from repro.datasets.gpu import GPU_SPEC, gpu_sensor_bank
+
+    spec = GPU_SPEC if gpus is None else replace(GPU_SPEC, nodes=int(gpus))
+    t = max(int(t * scale), 4 * spec.wl)
+    rng = np.random.default_rng(seed)
+    schedule = build_schedule(t, rng, min_run=250, max_run=450, include_idle=True)
+    latent, run_idx = _reference_concat_schedule_latents(schedule, rng)
+    label_names = application_names(include_idle=False) + ("idle",)
+    labels = _reference_labels_from_schedule(schedule, run_idx, label_names)
+
+    components = []
+    for dev in range(spec.nodes):
+        dev_rng = np.random.default_rng(
+            np.random.SeedSequence([0 if seed is None else seed, 97, dev])
+        )
+        gain = dev_rng.uniform(0.93, 1.07)
+        dev_latent = {
+            ch: np.clip(arr * gain + dev_rng.normal(0.0, 0.01, arr.shape), 0, 1.6)
+            for ch, arr in latent.items()
+        }
+        bank = gpu_sensor_bank(spec.sensors_for(dev), dev_rng)
+        components.append(
+            ComponentData(
+                name=f"gpu{dev}",
+                matrix=reference_render(bank, dev_latent, dev_rng),
+                sensor_names=bank.names,
+                sensor_groups=bank.groups,
+                labels=labels.copy(),
+                arch="gpu",
+            )
+        )
+    return SegmentData(spec, components, label_names=label_names, seed=seed)
+
+
+REFERENCE_GENERATORS = {
+    "fault": reference_generate_fault,
+    "application": reference_generate_application,
+    "power": reference_generate_power,
+    "infrastructure": reference_generate_infrastructure,
+    "cross-architecture": reference_generate_cross_architecture,
+    "gpu": reference_generate_gpu,
+}
+
+
+def reference_generate_segment(
+    name: str, seed: int | None = 0, **kwargs
+) -> SegmentData:
+    """Generate any segment through the frozen seed path."""
+    if name == "gpu":
+        return reference_generate_gpu(seed, **kwargs)
+    spec = get_segment_spec(name)
+    return REFERENCE_GENERATORS[spec.name](seed, **kwargs)

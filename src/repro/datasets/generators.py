@@ -25,7 +25,16 @@ import numpy as np
 from repro.baselines.base import SignatureMethod
 from repro.datasets.faults import FAULTS, fault_names
 from repro.datasets.schema import ARCHITECTURES, SegmentSpec, get_segment_spec
-from repro.datasets.sensors import node_sensor_bank, rack_sensor_bank
+from repro.datasets.sensors import (
+    node_sensor_bank,
+    rack_sensor_bank,
+    render_batch,
+)
+from repro.engine.scan import (
+    damped_oscillation_scan,
+    ema_scan,
+    first_order_affine_scan,
+)
 from repro.datasets.windows import (
     future_mean_target,
     window_majority_labels,
@@ -39,6 +48,7 @@ from repro.datasets.workloads import (
 )
 
 __all__ = [
+    "DATAGEN_VERSION",
     "ComponentData",
     "SegmentData",
     "WindowedDataset",
@@ -50,6 +60,16 @@ __all__ = [
     "generate_segment",
     "build_ml_dataset",
 ]
+
+#: Version of the generation *numerics*.  The batched scan engine keeps
+#: per-seed RNG draw order (labels, schedules and fault episodes are
+#: bit-identical to ``datasets/_seed_reference.py``) but evaluates the
+#: recurrences in chunked cumulative form, so float results agree only
+#: to ``rtol <= 1e-10`` — close enough for every experiment, too far for
+#: content-addressed artifacts to mix.  The version participates in
+#: ``DatasetRecipe.cache_dict()``: bumping it retires stale cached
+#: artifacts instead of silently blending numerics across engines.
+DATAGEN_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -162,15 +182,7 @@ def _labels_from_schedule(
 
 def _ema(x: np.ndarray, samples: int) -> np.ndarray:
     """Exponential moving average with time constant ``samples``."""
-    if samples <= 1:
-        return x.copy()
-    alpha = 1.0 / samples
-    out = np.empty_like(x)
-    acc = x[0]
-    for i, v in enumerate(x):
-        acc += alpha * (v - acc)
-        out[i] = acc
-    return out
+    return ema_scan(x, samples)
 
 
 def _damped_oscillation(
@@ -186,15 +198,11 @@ def _damped_oscillation(
     The velocity state persists over several samples, so backward
     differences of the observed position genuinely help predict the next
     few samples — the property that makes the CS imaginary components
-    valuable for the Power segment.
+    valuable for the Power segment.  The 2x2 state recurrence is
+    evaluated as a diagonalized matrix scan (one RNG draw, same stream).
     """
-    x = np.zeros(t)
-    v = 0.0
     kicks = drive * rng.standard_normal(t)
-    for i in range(1, t):
-        v = (1.0 - damping) * v - stiffness * x[i - 1] + kicks[i]
-        x[i] = x[i - 1] + v
-    return x
+    return damped_oscillation_scan(kicks, stiffness=stiffness, damping=damping)
 
 
 def _ou_process(
@@ -211,12 +219,10 @@ def _ou_process(
 
     Used for the Infrastructure segment, where the aggregate rack load
     drifts slowly and "we have no knowledge of the specific applications".
+    One RNG draw feeds a first-order affine scan.
     """
-    x = np.empty(t)
-    x[0] = mean
     noise = sigma * rng.standard_normal(t)
-    for i in range(1, t):
-        x[i] = x[i - 1] + theta * (mean - x[i - 1]) + noise[i]
+    x = first_order_affine_scan(1.0 - theta, theta * mean + noise, mean)
     return np.clip(x, lo, hi)
 
 
@@ -296,29 +302,41 @@ def generate_application(
     label_names = application_names(include_idle=False) + ("idle",)
     labels = _labels_from_schedule(schedule, run_idx, label_names)
 
-    components = []
+    # Per-node RNG draws happen node by node in the exact order of the
+    # sequential path (gain, per-channel jitter, bank composition, render
+    # noise); the arithmetic then runs once for the whole node plane.
+    banks, node_latents, noises = [], [], []
     for node in range(n_nodes):
         node_rng = np.random.default_rng(
             np.random.SeedSequence([0 if seed is None else seed, 17, node])
         )
         gain = node_rng.uniform(0.92, 1.08)
-        node_latent = {
-            ch: np.clip(
-                arr * gain + node_rng.normal(0.0, 0.01, size=arr.shape), 0.0, 1.6
-            )
-            for ch, arr in latent.items()
-        }
-        bank = node_sensor_bank(spec.sensors, node_rng, arch="skylake", n_cores=8)
-        components.append(
-            ComponentData(
-                name=f"node{node:02d}",
-                matrix=bank.render(node_latent, node_rng),
-                sensor_names=bank.names,
-                sensor_groups=bank.groups,
-                labels=labels.copy(),
-                arch="skylake",
-            )
+        node_latents.append(
+            {
+                ch: np.clip(
+                    arr * gain + node_rng.normal(0.0, 0.01, size=arr.shape),
+                    0.0,
+                    1.6,
+                )
+                for ch, arr in latent.items()
+            }
         )
+        bank = node_sensor_bank(spec.sensors, node_rng, arch="skylake", n_cores=8)
+        banks.append(bank)
+        noises.append(node_rng.standard_normal((len(bank), t)))
+    components = [
+        ComponentData(
+            name=f"node{node:02d}",
+            matrix=matrix,
+            sensor_names=bank.names,
+            sensor_groups=bank.groups,
+            labels=labels.copy(),
+            arch="skylake",
+        )
+        for node, (bank, matrix) in enumerate(
+            zip(banks, render_batch(banks, node_latents, noises))
+        )
+    ]
     return SegmentData(spec, components, label_names=label_names, seed=seed)
 
 
@@ -386,8 +404,13 @@ def generate_infrastructure(
     """
     spec = get_segment_spec("infrastructure")
     t = max(int(t * scale), 4 * (spec.wl + spec.horizon))
-    components = []
-    for rack in range(int(racks)):
+    n_racks = int(racks)
+    # Per-rack draws in sequential order; rendering and the thermal EMA
+    # of the heat target then run once over the whole rack plane.
+    banks, latents, noises = [], [], []
+    power_latents = np.empty((n_racks, t))
+    heat_noises = np.empty((n_racks, t))
+    for rack in range(n_racks):
         rng = np.random.default_rng(
             np.random.SeedSequence([0 if seed is None else seed, 31, rack])
         )
@@ -400,35 +423,40 @@ def generate_infrastructure(
             t, rng, mean=0.55 + rng.uniform(-0.04, 0.04), theta=0.012, sigma=0.018
         )
         membw = np.clip(load * rng.uniform(0.5, 0.8) + 0.05, 0.0, 1.0)
-        latent = {
-            "compute": load,
-            "membw": membw,
-            "memory": np.clip(0.3 + 0.3 * load, 0.0, 1.0),
-            "io": np.full(t, 0.05),
-            "net": np.clip(0.2 * load + 0.05, 0.0, 1.0),
-            "freq": np.clip(1.0 - 0.1 * load, 0.0, 1.2),
-        }
-        bank = rack_sensor_bank(spec.sensors, rng, n_chassis=6)
-        matrix = bank.render(latent, rng)
-        # Heat removed by the cooling loop follows the rack's (thermally
-        # smoothed) power draw.  Deriving it from the latent load rather
-        # than from individual noisy sensor rows makes it predictable
-        # "even when using only averages of the system's temperature and
-        # power consumption" — the paper's explanation for why the
-        # Infrastructure task saturates at l=5.
-        power_latent = 0.3 + 0.65 * load + 0.2 * membw
-        heat = _ema(power_latent, 40)
-        heat += rng.normal(0.0, 0.004, size=t)
-        components.append(
-            ComponentData(
-                name=f"rack{rack:02d}",
-                matrix=matrix,
-                sensor_names=bank.names,
-                sensor_groups=bank.groups,
-                target=heat,
-                arch="rack",
-            )
+        latents.append(
+            {
+                "compute": load,
+                "membw": membw,
+                "memory": np.clip(0.3 + 0.3 * load, 0.0, 1.0),
+                "io": np.full(t, 0.05),
+                "net": np.clip(0.2 * load + 0.05, 0.0, 1.0),
+                "freq": np.clip(1.0 - 0.1 * load, 0.0, 1.2),
+            }
         )
+        bank = rack_sensor_bank(spec.sensors, rng, n_chassis=6)
+        banks.append(bank)
+        noises.append(rng.standard_normal((len(bank), t)))
+        power_latents[rack] = 0.3 + 0.65 * load + 0.2 * membw
+        heat_noises[rack] = rng.normal(0.0, 0.004, size=t)
+    matrices = render_batch(banks, latents, noises)
+    # Heat removed by the cooling loop follows the rack's (thermally
+    # smoothed) power draw.  Deriving it from the latent load rather
+    # than from individual noisy sensor rows makes it predictable
+    # "even when using only averages of the system's temperature and
+    # power consumption" — the paper's explanation for why the
+    # Infrastructure task saturates at l=5.
+    heats = _ema(power_latents, 40) + heat_noises
+    components = [
+        ComponentData(
+            name=f"rack{rack:02d}",
+            matrix=matrices[rack],
+            sensor_names=banks[rack].names,
+            sensor_groups=banks[rack].groups,
+            target=heats[rack],
+            arch="rack",
+        )
+        for rack in range(n_racks)
+    ]
     return SegmentData(spec, components, seed=seed)
 
 
@@ -444,7 +472,9 @@ def generate_cross_architecture(
     spec = get_segment_spec("cross-architecture")
     t = max(int(t * scale), 4 * spec.wl)
     label_names = application_names(include_idle=False)
-    components = []
+    # Heterogeneous banks (52/46/39 sensors) still render through one
+    # grouped smoothing pass; draws stay in per-architecture order.
+    banks, latents, noises, node_labels = [], [], [], []
     for i, (arch, n_sensors, n_cores) in enumerate(ARCHITECTURES):
         rng = np.random.default_rng(
             np.random.SeedSequence([0 if seed is None else seed, 47, i])
@@ -453,20 +483,26 @@ def generate_cross_architecture(
             t, rng, min_run=250, max_run=450, include_idle=False
         )
         latent, run_idx = _concat_schedule_latents(schedule, rng)
-        labels = _labels_from_schedule(schedule, run_idx, label_names)
+        node_labels.append(_labels_from_schedule(schedule, run_idx, label_names))
         bank = node_sensor_bank(
             n_sensors, rng, arch=arch, n_cores=min(n_cores, 8)
         )
-        components.append(
-            ComponentData(
-                name=f"{arch}-node",
-                matrix=bank.render(latent, rng),
-                sensor_names=bank.names,
-                sensor_groups=bank.groups,
-                labels=labels,
-                arch=arch,
-            )
+        banks.append(bank)
+        latents.append(latent)
+        noises.append(rng.standard_normal((len(bank), t)))
+    components = [
+        ComponentData(
+            name=f"{arch}-node",
+            matrix=matrix,
+            sensor_names=bank.names,
+            sensor_groups=bank.groups,
+            labels=labels,
+            arch=arch,
         )
+        for (arch, _, _), bank, matrix, labels in zip(
+            ARCHITECTURES, banks, render_batch(banks, latents, noises), node_labels
+        )
+    ]
     return SegmentData(spec, components, label_names=label_names, seed=seed)
 
 

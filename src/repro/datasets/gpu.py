@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.datasets.generators import ComponentData, SegmentData
 from repro.datasets.schema import SegmentSpec
-from repro.datasets.sensors import SensorBank, SensorSpec
+from repro.datasets.sensors import SensorBank, SensorSpec, render_batch
 from repro.datasets.workloads import application_names, build_schedule
 
 __all__ = ["GPU_SPEC", "gpu_sensor_bank", "generate_gpu"]
@@ -128,25 +128,36 @@ def generate_gpu(
     label_names = application_names(include_idle=False) + ("idle",)
     labels = _labels_from_schedule(schedule, run_idx, label_names)
 
-    components = []
+    # Per-device draws in sequential order, one batched render for the
+    # whole accelerator plane (same pattern as the Application segment).
+    banks, dev_latents, noises = [], [], []
     for dev in range(spec.nodes):
         dev_rng = np.random.default_rng(
             np.random.SeedSequence([0 if seed is None else seed, 97, dev])
         )
         gain = dev_rng.uniform(0.93, 1.07)
-        dev_latent = {
-            ch: np.clip(arr * gain + dev_rng.normal(0.0, 0.01, arr.shape), 0, 1.6)
-            for ch, arr in latent.items()
-        }
-        bank = gpu_sensor_bank(spec.sensors_for(dev), dev_rng)
-        components.append(
-            ComponentData(
-                name=f"gpu{dev}",
-                matrix=bank.render(dev_latent, dev_rng),
-                sensor_names=bank.names,
-                sensor_groups=bank.groups,
-                labels=labels.copy(),
-                arch="gpu",
-            )
+        dev_latents.append(
+            {
+                ch: np.clip(
+                    arr * gain + dev_rng.normal(0.0, 0.01, arr.shape), 0, 1.6
+                )
+                for ch, arr in latent.items()
+            }
         )
+        bank = gpu_sensor_bank(spec.sensors_for(dev), dev_rng)
+        banks.append(bank)
+        noises.append(dev_rng.standard_normal((len(bank), t)))
+    components = [
+        ComponentData(
+            name=f"gpu{dev}",
+            matrix=matrix,
+            sensor_names=bank.names,
+            sensor_groups=bank.groups,
+            labels=labels.copy(),
+            arch="gpu",
+        )
+        for dev, (bank, matrix) in enumerate(
+            zip(banks, render_batch(banks, dev_latents, noises))
+        )
+    ]
     return SegmentData(spec, components, label_names=label_names, seed=seed)

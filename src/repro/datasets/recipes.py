@@ -19,7 +19,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.datasets.generators import SegmentData, generate_segment
+from repro.datasets.generators import (
+    DATAGEN_VERSION,
+    SegmentData,
+    generate_segment,
+)
 from repro.datasets.schema import get_segment_spec
 
 __all__ = ["DatasetRecipe", "recipe"]
@@ -106,12 +110,17 @@ class DatasetRecipe:
         Drops ``label`` (display-only) and, when no perturbation is
         configured, ``noise_seed`` (no random draw consumes it) — so
         recipes that build bit-identical segments share cached artifacts
-        across scenarios.
+        across scenarios.  Includes the generation-engine version
+        (:data:`~repro.datasets.generators.DATAGEN_VERSION`): the
+        vectorized scans agree with the frozen seed generators only to
+        ``rtol=1e-10``, so artifacts produced by a different engine must
+        regenerate rather than silently mix numerics.
         """
         data = self.to_dict()
         del data["label"]
         if self.noise_std == 0.0 and self.drift == 0.0:
             del data["noise_seed"]
+        data["datagen"] = DATAGEN_VERSION
         return data
 
     @classmethod

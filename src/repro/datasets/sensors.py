@@ -19,16 +19,19 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.datasets.workloads import CHANNELS
+from repro.engine.scan import ema_scan
 
 __all__ = [
     "SensorSpec",
     "SensorBank",
     "node_sensor_bank",
     "rack_sensor_bank",
+    "render_batch",
     "NODE_TEMPLATES",
 ]
 
@@ -58,16 +61,10 @@ class SensorSpec:
 
 
 def _smooth_matrix(x: np.ndarray, lag: int) -> np.ndarray:
-    """Exponential smoothing along the last axis (vectorized recurrence)."""
+    """Exponential smoothing along the last axis (batched affine scan)."""
     if lag <= 1:
         return x
-    alpha = 1.0 / lag
-    out = np.empty_like(x)
-    out[..., 0] = x[..., 0]
-    # The recurrence is sequential in time but vectorized across sensors.
-    for i in range(1, x.shape[-1]):
-        out[..., i] = out[..., i - 1] + alpha * (x[..., i] - out[..., i - 1])
-    return out
+    return ema_scan(x, lag)
 
 
 class SensorBank:
@@ -111,32 +108,90 @@ class SensorBank:
         self, latent: dict[str, np.ndarray], rng: np.random.Generator
     ) -> np.ndarray:
         """Produce the sensor matrix ``(n_sensors, t)`` for latent input."""
-        t = None
-        for ch in CHANNELS:
-            if ch in latent:
-                t = np.asarray(latent[ch]).shape[0]
-                break
-        if t is None:
-            raise ValueError("latent input contains no known channels")
-        L = np.zeros((len(CHANNELS), t))
-        for j, ch in enumerate(CHANNELS):
-            if ch in latent:
-                arr = np.asarray(latent[ch], dtype=np.float64)
-                if arr.shape != (t,):
-                    raise ValueError(
-                        f"channel {ch!r} has shape {arr.shape}, expected ({t},)"
-                    )
-                L[j] = arr
-        raw = self._mix @ L  # (n_sensors, t)
-        # Group sensors by identical lag so each distinct lag smooths once.
-        for lag in np.unique(self._lags):
-            if lag > 1:
-                rows = self._lags == lag
-                raw[rows] = _smooth_matrix(raw[rows], int(lag))
-        out = self._offset[:, None] + self._gain[:, None] * raw
-        out += self._noise[:, None] * rng.standard_normal(out.shape)
-        np.maximum(out, 0.0, where=self._clip[:, None], out=out)
-        return out
+        t = _latent_length(latent)
+        noise = rng.standard_normal((len(self.specs), t))
+        return render_batch([self], [latent], [noise])[0]
+
+
+def _latent_length(latent: dict[str, np.ndarray]) -> int:
+    """Time-axis length of a latent-channel dict (validated)."""
+    for ch in CHANNELS:
+        if ch in latent:
+            return int(np.asarray(latent[ch]).shape[0])
+    raise ValueError("latent input contains no known channels")
+
+
+def _latent_matrix(latent: dict[str, np.ndarray], t: int) -> np.ndarray:
+    """Stack a latent dict into the ``(n_channels, t)`` mixing input."""
+    L = np.zeros((len(CHANNELS), t))
+    for j, ch in enumerate(CHANNELS):
+        if ch in latent:
+            arr = np.asarray(latent[ch], dtype=np.float64)
+            if arr.shape != (t,):
+                raise ValueError(
+                    f"channel {ch!r} has shape {arr.shape}, expected ({t},)"
+                )
+            L[j] = arr
+    return L
+
+
+def render_batch(
+    banks: Sequence[SensorBank],
+    latents: Sequence[dict[str, np.ndarray]],
+    noises: Sequence[np.ndarray],
+) -> list[np.ndarray]:
+    """Render many components' sensor matrices in one fleet-wide pass.
+
+    ``noises[i]`` is component ``i``'s pre-drawn standard-normal matrix
+    of shape ``(len(banks[i]), t)`` — callers draw it from the
+    component's own RNG at the same position in the stream the sequential
+    path did, which keeps per-seed draw *order* (and therefore labels,
+    schedules and fault episodes) bit-identical while the arithmetic is
+    batched.  All components must share the time axis; banks may differ
+    in size (heterogeneous architectures render through one grouped
+    smoothing pass regardless).
+    """
+    if not (len(banks) == len(latents) == len(noises)):
+        raise ValueError("banks, latents and noises must align")
+    if not banks:
+        return []
+    t = _latent_length(latents[0])
+    for latent in latents[1:]:
+        if _latent_length(latent) != t:
+            raise ValueError("components have unequal time-axis lengths")
+    sizes = [len(b) for b in banks]
+    for bank, noise, size in zip(banks, noises, sizes):
+        if noise.shape != (size, t):
+            raise ValueError(
+                f"noise shape {noise.shape} does not match ({size}, {t})"
+            )
+    # Mixing: one batched matmul when the fleet is homogeneous (equal
+    # bank sizes — the application / GPU / rack fleets), else per-bank.
+    stacked_L = [_latent_matrix(latent, t) for latent in latents]
+    if len(set(sizes)) == 1:
+        raw = np.matmul(
+            np.stack([b._mix for b in banks]), np.stack(stacked_L)
+        ).reshape(-1, t)
+    else:
+        raw = np.concatenate(
+            [b._mix @ L for b, L in zip(banks, stacked_L)], axis=0
+        )
+    # One grouped smoothing pass over every (component, sensor) row in
+    # the fleet: each distinct response lag scans once.
+    lags = np.concatenate([b._lags for b in banks])
+    for lag in np.unique(lags):
+        if lag > 1:
+            rows = lags == lag
+            raw[rows] = _smooth_matrix(raw[rows], int(lag))
+    offset = np.concatenate([b._offset for b in banks])
+    gain = np.concatenate([b._gain for b in banks])
+    noise_sd = np.concatenate([b._noise for b in banks])
+    clip = np.concatenate([b._clip for b in banks])
+    out = offset[:, None] + gain[:, None] * raw
+    out += noise_sd[:, None] * np.concatenate(noises, axis=0)
+    np.maximum(out, 0.0, where=clip[:, None], out=out)
+    bounds = np.cumsum([0] + sizes)
+    return [out[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
 
 
 # ----------------------------------------------------------------------

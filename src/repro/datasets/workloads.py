@@ -29,6 +29,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.engine.scan import ema_scan
+
 __all__ = [
     "CHANNELS",
     "WorkloadModel",
@@ -69,15 +71,7 @@ def _smooth(x: np.ndarray, samples: int) -> np.ndarray:
     """Exponential moving average with time constant ``samples``."""
     if samples <= 1:
         return x
-    alpha = 1.0 / samples
-    out = np.empty_like(x)
-    acc = x[0]
-    # scipy.signal.lfilter would do this too; a tiny loop keeps the
-    # dependency surface minimal and t is modest here.
-    for i, v in enumerate(x):
-        acc += alpha * (v - acc)
-        out[i] = acc
-    return out
+    return ema_scan(x, samples)
 
 
 def _init_phase(t: int, length: int) -> np.ndarray:

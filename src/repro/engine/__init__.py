@@ -7,6 +7,9 @@ routes through this package:
   :func:`windowed_view` and prefix-sum reductions (the primitives);
 * :mod:`~repro.engine.batch` — batched sort + smooth kernels with
   leading batch axes (``repro.core.smoothing`` delegates here);
+* :mod:`~repro.engine.scan` — vectorized linear-recurrence scans
+  (chunked first-order affine form, diagonalized 2x2 oscillator) that
+  ``repro.datasets`` generates telemetry through;
 * :mod:`~repro.engine.streaming` — :class:`IncrementalSignatureCore`,
   the O(n)-per-emit core behind the online stream;
 * :mod:`~repro.engine.trainer` — :class:`IncrementalCSTrainer`,
@@ -26,6 +29,11 @@ from repro.engine.batch import (
     sort_rows_batch,
 )
 from repro.engine.fleet import FleetSignatureEngine
+from repro.engine.scan import (
+    damped_oscillation_scan,
+    ema_scan,
+    first_order_affine_scan,
+)
 from repro.engine.streaming import IncrementalSignatureCore
 from repro.engine.trainer import IncrementalCSTrainer
 from repro.engine.windows import (
@@ -44,6 +52,9 @@ __all__ = [
     "IncrementalCSTrainer",
     "IncrementalSignatureCore",
     "WindowPlan",
+    "damped_oscillation_scan",
+    "ema_scan",
+    "first_order_affine_scan",
     "normalize_rows_batch",
     "partition_bounds",
     "prefix_sums",

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import json
 import os
+import struct
+import zipfile
 from pathlib import Path
 
 import numpy as np
+from numpy.lib import format as npformat
 
 from repro.datasets.generators import ComponentData, SegmentData
 from repro.datasets.schema import get_segment_spec
@@ -36,6 +39,7 @@ __all__ = [
     "load_segment",
     "save_segment_npz",
     "load_segment_npz",
+    "load_npz_arrays",
     "atomic_savez",
 ]
 
@@ -216,25 +220,107 @@ def save_segment_npz(segment: SegmentData, path: str | Path) -> Path:
     return path
 
 
-def load_segment_npz(path: str | Path) -> SegmentData:
-    """Load a segment previously written by :func:`save_segment_npz`."""
-    with np.load(Path(path)) as data:
-        manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
-        if manifest.get("format") != _NPZ_FORMAT:
-            raise ValueError(f"unsupported segment format in {path}")
-        components = []
-        for i, entry in enumerate(manifest["components"]):
-            components.append(
-                ComponentData(
-                    name=entry["name"],
-                    matrix=data[f"matrix_{i}"],
-                    sensor_names=tuple(entry["sensors"]),
-                    sensor_groups=tuple(entry["groups"]),
-                    labels=data[f"labels_{i}"] if entry["has_labels"] else None,
-                    target=data[f"target_{i}"] if entry["has_target"] else None,
-                    arch=entry["arch"],
-                )
+def _mapped_member_array(
+    path: Path, f, info: zipfile.ZipInfo, mmap_mode: str
+) -> np.ndarray:
+    """Memory-map one stored (uncompressed) ``.npy`` zip member.
+
+    ``np.savez`` writes ``ZIP_STORED`` members, so each array's bytes
+    sit contiguously in the archive: parse the member's local header to
+    find the data start, read the ``.npy`` header there, and map the
+    payload in place — a cache hit then costs no bulk read or copy.
+    """
+    f.seek(info.header_offset)
+    local = f.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise ValueError(f"{path}: corrupt local header for {info.filename}")
+    name_len, extra_len = struct.unpack("<HH", local[26:30])
+    f.seek(info.header_offset + 30 + name_len + extra_len)
+    version = npformat.read_magic(f)
+    if version == (1, 0):
+        shape, fortran, dtype = npformat.read_array_header_1_0(f)
+    elif version == (2, 0):
+        shape, fortran, dtype = npformat.read_array_header_2_0(f)
+    else:
+        raise ValueError(f"{path}: unsupported .npy version {version}")
+    if dtype.hasobject:
+        raise ValueError(f"{path}: object arrays cannot be memory-mapped")
+    return np.memmap(
+        path,
+        mode=mmap_mode,
+        dtype=dtype,
+        shape=shape,
+        order="F" if fortran else "C",
+        offset=f.tell(),
+    )
+
+
+def load_npz_arrays(
+    path: str | Path, mmap_mode: str | None = None
+) -> dict[str, np.ndarray]:
+    """Load every array of an (uncompressed) ``.npz`` archive.
+
+    With ``mmap_mode`` (``"r"`` / ``"c"``) the stored members are
+    memory-mapped zero-copy straight out of the archive; pages are
+    faulted in only when actually touched.  Compressed or zero-size
+    members fall back to an eager in-memory read.  ``mmap_mode=None``
+    matches ``np.load`` exactly.
+    """
+    path = Path(path)
+    if mmap_mode is None:
+        with np.load(path) as data:
+            return {name: data[name] for name in data.files}
+    if mmap_mode not in ("r", "c"):
+        raise ValueError(f"unsupported mmap_mode {mmap_mode!r}")
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as f:
+        for info in zf.infolist():
+            name = info.filename
+            key = name[:-4] if name.endswith(".npy") else name
+            if info.compress_type != zipfile.ZIP_STORED or info.file_size == 0:
+                with zf.open(info) as member:
+                    arrays[key] = npformat.read_array(
+                        member, allow_pickle=False
+                    )
+                continue
+            try:
+                arrays[key] = _mapped_member_array(path, f, info, mmap_mode)
+            except ValueError:
+                with zf.open(info) as member:
+                    arrays[key] = npformat.read_array(
+                        member, allow_pickle=False
+                    )
+    return arrays
+
+
+def load_segment_npz(
+    path: str | Path, mmap_mode: str | None = None
+) -> SegmentData:
+    """Load a segment previously written by :func:`save_segment_npz`.
+
+    ``mmap_mode="r"`` memory-maps the matrices/labels/targets instead of
+    copying them into fresh arrays (zero-copy cache hits for the
+    artifact cache and ``repro detect`` replay); the arrays are then
+    read-only views backed by the archive file.
+    """
+    path = Path(path)
+    data = load_npz_arrays(path, mmap_mode)
+    manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
+    if manifest.get("format") != _NPZ_FORMAT:
+        raise ValueError(f"unsupported segment format in {path}")
+    components = []
+    for i, entry in enumerate(manifest["components"]):
+        components.append(
+            ComponentData(
+                name=entry["name"],
+                matrix=data[f"matrix_{i}"],
+                sensor_names=tuple(entry["sensors"]),
+                sensor_groups=tuple(entry["groups"]),
+                labels=data[f"labels_{i}"] if entry["has_labels"] else None,
+                target=data[f"target_{i}"] if entry["has_target"] else None,
+                arch=entry["arch"],
             )
+        )
     return SegmentData(
         get_segment_spec(manifest["segment"]),
         components,

@@ -28,6 +28,9 @@ every method).
 from __future__ import annotations
 
 import json
+import logging
+import struct
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -36,12 +39,27 @@ from repro.datasets.generators import SegmentData, WindowedDataset, build_ml_dat
 from repro.datasets.recipes import DatasetRecipe
 from repro.monitoring.storage import (
     atomic_savez,
+    load_npz_arrays,
     load_segment_npz,
     save_segment_npz,
 )
 from repro.scenarios.spec import CACHE_VERSION, content_key
 
 __all__ = ["ArtifactCache", "ExecutionContext", "segment_key", "dataset_key"]
+
+_log = logging.getLogger(__name__)
+
+#: Failure modes of reading a damaged / truncated / foreign cache entry.
+#: A cache is a cache: any of these means "miss and regenerate", never a
+#: traceback (the content-addressed write then repairs the entry).
+_CACHE_READ_ERRORS = (
+    OSError,
+    EOFError,
+    KeyError,
+    ValueError,  # includes json.JSONDecodeError and bad npz headers
+    struct.error,
+    zipfile.BadZipFile,
+)
 
 
 def segment_key(recipe: DatasetRecipe) -> str:
@@ -81,10 +99,24 @@ def dataset_key(
 
 
 class ArtifactCache:
-    """On-disk content-addressed store for segments and signature sets."""
+    """On-disk content-addressed store for segments and signature sets.
 
-    def __init__(self, root: str | Path):
+    ``mmap_mode="r"`` (the default) memory-maps cache hits zero-copy
+    straight out of the ``.npz`` archives; pass ``mmap_mode=None`` for
+    eager in-memory copies (e.g. when a consumer must mutate arrays in
+    place).  Unreadable entries — truncated writes, corrupt archives,
+    foreign files — are treated as misses and regenerated, with a
+    warning naming the damaged path.
+    """
+
+    def __init__(self, root: str | Path, *, mmap_mode: str | None = "r"):
+        if mmap_mode not in (None, "r", "c"):
+            # Fail loudly here: raised lazily inside load_*, a bad mode
+            # would be swallowed by the damaged-entry handling and
+            # misreported as permanent cache corruption.
+            raise ValueError(f"unsupported mmap_mode {mmap_mode!r}")
         self.root = Path(root)
+        self.mmap_mode = mmap_mode
         (self.root / "segments").mkdir(parents=True, exist_ok=True)
         (self.root / "datasets").mkdir(parents=True, exist_ok=True)
 
@@ -94,7 +126,16 @@ class ArtifactCache:
 
     def load_segment(self, key: str) -> SegmentData | None:
         path = self._segment_path(key)
-        return load_segment_npz(path) if path.exists() else None
+        if not path.exists():
+            return None
+        try:
+            return load_segment_npz(path, self.mmap_mode)
+        except _CACHE_READ_ERRORS as exc:
+            _log.warning(
+                "unreadable cached segment %s (%s: %s); regenerating",
+                path, type(exc).__name__, exc,
+            )
+            return None
 
     def save_segment(
         self, key: str, segment: SegmentData, recipe: DatasetRecipe
@@ -113,7 +154,8 @@ class ArtifactCache:
         path = self._dataset_path(key)
         if not path.exists():
             return None
-        with np.load(path) as data:
+        try:
+            data = load_npz_arrays(path, self.mmap_mode)
             meta = json.loads(bytes(data["meta"]).decode("utf-8"))
             return WindowedDataset(
                 X=data["X"],
@@ -124,6 +166,12 @@ class ArtifactCache:
                 generation_time_s=meta["generation_time_s"],
                 signature_size=meta["signature_size"],
             )
+        except _CACHE_READ_ERRORS as exc:
+            _log.warning(
+                "unreadable cached dataset %s (%s: %s); regenerating",
+                path, type(exc).__name__, exc,
+            )
+            return None
 
     def save_dataset(
         self, key: str, dataset: WindowedDataset, provenance: dict

@@ -5,8 +5,11 @@ presorted/batched ML engine over the frozen seed implementation in
 ``BENCH_ml.json``; ``benchmarks/test_scenario_cache.py`` records cold vs
 cached scenario runtimes in ``BENCH_scenarios.json``;
 ``benchmarks/test_service_scaling.py`` records batched vs per-node fleet
-detection in ``BENCH_service.json`` (all run with ``pytest benchmarks -m
-slow``).  These tier-1 tests fail if a recorded speedup has fallen below
+detection in ``BENCH_service.json``; ``benchmarks/test_datagen_scaling.py``
+records the vectorized cold generation path vs the frozen seed
+recurrences in ``BENCH_datagen.json`` (all run with ``pytest benchmarks
+-m slow`` or ``repro bench``).  These tier-1 tests fail if a recorded
+speedup has fallen below
 its floor — i.e. if a change made an "optimized" path slower than what
 it replaced — without costing tier-1 any benchmark runtime.
 """
@@ -20,6 +23,7 @@ ROOT = Path(__file__).resolve().parent.parent
 ML_SUMMARY_JSON = ROOT / "BENCH_ml.json"
 SCENARIO_SUMMARY_JSON = ROOT / "BENCH_scenarios.json"
 SERVICE_SUMMARY_JSON = ROOT / "BENCH_service.json"
+DATAGEN_SUMMARY_JSON = ROOT / "BENCH_datagen.json"
 
 
 def _load_summary(path: Path) -> dict:
@@ -68,6 +72,44 @@ class TestScenarioCacheGuard:
         assert ratios, "BENCH_scenarios.json records no cached/cold ratios"
         slow = {k: v for k, v in ratios.items() if v < 1.0}
         assert not slow, f"artifact cache is a pessimization for: {slow}"
+
+
+class TestDatagenGuard:
+    def test_headline_segment_generation_at_least_2x(self):
+        """Acceptance floor: the vectorized cold generation path is
+        >= 2x the frozen seed recurrences on its best segment (the
+        recorded headline targets >= 5x)."""
+        summary = _load_summary(DATAGEN_SUMMARY_JSON)
+        assert "segment_generation_speedup" in summary, (
+            "BENCH_datagen.json is missing the "
+            "segment_generation_speedup headline"
+        )
+        assert summary["segment_generation_speedup"] >= 2.0, (
+            f"vectorized segment generation only "
+            f"{summary['segment_generation_speedup']}x the seed path "
+            "(floor: 2x)"
+        )
+
+    def test_cold_scenario_generation_at_least_2x(self):
+        """Acceptance floor: generating a whole registered scenario's
+        recipe set cold is >= 2x faster than the seed path."""
+        summary = _load_summary(DATAGEN_SUMMARY_JSON)
+        assert summary.get("cold_scenario_speedup", 0.0) >= 2.0, (
+            f"cold scenario generation only "
+            f"{summary.get('cold_scenario_speedup')}x the seed path "
+            "(floor: 2x)"
+        )
+
+    def test_no_datagen_speedup_below_one(self):
+        summary = _load_summary(DATAGEN_SUMMARY_JSON)
+        speedups = {
+            k: v for k, v in summary.items() if k.endswith("_speedup")
+        }
+        assert speedups, "BENCH_datagen.json records no speedups"
+        slow = {k: v for k, v in speedups.items() if v < 1.0}
+        assert not slow, (
+            f"vectorized generation slower than the seed path: {slow}"
+        )
 
 
 class TestServiceGuard:

@@ -1,0 +1,106 @@
+"""ArtifactCache resilience: damaged entries regenerate, never traceback.
+
+A cache is disposable state — a truncated write (power loss, full disk,
+a killed CI job) or any other corruption must behave exactly like a
+cache miss: log a warning, rebuild the artifact, repair the entry on
+disk, and produce results identical to a run that never had a cache.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.datasets.recipes import recipe
+from repro.scenarios.cache import (
+    ArtifactCache,
+    ExecutionContext,
+    dataset_key,
+    segment_key,
+)
+
+RECIPE = recipe("application", t=700, nodes=2)
+
+
+def _segments_equal(a, b) -> bool:
+    return all(
+        np.array_equal(ca.matrix, cb.matrix)
+        and np.array_equal(ca.labels, cb.labels)
+        for ca, cb in zip(a.components, b.components)
+    )
+
+
+def _truncate(path, keep: float = 0.5) -> None:
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep)])
+
+
+class TestCorruptSegmentEntries:
+    @pytest.mark.parametrize("keep", [0.0, 0.3, 0.9])
+    def test_truncated_entry_regenerates_identically(self, tmp_path, keep, caplog):
+        store = ArtifactCache(tmp_path)
+        pristine = ExecutionContext(store).segment(RECIPE)
+        key = segment_key(RECIPE)
+        path = store._segment_path(key)
+        _truncate(path, keep)
+
+        context = ExecutionContext(store)
+        with caplog.at_level(logging.WARNING, "repro.scenarios.cache"):
+            recovered = context.segment(RECIPE)
+        assert context.stats["segment_misses"] == 1
+        assert context.stats["segment_hits"] == 0
+        assert _segments_equal(pristine, recovered)
+        assert any("regenerating" in r.message for r in caplog.records)
+        # The damaged entry was repaired in place: next run hits again.
+        after = ExecutionContext(store)
+        assert _segments_equal(pristine, after.segment(RECIPE))
+        assert after.stats["segment_hits"] == 1
+
+    def test_garbage_entry_regenerates(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        ExecutionContext(store).segment(RECIPE)
+        store._segment_path(segment_key(RECIPE)).write_bytes(b"not a zip")
+        context = ExecutionContext(store)
+        segment = context.segment(RECIPE)
+        assert context.stats["segment_misses"] == 1
+        assert segment.components[0].matrix.shape[1] == 700
+
+
+class TestCorruptDatasetEntries:
+    def test_truncated_dataset_regenerates_identically(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        pristine = ExecutionContext(store).dataset(RECIPE, "cs-5")
+        path = store._dataset_path(dataset_key(RECIPE, "cs-5"))
+        _truncate(path)
+
+        context = ExecutionContext(store)
+        recovered = context.dataset(RECIPE, "cs-5")
+        assert context.stats["dataset_misses"] == 1
+        assert np.array_equal(pristine.X, recovered.X)
+        assert np.array_equal(pristine.y, recovered.y)
+        # Repaired on disk: a fresh context now loads it as a hit.
+        after = ExecutionContext(store)
+        reloaded = after.dataset(RECIPE, "cs-5")
+        assert after.stats["dataset_hits"] == 1
+        assert np.array_equal(pristine.X, reloaded.X)
+
+
+class TestMmapModePlumbing:
+    def test_default_cache_reads_are_memory_mapped(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        ExecutionContext(store).segment(RECIPE)
+        hit = ExecutionContext(store).segment(RECIPE)
+        assert isinstance(hit.components[0].matrix, np.memmap)
+
+    def test_eager_mode_returns_plain_arrays(self, tmp_path):
+        store = ArtifactCache(tmp_path, mmap_mode=None)
+        ExecutionContext(store).segment(RECIPE)
+        hit = ExecutionContext(store).segment(RECIPE)
+        assert not isinstance(hit.components[0].matrix, np.memmap)
+
+
+def test_invalid_mmap_mode_rejected_at_construction(tmp_path):
+    """A typo'd mode must fail loudly, not masquerade as permanent
+    cache corruption via the damaged-entry fallback."""
+    with pytest.raises(ValueError, match="mmap_mode"):
+        ArtifactCache(tmp_path, mmap_mode="r+")

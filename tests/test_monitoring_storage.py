@@ -125,6 +125,56 @@ class TestSegmentNPZFormat:
             load_segment_npz(path)
 
 
+class TestSegmentNPZMmap:
+    """Zero-copy ``mmap_mode`` reads of the binary segment format."""
+
+    def test_mmap_round_trip_bit_exact(self, tmp_path):
+        segment = _tiny_segment(with_labels=True, with_target=True)
+        path = save_segment_npz(segment, tmp_path / "seg.npz")
+        loaded = load_segment_npz(path, mmap_mode="r")
+        for orig, back in zip(segment.components, loaded.components):
+            assert np.array_equal(back.matrix, orig.matrix)
+            assert np.array_equal(back.labels, orig.labels)
+            assert np.array_equal(back.target, orig.target)
+            assert back.sensor_names == orig.sensor_names
+
+    def test_mmap_arrays_are_file_backed_and_read_only(self, tmp_path):
+        segment = _tiny_segment()
+        path = save_segment_npz(segment, tmp_path / "seg.npz")
+        loaded = load_segment_npz(path, mmap_mode="r")
+        matrix = loaded.components[0].matrix
+        assert isinstance(matrix, np.memmap)
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+
+    def test_mmap_copy_on_write_is_mutable(self, tmp_path):
+        segment = _tiny_segment()
+        path = save_segment_npz(segment, tmp_path / "seg.npz")
+        loaded = load_segment_npz(path, mmap_mode="c")
+        loaded.components[0].matrix[0, 0] = 123.0
+        assert loaded.components[0].matrix[0, 0] == 123.0
+        # ... without touching the file.
+        again = load_segment_npz(path, mmap_mode="r")
+        assert again.components[0].matrix[0, 0] != 123.0
+
+    def test_rejects_unknown_mmap_mode(self, tmp_path):
+        segment = _tiny_segment()
+        path = save_segment_npz(segment, tmp_path / "seg.npz")
+        with pytest.raises(ValueError, match="mmap_mode"):
+            load_segment_npz(path, mmap_mode="r+")
+
+    def test_compressed_archive_falls_back_to_eager_read(self, tmp_path):
+        """Compressed members cannot map; the loader still returns them."""
+        segment = _tiny_segment(with_labels=True)
+        eager = save_segment_npz(segment, tmp_path / "eager.npz")
+        arrays = dict(np.load(eager))
+        compressed = tmp_path / "compressed.npz"
+        np.savez_compressed(compressed, **arrays)
+        loaded = load_segment_npz(compressed, mmap_mode="r")
+        for orig, back in zip(segment.components, loaded.components):
+            assert np.array_equal(back.matrix, orig.matrix)
+
+
 class TestCacheKeyStability:
     """Content keys must be stable across processes (no hash seeds)."""
 
