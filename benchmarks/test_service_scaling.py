@@ -38,9 +38,15 @@ CSV_HEADERS = (
 )
 
 FLEET_SIZES = (2, 4, 8)
+#: Large fleets compare fused vs staged backends (the naive per-node
+#: loop would take minutes at this scale and proves nothing new).
+LARGE_FLEET_SIZES = (64, 256)
 TREES = 20
 BLOCKS = 20
 CHUNK = 256
+#: Serving cadence for the large-fleet comparison: one window step per
+#: tick, the configuration an online deployment actually runs at.
+SERVE_CHUNK = 10
 
 _rows: list[tuple] = []
 _summary: dict[str, float] = {}
@@ -91,10 +97,47 @@ def test_batched_detection_beats_per_node_loop(nodes):
     )
 
 
+@pytest.mark.parametrize("nodes", LARGE_FLEET_SIZES)
+def test_fused_backend_scales_to_large_fleets(nodes):
+    """64- and 256-node fleets: fused arena vs staged pipeline.
+
+    Runs at serving cadence with interleaved repetitions (machine drift
+    hits both backends equally); exact-mode events must stay identical.
+    """
+    t = 1500 if nodes <= 64 else 900
+    setup = prepare_fleet(
+        fleet_recipes(nodes, t=int(t * SCALE)),
+        blocks=BLOCKS,
+        trees=TREES,
+        seed=0,
+    )
+    best: dict[str, float] = {}
+    events: dict[str, list] = {}
+    for _ in range(2):
+        for backend in ("staged", "fused"):
+            out = replay(setup, chunk=SERVE_CHUNK, backend=backend)
+            events[backend] = out.events
+            if backend not in best or out.replay_time_s < best[backend]:
+                best[backend] = out.replay_time_s
+    assert events["fused"] == events["staged"], (
+        f"{nodes}-node fleet: fused backend diverged from staged events"
+    )
+    assert len(events["staged"]) > 0
+    speedup = best["staged"] / best["fused"]
+    _summary[f"fleet{nodes}_staged_s"] = round(best["staged"], 4)
+    _summary[f"fleet{nodes}_fused_s"] = round(best["fused"], 4)
+    _summary[f"fleet{nodes}_fused_speedup"] = round(speedup, 2)
+    assert speedup > 1.0, (
+        f"{nodes}-node fleet: fused backend slower than staged "
+        f"({speedup:.2f}x)"
+    )
+
+
 def test_zz_write_summary():
     """Persist the results (named so it runs after the benchmarks)."""
-    assert _rows, "benchmarks did not run"
-    merge_csv(RESULTS_CSV, CSV_HEADERS, _rows, n_key_cols=1)
+    assert _summary, "benchmarks did not run"
+    if _rows:
+        merge_csv(RESULTS_CSV, CSV_HEADERS, _rows, n_key_cols=1)
     largest_key = f"fleet{FLEET_SIZES[-1]}_detect_speedup"
     if largest_key not in _summary:
         pytest.skip(

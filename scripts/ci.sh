@@ -30,6 +30,15 @@ if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     python -m repro bench
 fi
 
+echo "== service smoke: fused backend must match staged to the byte =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+python -m repro detect --smoke --cache-dir "$SMOKE_DIR/cache" \
+    --alerts "$SMOKE_DIR/staged.jsonl"
+python -m repro detect --smoke --cache-dir "$SMOKE_DIR/cache" \
+    --backend fused --alerts "$SMOKE_DIR/fused.jsonl"
+cmp "$SMOKE_DIR/staged.jsonl" "$SMOKE_DIR/fused.jsonl"
+
 # Lint runs when ruff is available; the lint job in GitHub Actions is
 # authoritative.  Installing ruff needs network access, so offline
 # containers simply skip this step.

@@ -225,6 +225,25 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
         help="ingestion shards (thread pool); never changes results",
     )
     parser.add_argument(
+        "--backend", choices=("staged", "fused"), default="staged",
+        help="tick-path backend: 'staged' (default) or 'fused' "
+        "(preallocated zero-allocation arena; exact mode is "
+        "byte-identical to staged)",
+    )
+    parser.add_argument(
+        "--mode", choices=("exact", "float32", "quantized"),
+        default="exact",
+        help="fused signature arithmetic (default exact = float64, "
+        "bit-identical; float32/quantized trade accuracy for "
+        "throughput/memory and require --backend fused)",
+    )
+    parser.add_argument(
+        "--model", default=None,
+        help="fleet model .npz: loaded if present (skips retraining, "
+        "validated against this run's geometry), written after "
+        "training otherwise",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help="content-addressed artifact cache; re-runs replay the "
         "cached .npz segments instead of regenerating",
@@ -267,6 +286,7 @@ def _build_service_setup(args: argparse.Namespace):
         train_frac=float(params["train_frac"]),
         seed=int(params["seed"]),
         healthy_label=int(params["healthy_label"]),
+        model_path=args.model,
     )
     return setup, params, context
 
@@ -298,6 +318,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         top_blocks=int(params["top_blocks"]),
         shards=args.shards,
         sinks=sinks,
+        backend=args.backend,
+        mode=args.mode,
     )
     row = outcome.row(f"{args.segment}-fleet-{setup.n_nodes}")
     _status(
@@ -343,6 +365,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sinks=[StreamAlertSink(sys.stdout)],
         interval=float(args.interval),
         record_history=False,
+        backend=args.backend,
+        mode=args.mode,
     )
     # outcome.events is empty in serving mode (nothing is retained);
     # the counts are always populated.  n_events = opens + closes.
@@ -365,6 +389,7 @@ BENCH_SUITES: dict[str, str] = {
     "scenarios": "test_scenario_cache.py",
     "service": "test_service_scaling.py",
     "datagen": "test_datagen_scaling.py",
+    "tick": "test_tick_hotpath.py",
 }
 
 

@@ -12,6 +12,9 @@ routes through this package:
   ``repro.datasets`` generates telemetry through;
 * :mod:`~repro.engine.streaming` — :class:`IncrementalSignatureCore`,
   the O(n)-per-emit core behind the online stream;
+* :mod:`~repro.engine.hotpath` — :class:`TickArena`, the fused
+  zero-allocation fleet tick path (absorb → signature → forest votes in
+  preallocated arenas, with exact/float32/quantized signature modes);
 * :mod:`~repro.engine.trainer` — :class:`IncrementalCSTrainer`,
   streaming min-max + Welford co-moment training for drift retraining;
 * :mod:`~repro.engine.fleet` — :class:`FleetSignatureEngine`, per-node
@@ -29,6 +32,7 @@ from repro.engine.batch import (
     sort_rows_batch,
 )
 from repro.engine.fleet import FleetSignatureEngine
+from repro.engine.hotpath import SIGNATURE_MODES, TickArena
 from repro.engine.scan import (
     damped_oscillation_scan,
     ema_scan,
@@ -51,6 +55,8 @@ __all__ = [
     "FleetSignatureEngine",
     "IncrementalCSTrainer",
     "IncrementalSignatureCore",
+    "SIGNATURE_MODES",
+    "TickArena",
     "WindowPlan",
     "damped_oscillation_scan",
     "ema_scan",

@@ -36,7 +36,13 @@ import numpy as np
 from repro.core.model import CSModel
 from repro.engine.windows import WindowPlan, partition_bounds, segment_means
 
-__all__ = ["IncrementalSignatureCore"]
+__all__ = ["REANCHOR_INTERVAL", "IncrementalSignatureCore"]
+
+#: Samples between re-anchorings of running cumulative sums, shared by
+#: this core and the fused arena backend (`repro.engine.hotpath`) so the
+#: two paths re-anchor — and therefore diverge from an offline cumsum —
+#: at the exact same tick.
+REANCHOR_INTERVAL = 1 << 22
 
 
 class IncrementalSignatureCore:
@@ -99,6 +105,21 @@ class IncrementalSignatureCore:
         """Total samples absorbed so far."""
         return self._count
 
+    @property
+    def state_nbytes(self) -> int:
+        """Bytes of retained streaming state (ring, sums, snapshots,
+        model rows) — the staged path's memory-per-node, compared
+        against ``TickArena.memory_report()`` by the tick benchmark."""
+        return (
+            self._ring.nbytes
+            + self._csum.nbytes
+            + sum(snap.nbytes for _, snap in self._pending)
+            + self._perm.nbytes
+            + self._lower.nbytes
+            + self._span.nbytes
+            + self._degenerate.nbytes
+        )
+
     def _normalize(self, cols: np.ndarray) -> np.ndarray:
         """Sort + min-max normalize raw columns (original row order)."""
         out = np.asarray(cols, dtype=np.float64)[self._perm] - self._lower[:, None]
@@ -148,7 +169,7 @@ class IncrementalSignatureCore:
     #: Signatures are bit-identical to the offline batched path up to the
     #: first re-anchor; afterwards accuracy is prioritized over bit parity
     #: with an offline cumsum over the entire (by then huge) history.
-    _REANCHOR_INTERVAL = 1 << 22
+    _REANCHOR_INTERVAL = REANCHOR_INTERVAL
 
     def _reanchor(self) -> None:
         base = self._csum.copy()

@@ -227,6 +227,60 @@ class RandomForestClassifier(_BaseForest):
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)], proba
 
+    # -- flat-array persistence ----------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat-array snapshot of the fitted forest.
+
+        Every tree contributes its five node arrays plus its own class
+        set (bootstrap trees may miss rare classes); the dict round-trips
+        through ``np.savez`` and :meth:`from_arrays` to a forest whose
+        predictions are bit-identical to the original.
+        """
+        self._require_fit()
+        arrays: dict[str, np.ndarray] = {
+            "classes": self.classes_,
+            "n_trees": np.array([len(self.estimators_)], dtype=np.int64),
+        }
+        for i, tree in enumerate(self.estimators_):
+            arrays[f"tree{i}_feature"] = tree._feature
+            arrays[f"tree{i}_threshold"] = tree._threshold
+            arrays[f"tree{i}_left"] = tree._left
+            arrays[f"tree{i}_right"] = tree._right
+            arrays[f"tree{i}_values"] = tree._values
+            arrays[f"tree{i}_classes"] = tree.classes_
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "RandomForestClassifier":
+        """Rebuild a fitted forest from a :meth:`to_arrays` snapshot.
+
+        ``arrays`` may be any mapping of name -> array (e.g. a loaded
+        npz); node arrays are copied out so the rebuilt forest holds no
+        references into a memory-mapped file.
+        """
+        n_trees = int(np.asarray(arrays["n_trees"])[0])
+        forest = cls(n_estimators=n_trees)
+        forest.classes_ = np.array(arrays["classes"])
+        forest._class_index = {c: i for i, c in enumerate(forest.classes_)}
+        trees = []
+        for i in range(n_trees):
+            tree = DecisionTreeClassifier()
+            tree.classes_ = np.array(arrays[f"tree{i}_classes"])
+            tree._feature = np.array(arrays[f"tree{i}_feature"], dtype=np.intp)
+            tree._threshold = np.array(
+                arrays[f"tree{i}_threshold"], dtype=np.float64
+            )
+            tree._left = np.array(arrays[f"tree{i}_left"], dtype=np.intp)
+            tree._right = np.array(arrays[f"tree{i}_right"], dtype=np.intp)
+            tree._values = np.array(arrays[f"tree{i}_values"], dtype=np.float64)
+            tree._fitted = True
+            trees.append(tree)
+        forest.estimators_ = trees
+        forest._stack = _ForestStack(
+            trees, [forest._tree_values(t) for t in trees]
+        )
+        return forest
+
 
 class RandomForestRegressor(_BaseForest):
     """Bootstrap-aggregated variance-reduction CART regressor.

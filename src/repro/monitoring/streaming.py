@@ -103,6 +103,12 @@ class OnlineSignatureStream:
         """Samples absorbed so far."""
         return self._core.count
 
+    @property
+    def state_nbytes(self) -> int:
+        """Retained bytes of the incremental core (memory-per-node of
+        the staged serving path)."""
+        return self._core.state_nbytes
+
     def push(self, sample: np.ndarray) -> np.ndarray | None:
         """Feed one sample vector; return a signature when one is due.
 

@@ -330,6 +330,32 @@ FLEET_DETECT = register(ScenarioSpec(
     }),
 ))
 
+FLEET_DETECT_FUSED = register(ScenarioSpec(
+    name="fleet-detect-fused",
+    kind="fleet-detect",
+    title="Online fleet fault detection — fused zero-allocation tick path",
+    description="The fleet-detect replay through the fused TickArena "
+    "backend (exact float64 mode): alert stream and scores are "
+    "bit-identical to the staged path, only the tick cost changes",
+    datasets=_fault_fleet(4, t=6000),
+    evaluation=pairs({
+        "blocks": 20,
+        "trees": 30,
+        "train_frac": 0.5,
+        "chunk": 256,
+        "open_after": 2,
+        "close_after": 2,
+        "seed": 0,
+        "backend": "fused",
+    }),
+    tags=("extra", "service", "fleet", "perf"),
+    smoke=pairs({
+        "datasets": _SMOKE_FLEET,
+        "evaluation": {"blocks": 8, "trees": 6, "chunk": 200,
+                       "backend": "fused"},
+    }),
+))
+
 FLEET_DETECT_SCALE = register(ScenarioSpec(
     name="fleet-detect-scale",
     kind="fleet-detect",

@@ -496,7 +496,9 @@ def _run_fleet_detect(
     fleet; ``fleet_sizes`` (optional) replays growing recipe prefixes so
     a single scenario sweeps fleet scale.  Rows report the alert
     stream's quality against the injected ground truth plus replay
-    throughput.
+    throughput.  ``backend``/``mode`` select the detector's tick path
+    (staged, or the fused arena with exact/float32/quantized signature
+    arithmetic — see :class:`repro.service.detector.FleetFaultDetector`).
     """
     from repro.service.replay import SERVICE_DEFAULTS, prepare_fleet, replay
 
@@ -515,6 +517,8 @@ def _run_fleet_detect(
     top_blocks = int(param("top_blocks"))
     seed = int(param("seed"))
     healthy_label = int(param("healthy_label"))
+    backend = str(ev.get("backend", "staged"))
+    mode = str(ev.get("mode", "exact"))
     sizes = tuple(ev.get("fleet_sizes", ())) or (len(spec.datasets),)
     rows = []
     outcomes = []
@@ -540,6 +544,8 @@ def _run_fleet_detect(
             close_after=close_after,
             min_confidence=min_confidence,
             top_blocks=top_blocks,
+            backend=backend,
+            mode=mode,
         )
         outcomes.append(outcome)
         rows.append(

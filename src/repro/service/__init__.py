@@ -38,8 +38,9 @@ from repro.service.alerts import (
     StreamAlertSink,
 )
 from repro.service.classify import FleetClassifier, TrainedFleet, train_fleet
-from repro.service.detector import FleetFaultDetector, detect_naive
+from repro.service.detector import BACKENDS, FleetFaultDetector, detect_naive
 from repro.service.ingest import FleetIngest
+from repro.service.model_store import load_fleet_npz, save_fleet_npz
 from repro.service.replay import (
     FleetReplaySetup,
     ReplayOutcome,
@@ -53,6 +54,7 @@ __all__ = [
     "Alert",
     "AlertPolicy",
     "AlertSink",
+    "BACKENDS",
     "FleetClassifier",
     "FleetFaultDetector",
     "FleetIngest",
@@ -64,8 +66,10 @@ __all__ = [
     "TrainedFleet",
     "detect_naive",
     "fleet_recipes",
+    "load_fleet_npz",
     "node_path",
     "prepare_fleet",
     "replay",
+    "save_fleet_npz",
     "train_fleet",
 ]

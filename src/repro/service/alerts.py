@@ -115,6 +115,21 @@ class AlertPolicy:
         self._streak: list[tuple[int, float]] = []
         self._healthy_streak = 0
 
+    def skip_healthy(self, k: int) -> None:
+        """Fast-forward ``k`` consecutive healthy windows, no alert open.
+
+        State-identical to ``k`` :meth:`update` calls whose windows are
+        all healthy while :attr:`alert` is ``None`` (each such call only
+        bumps the healthy streak and clears the faulty one, and can
+        neither open nor close anything).  The batched tick path uses
+        this to skip per-window Python on quiet nodes.
+        """
+        if self.alert is not None:
+            raise ValueError("skip_healthy requires no open alert")
+        if k > 0:
+            self._healthy_streak += k
+            self._streak.clear()
+
     def update(
         self, window: int, label: int, confidence: float
     ) -> list[tuple[str, Alert]]:

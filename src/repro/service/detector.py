@@ -24,11 +24,17 @@ import numpy as np
 
 from repro.analysis.rootcause import explain_difference, findings_payload
 from repro.core.pipeline import signature_features
+from repro.engine.hotpath import SIGNATURE_MODES, TickArena
 from repro.service.alerts import Alert, AlertPolicy
 from repro.service.classify import TrainedFleet
 from repro.service.ingest import FleetIngest
 
 __all__ = ["FleetFaultDetector", "detect_naive"]
+
+#: Tick-path backends: ``staged`` is the original multi-stage pipeline
+#: (ingest → features → forest), ``fused`` runs the whole tick inside a
+#: preallocated :class:`~repro.engine.hotpath.TickArena`.
+BACKENDS = ("staged", "fused")
 
 
 def _alert_event(
@@ -89,6 +95,19 @@ class FleetFaultDetector:
         prediction is kept on :attr:`history` and closed alerts on each
         policy's ``history``.  Long-running serving loops pass ``False``
         so memory stays bounded regardless of uptime.
+    backend:
+        ``"staged"`` (default) runs the original ingest → features →
+        forest pipeline; ``"fused"`` runs every tick inside a
+        preallocated :class:`~repro.engine.hotpath.TickArena` (zero
+        steady-state numpy allocations).  Exact-mode fused output is
+        bit-identical to staged.
+    mode:
+        Fused signature arithmetic: ``"exact"`` (float64, default),
+        ``"float32"``, or ``"quantized"`` (uint8-binned features).
+        Only ``"exact"`` is valid with the staged backend.
+    max_chunk:
+        Largest per-tick burst the fused arena sizes its scratch for
+        (bigger bursts are processed in slices; never changes results).
     """
 
     def __init__(
@@ -101,9 +120,36 @@ class FleetFaultDetector:
         top_blocks: int = 3,
         shards: int | None = None,
         record_history: bool = True,
+        backend: str = "staged",
+        mode: str = "exact",
+        max_chunk: int = 256,
     ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if mode not in SIGNATURE_MODES:
+            raise ValueError(
+                f"unknown signature mode {mode!r}; expected one of {SIGNATURE_MODES}"
+            )
+        if backend == "staged" and mode != "exact":
+            raise ValueError(
+                "float32/quantized signature modes require backend='fused'"
+            )
         self.trained = trained
-        self.ingest = FleetIngest(trained.engine, shards=shards)
+        self.backend = backend
+        self.mode = mode
+        if backend == "fused":
+            self.ingest = None
+            self.arena = TickArena(
+                trained.engine,
+                trained.classifier.forest,
+                mode=mode,
+                max_chunk=max_chunk,
+            )
+            self._paths = list(self.arena.paths)
+        else:
+            self.ingest = FleetIngest(trained.engine, shards=shards)
+            self.arena = None
+            self._paths = list(self.ingest.paths)
         self.top_blocks = int(top_blocks)
         self.record_history = bool(record_history)
         self._policies = {
@@ -114,19 +160,25 @@ class FleetFaultDetector:
                 min_confidence=min_confidence,
                 keep_history=self.record_history,
             )
-            for p in self.ingest.paths
+            for p in self._paths
         }
-        self._windows = {p: 0 for p in self.ingest.paths}
+        self._windows = {p: 0 for p in self._paths}
         #: Per-node prediction history: path -> (label ids, confidences).
         #: Empty when ``record_history`` is false.
         self.history: dict[str, tuple[list[int], list[float]]] = {
-            p: ([], []) for p in self.ingest.paths
+            p: ([], []) for p in self._paths
         }
 
     # ------------------------------------------------------------------
     @property
     def paths(self) -> list[str]:
-        return self.ingest.paths
+        return self._paths
+
+    def memory_report(self) -> dict:
+        """Bytes retained per node by the tick path (fused backend only)."""
+        if self.arena is None:
+            raise ValueError("memory_report() requires backend='fused'")
+        return self.arena.memory_report()
 
     def policy(self, path: str) -> AlertPolicy:
         return self._policies[path]
@@ -144,6 +196,57 @@ class FleetFaultDetector:
         }
 
     # ------------------------------------------------------------------
+    def _advance(self, path, labels, confidence, sig_at, events):
+        """Advance one node's alert policy over its tick's predictions.
+
+        ``sig_at(j)`` lazily materializes the j-th emitted signature —
+        only opening alerts need one (for root-cause attribution), so
+        the fused backend pays nothing for it on quiet ticks.  Both
+        backends funnel through here, which is what makes their alert
+        streams structurally identical.
+        """
+        history_l, history_c = self.history[path]
+        policy = self._policies[path]
+        k = len(labels)
+        # Fast path: no open alert and an all-healthy burst — the policy
+        # outcome is fully determined (no events, streaks reset), so the
+        # per-window Python loop is skipped.  Most ticks of most nodes
+        # land here; faulty episodes take the exact per-window path.
+        if k and policy.alert is None:
+            faulty = np.not_equal(labels, policy.healthy_label)
+            if policy.min_confidence > 0.0:
+                faulty &= np.greater_equal(
+                    confidence, policy.min_confidence
+                )
+            if not faulty.any():
+                policy.skip_healthy(k)
+                self._windows[path] += k
+                if self.record_history:
+                    history_l.extend(np.asarray(labels).tolist())
+                    history_c.extend(np.asarray(confidence).tolist())
+                return
+        for j in range(len(labels)):
+            window = self._windows[path]
+            self._windows[path] = window + 1
+            label = int(labels[j])
+            conf = float(confidence[j])
+            if self.record_history:
+                history_l.append(label)
+                history_c.append(conf)
+            for kind, alert in policy.update(window, label, conf):
+                events.append(
+                    _alert_event(
+                        self.trained,
+                        kind,
+                        path,
+                        alert,
+                        window,
+                        conf,
+                        sig_at(j),
+                        self.top_blocks,
+                    )
+                )
+
     def process_block(self, data: Mapping[str, np.ndarray]) -> list[dict]:
         """Ingest one burst per node; return the alert events it caused.
 
@@ -152,40 +255,35 @@ class FleetFaultDetector:
         forest pass, and the per-node alert policies advance window by
         window.  Events are ordered by (sorted node path, window).
         """
+        events: list[dict] = []
+        if self.arena is not None:
+            for path, labels, confidence, row0 in self.arena.tick(data):
+                self._advance(
+                    path,
+                    labels,
+                    confidence,
+                    lambda j, r0=row0: self.arena.signature(r0 + j),
+                    events,
+                )
+            return events
         signatures = self.ingest.push_blocks(data)
         order = [p for p in sorted(signatures) if signatures[p].shape[0]]
         if not order:
             return []
         stacked = np.concatenate([signatures[p] for p in order], axis=0)
         labels, confidence = self.trained.classifier.classify(stacked)
-        events: list[dict] = []
         pos = 0
         for path in order:
             sigs = signatures[path]
-            history_l, history_c = self.history[path]
-            policy = self._policies[path]
-            for j in range(sigs.shape[0]):
-                window = self._windows[path]
-                self._windows[path] = window + 1
-                label = int(labels[pos + j])
-                conf = float(confidence[pos + j])
-                if self.record_history:
-                    history_l.append(label)
-                    history_c.append(conf)
-                for kind, alert in policy.update(window, label, conf):
-                    events.append(
-                        _alert_event(
-                            self.trained,
-                            kind,
-                            path,
-                            alert,
-                            window,
-                            conf,
-                            sigs[j],
-                            self.top_blocks,
-                        )
-                    )
-            pos += sigs.shape[0]
+            k = sigs.shape[0]
+            self._advance(
+                path,
+                labels[pos : pos + k],
+                confidence[pos : pos + k],
+                lambda j, s=sigs: s[j],
+                events,
+            )
+            pos += k
         return events
 
 

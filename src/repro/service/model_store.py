@@ -1,0 +1,154 @@
+"""Versioned npz persistence for trained fleets.
+
+``repro serve`` / ``repro detect`` used to retrain the whole fleet on
+every invocation — CS models per node plus the shared random forest —
+even though training is a pure function of the recipes and knobs.
+:func:`save_fleet_npz` snapshots a :class:`~repro.service.classify.
+TrainedFleet` into one atomic ``.npz`` archive (same temp-file + rename
+discipline and manifest-as-uint8 convention as the segment cache in
+:mod:`repro.monitoring.storage`), and :func:`load_fleet_npz` rebuilds a
+fleet whose detection output is **bit-identical** to the freshly trained
+original: CS models round-trip as raw float64/intp arrays and the forest
+through :meth:`repro.ml.forest.RandomForestClassifier.to_arrays`.
+
+The manifest records the geometry knobs (``blocks``/``wl``/``ws``) so a
+loaded model can be validated against the run that wants to use it —
+silently classifying with mismatched window geometry would produce
+garbage alerts, so :func:`load_fleet_npz` raises instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import CSModel
+from repro.engine.fleet import FleetSignatureEngine
+from repro.ml.forest import RandomForestClassifier
+from repro.monitoring.storage import atomic_savez, load_npz_arrays
+from repro.service.classify import FleetClassifier, TrainedFleet
+
+__all__ = ["FLEET_MODEL_FORMAT", "save_fleet_npz", "load_fleet_npz"]
+
+FLEET_MODEL_FORMAT = "repro-fleet-model/v1"
+
+
+def save_fleet_npz(trained: TrainedFleet, path: str | Path) -> Path:
+    """Persist a trained fleet as one atomic ``.npz`` archive.
+
+    Stores per-node CS models (permutation + bounds + healthy reference
+    signature), the shared forest's flat node arrays, and a JSON
+    manifest with the fleet geometry and label metadata.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    engine = trained.engine
+    paths = engine.paths
+    arrays: dict[str, np.ndarray] = {}
+    sensor_names: list[list[str] | None] = []
+    for i, node in enumerate(paths):
+        model = engine.model(node)
+        arrays[f"node{i}_perm"] = model.permutation
+        arrays[f"node{i}_lower"] = model.lower
+        arrays[f"node{i}_upper"] = model.upper
+        arrays[f"node{i}_reference"] = trained.references[node]
+        sensor_names.append(
+            list(model.sensor_names) if model.sensor_names is not None else None
+        )
+    for name, arr in trained.classifier.forest.to_arrays().items():
+        arrays[f"forest_{name}"] = arr
+    manifest = {
+        "format": FLEET_MODEL_FORMAT,
+        "blocks": "all" if engine.blocks is None else int(engine.blocks),
+        "wl": int(engine.wl),
+        "ws": int(engine.ws),
+        "paths": list(paths),
+        "sensor_names": sensor_names,
+        "label_names": list(trained.label_names),
+        "healthy_label": int(trained.healthy_label),
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    atomic_savez(path, **arrays)
+    return path
+
+
+def load_fleet_npz(
+    path: str | Path,
+    *,
+    expect_blocks: int | str | None = None,
+    expect_wl: int | None = None,
+    expect_ws: int | None = None,
+    expect_paths: list[str] | None = None,
+) -> TrainedFleet:
+    """Rebuild a :class:`TrainedFleet` saved by :func:`save_fleet_npz`.
+
+    The optional ``expect_*`` arguments validate the archive against the
+    run's own knobs; any mismatch raises ``ValueError`` with the stored
+    vs expected values, which is how ``repro detect --model`` refuses to
+    replay a fleet trained under different geometry.
+    """
+    path = Path(path)
+    data = load_npz_arrays(path, mmap_mode="r")
+    if "manifest" not in data:
+        raise ValueError(f"{path}: not a fleet model archive (no manifest)")
+    manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
+    if manifest.get("format") != FLEET_MODEL_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported fleet model format {manifest.get('format')!r}"
+        )
+    blocks = manifest["blocks"]
+    if expect_blocks is not None and blocks != (
+        "all" if expect_blocks == "all" else int(expect_blocks)
+    ):
+        raise ValueError(
+            f"{path}: model trained with blocks={blocks!r}, run wants "
+            f"blocks={expect_blocks!r}"
+        )
+    for knob, expect in (("wl", expect_wl), ("ws", expect_ws)):
+        if expect is not None and int(manifest[knob]) != int(expect):
+            raise ValueError(
+                f"{path}: model trained with {knob}={manifest[knob]}, run "
+                f"wants {knob}={expect}"
+            )
+    paths = list(manifest["paths"])
+    if expect_paths is not None and sorted(paths) != sorted(expect_paths):
+        raise ValueError(
+            f"{path}: model covers {len(paths)} nodes "
+            f"{sorted(paths)[:4]}..., run wants {len(expect_paths)} nodes "
+            f"{sorted(expect_paths)[:4]}..."
+        )
+    engine = FleetSignatureEngine(
+        blocks, wl=int(manifest["wl"]), ws=int(manifest["ws"])
+    )
+    references: dict[str, np.ndarray] = {}
+    for i, node in enumerate(paths):
+        names = manifest["sensor_names"][i]
+        engine.set_model(
+            node,
+            CSModel(
+                permutation=np.array(data[f"node{i}_perm"], dtype=np.intp),
+                lower=np.array(data[f"node{i}_lower"], dtype=np.float64),
+                upper=np.array(data[f"node{i}_upper"], dtype=np.float64),
+                sensor_names=tuple(names) if names is not None else None,
+            ),
+        )
+        references[node] = np.array(data[f"node{i}_reference"])
+    forest = RandomForestClassifier.from_arrays(
+        {
+            name[len("forest_") :]: arr
+            for name, arr in data.items()
+            if name.startswith("forest_")
+        }
+    )
+    label_names = tuple(manifest["label_names"])
+    return TrainedFleet(
+        engine=engine,
+        classifier=FleetClassifier(forest, label_names),
+        references=references,
+        label_names=label_names,
+        healthy_label=int(manifest["healthy_label"]),
+    )

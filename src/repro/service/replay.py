@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.scenarios.cache import ExecutionContext
 from repro.service.alerts import AlertSink
 from repro.service.classify import TrainedFleet, train_fleet
 from repro.service.detector import FleetFaultDetector
+from repro.service.model_store import load_fleet_npz, save_fleet_npz
 
 __all__ = [
     "SERVICE_DEFAULTS",
@@ -128,6 +130,7 @@ def prepare_fleet(
     wl: int | None = None,
     ws: int | None = None,
     healthy_label: int = SERVICE_DEFAULTS["healthy_label"],
+    model_path: str | Path | None = None,
 ) -> FleetReplaySetup:
     """Materialize, split and train a fleet from dataset recipes.
 
@@ -141,6 +144,12 @@ def prepare_fleet(
     segment's ``healthy`` class.  Pass the right class explicitly when
     replaying other labeled segments; otherwise class 0 (a real
     workload class there) would silently be treated as healthy.
+
+    ``model_path`` makes fleet training skippable: when the file exists
+    it is loaded (validated against this run's ``blocks``/``wl``/``ws``
+    and node set — mismatches raise instead of silently mis-detecting),
+    otherwise the freshly trained fleet is saved there for next time.
+    Loaded fleets replay to byte-identical alert streams.
     """
     if not recipes:
         raise ValueError("prepare_fleet needs at least one recipe")
@@ -178,16 +187,28 @@ def prepare_fleet(
             eval_data[path] = comp.matrix[:, cut:]
             raw_eval_labels[path] = comp.labels[cut:]
         wl, ws = seg_wl, seg_ws  # uniform across the fleet from here on
-    trained = train_fleet(
-        train,
-        blocks=blocks,
-        wl=wl,
-        ws=ws,
-        trees=trees,
-        seed=seed,
-        healthy_label=healthy_label,
-        label_names=label_names,
-    )
+    model_file = Path(model_path) if model_path is not None else None
+    if model_file is not None and model_file.exists():
+        trained = load_fleet_npz(
+            model_file,
+            expect_blocks=blocks,
+            expect_wl=wl,
+            expect_ws=ws,
+            expect_paths=sorted(eval_data),
+        )
+    else:
+        trained = train_fleet(
+            train,
+            blocks=blocks,
+            wl=wl,
+            ws=ws,
+            trees=trees,
+            seed=seed,
+            healthy_label=healthy_label,
+            label_names=label_names,
+        )
+        if model_file is not None:
+            save_fleet_npz(trained, model_file)
     truth = {
         p: window_majority_labels(raw_eval_labels[p], wl, ws).astype(np.intp)
         for p in sorted(eval_data)
@@ -328,6 +349,8 @@ def replay(
     sinks: Sequence[AlertSink] = (),
     interval: float = 0.0,
     record_history: bool = True,
+    backend: str = "staged",
+    mode: str = "exact",
 ) -> ReplayOutcome:
     """Feed the held-out period through the detector in ``chunk``-bursts.
 
@@ -340,6 +363,10 @@ def replay(
     outcome (``events`` stays empty and only counts are kept), and the
     ground-truth scores — which need the prediction history — are
     reported as 0.0.
+
+    ``backend``/``mode`` select the detector's tick path (see
+    :class:`FleetFaultDetector`); ``backend="fused"`` with the default
+    exact mode replays to byte-identical alert streams.
     """
     if chunk < 1:
         raise ValueError("chunk must be >= 1")
@@ -351,6 +378,9 @@ def replay(
         top_blocks=top_blocks,
         shards=shards,
         record_history=record_history,
+        backend=backend,
+        mode=mode,
+        max_chunk=chunk,
     )
     events: list[dict] = []
     n_open = 0

@@ -7,7 +7,9 @@ cached scenario runtimes in ``BENCH_scenarios.json``;
 ``benchmarks/test_service_scaling.py`` records batched vs per-node fleet
 detection in ``BENCH_service.json``; ``benchmarks/test_datagen_scaling.py``
 records the vectorized cold generation path vs the frozen seed
-recurrences in ``BENCH_datagen.json`` (all run with ``pytest benchmarks
+recurrences in ``BENCH_datagen.json``; ``benchmarks/test_tick_hotpath.py``
+records the fused single-pass tick arena vs the staged pipeline in
+``BENCH_tick.json`` (all run with ``pytest benchmarks
 -m slow`` or ``repro bench``).  These tier-1 tests fail if a recorded
 speedup has fallen below
 its floor — i.e. if a change made an "optimized" path slower than what
@@ -24,6 +26,7 @@ ML_SUMMARY_JSON = ROOT / "BENCH_ml.json"
 SCENARIO_SUMMARY_JSON = ROOT / "BENCH_scenarios.json"
 SERVICE_SUMMARY_JSON = ROOT / "BENCH_service.json"
 DATAGEN_SUMMARY_JSON = ROOT / "BENCH_datagen.json"
+TICK_SUMMARY_JSON = ROOT / "BENCH_tick.json"
 
 
 def _load_summary(path: Path) -> dict:
@@ -136,4 +139,41 @@ class TestServiceGuard:
         slow = {k: v for k, v in speedups.items() if v < 1.0}
         assert not slow, (
             f"service hot path slower than the per-node baseline: {slow}"
+        )
+
+
+class TestTickGuard:
+    def test_headline_fused_tick_at_least_2x(self):
+        """Acceptance floor: the fused exact-mode tick path is >= 2x the
+        staged pipeline at serving cadence on the 64-node fleet."""
+        summary = _load_summary(TICK_SUMMARY_JSON)
+        assert "tick_fused_speedup" in summary, (
+            "BENCH_tick.json is missing the tick_fused_speedup headline"
+        )
+        assert summary["tick_fused_speedup"] >= 2.0, (
+            f"fused tick path only {summary['tick_fused_speedup']}x the "
+            "staged pipeline (floor: 2x)"
+        )
+
+    def test_memory_per_node_recorded_for_every_mode(self):
+        summary = _load_summary(TICK_SUMMARY_JSON)
+        for mode in ("exact", "float32", "quantized"):
+            key = f"memory_per_node_{mode}_bytes"
+            assert summary.get(key, 0) > 0, (
+                f"BENCH_tick.json is missing {key}"
+            )
+        assert (
+            summary["memory_per_node_float32_bytes"]
+            < summary["memory_per_node_exact_bytes"]
+        ), "float32 mode did not shrink per-node memory"
+
+    def test_no_tick_speedup_below_one(self):
+        summary = _load_summary(TICK_SUMMARY_JSON)
+        speedups = {
+            k: v for k, v in summary.items() if k.endswith("_speedup")
+        }
+        assert speedups, "BENCH_tick.json records no speedups"
+        slow = {k: v for k, v in speedups.items() if v < 1.0}
+        assert not slow, (
+            f"fused tick path slower than the staged pipeline: {slow}"
         )
