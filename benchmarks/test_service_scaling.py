@@ -133,20 +133,66 @@ def test_fused_backend_scales_to_large_fleets(nodes):
     )
 
 
+def test_guarded_overhead_under_five_percent():
+    """Input-hardening guard overhead at 64 nodes, serving cadence.
+
+    The guard validates every block of every tick (dict lookups, one
+    ``sum()`` reduction for the NaN/Inf check, health bookkeeping); the
+    acceptance bar is <5% over the unguarded tick.  Interleaved
+    best-of-3 so machine drift hits both variants equally.
+    """
+    nodes = 64
+    setup = prepare_fleet(
+        fleet_recipes(nodes, t=int(1500 * SCALE)),
+        blocks=BLOCKS,
+        trees=TREES,
+        seed=0,
+    )
+    best = {"plain": float("inf"), "guarded": float("inf")}
+    events: dict[str, list] = {}
+    for _ in range(3):
+        for variant in ("plain", "guarded"):
+            out = replay(
+                setup,
+                chunk=SERVE_CHUNK,
+                guard=(variant == "guarded") or None,
+            )
+            events[variant] = out.events
+            best[variant] = min(best[variant], out.replay_time_s)
+    stripped = [
+        {k: v for k, v in e.items() if k != "health"}
+        for e in events["guarded"]
+        if e["event"] != "guard"
+    ]
+    assert stripped == events["plain"], (
+        "guard changed the alert stream on clean input"
+    )
+    overhead = best["guarded"] / best["plain"] - 1.0
+    _summary["guard64_plain_s"] = round(best["plain"], 4)
+    _summary["guard64_guarded_s"] = round(best["guarded"], 4)
+    _summary["guard64_overhead_frac"] = round(overhead, 4)
+    assert overhead < 0.05, (
+        f"guard overhead {overhead:.1%} exceeds the 5% budget at "
+        f"{nodes} nodes"
+    )
+
+
 def test_zz_write_summary():
-    """Persist the results (named so it runs after the benchmarks)."""
+    """Persist the results (named so it runs after the benchmarks).
+
+    Read-merge-write: a partial run (``-k guard``) refreshes only the
+    keys it measured, so the committed headline numbers survive."""
     assert _summary, "benchmarks did not run"
     if _rows:
         merge_csv(RESULTS_CSV, CSV_HEADERS, _rows, n_key_cols=1)
+    merged: dict[str, float] = {}
+    if SUMMARY_JSON.exists():
+        merged = json.loads(SUMMARY_JSON.read_text())
+    merged.update(_summary)
     largest_key = f"fleet{FLEET_SIZES[-1]}_detect_speedup"
-    if largest_key not in _summary:
-        pytest.skip(
-            "headline case (largest fleet) did not run; "
-            "BENCH_service.json left untouched — run the full file to "
-            "regenerate it"
-        )
-    _summary["batched_detect_speedup"] = _summary[largest_key]
+    if largest_key in merged:
+        merged["batched_detect_speedup"] = merged[largest_key]
     SUMMARY_JSON.write_text(
-        json.dumps(_summary, indent=2, sort_keys=True) + "\n"
+        json.dumps(merged, indent=2, sort_keys=True) + "\n"
     )
-    print(f"\nBENCH_service summary: {json.dumps(_summary, sort_keys=True)}")
+    print(f"\nBENCH_service summary: {json.dumps(merged, sort_keys=True)}")

@@ -39,6 +39,24 @@ python -m repro detect --smoke --cache-dir "$SMOKE_DIR/cache" \
     --backend fused --alerts "$SMOKE_DIR/fused.jsonl"
 cmp "$SMOKE_DIR/staged.jsonl" "$SMOKE_DIR/fused.jsonl"
 
+echo "== crash-recovery smoke: kill, resume, byte-identical alerts =="
+# Twice, so a flaky pass can't hide: interrupt the guarded replay at
+# tick 3 with per-tick checkpoints, resume from the snapshot, and the
+# stitched alert stream must equal the uninterrupted run to the byte.
+for attempt in 1 2; do
+    rm -f "$SMOKE_DIR/ck.npz" "$SMOKE_DIR/resumed.jsonl"
+    python -m repro detect --smoke --cache-dir "$SMOKE_DIR/cache" \
+        --checkpoint "$SMOKE_DIR/ck.npz" --stop-after 3 \
+        --alerts "$SMOKE_DIR/resumed.jsonl"
+    python -m repro detect --smoke --cache-dir "$SMOKE_DIR/cache" \
+        --checkpoint "$SMOKE_DIR/ck.npz" --resume \
+        --alerts "$SMOKE_DIR/resumed.jsonl"
+    cmp "$SMOKE_DIR/staged.jsonl" "$SMOKE_DIR/resumed.jsonl"
+done
+
+echo "== chaos scenario smoke (seeded faults + kill-and-restore) =="
+python -m repro run fleet-detect-chaos --smoke --cache-dir "$SMOKE_DIR/cache"
+
 # Lint runs when ruff is available; the lint job in GitHub Actions is
 # authoritative.  Installing ruff needs network access, so offline
 # containers simply skip this step.

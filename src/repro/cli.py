@@ -249,6 +249,13 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
         "cached .npz segments instead of regenerating",
     )
     parser.add_argument(
+        "--no-guard", action="store_true",
+        help="disable the input-hardening guard (on by default: "
+        "malformed/late/duplicate bursts degrade or quarantine the "
+        "offending node instead of crashing, guard events join the "
+        "stream and alerts carry the node health state)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="seconds-scale preset (2 nodes, t=2500, 6 trees) used by CI",
     )
@@ -320,6 +327,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         sinks=sinks,
         backend=args.backend,
         mode=args.mode,
+        guard=not args.no_guard,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=(
+            int(args.checkpoint_every) if args.checkpoint else 0
+        ),
+        resume=args.resume,
+        stop_after=args.stop_after,
     )
     row = outcome.row(f"{args.segment}-fleet-{setup.n_nodes}")
     _status(
@@ -331,6 +345,19 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         save_csv(args.csv, FLEET_DETECT_HEADERS, [row])
     if args.alerts:
         _status(f"[detect] wrote {outcome.n_alerts} alerts to {args.alerts}")
+    if outcome.health is not None:
+        states = outcome.health["states"]
+        if (
+            states.get("degraded")
+            or states.get("quarantined")
+            or outcome.health["unknown_nodes"]
+        ):
+            _status(f"[detect] fleet health: {states}")
+    if args.checkpoint and args.stop_after is not None:
+        _status(
+            f"[detect] stopped before tick {args.stop_after}; resume "
+            f"with --resume --checkpoint {args.checkpoint}"
+        )
     if args.cache_dir:
         stats = context.stats
         _status(
@@ -367,6 +394,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         record_history=False,
         backend=args.backend,
         mode=args.mode,
+        guard=not args.no_guard,
     )
     # outcome.events is empty in serving mode (nothing is retained);
     # the counts are always populated.  n_events = opens + closes.
@@ -503,6 +531,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument(
         "--markdown", default=None,
         help="also write a markdown alert summary table",
+    )
+    p_detect.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint the full detector state to this .npz while "
+        "replaying; with --resume, restore it and replay only the "
+        "remaining ticks (byte-identical alert stream to an "
+        "uninterrupted run)",
+    )
+    p_detect.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="ticks between checkpoints (default 1; needs --checkpoint)",
+    )
+    p_detect.add_argument(
+        "--resume", action="store_true",
+        help="restore --checkpoint before replaying (typed error on "
+        "lineage/geometry/knob mismatch, never silent drift)",
+    )
+    p_detect.add_argument(
+        "--stop-after", type=int, default=None,
+        help="stop before processing this tick index (simulated crash "
+        "for checkpoint drills)",
     )
     p_detect.set_defaults(func=_cmd_detect)
 

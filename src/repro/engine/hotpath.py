@@ -494,6 +494,106 @@ class TickArena:
         return sig
 
     # ------------------------------------------------------------------
+    def node_state(self, path: str) -> dict:
+        """Snapshot one node's retained streaming state.
+
+        Same layout as
+        :meth:`repro.engine.streaming.IncrementalSignatureCore.state_dict`
+        (the arena's per-node ring row *is* the staged core's ring), so
+        the service checkpoint layer can move state between backends in
+        exact mode without conversion.
+        """
+        g, i = self._node[path]
+        entries = (
+            list(g.shared_fifo) if g.uniform else list(g.node_fifos[i])
+        )
+        k = len(entries)
+        starts = np.fromiter(
+            (s for s, _ in entries), dtype=np.int64, count=k
+        )
+        snaps = (
+            np.stack([g.pending_buf[i, slot].copy() for _, slot in entries])
+            if k
+            else np.empty((0, g.n), dtype=g.dtype)
+        )
+        return {
+            "ring": g.ring[i].copy(),
+            "csum": g.csum[i].copy(),
+            "count": int(g.counts[i]),
+            "emitted": int(g.emitted[i]),
+            "anchor": int(g.anchors[i]),
+            "pending_starts": starts,
+            "pending_snaps": snaps,
+        }
+
+    def restore_states(self, states: Mapping[str, dict]) -> None:
+        """Restore a :meth:`node_state` snapshot for **every** node.
+
+        When all nodes of a geometry group restore to the same sample
+        count with identical pending starts the group keeps its shared
+        FIFO (the batched uniform path); otherwise it degrades to
+        per-node FIFOs — bit-identical either way, merely less batched.
+        """
+        missing = [p for p in self.paths if p not in states]
+        if missing:
+            raise KeyError(f"missing restore state for node(s) {missing!r}")
+        for g in self.groups:
+            per = []
+            for i, p in enumerate(g.paths):
+                st = states[p]
+                ring = np.asarray(st["ring"], dtype=g.dtype)
+                csum = np.asarray(st["csum"], dtype=g.dtype)
+                starts = np.asarray(st["pending_starts"], dtype=np.int64)
+                snaps = np.asarray(st["pending_snaps"], dtype=g.dtype)
+                if ring.shape != (g.n, g.size):
+                    raise ValueError(
+                        f"node {p!r}: ring shape {ring.shape} does not "
+                        f"match ({g.n}, {g.size})"
+                    )
+                if csum.shape != (g.n,):
+                    raise ValueError(
+                        f"node {p!r}: csum shape {csum.shape} does not "
+                        f"match ({g.n},)"
+                    )
+                if snaps.shape != (starts.shape[0], g.n):
+                    raise ValueError(
+                        f"node {p!r}: pending snapshot shape "
+                        f"{snaps.shape} does not match "
+                        f"({starts.shape[0]}, {g.n})"
+                    )
+                if starts.shape[0] > g.P:
+                    raise ValueError(
+                        f"node {p!r}: {starts.shape[0]} pending snapshots "
+                        f"exceed the arena's {g.P} FIFO slots"
+                    )
+                g.ring[i] = ring
+                g.csum[i] = csum
+                g.counts[i] = int(st["count"])
+                g.emitted[i] = int(st["emitted"])
+                g.anchors[i] = int(st["anchor"])
+                per.append((starts, snaps))
+            starts0 = per[0][0]
+            uniform = g.uniform and all(
+                starts.shape == starts0.shape
+                and bool((starts == starts0).all())
+                for starts, _ in per
+            ) and len({int(g.counts[i]) for i in range(g.c)}) == 1
+            g.shared_fifo.clear()
+            if uniform:
+                g.shared_slot = 0
+                for k_idx, s in enumerate(starts0):
+                    buf = g.shared_view.push(int(s))
+                    for i, (_, snaps) in enumerate(per):
+                        buf[i] = snaps[k_idx]
+            else:
+                g.degrade()
+                for i, (starts, snaps) in enumerate(per):
+                    g.node_fifos[i].clear()
+                    g.node_slots[i] = 0
+                    for k_idx, s in enumerate(starts):
+                        g.node_views[i].push(int(s))[0] = snaps[k_idx]
+
+    # ------------------------------------------------------------------
     def tick(self, data: Mapping[str, np.ndarray]):
         """Absorb one burst per node; classify everything the fleet emits.
 

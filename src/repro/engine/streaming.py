@@ -292,6 +292,66 @@ class IncrementalSignatureCore:
         return sigs
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the retained streaming state (decoupled copies).
+
+        The returned arrays fully determine future emissions given the
+        same model: restoring them into a fresh core over the same model
+        continues the stream **bit-identically** — the contract the
+        service checkpoint layer (`repro.service.checkpoint`) builds its
+        crash-recovery guarantee on.  Pending window-start snapshots are
+        flattened into parallel ``(k,)`` starts / ``(k, n)`` sums arrays
+        so the state is pure ndarrays (npz-serializable as-is).
+        """
+        k = len(self._pending)
+        starts = np.fromiter(
+            (s for s, _ in self._pending), dtype=np.int64, count=k
+        )
+        snaps = (
+            np.stack([snap for _, snap in self._pending])
+            if k
+            else np.empty((0, self._n))
+        )
+        return {
+            "ring": self._ring.copy(),
+            "csum": self._csum.copy(),
+            "count": int(self._count),
+            "emitted": int(self.emitted),
+            "anchor": int(self._last_anchor),
+            "pending_starts": starts,
+            "pending_snaps": snaps,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validated, copied)."""
+        ring = np.asarray(state["ring"], dtype=np.float64)
+        csum = np.asarray(state["csum"], dtype=np.float64)
+        starts = np.asarray(state["pending_starts"], dtype=np.int64)
+        snaps = np.asarray(state["pending_snaps"], dtype=np.float64)
+        if ring.shape != self._ring.shape:
+            raise ValueError(
+                f"ring shape {ring.shape} does not match "
+                f"{self._ring.shape} for this core"
+            )
+        if csum.shape != (self._n,):
+            raise ValueError(
+                f"csum shape {csum.shape} does not match ({self._n},)"
+            )
+        if snaps.shape != (starts.shape[0], self._n):
+            raise ValueError(
+                f"pending snapshot shape {snaps.shape} does not match "
+                f"({starts.shape[0]}, {self._n})"
+            )
+        self._ring = ring.copy()
+        self._csum = csum.copy()
+        self._count = int(state["count"])
+        self.emitted = int(state["emitted"])
+        self._last_anchor = int(state["anchor"])
+        self._pending = deque(
+            (int(s), snaps[i].copy()) for i, s in enumerate(starts)
+        )
+
+    # ------------------------------------------------------------------
     def window_view(self) -> tuple[np.ndarray, np.ndarray | None]:
         """Materialize the current (sorted, normalized) window.
 

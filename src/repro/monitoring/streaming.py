@@ -128,6 +128,17 @@ class OnlineSignatureStream:
         """
         return self._core.push_block(block)
 
+    def state_dict(self) -> dict:
+        """Snapshot of the incremental core's retained state (see
+        :meth:`repro.engine.streaming.IncrementalSignatureCore.state_dict`);
+        restoring it into a stream over the same model continues the
+        emission sequence bit-identically."""
+        return self._core.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this stream."""
+        self._core.load_state(state)
+
     def window_view(self) -> tuple[np.ndarray, np.ndarray | None]:
         """Current *sorted, normalized* window and its preceding column.
 

@@ -406,6 +406,39 @@ FLEET_DETECT_NOISE = register(ScenarioSpec(
     }),
 ))
 
+FLEET_DETECT_CHAOS = register(ScenarioSpec(
+    name="fleet-detect-chaos",
+    kind="fleet-detect-chaos",
+    title="Online fleet fault detection — chaos injection + crash recovery",
+    description="Guarded service replay under deterministic seeded fault "
+    "injection (drop/duplicate/reorder/corrupt bursts) plus the "
+    "kill-and-restore drill: the checkpoint-resumed event stream must "
+    "equal the uninterrupted run's, event for event",
+    datasets=_fault_fleet(3, t=6000),
+    evaluation=pairs({
+        "blocks": 20,
+        "trees": 30,
+        "train_frac": 0.5,
+        "chunk": 256,
+        "open_after": 2,
+        "close_after": 2,
+        "seed": 0,
+        "chaos_seed": 7,
+        "drop": 0.05,
+        "duplicate": 0.05,
+        "reorder": 0.05,
+        "corrupt": 0.05,
+        "kills": (3, 8),
+        "checkpoint_every": 1,
+    }),
+    tags=("extra", "service", "fleet", "robustness"),
+    smoke=pairs({
+        "datasets": _SMOKE_FLEET,
+        "evaluation": {"blocks": 8, "trees": 6, "chunk": 200,
+                       "chaos_seed": 7, "kills": (2, 4)},
+    }),
+))
+
 CROSSARCH_LENGTHS = register(ScenarioSpec(
     name="crossarch-lengths",
     kind="grid",

@@ -30,6 +30,7 @@ from repro.scenarios.cache import ExecutionContext
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
+    "FLEET_CHAOS_HEADERS",
     "FLEET_DETECT_HEADERS",
     "GRID_HEADERS",
     "LENGTH_SWEEP_HEADERS",
@@ -84,6 +85,20 @@ FLEET_DETECT_HEADERS: tuple[str, ...] = (
     "Recall",
     "Replay [s]",
     "Win/s",
+)
+
+#: Columns of the chaos-injection robustness drills (fleet-detect-chaos).
+FLEET_CHAOS_HEADERS: tuple[str, ...] = (
+    "Run",
+    "Nodes",
+    "Windows",
+    "Alerts",
+    "Events",
+    "Faults injected",
+    "Blocks dropped",
+    "Precision",
+    "Recall",
+    "Resume identical",
 )
 
 
@@ -557,4 +572,134 @@ def _run_fleet_detect(
         headers=FLEET_DETECT_HEADERS,
         rows=rows,
         extras={"outcomes": outcomes},
+    )
+
+
+@evaluation("fleet-detect-chaos")
+def _run_fleet_detect_chaos(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """Chaos-injection robustness drill over the detection service.
+
+    Three guarded replays of the same fleet: a clean baseline, a replay
+    under deterministic seeded fault injection
+    (:class:`repro.service.chaos.ChaosInjector` — drop / duplicate /
+    reorder / corrupt per the evaluation's fractions), and the same
+    chaos replay again but killed at the configured ticks and restored
+    from checkpoints (:func:`repro.service.chaos.run_with_kills`).  The
+    final column asserts the crash-recovery contract: the killed run's
+    event stream must equal the uninterrupted chaos run's, event for
+    event.
+
+    The killed run's "Faults injected" count covers only the ticks its
+    final segments actually processed — injector *statistics* are not
+    checkpointed (the fault schedule is a pure function of
+    ``(seed, tick, node)``, so the schedule itself needs no state).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.chaos import ChaosConfig, run_with_kills
+    from repro.service.replay import SERVICE_DEFAULTS, prepare_fleet, replay
+
+    ev = spec.evaluation_dict()
+
+    def param(name: str):
+        return ev.get(name, SERVICE_DEFAULTS[name])
+
+    service_kwargs = dict(
+        chunk=int(param("chunk")),
+        open_after=int(param("open_after")),
+        close_after=int(param("close_after")),
+        min_confidence=float(param("min_confidence")),
+        top_blocks=int(param("top_blocks")),
+        backend=str(ev.get("backend", "staged")),
+        mode=str(ev.get("mode", "exact")),
+    )
+    chaos = ChaosConfig(
+        seed=int(ev.get("chaos_seed", 0)),
+        drop=float(ev.get("drop", 0.05)),
+        duplicate=float(ev.get("duplicate", 0.05)),
+        reorder=float(ev.get("reorder", 0.05)),
+        corrupt=float(ev.get("corrupt", 0.05)),
+        start_tick=int(ev.get("start_tick", 0)),
+    )
+    kills = tuple(int(k) for k in ev.get("kills", (2, 5)))
+    setup = prepare_fleet(
+        spec.datasets,
+        context=ctx,
+        blocks=int(param("blocks")),
+        trees=int(param("trees")),
+        train_frac=float(param("train_frac")),
+        seed=int(param("seed")),
+        healthy_label=int(param("healthy_label")),
+    )
+
+    def dropped(outcome) -> int:
+        return sum(
+            n["dropped_blocks"] for n in outcome.health["nodes"].values()
+        )
+
+    def injected(outcome) -> int:
+        s = outcome.chaos_stats
+        if s is None:
+            return 0
+        return s["drop"] + s["duplicate"] + s["reorder"] + s["corrupt"]
+
+    def chaos_row(name, outcome, resume_identical):
+        return (
+            name,
+            outcome.n_nodes,
+            outcome.n_windows,
+            outcome.n_alerts,
+            outcome.n_events,
+            injected(outcome),
+            dropped(outcome),
+            round(outcome.alert_precision, 4),
+            round(outcome.episode_recall, 4),
+            resume_identical,
+        )
+
+    clean = replay(setup, guard=True, **service_kwargs)
+    chaotic = replay(setup, guard=True, chaos=chaos, **service_kwargs)
+    with tempfile.TemporaryDirectory() as td:
+        killed = run_with_kills(
+            setup,
+            checkpoint_path=Path(td) / "chaos_checkpoint.npz",
+            kills=kills,
+            checkpoint_every=int(ev.get("checkpoint_every", 1)),
+            guard=True,
+            chaos=chaos,
+            **service_kwargs,
+        )
+    resume_identical = killed.events == chaotic.events
+    rows = [
+        chaos_row("clean", clean, ""),
+        chaos_row("chaos", chaotic, ""),
+        chaos_row(f"chaos+kills@{','.join(map(str, kills))}", killed,
+                  "yes" if resume_identical else "NO"),
+    ]
+    notes = [
+        f"chaos: seed={chaos.seed} drop={chaos.drop} "
+        f"duplicate={chaos.duplicate} reorder={chaos.reorder} "
+        f"corrupt={chaos.corrupt}",
+        "resume contract "
+        + ("held" if resume_identical else "VIOLATED")
+        + ": killed-and-restored event stream vs uninterrupted chaos run",
+    ]
+    if not resume_identical:
+        raise AssertionError(
+            "crash-recovery contract violated: killed-and-restored replay "
+            "diverged from the uninterrupted chaos run"
+        )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=FLEET_CHAOS_HEADERS,
+        rows=rows,
+        notes=notes,
+        extras={
+            "outcomes": [clean, chaotic, killed],
+            "resume_identical": resume_identical,
+        },
     )

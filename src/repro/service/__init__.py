@@ -22,11 +22,20 @@ subpackage composes the existing layers into that one hot path:
   feeds cached ``.npz`` segments (``monitoring.storage`` via the
   ``repro.scenarios`` :class:`~repro.scenarios.cache.ArtifactCache`)
   through the service and scores the resulting alert stream against the
-  injected ground truth.
+  injected ground truth;
+* :mod:`~repro.service.guard` — the typed validation boundary in front
+  of the detector: malformed/late/duplicate/unknown-node input degrades
+  or quarantines the offending node instead of crashing the tick loop;
+* :mod:`~repro.service.checkpoint` — versioned npz snapshots of full
+  detector state with a crash → restore → replay-remaining byte-identity
+  contract;
+* :mod:`~repro.service.chaos` — the deterministic seeded fault injector
+  and kill-and-restore drill that prove the two layers above.
 
 Replay is bit-deterministic: the same recipes, options and seeds produce
 *byte-identical* alert JSONL across processes (guarded by tests), which
-is what makes the alert stream diffable in CI.
+is what makes the alert stream diffable in CI — and what makes
+checkpoint/restore testable at the byte level.
 """
 
 from repro.service.alerts import (
@@ -37,10 +46,23 @@ from repro.service.alerts import (
     MarkdownAlertSink,
     StreamAlertSink,
 )
+from repro.service.chaos import ChaosConfig, ChaosInjector, run_with_kills
+from repro.service.checkpoint import (
+    CheckpointError,
+    fleet_fingerprint,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.service.classify import FleetClassifier, TrainedFleet, train_fleet
 from repro.service.detector import BACKENDS, FleetFaultDetector, detect_naive
+from repro.service.guard import GuardConfig, GuardedDetector
 from repro.service.ingest import FleetIngest
-from repro.service.model_store import load_fleet_npz, save_fleet_npz
+from repro.service.model_store import (
+    ModelStoreError,
+    load_fleet_npz,
+    save_fleet_npz,
+)
 from repro.service.replay import (
     FleetReplaySetup,
     ReplayOutcome,
@@ -55,21 +77,32 @@ __all__ = [
     "AlertPolicy",
     "AlertSink",
     "BACKENDS",
+    "ChaosConfig",
+    "ChaosInjector",
+    "CheckpointError",
     "FleetClassifier",
     "FleetFaultDetector",
     "FleetIngest",
     "FleetReplaySetup",
+    "GuardConfig",
+    "GuardedDetector",
     "JSONLAlertSink",
     "MarkdownAlertSink",
+    "ModelStoreError",
     "ReplayOutcome",
     "StreamAlertSink",
     "TrainedFleet",
     "detect_naive",
+    "fleet_fingerprint",
     "fleet_recipes",
+    "load_checkpoint",
     "load_fleet_npz",
     "node_path",
     "prepare_fleet",
     "replay",
+    "restore_checkpoint",
+    "run_with_kills",
+    "save_checkpoint",
     "save_fleet_npz",
     "train_fleet",
 ]

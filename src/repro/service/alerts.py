@@ -22,6 +22,7 @@ table through :func:`repro.experiments.reporting.save_markdown`.
 from __future__ import annotations
 
 import json
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO
@@ -130,6 +131,63 @@ class AlertPolicy:
             self._healthy_streak += k
             self._streak.clear()
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the hysteresis state.
+
+        Captures everything :meth:`update` reads — the open alert, the
+        pre-open faulty streak and the healthy streak — so a policy
+        restored from this snapshot continues the event sequence exactly
+        (floats survive the JSON round trip bit-exactly via ``repr``).
+        """
+        alert = None
+        if self.alert is not None:
+            a = self.alert
+            alert = {
+                "opened": a.opened,
+                "first_faulty": a.first_faulty,
+                "label": a.label,
+                "peak_confidence": a.peak_confidence,
+                "n_windows": a.n_windows,
+                "closed": a.closed,
+                "label_counts": {
+                    str(k): v for k, v in a.label_counts.items()
+                },
+            }
+        return {
+            "alert": alert,
+            "streak": [[label, conf] for label, conf in self._streak],
+            "healthy_streak": self._healthy_streak,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON-round-tripped ok).
+
+        A restored open alert is re-appended to :attr:`history` when
+        history is kept, mirroring where the original run put it.
+        """
+        stored = state["alert"]
+        if stored is None:
+            self.alert = None
+        else:
+            self.alert = Alert(
+                opened=int(stored["opened"]),
+                first_faulty=int(stored["first_faulty"]),
+                label=int(stored["label"]),
+                peak_confidence=float(stored["peak_confidence"]),
+                n_windows=int(stored["n_windows"]),
+                closed=stored["closed"],
+                label_counts={
+                    int(k): int(v)
+                    for k, v in stored["label_counts"].items()
+                },
+            )
+            if self.keep_history:
+                self.history.append(self.alert)
+        self._streak = [
+            (int(label), float(conf)) for label, conf in state["streak"]
+        ]
+        self._healthy_streak = int(state["healthy_streak"])
+
     def update(
         self, window: int, label: int, confidence: float
     ) -> list[tuple[str, Alert]]:
@@ -208,21 +266,68 @@ class JSONLAlertSink(AlertSink):
     as the sink is constructed — an alert-free replay must leave an
     *empty* file behind, not a stale one, or the byte-identical-replay
     contract silently breaks.
+
+    A write failure (disk full, revoked mount, ...) must not crash the
+    tick loop that produced the event: the sink retries the line once
+    through a fresh append-mode handle, and if that also fails it
+    *degrades* — every further event streams to stderr behind an
+    explicit data-loss warning, and the detector keeps running.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self._closed = False
+        self._degraded = False
 
     def emit(self, event: dict) -> None:
-        if self._fh is None:
+        if self._closed:
             raise ValueError(f"alert sink for {self.path} is closed")
-        self._fh.write(event_line(event) + "\n")
+        line = event_line(event) + "\n"
+        if self._degraded:
+            sys.stderr.write(line)
+            return
+        try:
+            self._fh.write(line)
+        except OSError:
+            self._retry_or_degrade(line)
+
+    def _retry_or_degrade(self, line: str) -> None:
+        """One reopen-and-rewrite attempt, then permanent stderr fallback."""
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        self._fh = None
+        try:
+            self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(line)
+        except OSError as exc:
+            self._degraded = True
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
+            sys.stderr.write(
+                f"[alerts] WARNING: sink {self.path} failed twice "
+                f"({exc}); alert persistence degraded — further events "
+                "stream to stderr and are NOT written to disk\n"
+            )
+            sys.stderr.write(line)
 
     def close(self) -> None:
+        self._closed = True
         if self._fh is not None:
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError as exc:
+                sys.stderr.write(
+                    f"[alerts] WARNING: closing sink {self.path} failed "
+                    f"({exc}); trailing buffered events may be lost\n"
+                )
             self._fh = None
 
 
@@ -276,6 +381,26 @@ class MarkdownAlertSink(AlertSink):
         )
 
     def close(self) -> None:
-        from repro.experiments.reporting import save_markdown
+        from repro.experiments.reporting import format_table, save_markdown
 
-        save_markdown(self.path, self.HEADERS, self._rows, title=self.title)
+        try:
+            save_markdown(
+                self.path, self.HEADERS, self._rows, title=self.title
+            )
+            return
+        except OSError:
+            pass
+        try:  # buffer-and-retry once — the rows are still in memory
+            save_markdown(
+                self.path, self.HEADERS, self._rows, title=self.title
+            )
+        except OSError as exc:
+            sys.stderr.write(
+                f"[alerts] WARNING: markdown sink {self.path} failed "
+                f"twice ({exc}); summary NOT written to disk — "
+                "rendering to stderr instead\n"
+            )
+            sys.stderr.write(
+                format_table(self.HEADERS, self._rows, title=self.title)
+                + "\n"
+            )

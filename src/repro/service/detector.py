@@ -183,6 +183,34 @@ class FleetFaultDetector:
     def policy(self, path: str) -> AlertPolicy:
         return self._policies[path]
 
+    def n_sensors(self, path: str) -> int:
+        """Sensor count (block row count) one node's bursts must have."""
+        return self.trained.engine.model(path).n_sensors
+
+    def node_stream_state(self, path: str) -> dict:
+        """One node's retained streaming state, backend-neutral.
+
+        Both backends return the
+        :meth:`~repro.engine.streaming.IncrementalSignatureCore.state_dict`
+        layout (the fused arena's per-node ring row is the staged core's
+        ring), which is what lets exact-mode checkpoints move between
+        backends.
+        """
+        if self.arena is not None:
+            return self.arena.node_state(path)
+        return self.ingest.stream(path).state_dict()
+
+    def restore_stream_states(self, states: Mapping[str, dict]) -> None:
+        """Restore :meth:`node_stream_state` snapshots for every node."""
+        if self.arena is not None:
+            self.arena.restore_states(states)
+            return
+        missing = [p for p in self._paths if p not in states]
+        if missing:
+            raise KeyError(f"missing restore state for node(s) {missing!r}")
+        for p in self._paths:
+            self.ingest.stream(p).load_state(states[p])
+
     def windows_seen(self, path: str) -> int:
         """Windows classified so far for one node."""
         return self._windows[path]

@@ -15,12 +15,20 @@ The manifest records the geometry knobs (``blocks``/``wl``/``ws``) so a
 loaded model can be validated against the run that wants to use it —
 silently classifying with mismatched window geometry would produce
 garbage alerts, so :func:`load_fleet_npz` raises instead.
+
+Every way an archive can be bad — truncated download, bit-flipped
+block, not-an-npz, missing arrays, mangled manifest — surfaces as a
+:class:`ModelStoreError` naming the offending field, never a raw
+zipfile/numpy/JSON traceback: model files cross machine boundaries, so
+a hostile or damaged file must be a *diagnosable* failure.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
+from zipfile import BadZipFile
 
 import numpy as np
 
@@ -30,9 +38,22 @@ from repro.ml.forest import RandomForestClassifier
 from repro.monitoring.storage import atomic_savez, load_npz_arrays
 from repro.service.classify import FleetClassifier, TrainedFleet
 
-__all__ = ["FLEET_MODEL_FORMAT", "save_fleet_npz", "load_fleet_npz"]
+__all__ = [
+    "FLEET_MODEL_FORMAT",
+    "ModelStoreError",
+    "save_fleet_npz",
+    "load_fleet_npz",
+]
 
 FLEET_MODEL_FORMAT = "repro-fleet-model/v1"
+
+
+class ModelStoreError(ValueError):
+    """A fleet model archive is unusable; ``field`` names the offender."""
+
+    def __init__(self, message: str, *, field: str | None = None):
+        super().__init__(message)
+        self.field = field
 
 
 def save_fleet_npz(trained: TrainedFleet, path: str | Path) -> Path:
@@ -87,68 +108,110 @@ def load_fleet_npz(
     """Rebuild a :class:`TrainedFleet` saved by :func:`save_fleet_npz`.
 
     The optional ``expect_*`` arguments validate the archive against the
-    run's own knobs; any mismatch raises ``ValueError`` with the stored
-    vs expected values, which is how ``repro detect --model`` refuses to
-    replay a fleet trained under different geometry.
+    run's own knobs; any mismatch raises :class:`ModelStoreError` (a
+    ``ValueError``) with the stored vs expected values, which is how
+    ``repro detect --model`` refuses to replay a fleet trained under
+    different geometry.  Unreadable archives — truncated, bit-flipped,
+    not an npz — also raise :class:`ModelStoreError`, with ``field``
+    naming what failed.
     """
     path = Path(path)
-    data = load_npz_arrays(path, mmap_mode="r")
+    if not path.exists():
+        raise ModelStoreError(
+            f"{path}: fleet model file does not exist", field="path"
+        )
+    try:
+        # Eager load (no mmap): the zip layer verifies each member's
+        # CRC-32 on decompression, so a bit-flipped or truncated archive
+        # fails *here* with a typed error instead of feeding silently
+        # corrupted model arrays into detection.
+        data = load_npz_arrays(path)
+    except ModelStoreError:
+        raise
+    except (BadZipFile, OSError, ValueError, KeyError, EOFError, zlib.error) as exc:
+        raise ModelStoreError(
+            f"{path}: unreadable fleet model archive ({exc})",
+            field="archive",
+        ) from exc
     if "manifest" not in data:
-        raise ValueError(f"{path}: not a fleet model archive (no manifest)")
-    manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
+        raise ModelStoreError(
+            f"{path}: not a fleet model archive (no manifest)",
+            field="manifest",
+        )
+    try:
+        manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ModelStoreError(
+            f"{path}: corrupt fleet model manifest ({exc})",
+            field="manifest",
+        ) from exc
     if manifest.get("format") != FLEET_MODEL_FORMAT:
-        raise ValueError(
-            f"{path}: unsupported fleet model format {manifest.get('format')!r}"
+        raise ModelStoreError(
+            f"{path}: unsupported fleet model format "
+            f"{manifest.get('format')!r}",
+            field="format",
         )
     blocks = manifest["blocks"]
     if expect_blocks is not None and blocks != (
         "all" if expect_blocks == "all" else int(expect_blocks)
     ):
-        raise ValueError(
+        raise ModelStoreError(
             f"{path}: model trained with blocks={blocks!r}, run wants "
-            f"blocks={expect_blocks!r}"
+            f"blocks={expect_blocks!r}",
+            field="blocks",
         )
     for knob, expect in (("wl", expect_wl), ("ws", expect_ws)):
         if expect is not None and int(manifest[knob]) != int(expect):
-            raise ValueError(
+            raise ModelStoreError(
                 f"{path}: model trained with {knob}={manifest[knob]}, run "
-                f"wants {knob}={expect}"
+                f"wants {knob}={expect}",
+                field=knob,
             )
     paths = list(manifest["paths"])
     if expect_paths is not None and sorted(paths) != sorted(expect_paths):
-        raise ValueError(
+        raise ModelStoreError(
             f"{path}: model covers {len(paths)} nodes "
             f"{sorted(paths)[:4]}..., run wants {len(expect_paths)} nodes "
-            f"{sorted(expect_paths)[:4]}..."
+            f"{sorted(expect_paths)[:4]}...",
+            field="paths",
         )
-    engine = FleetSignatureEngine(
-        blocks, wl=int(manifest["wl"]), ws=int(manifest["ws"])
-    )
-    references: dict[str, np.ndarray] = {}
-    for i, node in enumerate(paths):
-        names = manifest["sensor_names"][i]
-        engine.set_model(
-            node,
-            CSModel(
-                permutation=np.array(data[f"node{i}_perm"], dtype=np.intp),
-                lower=np.array(data[f"node{i}_lower"], dtype=np.float64),
-                upper=np.array(data[f"node{i}_upper"], dtype=np.float64),
-                sensor_names=tuple(names) if names is not None else None,
-            ),
+    try:
+        engine = FleetSignatureEngine(
+            blocks, wl=int(manifest["wl"]), ws=int(manifest["ws"])
         )
-        references[node] = np.array(data[f"node{i}_reference"])
-    forest = RandomForestClassifier.from_arrays(
-        {
-            name[len("forest_") :]: arr
-            for name, arr in data.items()
-            if name.startswith("forest_")
-        }
-    )
-    label_names = tuple(manifest["label_names"])
+        references: dict[str, np.ndarray] = {}
+        for i, node in enumerate(paths):
+            names = manifest["sensor_names"][i]
+            engine.set_model(
+                node,
+                CSModel(
+                    permutation=np.array(data[f"node{i}_perm"], dtype=np.intp),
+                    lower=np.array(data[f"node{i}_lower"], dtype=np.float64),
+                    upper=np.array(data[f"node{i}_upper"], dtype=np.float64),
+                    sensor_names=tuple(names) if names is not None else None,
+                ),
+            )
+            references[node] = np.array(data[f"node{i}_reference"])
+        forest = RandomForestClassifier.from_arrays(
+            {
+                name[len("forest_") :]: arr
+                for name, arr in data.items()
+                if name.startswith("forest_")
+            }
+        )
+        label_names = tuple(manifest["label_names"])
+        healthy_label = int(manifest["healthy_label"])
+    except ModelStoreError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise ModelStoreError(
+            f"{path}: fleet model archive is structurally invalid ({exc})",
+            field="arrays",
+        ) from exc
     return TrainedFleet(
         engine=engine,
         classifier=FleetClassifier(forest, label_names),
         references=references,
         label_names=label_names,
-        healthy_label=int(manifest["healthy_label"]),
+        healthy_label=healthy_label,
     )

@@ -28,8 +28,16 @@ from repro.datasets.recipes import DatasetRecipe, recipe
 from repro.datasets.windows import window_majority_labels
 from repro.scenarios.cache import ExecutionContext
 from repro.service.alerts import AlertSink
+from repro.service.chaos import ChaosConfig, ChaosInjector
+from repro.service.checkpoint import (
+    fleet_fingerprint,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.service.classify import TrainedFleet, train_fleet
 from repro.service.detector import FleetFaultDetector
+from repro.service.guard import GuardConfig, GuardedDetector
 from repro.service.model_store import load_fleet_npz, save_fleet_npz
 
 __all__ = [
@@ -236,6 +244,12 @@ class ReplayOutcome:
     episode_recall: float
     replay_time_s: float
     n_events: int = 0
+    #: :meth:`~repro.service.guard.GuardedDetector.fleet_health` payload
+    #: of the final tick, when the replay ran guarded.
+    health: dict | None = None
+    #: :class:`~repro.service.chaos.ChaosInjector` delivery statistics,
+    #: when the replay ran under fault injection.
+    chaos_stats: dict | None = None
 
     @property
     def windows_per_s(self) -> float:
@@ -351,6 +365,12 @@ def replay(
     record_history: bool = True,
     backend: str = "staged",
     mode: str = "exact",
+    guard: bool | GuardConfig | None = None,
+    chaos: ChaosConfig | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+    stop_after: int | None = None,
 ) -> ReplayOutcome:
     """Feed the held-out period through the detector in ``chunk``-bursts.
 
@@ -367,9 +387,43 @@ def replay(
     ``backend``/``mode`` select the detector's tick path (see
     :class:`FleetFaultDetector`); ``backend="fused"`` with the default
     exact mode replays to byte-identical alert streams.
+
+    Robustness knobs:
+
+    * ``guard`` — ``True`` (or a :class:`~repro.service.guard.
+      GuardConfig`) wraps the detector in a
+      :class:`~repro.service.guard.GuardedDetector`: malformed bursts
+      are quarantined per node instead of crashing the loop, guard
+      events join the stream and every alert event carries the node's
+      ``health`` state.
+    * ``chaos`` — a :class:`~repro.service.chaos.ChaosConfig` perturbs
+      each tick's burst (drop/duplicate/reorder/corrupt) through the
+      deterministic injector; requires the guard (an unguarded detector
+      would crash on the injected faults, which is the point).
+    * ``checkpoint_path``/``checkpoint_every`` — snapshot the full
+      detector state every N ticks (see :mod:`repro.service.checkpoint`).
+      ``resume`` restores the snapshot first and replays only the
+      remaining ticks — byte-identical alert JSONL to an uninterrupted
+      run, with the checkpointed event prefix re-emitted into the fresh
+      sinks.  ``stop_after=k`` breaks out before processing tick ``k``
+      (the test harness's simulated crash).
     """
     if chunk < 1:
         raise ValueError("chunk must be >= 1")
+    if chaos is not None and not guard:
+        raise ValueError(
+            "chaos injection requires guard=True (an unguarded detector "
+            "crashes on injected faults)"
+        )
+    if (checkpoint_every or resume) and checkpoint_path is None:
+        raise ValueError(
+            "checkpoint_every/resume require a checkpoint_path"
+        )
+    if checkpoint_path is not None and not record_history:
+        raise ValueError(
+            "checkpointing requires record_history=True (the event "
+            "prefix is part of the snapshot)"
+        )
     detector = FleetFaultDetector(
         setup.trained,
         open_after=open_after,
@@ -382,24 +436,83 @@ def replay(
         mode=mode,
         max_chunk=chunk,
     )
+    guarded: GuardedDetector | None = None
+    if guard:
+        guarded = GuardedDetector(
+            detector,
+            config=guard if isinstance(guard, GuardConfig) else None,
+        )
+    injector = ChaosInjector(chaos) if chaos is not None else None
+    fingerprint = (
+        fleet_fingerprint(setup.trained)
+        if checkpoint_path is not None
+        else None
+    )
     events: list[dict] = []
     n_open = 0
     n_events = 0
+    start_lo = 0
+    if resume:
+        ckpt = load_checkpoint(checkpoint_path)
+        events, start_lo, n_events, n_open = restore_checkpoint(
+            ckpt,
+            detector,
+            fingerprint=fingerprint,
+            chunk=chunk,
+            guard=guarded,
+        )
+        for sink in sinks:  # replayed prefix → byte-identical sinks
+            for event in events:
+                sink.emit(event)
     horizon = max(m.shape[1] for m in setup.eval_data.values())
     start = time.perf_counter()
-    for lo in range(0, horizon, chunk):
+    for lo in range(start_lo, horizon, chunk):
+        ti = lo // chunk
+        if stop_after is not None and ti >= stop_after:
+            break
         burst = {
             p: m[:, lo : lo + chunk]
             for p, m in setup.eval_data.items()
             if lo < m.shape[1]
         }
-        for event in detector.process_block(burst):
+        deliveries = (
+            injector.deliveries(ti, burst)
+            if injector is not None
+            else ((ti, burst),)
+        )
+        tick_events: list[dict] = []
+        for tick_id, delivered in deliveries:
+            if guarded is not None:
+                tick_events.extend(
+                    guarded.process_block(delivered, tick=tick_id)
+                )
+            else:
+                tick_events.extend(detector.process_block(delivered))
+        for event in tick_events:
             n_events += 1
             n_open += event["event"] == "open"
             if record_history:
                 events.append(event)
             for sink in sinks:
                 sink.emit(event)
+        if (
+            checkpoint_every
+            and checkpoint_path is not None
+            and (ti + 1) % checkpoint_every == 0
+        ):
+            save_checkpoint(
+                checkpoint_path,
+                detector,
+                fingerprint=fingerprint,
+                chunk=chunk,
+                next_lo=lo + chunk,
+                events=events,
+                n_events=n_events,
+                n_alerts=n_open,
+                guard_state=(
+                    guarded.state_dict() if guarded is not None else None
+                ),
+            )
         if interval > 0.0:
             time.sleep(interval)
     replay_time = time.perf_counter() - start
@@ -421,4 +534,6 @@ def replay(
         alert_precision=precision,
         episode_recall=recall,
         replay_time_s=replay_time,
+        health=guarded.fleet_health() if guarded is not None else None,
+        chaos_stats=dict(injector.stats) if injector is not None else None,
     )

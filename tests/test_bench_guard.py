@@ -130,6 +130,22 @@ class TestServiceGuard:
             "(floor: 2x)"
         )
 
+    def test_guard_overhead_within_budget(self):
+        """Acceptance floor: the input-hardening guard costs <= 5% of
+        the unguarded 64-node tick at serving cadence.  (The guard keys
+        are durations/fractions, not ``*_speedup`` — the sweep below
+        deliberately doesn't see them.)"""
+        summary = _load_summary(SERVICE_SUMMARY_JSON)
+        assert "guard64_overhead_frac" in summary, (
+            "BENCH_service.json is missing the guard64_overhead_frac "
+            "headline (run pytest benchmarks -m slow -k guard)"
+        )
+        assert summary["guard64_overhead_frac"] <= 0.05, (
+            f"input-hardening guard costs "
+            f"{summary['guard64_overhead_frac']:.1%} of the unguarded "
+            "64-node tick (budget: 5%)"
+        )
+
     def test_no_service_speedup_below_one(self):
         summary = _load_summary(SERVICE_SUMMARY_JSON)
         speedups = {

@@ -13,6 +13,7 @@ import pytest
 from repro import cli
 from repro.service.model_store import (
     FLEET_MODEL_FORMAT,
+    ModelStoreError,
     load_fleet_npz,
     save_fleet_npz,
 )
@@ -138,6 +139,90 @@ class TestPrepareFleetModelPath:
         with pytest.raises(ValueError, match="manifest"):
             load_fleet_npz(bogus)
         assert FLEET_MODEL_FORMAT == "repro-fleet-model/v1"
+
+
+class TestCorruptArchives:
+    """Damaged model files are typed, diagnosable failures — never a raw
+    zipfile/numpy/JSON traceback, never silently corrupted models."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelStoreError) as exc_info:
+            load_fleet_npz(tmp_path / "nowhere.npz")
+        assert exc_info.value.field == "path"
+
+    def test_truncated_archive(self, saved, tmp_path):
+        raw = saved.read_bytes()
+        for frac in (0.25, 0.5, 0.9):
+            clipped = tmp_path / f"trunc_{frac}.npz"
+            clipped.write_bytes(raw[: int(len(raw) * frac)])
+            with pytest.raises(ModelStoreError) as exc_info:
+                load_fleet_npz(clipped)
+            assert exc_info.value.field is not None
+
+    def test_bit_flipped_archive(self, saved, tmp_path):
+        """Single flipped bits anywhere in the file must be *caught* —
+        the eager load path verifies each zip member's CRC-32."""
+        raw = bytearray(saved.read_bytes())
+        rng = np.random.default_rng(0)
+        caught = 0
+        for trial in range(8):
+            flipped = bytearray(raw)
+            # skip the first bytes (zip local header magic would just
+            # change the error site, which is fine too)
+            pos = int(rng.integers(64, len(raw) - 64))
+            flipped[pos] ^= 1 << int(rng.integers(0, 8))
+            mutant = tmp_path / f"flip_{trial}.npz"
+            mutant.write_bytes(bytes(flipped))
+            try:
+                load_fleet_npz(mutant)
+            except ModelStoreError:
+                caught += 1
+            # a flip in zip padding/slack may legitimately go unnoticed,
+            # but it must never raise anything other than ModelStoreError
+        assert caught >= 4, "most single-bit flips should be detected"
+
+    def test_garbage_file(self, tmp_path):
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(ModelStoreError) as exc_info:
+            load_fleet_npz(junk)
+        assert exc_info.value.field == "archive"
+
+    def test_mangled_manifest(self, saved, tmp_path):
+        import zipfile
+
+        mangled = tmp_path / "mangled.npz"
+        with zipfile.ZipFile(saved) as src, zipfile.ZipFile(
+            mangled, "w"
+        ) as dst:
+            for item in src.namelist():
+                data = src.read(item)
+                if item == "manifest.npy":
+                    data = data[:-8] + b"notjson}"
+                dst.writestr(item, data)
+        with pytest.raises(ModelStoreError) as exc_info:
+            load_fleet_npz(mangled)
+        assert exc_info.value.field == "manifest"
+
+    def test_missing_node_arrays(self, setup, tmp_path):
+        import zipfile
+
+        full = tmp_path / "full.npz"
+        save_fleet_npz(setup.trained, full)
+        gutted = tmp_path / "gutted.npz"
+        with zipfile.ZipFile(full) as src, zipfile.ZipFile(
+            gutted, "w"
+        ) as dst:
+            for item in src.namelist():
+                if item.startswith("node0_perm"):
+                    continue
+                dst.writestr(item, src.read(item))
+        with pytest.raises(ModelStoreError) as exc_info:
+            load_fleet_npz(gutted)
+        assert exc_info.value.field == "arrays"
+
+    def test_typed_error_is_a_value_error(self):
+        assert issubclass(ModelStoreError, ValueError)
 
 
 class TestDetectModelFlag:

@@ -234,3 +234,101 @@ class TestConsoleEntryPoint:
         with pytest.raises(SystemExit) as excinfo:
             cli.console_main()
         assert excinfo.value.code == 130
+
+
+class TestSinkFailureDegradation:
+    """A failing alert sink must never crash the tick loop: the JSONL
+    sink retries once through a fresh handle, then degrades to stderr
+    behind an explicit data-loss warning."""
+
+    def _failing_open(self, monkeypatch, fail_from: int):
+        """Make Path.open start failing from the Nth call onward."""
+        real_open = Path.open
+        calls = {"n": 0}
+
+        def flaky_open(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= fail_from:
+                raise OSError(28, "No space left on device")
+            return real_open(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "open", flaky_open)
+        return calls
+
+    def test_write_failure_retries_then_degrades(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        sink = JSONLAlertSink(tmp_path / "alerts.jsonl")
+
+        def exploding_write(line):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(sink._fh, "write", exploding_write)
+        # retry path also fails -> degrade
+        self._failing_open(monkeypatch, fail_from=1)
+        sink.emit({"event": "open", "node": "rack0/node00"})
+        err = capsys.readouterr().err
+        assert "failed twice" in err
+        assert "NOT written to disk" in err
+        assert '"node":"rack0/node00"' in err
+        # further events stream to stderr without raising
+        sink.emit({"event": "close", "node": "rack0/node00"})
+        assert '"event":"close"' in capsys.readouterr().err
+        sink.close()
+
+    def test_write_failure_recovers_via_retry(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        path = tmp_path / "alerts.jsonl"
+        sink = JSONLAlertSink(path)
+        first_fh = sink._fh
+
+        def exploding_write(line):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(first_fh, "write", exploding_write)
+        sink.emit({"event": "open", "node": "rack0/node00"})  # retry works
+        sink.emit({"event": "close", "node": "rack0/node00"})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "open"
+        assert capsys.readouterr().err == ""
+
+    def test_replay_survives_dead_sink(self, small_setup, monkeypatch, capsys, tmp_path):
+        """End to end: every sink write fails, the replay still finishes
+        and the events land on stderr."""
+        sink = JSONLAlertSink(tmp_path / "alerts.jsonl")
+
+        def exploding_write(line):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(sink._fh, "write", exploding_write)
+        self._failing_open(monkeypatch, fail_from=1)
+        outcome = replay(small_setup, chunk=200, sinks=[sink])
+        assert outcome.n_events == len(outcome.events) > 0
+        err = capsys.readouterr().err
+        assert "degraded" in err
+
+    def test_markdown_close_failure_renders_to_stderr(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        sink = MarkdownAlertSink(tmp_path / "summary.md")
+        sink.emit({"event": "open", "node": "rack0/node00", "window": 3,
+                   "label": "leak", "confidence": 0.9})
+
+        import repro.experiments.reporting as reporting
+
+        def exploding_save(*a, **k):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(reporting, "save_markdown", exploding_save)
+        sink.close()  # must not raise
+        err = capsys.readouterr().err
+        assert "failed" in err and "rack0/node00" in err
+
+    def test_emit_after_close_still_raises(self, tmp_path):
+        sink = JSONLAlertSink(tmp_path / "alerts.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"event": "open"})
