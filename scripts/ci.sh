@@ -57,6 +57,23 @@ done
 echo "== chaos scenario smoke (seeded faults + kill-and-restore) =="
 python -m repro run fleet-detect-chaos --smoke --cache-dir "$SMOKE_DIR/cache"
 
+echo "== telemetry store smoke: replay-from-store must match live =="
+# Record the smoke window into a repro-telestore/v1 store, replay it
+# through both backends, and the alert JSONL must equal live guarded
+# ingestion of the same feed — byte for byte.
+python -m repro store record "$SMOKE_DIR/telestore" --smoke \
+    --cache-dir "$SMOKE_DIR/cache"
+python -m repro store verify "$SMOKE_DIR/telestore"
+python -m repro detect --smoke --cache-dir "$SMOKE_DIR/cache" \
+    --from-store "$SMOKE_DIR/telestore" \
+    --alerts "$SMOKE_DIR/store_staged.jsonl"
+python -m repro detect --smoke --cache-dir "$SMOKE_DIR/cache" \
+    --from-store "$SMOKE_DIR/telestore" --backend fused \
+    --alerts "$SMOKE_DIR/store_fused.jsonl"
+cmp "$SMOKE_DIR/staged.jsonl" "$SMOKE_DIR/store_staged.jsonl"
+cmp "$SMOKE_DIR/staged.jsonl" "$SMOKE_DIR/store_fused.jsonl"
+python -m repro run fleet-replay --smoke --cache-dir "$SMOKE_DIR/cache"
+
 # Lint runs when ruff is available; the lint job in GitHub Actions is
 # authoritative.  Installing ruff needs network access, so offline
 # containers simply skip this step.

@@ -22,6 +22,12 @@ Subcommands
     The same fleet served *live*: bursts are ingested tick by tick and
     alert events stream to stdout the moment they fire (Ctrl-C exits
     cleanly with status 130).
+``repro store``
+    The columnar telemetry store (``repro-telestore/v1``): ``record`` a
+    fleet's held-out feed into a time-partitioned on-disk store, then
+    ``stat``/``verify``/``compact``/``prune`` it.  ``repro detect
+    --from-store DIR`` replays a recorded window through the detector at
+    max speed with byte-identical alert JSONL to live ingestion.
 """
 
 from __future__ import annotations
@@ -308,6 +314,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     )
     from repro.service.replay import replay
 
+    if args.from_store and (args.checkpoint or args.resume):
+        _status("error: --from-store and --checkpoint/--resume are exclusive")
+        return 2
     setup, params, context = _build_service_setup(args)
     sinks = []
     if args.alerts:
@@ -316,25 +325,44 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         sinks.append(StreamAlertSink(sys.stdout))
     if args.markdown:
         sinks.append(MarkdownAlertSink(args.markdown))
-    outcome = replay(
-        setup,
-        chunk=int(params["chunk"]),
-        open_after=int(params["open_after"]),
-        close_after=int(params["close_after"]),
-        min_confidence=float(params["min_confidence"]),
-        top_blocks=int(params["top_blocks"]),
-        shards=args.shards,
-        sinks=sinks,
-        backend=args.backend,
-        mode=args.mode,
-        guard=not args.no_guard,
-        checkpoint_path=args.checkpoint,
-        checkpoint_every=(
-            int(args.checkpoint_every) if args.checkpoint else 0
-        ),
-        resume=args.resume,
-        stop_after=args.stop_after,
-    )
+    if args.from_store:
+        from repro.service.fastreplay import replay_from_store
+
+        outcome = replay_from_store(
+            setup,
+            args.from_store,
+            t0=args.t0,
+            t1=args.t1,
+            open_after=int(params["open_after"]),
+            close_after=int(params["close_after"]),
+            min_confidence=float(params["min_confidence"]),
+            top_blocks=int(params["top_blocks"]),
+            shards=args.shards,
+            backend=args.backend,
+            mode=args.mode,
+            stamp_health=False if args.no_guard else None,
+            sinks=sinks,
+        )
+    else:
+        outcome = replay(
+            setup,
+            chunk=int(params["chunk"]),
+            open_after=int(params["open_after"]),
+            close_after=int(params["close_after"]),
+            min_confidence=float(params["min_confidence"]),
+            top_blocks=int(params["top_blocks"]),
+            shards=args.shards,
+            sinks=sinks,
+            backend=args.backend,
+            mode=args.mode,
+            guard=not args.no_guard,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=(
+                int(args.checkpoint_every) if args.checkpoint else 0
+            ),
+            resume=args.resume,
+            stop_after=args.stop_after,
+        )
     row = outcome.row(f"{args.segment}-fleet-{setup.n_nodes}")
     _status(
         format_table(
@@ -408,6 +436,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Columnar telemetry store (repro store ...)
+# ----------------------------------------------------------------------
+def _cmd_store_record(args: argparse.Namespace) -> int:
+    from repro.service.fastreplay import record_fleet
+
+    setup, params, _ = _build_service_setup(args)
+    store = record_fleet(
+        setup,
+        args.root,
+        partition_ticks=int(args.partition_ticks),
+        chunk=int(params["chunk"]),
+        guarded=not args.no_guard,
+    )
+    _status(
+        f"[store] recorded {store.ticks} ticks x {len(store.paths)} nodes "
+        f"into {len(store.partitions)} partition(s) at {store.root} "
+        f"({store.nbytes / 1e6:.1f} MB)"
+    )
+    return 0
+
+
+def _cmd_store_stat(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.monitoring.telestore import TeleStore
+
+    print(json.dumps(TeleStore(args.root).stat(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.monitoring.telestore import TeleStore, TeleStoreError
+
+    store = TeleStore(args.root)
+    try:
+        checked = store.verify()
+    except TeleStoreError as exc:
+        _status(f"error: {exc}")
+        return 1
+    _status(f"[store] verified {checked} partition(s): all content hashes ok")
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from repro.monitoring.telestore import TeleStore
+
+    store = TeleStore(args.root)
+    merged = store.compact(args.target_ticks)
+    _status(
+        f"[store] compacted {merged} partition(s) away; "
+        f"{len(store.partitions)} remain"
+    )
+    return 0
+
+
+def _cmd_store_prune(args: argparse.Namespace) -> int:
+    from repro.monitoring.telestore import RetentionError, TeleStore
+
+    store = TeleStore(args.root)
+    try:
+        dropped = store.prune(
+            keep_last=int(args.keep_last), checkpoints=args.checkpoint or ()
+        )
+    except RetentionError as exc:
+        _status(f"error: {exc}")
+        return 1
+    _status(
+        f"[store] pruned {dropped} partition(s); "
+        f"[{store.t0}, {store.t1}) retained"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Benchmark runner (repro bench)
 # ----------------------------------------------------------------------
 #: The benchmark files that refresh ``results/*.csv`` + ``BENCH_*.json``.
@@ -418,6 +520,7 @@ BENCH_SUITES: dict[str, str] = {
     "service": "test_service_scaling.py",
     "datagen": "test_datagen_scaling.py",
     "tick": "test_tick_hotpath.py",
+    "store": "test_store_scaling.py",
 }
 
 
@@ -553,6 +656,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop before processing this tick index (simulated crash "
         "for checkpoint drills)",
     )
+    p_detect.add_argument(
+        "--from-store", default=None, metavar="DIR",
+        help="replay a recorded telemetry store (see `repro store "
+        "record`) instead of the live feed: partition-sized blocks "
+        "stream into the detector at max speed, alert JSONL "
+        "byte-identical to live ingestion of the same window",
+    )
+    p_detect.add_argument(
+        "--t0", type=int, default=None,
+        help="first store tick to replay (default: store start; scored "
+        "windows need --t0 aligned to the window stride)",
+    )
+    p_detect.add_argument(
+        "--t1", type=int, default=None,
+        help="replay up to this store tick, exclusive (default: store end)",
+    )
     p_detect.set_defaults(func=_cmd_detect)
 
     p_serve = sub.add_parser(
@@ -567,6 +686,69 @@ def build_parser() -> argparse.ArgumentParser:
         "pacing; default 0 = as fast as possible)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_store = sub.add_parser(
+        "store",
+        help="record and manage the columnar telemetry store "
+        "(repro-telestore/v1)",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_record = store_sub.add_parser(
+        "record",
+        help="record a fleet's held-out feed into a new store directory",
+    )
+    p_record.add_argument("root", help="store directory to create")
+    _add_service_options(p_record)
+    p_record.add_argument(
+        "--partition-ticks", type=int, default=1024,
+        help="ticks per immutable partition file (default 1024)",
+    )
+    p_record.set_defaults(func=_cmd_store_record)
+
+    p_stat = store_sub.add_parser(
+        "stat", help="print the store manifest + partition index as JSON"
+    )
+    p_stat.add_argument("root", help="store directory")
+    p_stat.set_defaults(func=_cmd_store_stat)
+
+    p_verify = store_sub.add_parser(
+        "verify",
+        help="recompute every partition's SHA-256 content hash against "
+        "the index (catches bit rot and truncation)",
+    )
+    p_verify.add_argument("root", help="store directory")
+    p_verify.set_defaults(func=_cmd_store_verify)
+
+    p_compact = store_sub.add_parser(
+        "compact",
+        help="merge adjacent small partitions (crash-safe: new files "
+        "first, index flip second, unlink last)",
+    )
+    p_compact.add_argument("root", help="store directory")
+    p_compact.add_argument(
+        "--target-ticks", type=int, default=None,
+        help="merged partition size (default: the store's partition_ticks)",
+    )
+    p_compact.set_defaults(func=_cmd_store_compact)
+
+    p_prune = store_sub.add_parser(
+        "prune",
+        help="drop the oldest partitions; refuses (typed error) to drop "
+        "data a detector checkpoint still references",
+    )
+    p_prune.add_argument("root", help="store directory")
+    p_prune.add_argument(
+        "--keep-last", type=int, required=True,
+        help="number of newest partitions to retain",
+    )
+    p_prune.add_argument(
+        "--checkpoint", action="append", default=None,
+        help="detector checkpoint .npz whose resume point must stay "
+        "replayable (repeatable; <root>/checkpoints/*.npz are always "
+        "respected)",
+    )
+    p_prune.set_defaults(func=_cmd_store_prune)
 
     p_bench = sub.add_parser(
         "bench",

@@ -166,23 +166,54 @@ class _ForestWorkspace:
         thr, gl = self._thr[:N], self._gl[:N]
         xb = self._row_off[:N]
         x_flat = X.reshape(-1)
+        cv = cur[:N]
+        act = cur_a = xb_a = None
         for _ in range(self.depth):
-            cv = cur[:N]
-            # Once every pair sits on a (self-looping) leaf the
-            # remaining levels are no-ops — typical batches finish well
-            # above the forest's worst-case depth.
-            self.leaf_mask.take(cv, out=gl)
-            if gl.all():
-                break
-            self.feat_safe.take(cv, out=f)
-            np.add(f, xb, out=f)
-            x_flat.take(f, out=xv)
-            self.threshold.take(cv, out=thr)
-            np.less_equal(xv, thr, out=gl)
-            self.left_loop.take(cv, out=nl[:N])
-            self.right_loop.take(cv, out=nr[:N])
-            np.copyto(nr[:N], nl[:N], where=gl)
-            cur, nr = nr, cur
+            if act is None:
+                # Full-width levels: every lane steps in place.  Leaves
+                # self-loop, so finished lanes are no-ops — but past the
+                # forest's typical depth most lanes ARE finished, and
+                # full-width passes pay for all of them.
+                self.leaf_mask.take(cv, out=gl)
+                n_act = N - np.count_nonzero(gl)
+                if n_act == 0:
+                    break
+                if n_act * 2 > N:
+                    self.feat_safe.take(cv, out=f)
+                    np.add(f, xb, out=f)
+                    x_flat.take(f, out=xv)
+                    self.threshold.take(cv, out=thr)
+                    np.less_equal(xv, thr, out=gl)
+                    self.left_loop.take(cv, out=nl[:N])
+                    self.right_loop.take(cv, out=nr[:N])
+                    np.copyto(nr[:N], nl[:N], where=gl)
+                    cur, nr = nr, cur
+                    cv = cur[:N]
+                    continue
+                # Under half the lanes still walking: switch to a
+                # compacted active set — the deep tail of the walk
+                # costs per *active* lane, not per lane.  The walk
+                # itself is unchanged (same nodes, same comparisons),
+                # so the leaves — and everything downstream — are
+                # identical.
+                act = np.flatnonzero(~gl)
+                cur_a = cv[act]
+                xb_a = xb[act]
+            f_a = self.feat_safe[cur_a]
+            np.add(f_a, xb_a, out=f_a)
+            gle = x_flat[f_a] <= self.threshold[cur_a]
+            step = self.right_loop[cur_a]
+            np.copyto(step, self.left_loop[cur_a], where=gle)
+            cur_a = step
+            done = self.leaf_mask[cur_a]
+            if done.any():
+                cv[act[done]] = cur_a[done]
+                keep = ~done
+                act = act[keep]
+                cur_a = cur_a[keep]
+                xb_a = xb_a[keep]
+                if act.size == 0:
+                    break
         self._cur, self._nl, self._nr = cur, nl, nr
         leaves = cur[:N].reshape(k, self.n_trees)
         acc, scr = self._acc[:k], self._scr[:k]
@@ -260,6 +291,10 @@ class _GroupState:
         self.refsnap = np.empty((c, self.kmax, n), dtype=dtype)
         self.seq = np.empty((c, n, self.max_m + 1), dtype=dtype)
         self.rows = np.empty((c, self.kmax, n), dtype=dtype)
+        #: Second rows buffer for the block kernel: derivative windows
+        #: are computed *before* the in-place cumsum destroys the staged
+        #: normalized columns, so they need their own landing area.
+        self.drows = np.empty((c, self.kmax, n), dtype=dtype)
         self.psum = np.empty((c, self.kmax, n + 1), dtype=dtype)
         self.sig = np.empty((c, self.kmax, self.l), dtype=dtype)
         self.sig2 = np.empty((c, self.kmax, self.l), dtype=dtype)
@@ -267,6 +302,35 @@ class _GroupState:
         self.stage = (
             np.empty((n, self.max_m)) if dtype != np.float64 else None
         )
+        #: Block-path staging for the float64 kernel, *time-major*: one
+        #: node's gathered burst ``(m, n)`` plus its prefix sums
+        #: ``(m+1, n)``.  Store planes are column-major ``(n, ticks)``,
+        #: so their transpose is C-contiguous time-major — gathers read
+        #: contiguous tick-columns, the cumsum runs down axis 0 with
+        #: SIMD across sensors, and the whole burst stays cache-resident
+        #: through normalize/derivative/window sweeps instead of five
+        #: full-group RAM passes.  ``block_rows`` is the row-major
+        #: landing pad for C-ordered (non-store) block sources.
+        if dtype == np.float64:
+            self.block_stage = np.empty((self.max_m, n))
+            self.block_psum = np.empty((self.max_m + 1, n))
+            self.block_rows = np.empty((n, self.max_m))
+        else:
+            self.block_stage = self.block_psum = self.block_rows = None
+        # Pre-fault the tick scratches: at partition-sized ``max_m`` the
+        # ``seq`` staging area alone spans tens of MB, and first-touch
+        # page faults inside the first fused burst cost an order of
+        # magnitude more than this one-time streaming fill at build time.
+        for scratch in (
+            self.pending_buf, self.refsnap, self.seq, self.rows,
+            self.drows, self.psum, self.sig, self.sig2,
+        ):
+            scratch.fill(0)
+        for opt in (
+            self.stage, self.block_stage, self.block_psum, self.block_rows,
+        ):
+            if opt is not None:
+                opt.fill(0)
         self.shared_view = _SharedFifo(self)
         self.node_views: list[_NodeFifo] | None = None
 
@@ -298,11 +362,16 @@ class _GroupState:
     def scratch_nbytes(self) -> int:
         total = (
             self.refsnap.nbytes + self.seq.nbytes + self.rows.nbytes
-            + self.psum.nbytes + self.sig.nbytes + self.sig2.nbytes
-            + self.base_scratch.nbytes
+            + self.drows.nbytes + self.psum.nbytes + self.sig.nbytes
+            + self.sig2.nbytes + self.base_scratch.nbytes
         )
         if self.stage is not None:
             total += self.stage.nbytes
+        if self.block_stage is not None:
+            total += (
+                self.block_stage.nbytes + self.block_psum.nbytes
+                + self.block_rows.nbytes
+            )
         return total
 
 
@@ -374,7 +443,11 @@ class TickArena:
     max_chunk:
         Largest burst length the arenas are sized for; longer bursts are
         split into ``max_chunk`` sub-bursts, which is output-identical
-        (``push_block`` composes exactly).
+        (``push_block`` composes exactly).  Scratch memory scales with
+        it: serving loops keep the default, the store replayer passes
+        its partition/block size so whole recorded partitions absorb in
+        one fused pass (sub-bursts beyond the ``wl + 1`` ring capacity
+        run the seq-staged block kernel — still bit-identical).
     paths:
         Optional subset of the engine's nodes; defaults to all of them.
     """
@@ -420,10 +493,11 @@ class TickArena:
         by_n: dict[int, list[str]] = {}
         for p in wanted:
             by_n.setdefault(engine.model(p).n_sensors, []).append(p)
-        # Sub-bursts are capped at ``wl + 1`` columns so every column of
-        # a sub-burst owns a distinct ring position (normalization runs
-        # in place inside the ring); longer bursts compose exactly.
-        sub_burst = min(self.max_chunk, self.wl + 1)
+        # Scratch is sized for full ``max_chunk`` sub-bursts: up to
+        # ``wl + 1`` columns the in-ring kernel runs (every column owns
+        # a distinct ring position), longer sub-bursts take the
+        # seq-staged block kernel — both bit-identical, so callers pick
+        # ``max_chunk`` purely as a burst-capacity/memory trade-off.
         self.groups = [
             _GroupState(
                 ps,
@@ -431,7 +505,7 @@ class TickArena:
                 self.blocks,
                 self.wl,
                 self.ws,
-                sub_burst,
+                self.max_chunk,
                 self.dtype,
             )
             for _, ps in sorted(by_n.items())
@@ -657,7 +731,7 @@ class TickArena:
                     B_sub = [
                         blocks[p][:, lo : lo + g.max_m] for _, p in present
                     ]
-                    off += self._absorb(
+                    off += self._feed(
                         g, slice(0, g.c), fifo, B_sub, feat3, qfeat3, off
                     )
                 row = hi
@@ -680,7 +754,7 @@ class TickArena:
                     fifo = g.node_views[i]
                     off = 0
                     for lo in range(0, B.shape[1], g.max_m):
-                        off += self._absorb(
+                        off += self._feed(
                             g,
                             slice(i, i + 1),
                             fifo,
@@ -703,6 +777,22 @@ class TickArena:
         return out
 
     # ------------------------------------------------------------------
+    def _feed(self, g, sl, fifo, node_blocks, feat3, qfeat3, off) -> int:
+        """Route one sub-burst to the right fused kernel.
+
+        Up to ``wl + 1`` columns every column owns a distinct ring slot,
+        so normalization can run in place inside the ring
+        (:meth:`_absorb` — the serving-cadence path, untouched by block
+        feeds).  Longer sub-bursts stage their normalized columns in the
+        ``seq`` scratch instead (:meth:`_absorb_block` — the store
+        replayer's whole-partition path).  Both kernels execute the same
+        floating-point operations in the same association order, so the
+        routing never changes a single output bit.
+        """
+        if node_blocks[0].shape[1] <= g.size:
+            return self._absorb(g, sl, fifo, node_blocks, feat3, qfeat3, off)
+        return self._absorb_block(g, sl, fifo, node_blocks, feat3, qfeat3, off)
+
     def _absorb(self, g, sl, fifo, node_blocks, feat3, qfeat3, off) -> int:
         """One fused sub-burst for the nodes ``sl`` of group ``g``.
 
@@ -831,6 +921,249 @@ class TickArena:
             g.anchors[sl] = total
         return k
 
+    def _absorb_block(self, g, sl, fifo, node_blocks, feat3, qfeat3, off) -> int:
+        """One fused sub-burst of *arbitrary* length (up to ``g.max_m``).
+
+        The block-feed twin of :meth:`_absorb`: normalized columns are
+        staged in the ``seq`` scratch instead of the ring, so the burst
+        length is not capped by the ring's ``wl + 1`` slots — a whole
+        telemetry-store partition absorbs in one pass (one cumsum, one
+        window sweep, one forest batch).  Every numbered step reuses the
+        exact operation its in-ring twin runs, merely reading the
+        normalized columns from the staging area, so the output is
+        bit-identical column for column.
+        """
+        m = node_blocks[0].shape[1]
+        t0 = int(g.counts[sl.start])
+        total = t0 + m
+        size = g.size
+        k_lo = max(0, -(-(t0 + 1 - g.wl) // g.ws))
+        k_hi = (total - g.wl) // g.ws
+        k = max(0, k_hi - k_lo + 1)
+        seq = g.seq[sl, :, : m + 1]
+        cols = seq[:, :, 1:]  # (c, n, m) staged normalized columns
+        perm = g.perm
+        i = sl.start
+        # Ring-refresh geometry (step 3): the staged tail — the last
+        # ``size`` columns (or all of them for shorter bursts), each at
+        # its ``t % size`` slot, at most two contiguous runs around the
+        # wrap point.  Future bursts then see exactly the state a chain
+        # of in-ring sub-bursts would have left.
+        rstart = max(t0, total - size)
+        kcols = total - rstart
+        p0 = rstart % size
+        first = min(size - p0, kcols)
+        first_start = -(-t0 // g.ws) * g.ws
+        if g.stage is None:
+            # Steps 1-6 fused into one *time-major* pass per node:
+            # gather, normalize, derivative rows, ring refresh, prefix
+            # sums, value rows and pending snapshots all touch one
+            # node's burst while it is cache-resident, instead of five
+            # full-slab RAM sweeps (the group ``seq`` slab is never
+            # materialized — only single prefix-sum rows leave the
+            # cache).  Store planes are column-major, so their transpose
+            # is C-contiguous time-major: gathers read contiguous
+            # tick-columns and the cumsum runs down axis 0 with SIMD
+            # across sensors.  Every operation is elementwise (or a
+            # sensor-independent cumsum) with per-node operands
+            # identical to the group-wide form — IEEE addition is
+            # commutative, so seeding the first tick with the running
+            # sum reproduces the chained cumsum bit for bit.  FIFO pops
+            # and pushes are hoisted out of the node loop in window
+            # order — exactly the order the group-wide sweep issues
+            # them; each node reads its popped rows before writing its
+            # pushed rows, so slot reuse is safe.
+            if k:
+                cnts = g.wl + (k_lo + np.arange(k)) * g.ws
+                starts = cnts - g.wl
+                end_idx = cnts - t0
+                dv_idx = end_idx - 1
+                refs = np.where(starts > 0, starts - 1, starts)
+                from_st = refs >= t0
+                st_ref = (refs - t0)[from_st]
+                ring_ref = (refs % size)[~from_st]
+                from_seq = starts >= t0
+                seq_start = (starts - t0)[from_seq]
+                pend = [
+                    (idx, fifo.pop(int(starts[idx])))
+                    for idx in range(k)
+                    if starts[idx] < t0
+                ]
+            pushes = [
+                (s - t0, fifo.push(s))
+                for s in range(first_start, total, g.ws)
+                if s + g.wl > total
+            ]
+            tT = g.block_stage[:m]
+            sT = g.block_psum[: m + 1]
+            for j, B in enumerate(node_blocks):
+                a = i + j
+                # 1. Gather into sorted row order, time-major.
+                if B.flags.f_contiguous:
+                    np.take(B.T, perm[a], axis=1, out=tT)
+                else:
+                    rows = g.block_rows[:, :m]
+                    np.take(B, perm[a], axis=0, out=rows)
+                    tT[...] = rows.T
+                # 2. Min-max normalize (the batched _normalize).
+                np.subtract(tT, g.lower[a].T, out=tT)
+                np.divide(tT, g.span[a].T, out=tT)
+                if g.deg_any:
+                    np.copyto(tT, 0.5, where=g.deg_mask[a].T)
+                np.clip(tT, 0.0, 1.0, out=tT)
+                if k:
+                    # 3. Derivative rows need the raw normalized
+                    #    columns; references predating the burst still
+                    #    sit untouched in the ring (refreshed in 4).
+                    refsnap = g.refsnap[a, :k, :]
+                    refsnap[from_st] = tT[st_ref]
+                    refsnap[~from_st] = g.ring[a].T[ring_ref]
+                    drows = g.drows[a, :k, :]
+                    np.subtract(tT[dv_idx], refsnap, out=drows)
+                    np.divide(drows, g.wl, out=drows)
+                # 4. Ring refresh from the staged tail.
+                g.ring[a, :, p0 : p0 + first] = tT[
+                    rstart - t0 : rstart - t0 + first
+                ].T
+                if kcols > first:
+                    g.ring[a, :, : kcols - first] = tT[
+                        rstart - t0 + first :
+                    ].T
+                # 5. Sequential prefix sums continuing the running sum
+                #    (same left-to-right association as repeated
+                #    push(): the first tick absorbs the running sum,
+                #    then cumsum walks down the time axis).
+                np.add(tT[0], g.csum[a], out=tT[0])
+                sT[0] = g.csum[a]
+                np.cumsum(tT, axis=0, out=sT[1:])
+                if k:
+                    # 6a. Value rows from the still-warm prefix sums.
+                    vstart = refsnap  # drows already materialized
+                    vstart[from_seq] = sT[seq_start]
+                    for idx, slab in pend:
+                        vstart[idx] = slab[j]
+                    rows = g.rows[a, :k, :]
+                    np.subtract(sT[end_idx], vstart, out=rows)
+                    np.divide(rows, g.wl, out=rows)
+                # 6b. Pending snapshots + running sum for the next burst.
+                for s_rel, slab in pushes:
+                    slab[j] = sT[s_rel]
+                g.csum[a] = sT[m]
+            if k:
+                # 7. Reduce + store: value rows, then derivative rows.
+                self._reduce(g, sl, g.rows[sl, :k, :], k)
+                self._store(
+                    g, feat3[:, off : off + k, : g.l],
+                    None if qfeat3 is None else qfeat3[:, off : off + k, : g.l],
+                    k, sl, True,
+                )
+                self._reduce(g, sl, g.drows[sl, :k, :], k)
+                self._store(
+                    g, feat3[:, off : off + k, g.l :],
+                    None if qfeat3 is None else qfeat3[:, off : off + k, g.l :],
+                    k, sl, False,
+                )
+                g.emitted[sl] += k
+            g.counts[sl] = total
+            if total - int(g.anchors[sl.start]) >= self._reanchor_every:
+                basebuf = g.base_scratch[sl]
+                basebuf[...] = g.csum[sl]
+                np.subtract(g.csum[sl], basebuf, out=g.csum[sl])
+                for snap in fifo.views():
+                    np.subtract(snap, basebuf, out=snap)
+                g.anchors[sl] = total
+            return k
+        else:
+            # Quantized/float32 arenas normalize in the group dtype
+            # *after* the staged float64 gather lands in ``cols`` —
+            # fusing into the float64 stage would change the rounding
+            # story — so they keep the group-wide sweeps.
+            # 1. Gather + normalize.
+            st = g.stage[:, :m]
+            for j, B in enumerate(node_blocks):
+                B.take(perm[i + j], axis=0, out=st)
+                cols[j] = st
+            np.subtract(cols, g.lower[sl], out=cols)
+            np.divide(cols, g.span[sl], out=cols)
+            if g.deg_any:
+                np.copyto(cols, 0.5, where=g.deg_mask[sl])
+            np.clip(cols, 0.0, 1.0, out=cols)
+            # 2. Derivative windows first: they need raw normalized
+            #    columns, which the in-place cumsum of step 4
+            #    overwrites; references predating this burst still sit
+            #    untouched in the ring (only refreshed in step 3).
+            if k:
+                drows = g.drows[sl, :k, :]
+                for idx in range(k):
+                    cnt = g.wl + (k_lo + idx) * g.ws
+                    s = cnt - g.wl
+                    ref = s - 1 if s > 0 else s
+                    ref_col = (
+                        cols[:, :, ref - t0]
+                        if ref >= t0
+                        else g.ring[sl, :, ref % size]
+                    )
+                    np.subtract(
+                        cols[:, :, cnt - 1 - t0], ref_col,
+                        out=drows[:, idx, :],
+                    )
+                np.divide(drows, g.wl, out=drows)
+            # 3. Ring refresh from the staged tail.
+            g.ring[sl, :, p0 : p0 + first] = cols[
+                :, :, rstart - t0 : rstart - t0 + first
+            ]
+            if kcols > first:
+                g.ring[sl, :, : kcols - first] = cols[
+                    :, :, rstart - t0 + first :
+                ]
+            # 4. Sequential prefix sums continuing the running sum, in
+            #    place over the staged columns (same association as
+            #    repeated push(): cumsum left to right).
+            seq[:, :, 0] = g.csum[sl]
+            seq.cumsum(axis=2, out=seq)
+            # 5. Emits due inside this burst: value means from the
+            #    prefix sums (pending starts pop from the FIFO in the
+            #    same order the in-ring kernel pops them), then the
+            #    precomputed derivative rows.
+            if k:
+                rows = g.rows[sl, :k, :]
+                for idx in range(k):
+                    cnt = g.wl + (k_lo + idx) * g.ws
+                    s = cnt - g.wl
+                    start_cs = seq[:, :, s - t0] if s >= t0 else fifo.pop(s)
+                    np.subtract(
+                        seq[:, :, cnt - t0], start_cs, out=rows[:, idx, :]
+                    )
+                np.divide(rows, g.wl, out=rows)
+                self._reduce(g, sl, rows, k)
+                self._store(
+                    g, feat3[:, off : off + k, : g.l],
+                    None if qfeat3 is None else qfeat3[:, off : off + k, : g.l],
+                    k, sl, True,
+                )
+                self._reduce(g, sl, g.drows[sl, :k, :], k)
+                self._store(
+                    g, feat3[:, off : off + k, g.l :],
+                    None if qfeat3 is None else qfeat3[:, off : off + k, g.l :],
+                    k, sl, False,
+                )
+                g.emitted[sl] += k
+        # 6. Queue snapshots for windows completing after this burst.
+        for s in range(first_start, total, g.ws):
+            if s + g.wl > total:
+                fifo.push(s)[...] = seq[:, :, s - t0]
+        # 7. Advance retained state (ring already refreshed in step 3).
+        g.csum[sl] = seq[:, :, m]
+        g.counts[sl] = total
+        if total - int(g.anchors[sl.start]) >= self._reanchor_every:
+            basebuf = g.base_scratch[sl]
+            basebuf[...] = g.csum[sl]
+            np.subtract(g.csum[sl], basebuf, out=g.csum[sl])
+            for snap in fifo.views():
+                np.subtract(snap, basebuf, out=snap)
+            g.anchors[sl] = total
+        return k
+
     def _reduce(self, g, sl, rows, k) -> None:
         """Block reduction (the batched ``segment_means``) into ``g.sig``."""
         ps = g.psum[sl, :k, :]
@@ -838,8 +1171,10 @@ class TickArena:
         rows.cumsum(axis=2, out=ps[:, :, 1:])
         sig = g.sig[sl, :k, :]
         lo = g.sig2[sl, :k, :]
-        ps.take(g.bends, axis=2, out=sig)
-        ps.take(g.bstarts, axis=2, out=lo)
+        # Fancy-index gathers: ``take`` into these non-contiguous
+        # (sl, :k) views runs through numpy's buffered fallback.
+        sig[...] = ps[:, :, g.bends]
+        lo[...] = ps[:, :, g.bstarts]
         np.subtract(sig, lo, out=sig)
         np.divide(sig, g.widths, out=sig)
 

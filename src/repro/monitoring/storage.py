@@ -165,14 +165,46 @@ def load_segment(root: str | Path) -> SegmentData:
 _NPZ_FORMAT = "hpc-oda-segment-npz/v1"
 
 
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry to disk (no-op where unsupported).
+
+    ``os.replace`` makes the rename atomic against concurrent readers,
+    but only an fsync of the *parent directory* makes it durable: until
+    then a power loss can roll the directory back to the old entry — or,
+    worse, to a state where neither name exists.  Platforms that cannot
+    open directories (Windows) skip silently; rename durability is a
+    best-effort there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def atomic_savez(path: Path, **arrays: np.ndarray) -> None:
-    """``np.savez`` via temp file + rename: readers never see a partial
-    archive (shared by the segment format and the artifact cache)."""
+    """``np.savez`` via temp file + fsync + rename + directory fsync.
+
+    Readers never see a partial archive (shared by the segment format,
+    the artifact cache, detector checkpoints and the telemetry store),
+    and the write is *durable*: the temp file is fsynced before
+    ``os.replace`` (so the renamed entry can never point at unflushed
+    data) and the parent directory is fsynced after it (so a crash
+    cannot roll back the rename and leave a torn partition behind a
+    completed compaction).
+    """
+    path = Path(path)
     tmp = path.with_name(path.name + f".tmp{os.getpid()}")
     try:
         with open(tmp, "wb") as fh:
             np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
     finally:
         if tmp.exists():  # failed write: don't litter the directory
             tmp.unlink()

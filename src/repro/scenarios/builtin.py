@@ -439,6 +439,35 @@ FLEET_DETECT_CHAOS = register(ScenarioSpec(
     }),
 ))
 
+FLEET_REPLAY = register(ScenarioSpec(
+    name="fleet-replay",
+    kind="fleet-replay",
+    title="Telemetry store replay — byte-identical, faster than live",
+    description="The fleet-detect feed recorded into a repro-telestore/v1 "
+    "columnar store and replayed from disk at max speed (partition-sized "
+    "blocks into the fused arena): alert JSONL byte-identical to guarded "
+    "live ingestion on every backend, wall-clock reported as speedup",
+    datasets=_fault_fleet(4, t=6000),
+    evaluation=pairs({
+        "blocks": 20,
+        "trees": 30,
+        "train_frac": 0.5,
+        "chunk": 256,
+        "open_after": 2,
+        "close_after": 2,
+        "seed": 0,
+        "partition_ticks": 1024,
+        "backends": ("fused", "staged"),
+    }),
+    tags=("extra", "service", "fleet", "perf", "store"),
+    smoke=pairs({
+        "datasets": _SMOKE_FLEET,
+        "evaluation": {"blocks": 8, "trees": 6, "chunk": 200,
+                       "partition_ticks": 400,
+                       "backends": ("fused",)},
+    }),
+))
+
 CROSSARCH_LENGTHS = register(ScenarioSpec(
     name="crossarch-lengths",
     kind="grid",
@@ -465,5 +494,6 @@ EXTRA_SCENARIOS: tuple[ScenarioSpec, ...] = (
     FLEET_DETECT,
     FLEET_DETECT_SCALE,
     FLEET_DETECT_NOISE,
+    FLEET_REPLAY,
     CROSSARCH_LENGTHS,
 )

@@ -32,6 +32,7 @@ from repro.scenarios.spec import ScenarioSpec
 __all__ = [
     "FLEET_CHAOS_HEADERS",
     "FLEET_DETECT_HEADERS",
+    "FLEET_REPLAY_HEADERS",
     "GRID_HEADERS",
     "LENGTH_SWEEP_HEADERS",
     "TIMING_HEADERS",
@@ -85,6 +86,19 @@ FLEET_DETECT_HEADERS: tuple[str, ...] = (
     "Recall",
     "Replay [s]",
     "Win/s",
+)
+
+#: Columns of the store-replay equivalence drills (fleet-replay).
+FLEET_REPLAY_HEADERS: tuple[str, ...] = (
+    "Run",
+    "Nodes",
+    "Windows",
+    "Alerts",
+    "Window acc",
+    "Replay [s]",
+    "Win/s",
+    "Speedup",
+    "Identical",
 )
 
 #: Columns of the chaos-injection robustness drills (fleet-detect-chaos).
@@ -571,6 +585,123 @@ def _run_fleet_detect(
         title=spec.title,
         headers=FLEET_DETECT_HEADERS,
         rows=rows,
+        extras={"outcomes": outcomes},
+    )
+
+
+@evaluation("fleet-replay")
+def _run_fleet_replay(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """Store-replay equivalence drill over the detection service.
+
+    One guarded live replay of the fleet (the per-tick serving loop),
+    then the same held-out feed recorded into a ``repro-telestore/v1``
+    store and replayed from disk through each configured backend —
+    partition-sized blocks fed straight into the detector.  The final
+    column asserts the byte-identity contract: every store replay's
+    alert JSONL must serialize byte-for-byte equal to the live run's,
+    and the drill raises if it does not.  ``Speedup`` is live wall-clock
+    over store-replay wall-clock for the identical window.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.fastreplay import record_fleet, replay_from_store
+    from repro.service.replay import SERVICE_DEFAULTS, prepare_fleet, replay
+
+    ev = spec.evaluation_dict()
+
+    def param(name: str):
+        return ev.get(name, SERVICE_DEFAULTS[name])
+
+    chunk = int(param("chunk"))
+    policy_kwargs = dict(
+        open_after=int(param("open_after")),
+        close_after=int(param("close_after")),
+        min_confidence=float(param("min_confidence")),
+        top_blocks=int(param("top_blocks")),
+    )
+    partition_ticks = int(ev.get("partition_ticks", 1024))
+    backends = tuple(ev.get("backends", ("fused", "staged")))
+    setup = prepare_fleet(
+        spec.datasets,
+        context=ctx,
+        blocks=int(param("blocks")),
+        trees=int(param("trees")),
+        train_frac=float(param("train_frac")),
+        seed=int(param("seed")),
+        healthy_label=int(param("healthy_label")),
+    )
+
+    def jsonl(events: list[dict]) -> str:
+        return "\n".join(json.dumps(e) for e in events)
+
+    def row(name, outcome, speedup, identical):
+        return (
+            name,
+            outcome.n_nodes,
+            outcome.n_windows,
+            outcome.n_alerts,
+            round(outcome.window_accuracy, 4),
+            round(outcome.replay_time_s, 4),
+            round(outcome.windows_per_s, 1),
+            speedup,
+            identical,
+        )
+
+    live = replay(setup, chunk=chunk, guard=True, **policy_kwargs)
+    live_jsonl = jsonl(live.events)
+    rows = [row(f"live chunk={chunk}", live, "", "")]
+    outcomes = [live]
+    mismatches = []
+    with tempfile.TemporaryDirectory() as td:
+        store = record_fleet(
+            setup,
+            Path(td) / "store",
+            partition_ticks=partition_ticks,
+            chunk=chunk,
+            guarded=True,
+        )
+        for backend in backends:
+            fast = replay_from_store(setup, store, backend=backend,
+                                     **policy_kwargs)
+            identical = jsonl(fast.events) == live_jsonl
+            if not identical:
+                mismatches.append(backend)
+            speedup = (
+                round(live.replay_time_s / fast.replay_time_s, 2)
+                if fast.replay_time_s > 0
+                else float("inf")
+            )
+            rows.append(
+                row(
+                    f"store {backend}",
+                    fast,
+                    speedup,
+                    "yes" if identical else "NO",
+                )
+            )
+            outcomes.append(fast)
+    notes = [
+        f"store: {len(store.partitions)} partition(s) of "
+        f"{partition_ticks} ticks, {store.nbytes / 1e6:.1f} MB",
+        "byte-identity contract "
+        + ("held" if not mismatches else "VIOLATED")
+        + ": store-replay alert JSONL vs guarded live ingestion",
+    ]
+    if mismatches:
+        raise AssertionError(
+            "store-replay byte-identity contract violated for backend(s) "
+            f"{mismatches!r}"
+        )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=FLEET_REPLAY_HEADERS,
+        rows=rows,
+        notes=notes,
         extras={"outcomes": outcomes},
     )
 

@@ -108,6 +108,8 @@ class FleetFaultDetector:
     max_chunk:
         Largest per-tick burst the fused arena sizes its scratch for
         (bigger bursts are processed in slices; never changes results).
+        Scratch scales with it — the store replayer passes its block
+        size so whole recorded partitions absorb in one fused pass.
     """
 
     def __init__(
@@ -295,6 +297,29 @@ class FleetFaultDetector:
                 )
             return events
         signatures = self.ingest.push_blocks(data)
+        return self._advance_staged(signatures, events)
+
+    def process_blocks(self, blocks) -> list[dict]:
+        """Block-feed entry point: drain an iterable of bursts.
+
+        ``blocks`` yields ``{path: (n, m) matrix}`` mappings — e.g. the
+        telemetry store's partition scan — each of which is processed
+        like one :meth:`process_block` tick; the concatenated event list
+        is returned.  With ``backend="fused"`` and ``max_chunk`` sized
+        to the block length, each whole block runs as a single fused
+        arena pass (no per-tick Python loop), which is what
+        :func:`repro.service.fastreplay.replay_from_store` feeds.  Event
+        *content* is identical to any other chunking of the same samples;
+        only the grouping differs (see ``fastreplay`` for the live-order
+        shuffle).
+        """
+        events: list[dict] = []
+        for data in blocks:
+            events.extend(self.process_block(data))
+        return events
+
+    def _advance_staged(self, signatures, events: list[dict]) -> list[dict]:
+        """Classify + advance policies over staged per-node signatures."""
         order = [p for p in sorted(signatures) if signatures[p].shape[0]]
         if not order:
             return []

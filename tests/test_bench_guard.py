@@ -9,8 +9,10 @@ detection in ``BENCH_service.json``; ``benchmarks/test_datagen_scaling.py``
 records the vectorized cold generation path vs the frozen seed
 recurrences in ``BENCH_datagen.json``; ``benchmarks/test_tick_hotpath.py``
 records the fused single-pass tick arena vs the staged pipeline in
-``BENCH_tick.json`` (all run with ``pytest benchmarks
--m slow`` or ``repro bench``).  These tier-1 tests fail if a recorded
+``BENCH_tick.json``; ``benchmarks/test_store_scaling.py`` records
+columnar-store ingest/scan throughput and replay-from-store vs guarded
+live per-tick ingestion in ``BENCH_store.json`` (all run with
+``pytest benchmarks -m slow`` or ``repro bench``).  These tier-1 tests fail if a recorded
 speedup has fallen below
 its floor — i.e. if a change made an "optimized" path slower than what
 it replaced — without costing tier-1 any benchmark runtime.
@@ -27,6 +29,7 @@ SCENARIO_SUMMARY_JSON = ROOT / "BENCH_scenarios.json"
 SERVICE_SUMMARY_JSON = ROOT / "BENCH_service.json"
 DATAGEN_SUMMARY_JSON = ROOT / "BENCH_datagen.json"
 TICK_SUMMARY_JSON = ROOT / "BENCH_tick.json"
+STORE_SUMMARY_JSON = ROOT / "BENCH_store.json"
 
 
 def _load_summary(path: Path) -> dict:
@@ -193,3 +196,43 @@ class TestTickGuard:
         assert not slow, (
             f"fused tick path slower than the staged pipeline: {slow}"
         )
+
+
+class TestStoreGuard:
+    def test_headline_store_replay_at_least_2x(self):
+        """Acceptance floor: replaying a recorded 64-node window from
+        the columnar store is >= 2x the guarded staged live serving loop
+        (the recorded headline targets >= 5x; the floor absorbs machine
+        noise without letting a real regression through)."""
+        summary = _load_summary(STORE_SUMMARY_JSON)
+        assert "store_replay_speedup" in summary, (
+            "BENCH_store.json is missing the store_replay_speedup "
+            "headline"
+        )
+        assert summary["store_replay_speedup"] >= 2.0, (
+            f"store replay only {summary['store_replay_speedup']}x the "
+            "guarded live serving loop (floor: 2x)"
+        )
+
+    def test_no_store_ratio_below_one(self):
+        """Every recorded store ratio — replay vs staged live at every
+        fleet size, and replay vs the fused live loop — must stay a
+        speedup, not a pessimization."""
+        summary = _load_summary(STORE_SUMMARY_JSON)
+        ratios = {
+            k: v
+            for k, v in summary.items()
+            if "_speedup" in k or "_vs_fused_live" in k
+        }
+        assert ratios, "BENCH_store.json records no speedups"
+        slow = {k: v for k, v in ratios.items() if v < 1.0}
+        assert not slow, (
+            f"store replay slower than live ingestion: {slow}"
+        )
+
+    def test_scan_throughput_recorded(self):
+        summary = _load_summary(STORE_SUMMARY_JSON)
+        for key in ("store_ingest_mb_s", "store_scan_mb_s"):
+            assert summary.get(key, 0.0) > 0.0, (
+                f"BENCH_store.json is missing {key}"
+            )
