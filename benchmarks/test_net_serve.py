@@ -1,0 +1,156 @@
+"""Benchmark: loopback load generation against the network fleet server.
+
+The headline claim of the service facade PR: a single-CPU
+:class:`~repro.service.net.FleetServer` ingesting ``repro-ticks/v1``
+binary frames over a loopback socket sustains **>= 1000 simulated
+nodes at serving cadence** (1 sample/s/node telemetry, so aggregate
+node-samples/s is directly the number of nodes the server keeps up
+with), while the alert JSONL stays *byte-identical* to the in-process
+replay of the same trained fleet.
+
+The fleets are built once (4 trained base nodes) and scaled with
+:func:`repro.service.api.replicate_setup` — replicas share models and
+held-out data by reference, so the benchmark measures serving
+throughput, not training time.
+
+Results merge into ``results/net_serve.csv`` and ``BENCH_service.json``
+(keys ``net_*``); ``tests/test_bench_guard.py`` enforces the
+1000-node floor and the byte-identity bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import SCALE, merge_csv
+from repro.service.api import (
+    ServiceConfig,
+    build_detector,
+    build_setup,
+    replay,
+    replicate_setup,
+)
+from repro.service.net import FleetServer, ListAlertSink, loadgen
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS_CSV = ROOT / "results" / "net_serve.csv"
+SUMMARY_JSON = ROOT / "BENCH_service.json"
+CSV_HEADERS = (
+    "Nodes",
+    "Format",
+    "Ticks",
+    "Frames",
+    "Samples/s",
+    "p50 [ms]",
+    "p99 [ms]",
+    "Identical",
+)
+
+#: Trained base fleet; every benchmark fleet is a by-reference replica.
+BASE_NODES = 4
+T = int(1200 * SCALE)
+#: Serving cadence: 30 samples per frame — at 1 Hz telemetry each tick
+#: carries 30 s of fleet data, the batching a real deployment uses.
+CHUNK = 30
+BLOCKS = 20
+TREES = 20
+FLEET_SIZES = (250, 1000)
+
+_rows: list[tuple] = []
+_summary: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def base_config() -> ServiceConfig:
+    return ServiceConfig(
+        nodes=BASE_NODES,
+        t=T,
+        blocks=BLOCKS,
+        trees=TREES,
+        chunk=CHUNK,
+        backend="fused",
+    )
+
+
+@pytest.fixture(scope="module")
+def base_setup(base_config):
+    return build_setup(base_config)
+
+
+@pytest.mark.parametrize("nodes", FLEET_SIZES)
+def test_loopback_serve_sustains_fleet(base_config, base_setup, nodes):
+    setup = replicate_setup(base_setup, nodes)
+    # In-process reference replay: the byte-identity baseline.
+    ref_sink = ListAlertSink()
+    outcome = replay(base_config, setup, sinks=(ref_sink,))
+    # Network path: server thread + blocking loopback load generator.
+    net_sink = ListAlertSink()
+    server = FleetServer(
+        build_detector(base_config, setup),
+        sinks=(net_sink,),
+        exit_on_idle=True,
+    )
+    thread = server.start_background()
+    assert server.ready.wait(120), "server failed to start"
+    load = loadgen(
+        setup, ("127.0.0.1", server.port), chunk=CHUNK, fmt="binary"
+    )
+    thread.join(600)
+    assert not thread.is_alive(), "server did not drain and exit"
+    snap = server.stats.snapshot()
+    identical = net_sink.text() == ref_sink.text()
+    assert snap["ticks"] == load["ticks"]
+    assert snap["backpressure"]["dropped"] == 0
+    assert identical, (
+        f"{nodes}-node fleet: network alert stream diverged from the "
+        f"in-process replay"
+    )
+    assert len(ref_sink.lines) > 0, "benchmark fleet raised no alerts"
+    # 1 Hz telemetry -> aggregate samples/s == nodes sustained.
+    sustained = int(snap["samples_per_s"])
+    _rows.append(
+        (
+            nodes,
+            "binary",
+            snap["ticks"],
+            snap["frames"],
+            round(snap["samples_per_s"], 1),
+            snap["tick_latency_p50_ms"],
+            snap["tick_latency_p99_ms"],
+            int(identical),
+        )
+    )
+    _summary[f"net{nodes}_samples_per_s"] = round(snap["samples_per_s"], 1)
+    _summary[f"net{nodes}_tick_p50_ms"] = snap["tick_latency_p50_ms"]
+    _summary[f"net{nodes}_tick_p99_ms"] = snap["tick_latency_p99_ms"]
+    if nodes == max(FLEET_SIZES):
+        _summary["net_samples_per_s"] = round(snap["samples_per_s"], 1)
+        _summary["net_tick_p50_ms"] = snap["tick_latency_p50_ms"]
+        _summary["net_tick_p99_ms"] = snap["tick_latency_p99_ms"]
+        _summary["net_nodes_sustained"] = sustained
+        _summary["net_byte_identical"] = int(identical)
+        _summary["net_events"] = len(net_sink.lines)
+        _summary["net_replay_events"] = len(outcome.events)
+    # Noise floor here; the committed 1000-node headline is guarded by
+    # tests/test_bench_guard.py.
+    assert sustained >= nodes, (
+        f"server sustained only {sustained} node-samples/s for a "
+        f"{nodes}-node fleet at 1 Hz cadence"
+    )
+
+
+def test_zz_write_summary():
+    """Persist the results (named so it runs after the benchmarks)."""
+    assert _summary, "benchmarks did not run"
+    merge_csv(RESULTS_CSV, CSV_HEADERS, _rows, n_key_cols=2)
+    merged: dict[str, float] = {}
+    if SUMMARY_JSON.exists():
+        merged = json.loads(SUMMARY_JSON.read_text())
+    merged.update(_summary)
+    SUMMARY_JSON.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\nnet_serve summary: {json.dumps(_summary, sort_keys=True)}")

@@ -74,6 +74,32 @@ cmp "$SMOKE_DIR/staged.jsonl" "$SMOKE_DIR/store_staged.jsonl"
 cmp "$SMOKE_DIR/staged.jsonl" "$SMOKE_DIR/store_fused.jsonl"
 python -m repro run fleet-replay --smoke --cache-dir "$SMOKE_DIR/cache"
 
+echo "== network serve smoke: loopback ingestion must match in-process =="
+# A 50-node replicated smoke fleet served over a loopback socket: start
+# the ingestion server on an ephemeral port, drive it with the CLI load
+# generator, and the network-ingested alert JSONL must equal in-process
+# replay of the same fleet — byte for byte.  (serve/loadgen default to
+# the 30-sample serving burst; pin --chunk 200 to match detect --smoke.)
+rm -f "$SMOKE_DIR/port" "$SMOKE_DIR/net.jsonl"
+python -m repro serve --smoke --cache-dir "$SMOKE_DIR/cache" \
+    --replicate 50 --chunk 200 --listen 127.0.0.1:0 \
+    --port-file "$SMOKE_DIR/port" --exit-on-idle \
+    --alerts "$SMOKE_DIR/net.jsonl" &
+SERVE_PID=$!
+for _ in $(seq 1 150); do
+    [[ -s "$SMOKE_DIR/port" ]] && break
+    sleep 0.2
+done
+[[ -s "$SMOKE_DIR/port" ]] || { echo "serve never wrote its port file"; exit 1; }
+python -m repro loadgen --smoke --cache-dir "$SMOKE_DIR/cache" \
+    --replicate 50 --chunk 200 \
+    --connect "127.0.0.1:$(cat "$SMOKE_DIR/port")"
+wait "$SERVE_PID"
+python -m repro detect --smoke --cache-dir "$SMOKE_DIR/cache" \
+    --replicate 50 --chunk 200 --alerts "$SMOKE_DIR/inproc.jsonl"
+cmp "$SMOKE_DIR/net.jsonl" "$SMOKE_DIR/inproc.jsonl"
+python -m repro run fleet-serve --smoke --cache-dir "$SMOKE_DIR/cache"
+
 # Lint runs when ruff is available; the lint job in GitHub Actions is
 # authoritative.  Installing ruff needs network access, so offline
 # containers simply skip this step.

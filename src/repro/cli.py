@@ -20,8 +20,15 @@ Subcommands
     processes for the same flags.
 ``repro serve``
     The same fleet served *live*: bursts are ingested tick by tick and
-    alert events stream to stdout the moment they fire (Ctrl-C exits
-    cleanly with status 130).
+    alert events stream to stdout the moment they fire.  Ctrl-C exits
+    cleanly with status 130 after finishing the in-flight tick, flushing
+    open alerts and (with ``--checkpoint``) writing a final checkpoint.
+    With ``--listen HOST:PORT`` the feed instead arrives over TCP as
+    ``repro-ticks/v1`` frames (plus an optional ``--ops`` HTTP API).
+``repro loadgen``
+    Drive a ``repro serve --listen`` server over the network with the
+    exact deterministic feed ``repro detect`` would replay in-process —
+    the two alert streams are byte-identical.
 ``repro store``
     The columnar telemetry store (``repro-telestore/v1``): ``record`` a
     fleet's held-out feed into a time-partitioned on-disk store, then
@@ -131,15 +138,21 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
-# Online detection service (repro serve / repro detect)
+# Online detection service (repro serve / repro detect / repro loadgen)
 # ----------------------------------------------------------------------
 def _service_defaults() -> dict[str, float | int]:
-    """Full-size preset: fleet shape here, knob defaults from the one
-    canonical ``repro.service.replay.SERVICE_DEFAULTS`` source (imported
-    lazily so ``repro list``/``run`` don't pay the service imports)."""
-    from repro.service.replay import SERVICE_DEFAULTS
+    """Full-size preset: field defaults of the one canonical
+    ``repro.service.api.ServiceConfig`` (imported lazily so ``repro
+    list``/``run`` don't pay the service imports)."""
+    import dataclasses
 
-    return {"nodes": 3, "t": 6000, **SERVICE_DEFAULTS}
+    from repro.service.api import ServiceConfig
+
+    return {
+        f.name: f.default
+        for f in dataclasses.fields(ServiceConfig)
+        if f.default is not dataclasses.MISSING
+    }
 
 
 def _service_smoke() -> dict[str, float | int]:
@@ -262,46 +275,53 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
         "stream and alerts carry the node health state)",
     )
     parser.add_argument(
+        "--replicate", type=int, default=None, metavar="N",
+        help="replicate the trained fleet to N nodes by reference "
+        "(no retraining; how load tests reach thousands of nodes)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="seconds-scale preset (2 nodes, t=2500, 6 trees) used by CI",
     )
 
 
-def _service_params(args: argparse.Namespace) -> dict[str, float | int]:
+def _service_config(args: argparse.Namespace, *, chunk_default=None):
+    """The :class:`repro.service.api.ServiceConfig` these flags describe.
+
+    Explicit flags beat the preset (``--smoke`` or full-size);
+    ``chunk_default`` overrides the preset chunk when the flag is unset
+    (``repro serve``/``loadgen`` default to 30-sample live bursts).
+    """
+    from repro.service.api import ServiceConfig
+
     preset = _service_smoke() if args.smoke else _service_defaults()
     params = {}
     for name, fallback in preset.items():
         explicit = getattr(args, name, None)
         params[name] = fallback if explicit is None else explicit
-    return params
-
-
-def _build_service_setup(args: argparse.Namespace):
-    from repro.scenarios.cache import ArtifactCache, ExecutionContext
-    from repro.service.replay import fleet_recipes, prepare_fleet
-
-    params = _service_params(args)
-    store = ArtifactCache(args.cache_dir) if args.cache_dir else None
-    context = ExecutionContext(store)
-    recipes = fleet_recipes(
-        int(params["nodes"]),
+    if args.chunk is None and chunk_default is not None:
+        params["chunk"] = chunk_default
+    params.update(
         segment=args.segment,
-        t=int(params["t"]),
-        seed0=int(params["seed"]),
         noise_std=float(args.noise_std),
-        noise_seed=11 if args.noise_std else 0,
-    )
-    setup = prepare_fleet(
-        recipes,
-        context=context,
-        blocks=int(params["blocks"]),
-        trees=int(params["trees"]),
-        train_frac=float(params["train_frac"]),
-        seed=int(params["seed"]),
-        healthy_label=int(params["healthy_label"]),
+        backend=args.backend,
+        mode=args.mode,
+        guard=not args.no_guard,
         model_path=args.model,
+        cache_dir=args.cache_dir,
+        shards=args.shards,
+        replicate=int(args.replicate or 0),
     )
-    return setup, params, context
+    return ServiceConfig(**params)
+
+
+def _build_service_setup(args: argparse.Namespace, *, chunk_default=None):
+    from repro.service.api import build_context, build_setup
+
+    config = _service_config(args, chunk_default=chunk_default)
+    context = build_context(config)
+    setup = build_setup(config, context=context)
+    return setup, config, context
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
@@ -312,12 +332,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         MarkdownAlertSink,
         StreamAlertSink,
     )
-    from repro.service.replay import replay
+    from repro.service.api import replay
 
     if args.from_store and (args.checkpoint or args.resume):
         _status("error: --from-store and --checkpoint/--resume are exclusive")
         return 2
-    setup, params, context = _build_service_setup(args)
+    setup, config, context = _build_service_setup(args)
     sinks = []
     if args.alerts:
         sinks.append(JSONLAlertSink(args.alerts))
@@ -333,29 +353,18 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             args.from_store,
             t0=args.t0,
             t1=args.t1,
-            open_after=int(params["open_after"]),
-            close_after=int(params["close_after"]),
-            min_confidence=float(params["min_confidence"]),
-            top_blocks=int(params["top_blocks"]),
-            shards=args.shards,
-            backend=args.backend,
-            mode=args.mode,
-            stamp_health=False if args.no_guard else None,
+            shards=config.shards,
+            backend=config.backend,
+            mode=config.mode,
+            stamp_health=None if config.guard else False,
             sinks=sinks,
+            **config.policy_kwargs(),
         )
     else:
         outcome = replay(
+            config,
             setup,
-            chunk=int(params["chunk"]),
-            open_after=int(params["open_after"]),
-            close_after=int(params["close_after"]),
-            min_confidence=float(params["min_confidence"]),
-            top_blocks=int(params["top_blocks"]),
-            shards=args.shards,
             sinks=sinks,
-            backend=args.backend,
-            mode=args.mode,
-            guard=not args.no_guard,
             checkpoint_path=args.checkpoint,
             checkpoint_every=(
                 int(args.checkpoint_every) if args.checkpoint else 0
@@ -395,34 +404,69 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.alerts import StreamAlertSink
-    from repro.service.replay import replay
+def _serve_sinks(args: argparse.Namespace) -> list:
+    from repro.service.alerts import JSONLAlertSink, StreamAlertSink
 
-    setup, params, _ = _build_service_setup(args)
-    chunk = int(args.chunk) if args.chunk is not None else 30
+    if args.alerts:
+        return [JSONLAlertSink(args.alerts)]
+    return [StreamAlertSink(sys.stdout)]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import replay, serve
+
+    setup, config, _ = _build_service_setup(args, chunk_default=30)
+    sinks = _serve_sinks(args)
+    if args.listen:
+        from repro.service.net import BackpressureConfig
+
+        _status(
+            f"[serve] {setup.n_nodes} nodes, burst={config.chunk} "
+            f"samples, listening on {args.listen} "
+            f"(backpressure: {args.backpressure}, queue {args.queue_max})"
+        )
+        stats = serve(
+            config,
+            setup,
+            listen=args.listen,
+            ops=args.ops,
+            sinks=tuple(sinks),
+            backpressure=BackpressureConfig(
+                queue_max=int(args.queue_max), policy=args.backpressure
+            ),
+            tick_timeout=float(args.tick_timeout),
+            exit_on_idle=args.exit_on_idle,
+            port_file=args.port_file,
+        )
+        bp = stats["backpressure"]
+        _status(
+            f"[serve] drained: {stats['ticks']} ticks, "
+            f"{stats['frames']} frames, {stats['events']} alert events, "
+            f"{stats['samples_per_s']:.0f} samples/s "
+            f"(p50 {stats['tick_latency_p50_ms']:.2f} ms, "
+            f"p99 {stats['tick_latency_p99_ms']:.2f} ms; "
+            f"dropped {bp['dropped']}, coalesced {bp['coalesced']}, "
+            f"late {bp['late_dropped']})"
+        )
+        return 0
     horizon = max(m.shape[1] for m in setup.eval_data.values())
     _status(
-        f"[serve] {setup.n_nodes} nodes, burst={chunk} samples, "
+        f"[serve] {setup.n_nodes} nodes, burst={config.chunk} samples, "
         f"{horizon} samples queued (Ctrl-C to stop)"
     )
     # Same loop as `repro detect`, with live pacing and bounded memory
-    # (no prediction/alert history is retained, so scores are not
-    # computed — serving is about the event stream, not the replay score).
+    # (no prediction/alert history is retained unless checkpointing —
+    # serving is about the event stream, not the replay score).
     outcome = replay(
+        config,
         setup,
-        chunk=chunk,
-        open_after=int(params["open_after"]),
-        close_after=int(params["close_after"]),
-        min_confidence=float(params["min_confidence"]),
-        top_blocks=int(params["top_blocks"]),
-        shards=args.shards,
-        sinks=[StreamAlertSink(sys.stdout)],
+        sinks=sinks,
         interval=float(args.interval),
-        record_history=False,
-        backend=args.backend,
-        mode=args.mode,
-        guard=not args.no_guard,
+        record_history=bool(args.checkpoint),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=(
+            int(args.checkpoint_every) if args.checkpoint else 0
+        ),
     )
     # outcome.events is empty in serving mode (nothing is retained);
     # the counts are always populated.  n_events = opens + closes.
@@ -431,6 +475,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"[serve] drained: {outcome.n_windows} windows classified, "
         f"{outcome.n_events} alert events, "
         f"{outcome.n_alerts - closes} alert(s) still open"
+    )
+    if outcome.interrupted:
+        # The replay loop already finished the in-flight tick, flushed
+        # every open alert into the sinks and wrote a final checkpoint;
+        # exit with the conventional Ctrl-C status via console_main.
+        if args.checkpoint:
+            _status(f"[serve] interrupted; checkpoint at {args.checkpoint}")
+        raise KeyboardInterrupt
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.net import loadgen, parse_address
+
+    setup, config, _ = _build_service_setup(args, chunk_default=30)
+    address = parse_address(args.connect)
+    _status(
+        f"[loadgen] {setup.n_nodes} nodes -> {args.connect} "
+        f"({args.format} frames, burst={config.chunk})"
+    )
+    stats = loadgen(
+        setup,
+        address,
+        chunk=config.chunk,
+        fmt=args.format,
+        interval=float(args.interval),
+        max_ticks=args.max_ticks,
+        send_eof=not args.no_eof,
+    )
+    rate = stats["bytes"] / stats["seconds"] / 1e6 if stats["seconds"] else 0.0
+    _status(
+        f"[loadgen] sent {stats['frames']} frames / {stats['ticks']} ticks "
+        f"({stats['bytes'] / 1e6:.1f} MB) in {stats['seconds']:.2f}s "
+        f"({rate:.0f} MB/s)"
     )
     return 0
 
@@ -441,13 +519,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_store_record(args: argparse.Namespace) -> int:
     from repro.service.fastreplay import record_fleet
 
-    setup, params, _ = _build_service_setup(args)
+    setup, config, _ = _build_service_setup(args)
     store = record_fleet(
         setup,
         args.root,
         partition_ticks=int(args.partition_ticks),
-        chunk=int(params["chunk"]),
-        guarded=not args.no_guard,
+        chunk=config.chunk,
+        guarded=config.guard,
     )
     _status(
         f"[store] recorded {store.ticks} ticks x {len(store.paths)} nodes "
@@ -521,6 +599,7 @@ BENCH_SUITES: dict[str, str] = {
     "datagen": "test_datagen_scaling.py",
     "tick": "test_tick_hotpath.py",
     "store": "test_store_scaling.py",
+    "net": "test_net_serve.py",
 }
 
 
@@ -676,16 +755,97 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="serve the simulated fleet live, streaming alert events "
-        "to stdout",
+        help="serve the fleet live: in-process feed by default, or a "
+        "TCP ingestion server (+ HTTP ops API) with --listen",
     )
     _add_service_options(p_serve)
     p_serve.add_argument(
         "--interval", type=float, default=0.0,
-        help="seconds to pause between ingested bursts (realistic "
-        "pacing; default 0 = as fast as possible)",
+        help="seconds to pause between ingested bursts (in-process "
+        "mode; default 0 = as fast as possible)",
+    )
+    p_serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="accept repro-ticks/v1 frames (newline-JSON or binary) on "
+        "this TCP address instead of generating the feed in-process "
+        "(port 0 = ephemeral; see --port-file)",
+    )
+    p_serve.add_argument(
+        "--ops", default=None, metavar="HOST:PORT",
+        help="also serve the HTTP ops API here (/health /fleet /alerts "
+        "/alerts/<id>/ack|suppress /stats; needs --listen)",
+    )
+    p_serve.add_argument(
+        "--alerts", default=None,
+        help="write alert events as JSON lines here instead of stdout "
+        "(byte-identical to `repro detect` of the same flags)",
+    )
+    p_serve.add_argument(
+        "--queue-max", type=int, default=1024,
+        help="per-node ingress queue bound (default 1024 bursts)",
+    )
+    p_serve.add_argument(
+        "--backpressure", choices=("drop-oldest", "coalesce"),
+        default="drop-oldest",
+        help="full-queue policy: drop-oldest evicts the stalest queued "
+        "burst, coalesce replaces the newest (default drop-oldest)",
+    )
+    p_serve.add_argument(
+        "--tick-timeout", type=float, default=5.0,
+        help="seconds the tick barrier waits for a complete fleet "
+        "before processing a partial burst (default 5)",
+    )
+    p_serve.add_argument(
+        "--exit-on-idle", action="store_true",
+        help="stop once every connection has closed and the queues "
+        "drained (CI / load-test mode)",
+    )
+    p_serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound ingestion port here once listening "
+        "(how scripts discover a --listen host:0 port; with --ops the "
+        "bound ops port lands in PATH.ops)",
+    )
+    p_serve.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint detector state to this .npz (in-process mode); "
+        "Ctrl-C flushes open alerts and writes a final checkpoint "
+        "before exiting 130",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="ticks between checkpoints (default 1; needs --checkpoint)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a `repro serve --listen` server with the exact "
+        "deterministic feed `repro detect` would replay",
+    )
+    _add_service_options(p_loadgen)
+    p_loadgen.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="ingestion address of the running server",
+    )
+    p_loadgen.add_argument(
+        "--format", choices=("binary", "json"), default="binary",
+        help="frame encoding (default binary; json exercises the "
+        "newline-JSON path)",
+    )
+    p_loadgen.add_argument(
+        "--interval", type=float, default=0.0,
+        help="seconds to pause between ticks (default 0 = full speed)",
+    )
+    p_loadgen.add_argument(
+        "--max-ticks", type=int, default=None,
+        help="stop after this many ticks (default: the full horizon)",
+    )
+    p_loadgen.add_argument(
+        "--no-eof", action="store_true",
+        help="skip the trailing {\"op\": \"eof\"} control frame",
+    )
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_store = sub.add_parser(
         "store",

@@ -468,6 +468,34 @@ FLEET_REPLAY = register(ScenarioSpec(
     }),
 ))
 
+FLEET_SERVE = register(ScenarioSpec(
+    name="fleet-serve",
+    kind="fleet-serve",
+    title="Network fleet serving — loopback transport equivalence",
+    description="The fleet-detect fleet served over a loopback TCP "
+    "socket: a FleetServer on an ephemeral port driven by the "
+    "deterministic loadgen feeder in binary and newline-JSON framing; "
+    "network-ingested alert JSONL must be byte-identical to the "
+    "in-process replay, with samples/s and tick latency reported",
+    datasets=_fault_fleet(4, t=6000),
+    evaluation=pairs({
+        "blocks": 20,
+        "trees": 30,
+        "train_frac": 0.5,
+        "chunk": 256,
+        "open_after": 2,
+        "close_after": 2,
+        "seed": 0,
+        "formats": ("binary", "json"),
+    }),
+    tags=("extra", "service", "fleet", "net"),
+    smoke=pairs({
+        "datasets": _SMOKE_FLEET,
+        "evaluation": {"blocks": 8, "trees": 6, "chunk": 200,
+                       "formats": ("binary",)},
+    }),
+))
+
 CROSSARCH_LENGTHS = register(ScenarioSpec(
     name="crossarch-lengths",
     kind="grid",
@@ -495,5 +523,6 @@ EXTRA_SCENARIOS: tuple[ScenarioSpec, ...] = (
     FLEET_DETECT_SCALE,
     FLEET_DETECT_NOISE,
     FLEET_REPLAY,
+    FLEET_SERVE,
     CROSSARCH_LENGTHS,
 )

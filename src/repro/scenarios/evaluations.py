@@ -33,6 +33,7 @@ __all__ = [
     "FLEET_CHAOS_HEADERS",
     "FLEET_DETECT_HEADERS",
     "FLEET_REPLAY_HEADERS",
+    "FLEET_SERVE_HEADERS",
     "GRID_HEADERS",
     "LENGTH_SWEEP_HEADERS",
     "TIMING_HEADERS",
@@ -98,6 +99,18 @@ FLEET_REPLAY_HEADERS: tuple[str, ...] = (
     "Replay [s]",
     "Win/s",
     "Speedup",
+    "Identical",
+)
+
+#: Columns of the network-serving equivalence drills (fleet-serve).
+FLEET_SERVE_HEADERS: tuple[str, ...] = (
+    "Run",
+    "Nodes",
+    "Ticks",
+    "Events",
+    "Samples/s",
+    "p50 [ms]",
+    "p99 [ms]",
     "Identical",
 )
 
@@ -528,26 +541,18 @@ def _run_fleet_detect(
     throughput.  ``backend``/``mode`` select the detector's tick path
     (staged, or the fused arena with exact/float32/quantized signature
     arithmetic — see :class:`repro.service.detector.FleetFaultDetector`).
+
+    Plumbs through the :mod:`repro.service.api` facade: the evaluation
+    dict's service keys become one :class:`ServiceConfig` (historically
+    this kind ran unguarded, so ``guard`` defaults off here).
     """
-    from repro.service.replay import SERVICE_DEFAULTS, prepare_fleet, replay
+    from repro.service.api import ServiceConfig, build_setup
+    from repro.service.api import replay as replay_config
 
     ev = spec.evaluation_dict()
-
-    def param(name: str):
-        return ev.get(name, SERVICE_DEFAULTS[name])
-
-    blocks = int(param("blocks"))
-    trees = int(param("trees"))
-    train_frac = float(param("train_frac"))
-    chunk = int(param("chunk"))
-    open_after = int(param("open_after"))
-    close_after = int(param("close_after"))
-    min_confidence = float(param("min_confidence"))
-    top_blocks = int(param("top_blocks"))
-    seed = int(param("seed"))
-    healthy_label = int(param("healthy_label"))
-    backend = str(ev.get("backend", "staged"))
-    mode = str(ev.get("mode", "exact"))
+    config = ServiceConfig.from_evaluation(
+        ev, guard=bool(ev.get("guard", False))
+    )
     sizes = tuple(ev.get("fleet_sizes", ())) or (len(spec.datasets),)
     rows = []
     outcomes = []
@@ -557,25 +562,10 @@ def _run_fleet_detect(
             raise ValueError(
                 f"fleet size {size} outside 1..{len(spec.datasets)} recipes"
             )
-        setup = prepare_fleet(
-            spec.datasets[:size],
-            context=ctx,
-            blocks=blocks,
-            trees=trees,
-            train_frac=train_frac,
-            seed=seed,
-            healthy_label=healthy_label,
+        setup = build_setup(
+            config, recipes=spec.datasets[:size], context=ctx
         )
-        outcome = replay(
-            setup,
-            chunk=chunk,
-            open_after=open_after,
-            close_after=close_after,
-            min_confidence=min_confidence,
-            top_blocks=top_blocks,
-            backend=backend,
-            mode=mode,
-        )
+        outcome = replay_config(config, setup)
         outcomes.append(outcome)
         rows.append(
             outcome.row(f"{spec.datasets[0].segment}-fleet-{setup.n_nodes}")
@@ -833,4 +823,102 @@ def _run_fleet_detect_chaos(
             "outcomes": [clean, chaotic, killed],
             "resume_identical": resume_identical,
         },
+    )
+
+
+@evaluation("fleet-serve")
+def _run_fleet_serve(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """Network-serving equivalence drill over the ingestion server.
+
+    One guarded in-process replay of the fleet (the reference run),
+    then the same fleet served over a loopback TCP socket: a
+    :class:`repro.service.net.FleetServer` on an ephemeral port, driven
+    by the deterministic :func:`repro.service.net.loadgen` feeder in
+    each configured frame encoding.  The final column asserts the
+    transport-identity contract — alert JSONL ingested over the network
+    must be byte-for-byte equal to the in-process replay's — and the
+    drill raises if it does not hold.  ``replicate`` (optional) scales
+    the trained fleet by reference before serving.
+    """
+    from repro.service.api import ServiceConfig, build_detector, build_setup
+    from repro.service.api import replay as replay_config
+    from repro.service.net import FleetServer, ListAlertSink, loadgen
+
+    ev = spec.evaluation_dict()
+    config = ServiceConfig.from_evaluation(ev, guard=True)
+    formats = tuple(ev.get("formats", ("binary", "json")))
+    setup = build_setup(config, recipes=spec.datasets, context=ctx)
+    n_nodes = len(setup.eval_data)
+
+    ref_sink = ListAlertSink()
+    ref = replay_config(config, setup, sinks=(ref_sink,))
+    rows = [
+        (
+            "in-process",
+            n_nodes,
+            "",
+            ref.n_events,
+            "",
+            "",
+            "",
+            "",
+        )
+    ]
+    mismatches = []
+    stats_by_fmt = {}
+    for fmt in formats:
+        net_sink = ListAlertSink()
+        server = FleetServer(
+            build_detector(config, setup),
+            sinks=(net_sink,),
+            exit_on_idle=True,
+        )
+        thread = server.start_background()
+        if not server.ready.wait(30):
+            raise RuntimeError("ingestion server failed to start")
+        loadgen(
+            setup,
+            ("127.0.0.1", server.port),
+            chunk=config.chunk,
+            fmt=fmt,
+        )
+        thread.join(120)
+        if thread.is_alive():
+            raise RuntimeError("ingestion server failed to drain")
+        stats = server.stats.snapshot()
+        stats_by_fmt[fmt] = stats
+        identical = net_sink.text() == ref_sink.text()
+        if not identical:
+            mismatches.append(fmt)
+        rows.append(
+            (
+                f"served {fmt}",
+                n_nodes,
+                stats["ticks"],
+                stats["events"],
+                stats["samples_per_s"],
+                stats["tick_latency_p50_ms"],
+                stats["tick_latency_p99_ms"],
+                "yes" if identical else "NO",
+            )
+        )
+    notes = [
+        "transport-identity contract "
+        + ("held" if not mismatches else "VIOLATED")
+        + ": network-ingested alert JSONL vs in-process replay",
+    ]
+    if mismatches:
+        raise AssertionError(
+            "network transport byte-identity contract violated for "
+            f"format(s) {mismatches!r}"
+        )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=FLEET_SERVE_HEADERS,
+        rows=rows,
+        notes=notes,
+        extras={"reference": ref, "stats": stats_by_fmt},
     )

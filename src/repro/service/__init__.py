@@ -30,7 +30,21 @@ subpackage composes the existing layers into that one hot path:
   detector state with a crash → restore → replay-remaining byte-identity
   contract;
 * :mod:`~repro.service.chaos` — the deterministic seeded fault injector
-  and kill-and-restore drill that prove the two layers above.
+  and kill-and-restore drill that prove the two layers above;
+* :mod:`~repro.service.api` — the one public facade: a frozen
+  :class:`ServiceConfig` replaces the historical ~20-kwarg sprawl, with
+  ``build_detector(config)`` / ``replay(config)`` / ``serve(config)``
+  as the only entry points callers need;
+* :mod:`~repro.service.protocol` / :mod:`~repro.service.net` /
+  :mod:`~repro.service.ops` — the network front: the
+  ``repro-ticks/v1`` wire protocol (newline-JSON + binary frames), the
+  asyncio ingestion server with bounded per-node backpressure queues,
+  and the HTTP ops surface (``/health``, ``/fleet``, ``/alerts`` with
+  ack/suppress, ``/stats``).
+
+Alert events cross every boundary — JSONL sinks, checkpoint archives,
+HTTP ops responses — in one canonical ``repro-alerts/v1`` shape
+(:func:`repro.service.alerts.to_payload`).
 
 Replay is bit-deterministic: the same recipes, options and seeds produce
 *byte-identical* alert JSONL across processes (guarded by tests), which
@@ -39,13 +53,25 @@ checkpoint/restore testable at the byte level.
 """
 
 from repro.service.alerts import (
+    ALERTS_SCHEMA,
     Alert,
     AlertPolicy,
     AlertSink,
     JSONLAlertSink,
     MarkdownAlertSink,
     StreamAlertSink,
+    event_line,
+    to_payload,
 )
+from repro.service.api import (
+    ServiceConfig,
+    build_detector,
+    build_setup,
+    config_from_kwargs,
+    replicate_setup,
+    serve,
+)
+from repro.service.api import replay as replay_config
 from repro.service.chaos import ChaosConfig, ChaosInjector, run_with_kills
 from repro.service.checkpoint import (
     CheckpointError,
@@ -72,11 +98,32 @@ from repro.service.replay import (
     replay,
 )
 
+from repro.service.net import (
+    BackpressureConfig,
+    FleetServer,
+    ServerStats,
+    loadgen,
+    parse_address,
+)
+from repro.service.ops import AlertLog
+from repro.service.protocol import (
+    PROTOCOL,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    encode_binary,
+    encode_eof,
+    encode_json,
+)
+
 __all__ = [
+    "ALERTS_SCHEMA",
     "Alert",
+    "AlertLog",
     "AlertPolicy",
     "AlertSink",
     "BACKENDS",
+    "BackpressureConfig",
     "ChaosConfig",
     "ChaosInjector",
     "CheckpointError",
@@ -84,25 +131,45 @@ __all__ = [
     "FleetFaultDetector",
     "FleetIngest",
     "FleetReplaySetup",
+    "FleetServer",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
     "GuardConfig",
     "GuardedDetector",
     "JSONLAlertSink",
     "MarkdownAlertSink",
     "ModelStoreError",
+    "PROTOCOL",
     "ReplayOutcome",
+    "ServerStats",
+    "ServiceConfig",
     "StreamAlertSink",
     "TrainedFleet",
+    "build_detector",
+    "build_setup",
+    "config_from_kwargs",
     "detect_naive",
+    "encode_binary",
+    "encode_eof",
+    "encode_json",
+    "event_line",
     "fleet_fingerprint",
     "fleet_recipes",
     "load_checkpoint",
     "load_fleet_npz",
+    "loadgen",
     "node_path",
+    "parse_address",
     "prepare_fleet",
     "replay",
+    "replay_config",
+    "replicate_setup",
     "restore_checkpoint",
     "run_with_kills",
     "save_checkpoint",
     "save_fleet_npz",
+    "serve",
+    "to_payload",
     "train_fleet",
 ]

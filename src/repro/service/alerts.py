@@ -28,13 +28,67 @@ from pathlib import Path
 from typing import IO
 
 __all__ = [
+    "ALERTS_SCHEMA",
     "Alert",
     "AlertPolicy",
     "AlertSink",
     "JSONLAlertSink",
     "MarkdownAlertSink",
     "StreamAlertSink",
+    "event_line",
+    "to_payload",
 ]
+
+#: Version tag of the alert/ops wire schema.  Every externally visible
+#: rendering of an alert event — the JSONL sinks, checkpoint archives
+#: and the HTTP ops endpoints — serializes through :func:`to_payload`,
+#: whose key order is this schema's contract.
+ALERTS_SCHEMA = "repro-alerts/v1"
+
+#: Canonical key order per event type (``repro-alerts/v1``).  The
+#: orders match what the producers insert today, so :func:`to_payload`
+#: is the identity for events built by this codebase — which is what
+#: keeps historical golden fixtures byte-valid — while external
+#: consumers get a stable contract independent of producer internals.
+_EVENT_KEY_ORDER: dict[str, tuple[str, ...]] = {
+    "open": (
+        "event", "node", "window", "first_faulty", "label",
+        "confidence", "attribution", "health",
+    ),
+    "close": (
+        "event", "node", "window", "opened", "label", "windows",
+        "peak_confidence", "health",
+    ),
+    # Emitted for still-open alerts when a serving loop is interrupted
+    # (Ctrl-C): same shape as "close" but the episode did not end.
+    "flush": (
+        "event", "node", "window", "opened", "label", "windows",
+        "peak_confidence", "health",
+    ),
+    "guard": (
+        "event", "node", "tick", "action", "severity", "fault",
+        "state", "until",
+    ),
+}
+
+
+def to_payload(event: dict) -> dict:
+    """Canonical ``repro-alerts/v1`` payload of one alert event.
+
+    Returns a dict whose iteration order follows the schema's per-type
+    key order (unknown keys keep their insertion order, after the known
+    ones).  All wire renderings — JSONL sinks, checkpoint event arrays,
+    HTTP ops responses — serialize this payload, so the byte stream is
+    a pure function of the event values regardless of how a producer
+    happened to build the dict.
+    """
+    order = _EVENT_KEY_ORDER.get(event.get("event"), ())
+    payload = {k: event[k] for k in order if k in event}
+    if len(payload) != len(event):
+        for k, v in event.items():
+            if k not in payload:
+                payload[k] = v
+    return payload
 
 
 @dataclass
@@ -242,11 +296,12 @@ class AlertPolicy:
 def event_line(event: dict) -> str:
     """Canonical one-line JSON rendering of an alert event.
 
-    Compact separators, insertion-ordered keys, full float ``repr`` —
-    the exact bytes are a pure function of the event values, which is
-    what the byte-identical-replay guarantee rests on.
+    ``repro-alerts/v1``: compact separators, :func:`to_payload` key
+    order, full float ``repr`` — the exact bytes are a pure function of
+    the event values, which is what the byte-identical-replay guarantee
+    rests on.
     """
-    return json.dumps(event, separators=(",", ":"))
+    return json.dumps(to_payload(event), separators=(",", ":"))
 
 
 class AlertSink:

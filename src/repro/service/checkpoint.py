@@ -40,6 +40,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.monitoring.storage import atomic_savez, load_npz_arrays
+from repro.service.alerts import ALERTS_SCHEMA, to_payload
 from repro.service.classify import TrainedFleet
 from repro.service.detector import FleetFaultDetector
 
@@ -159,6 +160,7 @@ def save_checkpoint(
         }
     manifest = {
         "format": CHECKPOINT_FORMAT,
+        "alerts_schema": ALERTS_SCHEMA,
         "backend": detector.backend,
         "mode": detector.mode,
         "fingerprint": fingerprint,
@@ -176,7 +178,8 @@ def save_checkpoint(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
     arrays["events"] = np.frombuffer(
-        json.dumps(events).encode("utf-8"), dtype=np.uint8
+        json.dumps([to_payload(e) for e in events]).encode("utf-8"),
+        dtype=np.uint8,
     )
     atomic_savez(path, **arrays)
     return path

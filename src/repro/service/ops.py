@@ -1,0 +1,161 @@
+"""HTTP ops surface for a live :class:`~repro.service.net.FleetServer`.
+
+A deliberately tiny HTTP/1.1 responder on the server's own event loop
+(stdlib only — no framework).  All responses are JSON and close the
+connection.  Routes:
+
+========================== =========================================
+``GET /health``            liveness + current tick + fleet size
+``GET /fleet``             per-node guard health (``fleet_health()``)
+``GET /alerts``            alert log with full ``repro-alerts/v1``
+                           root-cause payloads (suppressed hidden;
+                           ``?all=1`` shows them)
+``POST /alerts/<id>/ack``  acknowledge an alert
+``POST /alerts/<id>/suppress``  hide an alert from the default list
+``GET /stats``             ingestion counters, samples/sec, tick
+                           latency p50/p99, backpressure totals
+========================== =========================================
+
+:class:`AlertLog` is the bridge: it is an
+:class:`~repro.service.alerts.AlertSink` fed the live event stream, so
+the ops view needs no second pipeline and can never disagree with the
+JSONL the sinks wrote.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.alerts import ALERTS_SCHEMA, AlertSink, to_payload
+
+__all__ = ["AlertLog", "OpsProtocolServer"]
+
+
+class AlertLog(AlertSink):
+    """In-memory alert registry with stable ids and ack/suppress bits.
+
+    Every ``open`` event mints an id (``a000000``, ``a000001``, ...);
+    the matching ``close``/``flush`` event transitions the record.
+    Guard events are not alerts and pass through uncounted.
+    """
+
+    def __init__(self):
+        self._records: list[dict] = []
+        self._by_id: dict[str, dict] = {}
+        self._open_by_node: dict[str, dict] = {}
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("event")
+        if kind == "open":
+            record = {
+                "id": f"a{len(self._records):06d}",
+                "node": event["node"],
+                "state": "open",
+                "acked": False,
+                "suppressed": False,
+                "opened_window": event.get("window"),
+                "open_event": to_payload(event),
+                "close_event": None,
+            }
+            self._records.append(record)
+            self._by_id[record["id"]] = record
+            self._open_by_node[record["node"]] = record
+        elif kind in ("close", "flush"):
+            record = self._open_by_node.pop(event.get("node"), None)
+            if record is not None:
+                record["state"] = "closed" if kind == "close" else "flushed"
+                record["close_event"] = to_payload(event)
+
+    def records(self, *, include_suppressed: bool = False) -> list[dict]:
+        return [
+            r
+            for r in self._records
+            if include_suppressed or not r["suppressed"]
+        ]
+
+    def ack(self, alert_id: str) -> bool:
+        record = self._by_id.get(alert_id)
+        if record is None:
+            return False
+        record["acked"] = True
+        return True
+
+    def suppress(self, alert_id: str) -> bool:
+        record = self._by_id.get(alert_id)
+        if record is None:
+            return False
+        record["suppressed"] = True
+        return True
+
+
+class OpsProtocolServer:
+    """Request handler bound to one :class:`FleetServer`'s live state."""
+
+    MAX_HEAD = 64 * 1024
+
+    def __init__(self, server):
+        self.server = server
+
+    async def handle(self, reader, writer):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except Exception:
+            writer.close()
+            return
+        try:
+            status, body = self._dispatch(head)
+        except Exception as exc:  # never take the loop down from ops
+            status, body = 500, {"error": str(exc)}
+        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            + payload
+        )
+        try:
+            await writer.drain()
+        except ConnectionResetError:
+            pass
+        writer.close()
+
+    def _dispatch(self, head: bytes) -> tuple[int, dict]:
+        request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = request_line.split(" ")
+        if len(parts) < 2:
+            return 404, {"error": "bad request"}
+        method, target = parts[0], parts[1]
+        path, _, query = target.partition("?")
+        srv = self.server
+        if method == "GET" and path == "/health":
+            return 200, {
+                "status": "ok",
+                "tick": srv._cursor,
+                "nodes": len(srv._queues),
+                "connections": srv._open_conns,
+            }
+        if method == "GET" and path == "/fleet":
+            return 200, {"fleet": srv.guarded.fleet_health()}
+        if method == "GET" and path == "/alerts":
+            include = "all=1" in query.split("&")
+            return 200, {
+                "schema": ALERTS_SCHEMA,
+                "alerts": srv.alert_log.records(include_suppressed=include),
+            }
+        if path.startswith("/alerts/") and path.count("/") == 3:
+            _, _, alert_id, action = path.split("/")
+            if action in ("ack", "suppress"):
+                if method != "POST":
+                    return 405, {"error": "POST required"}
+                fn = getattr(srv.alert_log, action)
+                if fn(alert_id):
+                    return 200, {"id": alert_id, action: True}
+                return 404, {"error": f"unknown alert {alert_id!r}"}
+        if method == "GET" and path == "/stats":
+            srv._gather_backpressure()
+            return 200, srv.stats.snapshot()
+        return 404, {"error": f"no route for {method} {path}"}

@@ -1,0 +1,251 @@
+"""The ``repro-ticks/v1`` ingestion wire protocol.
+
+One *frame* carries one node's burst for one tick.  Two encodings share
+a stream (auto-detected per frame by the first byte):
+
+* **newline-JSON** — one object per line::
+
+      {"node": "rack0/node00", "tick": 7, "values": [[...], ...]}
+
+  ``values`` is the ``(n_sensors, m)`` burst as nested lists.  A line
+  whose object carries ``"op"`` instead is a control frame; the only
+  defined op is ``{"op": "eof"}`` (the sender is done).
+
+* **binary** — compact length-prefixed frames for load-generator /
+  agent traffic::
+
+      MAGIC(4) | body_len u32 | body
+
+  with ``body`` = ``version u8 | path_len u16 | tick u64 |
+  n_sensors u16 | m u32 | path utf-8 | values float64[n*m]`` (all
+  little-endian, values C-order).  ``MAGIC``'s first byte can never
+  start a JSON line, which is what makes per-frame autodetection safe.
+
+:class:`FrameDecoder` is an incremental parser over arbitrary byte
+chunks: it yields decoded :class:`Frame`\\ s plus typed
+:class:`FrameError`\\ s for garbage, truncated or malformed input — and
+*resynchronizes* after garbage instead of dying, so one corrupt sender
+cannot take the ingestion loop down.  Errors that can be attributed to
+a node keep its path, which lets the server route the fault into the
+guard's quarantine machinery as a poison block.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "encode_binary",
+    "encode_eof",
+    "encode_json",
+]
+
+PROTOCOL = "repro-ticks/v1"
+
+#: Binary frame magic.  0x93 cannot begin UTF-8 JSON text, so the
+#: decoder distinguishes the two encodings from one byte.
+MAGIC = b"\x93RT1"
+
+_HEADER = struct.Struct("<BHQHI")  # version, path_len, tick, n, m
+_VERSION = 1
+
+#: Upper bound on one frame body / JSON line; anything larger is
+#: treated as garbage (a desynchronized or malicious length prefix must
+#: not make the decoder buffer gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded tick frame (``control`` set for ``{"op": ...}``)."""
+
+    node: str
+    tick: int
+    #: ``(n_sensors, m)`` float64 array for binary frames; the raw JSON
+    #: ``values`` payload (nested lists, or anything else the sender
+    #: put there) for JSON frames — the guard boundary conforms it.
+    values: Any
+    control: str | None = None
+
+
+@dataclass(frozen=True)
+class FrameError:
+    """One undecodable stretch of input, with the best-known context."""
+
+    reason: str  # "garbage" | "bad-json" | "bad-frame" | "truncated"
+    detail: str = ""
+    #: The node path when the broken frame still named one (lets the
+    #: server poison that node's queue so the guard quarantines it).
+    node: str | None = None
+
+
+def encode_json(node: str, tick: int, values) -> bytes:
+    """One newline-JSON frame (values via ``tolist()`` for arrays)."""
+    if isinstance(values, np.ndarray):
+        values = values.tolist()
+    return (
+        json.dumps(
+            {"node": node, "tick": int(tick), "values": values},
+            separators=(",", ":"),
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
+def encode_eof() -> bytes:
+    """The end-of-stream control frame."""
+    return b'{"op":"eof"}\n'
+
+
+def encode_binary(node: str, tick: int, values) -> bytes:
+    """One binary frame for a ``(n_sensors, m)`` burst."""
+    B = np.ascontiguousarray(values, dtype="<f8")
+    if B.ndim != 2:
+        raise ValueError(
+            f"binary frames carry (n_sensors, m) bursts, got shape {B.shape}"
+        )
+    path = node.encode("utf-8")
+    header = _HEADER.pack(
+        _VERSION, len(path), int(tick), B.shape[0], B.shape[1]
+    )
+    body = header + path + B.tobytes()
+    return MAGIC + struct.pack("<I", len(body)) + body
+
+
+def _decode_body(body: bytes) -> Frame | FrameError:
+    if len(body) < _HEADER.size:
+        return FrameError("bad-frame", detail="short header")
+    version, path_len, tick, n, m = _HEADER.unpack_from(body)
+    if version != _VERSION:
+        return FrameError("bad-frame", detail=f"unknown version {version}")
+    expected = _HEADER.size + path_len + 8 * n * m
+    if len(body) != expected:
+        return FrameError(
+            "bad-frame",
+            detail=f"body is {len(body)} bytes, header implies {expected}",
+        )
+    try:
+        path = body[_HEADER.size : _HEADER.size + path_len].decode("utf-8")
+    except UnicodeDecodeError:
+        return FrameError("bad-frame", detail="undecodable path")
+    values = np.frombuffer(
+        body, dtype="<f8", count=n * m, offset=_HEADER.size + path_len
+    ).reshape(n, m)
+    return Frame(node=path, tick=int(tick), values=values)
+
+
+def _decode_line(line: bytes) -> Frame | FrameError:
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        return FrameError("bad-json", detail=str(exc))
+    if not isinstance(obj, dict):
+        return FrameError("bad-json", detail="frame is not an object")
+    if "op" in obj:
+        return Frame(node="", tick=-1, values=None, control=str(obj["op"]))
+    node = obj.get("node")
+    if not isinstance(node, str) or not node:
+        return FrameError("bad-json", detail="missing node path")
+    try:
+        tick = int(obj["tick"])
+    except (KeyError, TypeError, ValueError):
+        return FrameError("bad-json", detail="missing tick", node=node)
+    # values stay raw: the guard boundary conforms (or rejects) them,
+    # so a malformed payload degrades the node instead of the decoder.
+    return Frame(node=node, tick=tick, values=obj.get("values"))
+
+
+class FrameDecoder:
+    """Incremental ``repro-ticks/v1`` decoder with garbage resync."""
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet decodable."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> tuple[list[Frame], list[FrameError]]:
+        """Consume one chunk; return every frame/error it completed."""
+        self._buf.extend(data)
+        frames: list[Frame] = []
+        errors: list[FrameError] = []
+        buf = self._buf
+        while buf:
+            first = buf[0]
+            if first == MAGIC[0]:
+                if len(buf) < len(MAGIC) + 4:
+                    break  # incomplete prefix
+                if bytes(buf[: len(MAGIC)]) != MAGIC:
+                    self._resync(errors)
+                    continue
+                (body_len,) = struct.unpack_from("<I", buf, len(MAGIC))
+                if body_len > MAX_FRAME_BYTES:
+                    errors.append(
+                        FrameError(
+                            "garbage",
+                            detail=f"frame length {body_len} exceeds cap",
+                        )
+                    )
+                    del buf[: len(MAGIC)]  # skip the magic, resync after
+                    continue
+                total = len(MAGIC) + 4 + body_len
+                if len(buf) < total:
+                    break  # incomplete frame
+                result = _decode_body(bytes(buf[len(MAGIC) + 4 : total]))
+                del buf[:total]
+            elif first == 0x7B:  # "{"
+                nl = buf.find(b"\n")
+                if nl < 0:
+                    if len(buf) > MAX_FRAME_BYTES:
+                        errors.append(
+                            FrameError("garbage", detail="unterminated line")
+                        )
+                        buf.clear()
+                    break
+                result = _decode_line(bytes(buf[:nl]))
+                del buf[: nl + 1]
+            else:
+                self._resync(errors)
+                continue
+            if isinstance(result, Frame):
+                frames.append(result)
+            else:
+                errors.append(result)
+        return frames, errors
+
+    def _resync(self, errors: list[FrameError]) -> None:
+        """Skip garbage up to the next plausible frame start."""
+        buf = self._buf
+        candidates = [
+            i
+            for i in (buf.find(MAGIC, 1), buf.find(b"{", 1))
+            if i > 0
+        ]
+        nl = buf.find(b"\n", 1)
+        if nl >= 0:
+            candidates.append(nl + 1)
+        skip = min(candidates) if candidates else len(buf)
+        errors.append(
+            FrameError("garbage", detail=f"skipped {skip} bytes")
+        )
+        del buf[:skip]
+
+    def eof(self) -> list[FrameError]:
+        """Flush at end of stream; leftover bytes are a truncated frame."""
+        if not self._buf:
+            return []
+        detail = f"{len(self._buf)} bytes after last complete frame"
+        self._buf.clear()
+        return [FrameError("truncated", detail=detail)]

@@ -16,6 +16,8 @@ processes — produce **byte-identical** alert JSONL.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -45,6 +47,7 @@ __all__ = [
     "FleetReplaySetup",
     "ReplayOutcome",
     "fleet_recipes",
+    "flush_open_alerts",
     "node_path",
     "prepare_fleet",
     "replay",
@@ -250,6 +253,10 @@ class ReplayOutcome:
     #: :class:`~repro.service.chaos.ChaosInjector` delivery statistics,
     #: when the replay ran under fault injection.
     chaos_stats: dict | None = None
+    #: True when the replay was stopped by SIGINT at a tick boundary
+    #: (open alerts were flushed into the sinks, and a final checkpoint
+    #: was written when checkpointing was active).
+    interrupted: bool = False
 
     @property
     def windows_per_s(self) -> float:
@@ -271,6 +278,71 @@ class ReplayOutcome:
             round(self.replay_time_s, 4),
             round(self.windows_per_s, 1),
         )
+
+
+def flush_open_alerts(detector) -> list[dict]:
+    """``repro-alerts/v1`` ``flush`` events for every still-open alert.
+
+    Emitted into the sinks when a serving loop is interrupted (Ctrl-C)
+    so an operator tailing the JSONL sees which episodes were live at
+    shutdown — same shape as a ``close`` event, but the episode did not
+    end.  Accepts a :class:`FleetFaultDetector` or a
+    :class:`~repro.service.guard.GuardedDetector` (flushes then carry
+    the node ``health`` state, like every guarded event).
+    """
+    guarded = detector if isinstance(detector, GuardedDetector) else None
+    inner = guarded.inner if guarded is not None else detector
+    events = []
+    for path, alert in sorted(inner.open_alerts().items()):
+        event = {
+            "event": "flush",
+            "node": path,
+            "window": inner.windows_seen(path) - 1,
+            "opened": alert.opened,
+            "label": alert.label,
+            "windows": alert.n_windows,
+            "peak_confidence": alert.peak_confidence,
+        }
+        if guarded is not None:
+            event["health"] = guarded.health(path).state
+        events.append(event)
+    return events
+
+
+class _InterruptFlag:
+    """SIGINT-to-flag bridge for graceful tick-boundary shutdown.
+
+    Installed around the replay loop (main thread only — elsewhere the
+    context is a no-op and Ctrl-C behaves as before): the *first*
+    SIGINT raises this flag so the loop finishes the in-flight tick,
+    flushes open alerts and writes a final checkpoint; a *second*
+    SIGINT falls through to the previous handler (normally
+    ``KeyboardInterrupt``) for operators who really mean it.
+    """
+
+    def __init__(self):
+        self.triggered = False
+        self._previous = None
+        self._installed = False
+
+    def _handle(self, signum, frame):
+        if self.triggered and callable(self._previous):
+            self._previous(signum, frame)
+        self.triggered = True
+
+    def __enter__(self):
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._previous = signal.signal(signal.SIGINT, self._handle)
+                self._installed = True
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                self._installed = False
+        return self
+
+    def __exit__(self, *exc):
+        if self._installed:
+            signal.signal(signal.SIGINT, self._previous)
+        return False
 
 
 def _episodes(truth: np.ndarray, healthy: int) -> list[tuple[int, int]]:
@@ -465,59 +537,102 @@ def replay(
             for event in events:
                 sink.emit(event)
     horizon = max(m.shape[1] for m in setup.eval_data.values())
+    interrupted = False
+    next_lo = start_lo
     start = time.perf_counter()
-    for lo in range(start_lo, horizon, chunk):
-        ti = lo // chunk
-        if stop_after is not None and ti >= stop_after:
-            break
-        burst = {
-            p: m[:, lo : lo + chunk]
-            for p, m in setup.eval_data.items()
-            if lo < m.shape[1]
-        }
-        deliveries = (
-            injector.deliveries(ti, burst)
-            if injector is not None
-            else ((ti, burst),)
-        )
-        tick_events: list[dict] = []
-        for tick_id, delivered in deliveries:
-            if guarded is not None:
-                tick_events.extend(
-                    guarded.process_block(delivered, tick=tick_id)
+    try:
+        with _InterruptFlag() as stop_flag:
+            for lo in range(start_lo, horizon, chunk):
+                ti = lo // chunk
+                if stop_after is not None and ti >= stop_after:
+                    break
+                if stop_flag.triggered:
+                    # Ctrl-C lands *between* ticks: the in-flight tick
+                    # has fully committed (events emitted, state
+                    # consistent), so the flush + final checkpoint
+                    # below cannot drop it.
+                    interrupted = True
+                    break
+                burst = {
+                    p: m[:, lo : lo + chunk]
+                    for p, m in setup.eval_data.items()
+                    if lo < m.shape[1]
+                }
+                deliveries = (
+                    injector.deliveries(ti, burst)
+                    if injector is not None
+                    else ((ti, burst),)
                 )
+                tick_events: list[dict] = []
+                for tick_id, delivered in deliveries:
+                    if guarded is not None:
+                        tick_events.extend(
+                            guarded.process_block(delivered, tick=tick_id)
+                        )
+                    else:
+                        tick_events.extend(detector.process_block(delivered))
+                for event in tick_events:
+                    n_events += 1
+                    n_open += event["event"] == "open"
+                    if record_history:
+                        events.append(event)
+                    for sink in sinks:
+                        sink.emit(event)
+                if (
+                    checkpoint_every
+                    and checkpoint_path is not None
+                    and (ti + 1) % checkpoint_every == 0
+                ):
+                    save_checkpoint(
+                        checkpoint_path,
+                        detector,
+                        fingerprint=fingerprint,
+                        chunk=chunk,
+                        next_lo=lo + chunk,
+                        events=events,
+                        n_events=n_events,
+                        n_alerts=n_open,
+                        guard_state=(
+                            guarded.state_dict()
+                            if guarded is not None
+                            else None
+                        ),
+                    )
+                next_lo = lo + chunk
+                if interval > 0.0:
+                    time.sleep(interval)
             else:
-                tick_events.extend(detector.process_block(delivered))
-        for event in tick_events:
-            n_events += 1
-            n_open += event["event"] == "open"
-            if record_history:
-                events.append(event)
-            for sink in sinks:
-                sink.emit(event)
-        if (
-            checkpoint_every
-            and checkpoint_path is not None
-            and (ti + 1) % checkpoint_every == 0
-        ):
-            save_checkpoint(
-                checkpoint_path,
-                detector,
-                fingerprint=fingerprint,
-                chunk=chunk,
-                next_lo=lo + chunk,
-                events=events,
-                n_events=n_events,
-                n_alerts=n_open,
-                guard_state=(
-                    guarded.state_dict() if guarded is not None else None
-                ),
-            )
-        if interval > 0.0:
-            time.sleep(interval)
-    replay_time = time.perf_counter() - start
-    for sink in sinks:
-        sink.close()
+                next_lo = horizon
+            if stop_flag.triggered:
+                interrupted = True
+        replay_time = time.perf_counter() - start
+        if interrupted:
+            # Flush still-open alerts into the sinks (events list and
+            # checkpoint stay flush-free: a later --resume must stitch
+            # onto the uninterrupted event sequence), then snapshot so
+            # the operator can resume from exactly here.
+            for event in flush_open_alerts(
+                guarded if guarded is not None else detector
+            ):
+                for sink in sinks:
+                    sink.emit(event)
+            if checkpoint_path is not None:
+                save_checkpoint(
+                    checkpoint_path,
+                    detector,
+                    fingerprint=fingerprint,
+                    chunk=chunk,
+                    next_lo=next_lo,
+                    events=events,
+                    n_events=n_events,
+                    n_alerts=n_open,
+                    guard_state=(
+                        guarded.state_dict() if guarded is not None else None
+                    ),
+                )
+    finally:
+        for sink in sinks:
+            sink.close()
     if record_history:
         accuracy, precision, recall = score_events(events, setup, detector)
     else:
@@ -536,4 +651,5 @@ def replay(
         replay_time_s=replay_time,
         health=guarded.fleet_health() if guarded is not None else None,
         chaos_stats=dict(injector.stats) if injector is not None else None,
+        interrupted=interrupted,
     )

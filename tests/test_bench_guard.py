@@ -5,7 +5,8 @@ presorted/batched ML engine over the frozen seed implementation in
 ``BENCH_ml.json``; ``benchmarks/test_scenario_cache.py`` records cold vs
 cached scenario runtimes in ``BENCH_scenarios.json``;
 ``benchmarks/test_service_scaling.py`` records batched vs per-node fleet
-detection in ``BENCH_service.json``; ``benchmarks/test_datagen_scaling.py``
+detection in ``BENCH_service.json`` (``benchmarks/test_net_serve.py``
+adds the loopback network-serving headline to the same file); ``benchmarks/test_datagen_scaling.py``
 records the vectorized cold generation path vs the frozen seed
 recurrences in ``BENCH_datagen.json``; ``benchmarks/test_tick_hotpath.py``
 records the fused single-pass tick arena vs the staged pipeline in
@@ -148,6 +149,32 @@ class TestServiceGuard:
             f"{summary['guard64_overhead_frac']:.1%} of the unguarded "
             "64-node tick (budget: 5%)"
         )
+
+    def test_network_serve_sustains_thousand_nodes(self):
+        """Acceptance floor: the loopback fleet server sustains >= 1000
+        simulated nodes at 1 Hz serving cadence on one CPU
+        (``benchmarks/test_net_serve.py`` records aggregate
+        node-samples/s, which at 1 sample/s/node *is* the node count),
+        and the network-ingested alert stream stayed byte-identical to
+        the in-process replay."""
+        summary = _load_summary(SERVICE_SUMMARY_JSON)
+        assert "net_nodes_sustained" in summary, (
+            "BENCH_service.json is missing the net_nodes_sustained "
+            "headline (run pytest benchmarks/test_net_serve.py -m slow)"
+        )
+        assert summary["net_nodes_sustained"] >= 1000, (
+            f"loopback fleet server sustained only "
+            f"{summary['net_nodes_sustained']} node-samples/s "
+            "(floor: 1000 nodes at 1 Hz)"
+        )
+        assert summary.get("net_byte_identical") == 1, (
+            "network-ingested alert stream diverged from the in-process "
+            "replay"
+        )
+        for key in ("net_tick_p50_ms", "net_tick_p99_ms"):
+            assert summary.get(key, 0.0) > 0.0, (
+                f"BENCH_service.json is missing {key}"
+            )
 
     def test_no_service_speedup_below_one(self):
         summary = _load_summary(SERVICE_SUMMARY_JSON)

@@ -1,0 +1,408 @@
+"""Ingestion-server tests: backpressure, barrier, guard routing, ops API.
+
+The headline contract: alert JSONL produced from frames ingested over a
+real loopback socket is byte-identical to the in-process replay of the
+same configuration — for both frame encodings.  Around it: the bounded
+per-node queues enforce their drop-oldest/coalesce policies under
+seeded bursty feeding, protocol garbage lands in the guard's
+quarantine machinery instead of crashing the loop, and the HTTP ops
+surface reads the same live state the sinks see.
+"""
+
+import json
+import socket
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.service.api import (
+    ServiceConfig,
+    build_detector,
+    build_setup,
+    replay,
+)
+from repro.service.net import (
+    BackpressureConfig,
+    FleetServer,
+    ListAlertSink,
+    NodeQueue,
+    loadgen,
+    parse_address,
+)
+from repro.service.protocol import encode_binary, encode_eof, encode_json
+
+CFG = ServiceConfig.smoke()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_setup(CFG)
+
+
+@pytest.fixture(scope="module")
+def reference(setup):
+    sink = ListAlertSink()
+    outcome = replay(CFG, setup, sinks=(sink,))
+    return outcome, sink.text()
+
+
+def _serve(setup, *, config=CFG, **kwargs):
+    server = FleetServer(
+        build_detector(config, setup), exit_on_idle=True, **kwargs
+    )
+    thread = server.start_background()
+    assert server.ready.wait(10)
+    return server, thread
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:7000") == ("127.0.0.1", 7000)
+
+    def test_rejects_bare_port(self):
+        with pytest.raises(ValueError):
+            parse_address("7000")
+
+
+class TestBackpressureQueue:
+    def test_drop_oldest_evicts_head(self):
+        q = NodeQueue(BackpressureConfig(queue_max=3, policy="drop-oldest"))
+        for tick in range(5):
+            q.push(tick, None, 0)
+        assert [e[0] for e in q.entries] == [2, 3, 4]
+        assert q.dropped == 2 and q.coalesced == 0
+
+    def test_coalesce_replaces_tail(self):
+        q = NodeQueue(BackpressureConfig(queue_max=3, policy="coalesce"))
+        for tick in range(5):
+            q.push(tick, None, 0)
+        assert [e[0] for e in q.entries] == [0, 1, 4]
+        assert q.coalesced == 2 and q.dropped == 0
+
+    def test_queue_never_exceeds_bound_under_seeded_bursts(self):
+        """Invariant: whatever a bursty feeder does, len(queue) <=
+        queue_max and every overflow is accounted for in exactly one
+        counter."""
+        rng = np.random.default_rng(7)
+        for policy in ("drop-oldest", "coalesce"):
+            q = NodeQueue(BackpressureConfig(queue_max=8, policy=policy))
+            pushed = 0
+            for _ in range(50):
+                for _ in range(int(rng.integers(0, 12))):  # burst
+                    q.push(pushed, None, 1)
+                    pushed += 1
+                    assert len(q) <= 8
+                for _ in range(int(rng.integers(0, 4))):  # partial drain
+                    if q.entries:
+                        q.entries.popleft()
+            drained = pushed - len(q) - q.dropped - q.coalesced
+            assert drained >= 0  # everything is in a queue or a counter
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            BackpressureConfig(policy="random-drop")
+        with pytest.raises(ValueError, match="queue_max"):
+            BackpressureConfig(queue_max=0)
+
+
+class TestLoopbackIdentity:
+    @pytest.mark.parametrize("fmt", ["binary", "json"])
+    def test_network_alerts_byte_identical_to_inprocess(
+        self, setup, reference, fmt
+    ):
+        _, ref_text = reference
+        sink = ListAlertSink()
+        server, thread = _serve(setup, sinks=(sink,))
+        loadgen(setup, ("127.0.0.1", server.port), chunk=CFG.chunk, fmt=fmt)
+        thread.join(60)
+        assert not thread.is_alive()
+        assert sink.text() == ref_text
+        assert server.stats.garbage == 0
+        assert server.stats.frames == server.stats.ticks * len(
+            setup.eval_data
+        )
+
+    def test_one_socket_per_node_still_identical(self, setup, reference):
+        """Frames arriving on separate connections (one agent per node,
+        interleaved by tick) reassemble into the same tick bursts."""
+        _, ref_text = reference
+        sink = ListAlertSink()
+        server, thread = _serve(setup, sinks=(sink,))
+        paths = sorted(setup.eval_data)
+        socks = {
+            p: socket.create_connection(("127.0.0.1", server.port))
+            for p in paths
+        }
+        horizon = max(m.shape[1] for m in setup.eval_data.values())
+        for ti in range((horizon + CFG.chunk - 1) // CFG.chunk):
+            lo = ti * CFG.chunk
+            for p in paths:
+                m = setup.eval_data[p]
+                if lo < m.shape[1]:
+                    socks[p].sendall(
+                        encode_binary(p, ti, m[:, lo : lo + CFG.chunk])
+                    )
+        for p in paths:
+            socks[p].sendall(encode_eof())
+            socks[p].close()
+        thread.join(60)
+        assert not thread.is_alive()
+        assert sink.text() == ref_text
+
+    def test_port_file_written(self, setup, tmp_path):
+        port_file = tmp_path / "sub" / "port"
+        server, thread = _serve(setup, port_file=port_file)
+        assert int(port_file.read_text()) == server.port
+        assert not (tmp_path / "sub" / "port.ops").exists()
+        server.request_stop()
+        thread.join(30)
+        assert not thread.is_alive()
+
+    def test_ops_port_lands_in_companion_file(self, setup, tmp_path):
+        """With an ephemeral --ops port, the bound port is discoverable
+        via <port_file>.ops — the only channel a scripted caller has."""
+        port_file = tmp_path / "port"
+        server, thread = _serve(
+            setup, port_file=port_file, ops_host="127.0.0.1", ops_port=0
+        )
+        ops_file = tmp_path / "port.ops"
+        assert int(ops_file.read_text()) == server.ops_bound_port
+        server.request_stop()
+        thread.join(30)
+        assert not thread.is_alive()
+
+
+class TestGuardRouting:
+    def test_garbage_frame_poisons_node_into_guard(self, setup):
+        """A corrupt frame that still names a node must degrade that
+        node through the PR 7 guard (shape-mismatch fault), and enough
+        of them must quarantine it — never crash the pump."""
+        sink = ListAlertSink()
+        server, thread = _serve(setup, sinks=(sink,))
+        paths = sorted(setup.eval_data)
+        victim = paths[0]
+        with socket.create_connection(
+            ("127.0.0.1", server.port)
+        ) as sock:
+            for tick in range(4):
+                # Valid JSON naming the victim but with no tick: the
+                # decoder attributes the error, the server poisons the
+                # victim's queue, the guard counts a fault.
+                sock.sendall(
+                    json.dumps({"node": victim, "values": []}).encode()
+                    + b"\n"
+                )
+                # The other nodes tick normally so the barrier advances.
+                for p in paths[1:]:
+                    m = setup.eval_data[p]
+                    sock.sendall(
+                        encode_binary(p, tick, m[:, :CFG.chunk])
+                    )
+            sock.sendall(encode_eof())
+        thread.join(60)
+        assert not thread.is_alive()
+        assert server.stats.poisoned == 4
+        health = server.guarded.fleet_health()
+        assert health["nodes"][victim]["state"] in (
+            "degraded",
+            "quarantined",
+        )
+        assert health["nodes"][victim]["fault_counts"]["shape-mismatch"] >= 1
+        guard_events = [
+            line for line in sink.lines if '"event":"guard"' in line
+        ]
+        assert guard_events, "guard degradation must surface in the stream"
+
+    def test_unknown_node_surfaces_as_guard_reject(self, setup):
+        sink = ListAlertSink()
+        server, thread = _serve(setup, sinks=(sink,))
+        paths = sorted(setup.eval_data)
+        m0 = setup.eval_data[paths[0]]
+        with socket.create_connection(
+            ("127.0.0.1", server.port)
+        ) as sock:
+            sock.sendall(encode_binary("rack9/node99", 0, m0[:, :CFG.chunk]))
+            for p in paths:
+                sock.sendall(
+                    encode_binary(p, 0, setup.eval_data[p][:, :CFG.chunk])
+                )
+            sock.sendall(encode_eof())
+        thread.join(60)
+        assert not thread.is_alive()
+        assert server.stats.strays == 1
+        assert any(
+            '"fault":"unknown-node"' in line for line in sink.lines
+        )
+
+    def test_pure_garbage_connection_is_survived(self, setup):
+        server, thread = _serve(setup)
+        # Keepalive connection: with exit_on_idle, the garbage
+        # connection closing must not race the server into drain-and-
+        # exit before the real feed connects.
+        keep = socket.create_connection(("127.0.0.1", server.port))
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port)
+            ) as sock:
+                sock.sendall(b"\x00\x01\xfe\xfdGET / HTTP/1.1\r\n\r\n")
+            # The garbage connection closed; feed a real run afterwards.
+            loadgen(
+                setup,
+                ("127.0.0.1", server.port),
+                chunk=CFG.chunk,
+                fmt="binary",
+            )
+        finally:
+            keep.close()
+        thread.join(60)
+        assert not thread.is_alive()
+        assert server.stats.garbage >= 1
+        assert server.stats.ticks > 0
+
+
+class TestDrainAndTimeout:
+    def test_partial_fleet_processed_after_tick_timeout(self, setup):
+        """A dead agent must not stall the world: with one node silent
+        and the connection held open, the barrier breaks after
+        tick_timeout and the live node's frames are processed."""
+        import time
+
+        server, thread = _serve(setup, tick_timeout=0.2)
+        paths = sorted(setup.eval_data)
+        live = paths[0]
+        m = setup.eval_data[live]
+        with socket.create_connection(
+            ("127.0.0.1", server.port)
+        ) as sock:
+            for tick in range(2):
+                sock.sendall(
+                    encode_binary(
+                        live, tick, m[:, tick * CFG.chunk :][:, : CFG.chunk]
+                    )
+                )
+            # No eof, connection stays open: only the timeout can fire.
+            deadline = time.monotonic() + 15
+            while server.stats.ticks < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server.stats.ticks >= 1
+            sock.sendall(encode_eof())
+        thread.join(60)
+        assert not thread.is_alive()
+
+    def test_late_frames_dropped(self, setup):
+        server, thread = _serve(setup)
+        paths = sorted(setup.eval_data)
+        with socket.create_connection(
+            ("127.0.0.1", server.port)
+        ) as sock:
+            for p in paths:  # tick 5 everywhere: cursor jumps to 5+1
+                sock.sendall(
+                    encode_binary(p, 5, setup.eval_data[p][:, :CFG.chunk])
+                )
+            # Wait until the barrier fired before sending the stale tick.
+            import time
+
+            deadline = time.monotonic() + 10
+            while server.stats.ticks < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            sock.sendall(
+                encode_binary(
+                    paths[0], 2, setup.eval_data[paths[0]][:, :CFG.chunk]
+                )
+            )
+            sock.sendall(encode_eof())
+        thread.join(60)
+        assert not thread.is_alive()
+        assert server.stats.late_dropped >= 1
+
+
+class TestOpsAPI:
+    def _get(self, port, path):
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=10
+            ) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def _post(self, port, path):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def test_ops_endpoints_against_live_server(self, setup):
+        # exit_on_idle stays off: the server must survive the loadgen
+        # connection closing so the ops queries below hit live state.
+        server = FleetServer(
+            build_detector(CFG, setup),
+            ops_host="127.0.0.1",
+            ops_port=0,
+            tick_timeout=0.5,
+        )
+        thread = server.start_background()
+        assert server.ready.wait(10)
+        port = server.ops_bound_port
+
+        status, health = self._get(port, "/health")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["nodes"] == len(setup.eval_data)
+
+        status, fleet = self._get(port, "/fleet")
+        assert status == 200
+        assert set(fleet["fleet"]["nodes"]) == set(setup.eval_data)
+
+        # Drive the full feed so alerts exist, then inspect them.
+        loadgen(
+            setup, ("127.0.0.1", server.port), chunk=CFG.chunk, fmt="binary",
+            send_eof=False,
+        )
+        import time
+
+        horizon = max(m.shape[1] for m in setup.eval_data.values())
+        expected = -(-horizon // CFG.chunk)
+        deadline = time.monotonic() + 30
+        while (
+            server.stats.ticks < expected and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+
+        status, alerts = self._get(port, "/alerts")
+        assert status == 200
+        assert alerts["schema"] == "repro-alerts/v1"
+        assert alerts["alerts"], "smoke fleet must raise alerts"
+        first = alerts["alerts"][0]
+        assert first["open_event"]["event"] == "open"
+        assert "attribution" in first["open_event"]
+
+        aid = first["id"]
+        status, body = self._post(port, f"/alerts/{aid}/ack")
+        assert status == 200 and body["ack"] is True
+        status, body = self._post(port, f"/alerts/{aid}/suppress")
+        assert status == 200
+        _, visible = self._get(port, "/alerts")
+        assert aid not in [a["id"] for a in visible["alerts"]]
+        _, everything = self._get(port, "/alerts?all=1")
+        assert aid in [a["id"] for a in everything["alerts"]]
+
+        status, _ = self._post(port, "/alerts/a999999/ack")
+        assert status == 404
+        status, _ = self._get(port, "/nope")
+        assert status == 404
+
+        status, stats = self._get(port, "/stats")
+        assert status == 200
+        assert stats["ticks"] == expected
+        assert stats["samples_per_s"] > 0
+        assert "backpressure" in stats
+
+        server.request_stop()
+        thread.join(30)
+        assert not thread.is_alive()

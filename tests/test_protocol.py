@@ -1,0 +1,213 @@
+"""Wire-protocol tests: repro-ticks/v1 framing (repro.service.protocol).
+
+The contract under test: every well-formed frame round-trips exactly
+through :class:`FrameDecoder` regardless of how the byte stream is
+chunked; malformed input yields typed :class:`FrameError`\\ s (with the
+node attached whenever the broken frame still named one) and the
+decoder *resynchronizes* instead of dying.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.protocol import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    encode_binary,
+    encode_eof,
+    encode_json,
+)
+
+
+def _burst(n=3, m=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, m))
+
+
+class TestEncodeDecode:
+    def test_binary_round_trip(self):
+        v = _burst()
+        frames, errors = FrameDecoder().feed(
+            encode_binary("rack0/node01", 42, v)
+        )
+        assert errors == []
+        (f,) = frames
+        assert f.node == "rack0/node01"
+        assert f.tick == 42
+        assert f.control is None
+        np.testing.assert_array_equal(f.values, v)
+        assert f.values.dtype == np.float64
+
+    def test_json_round_trip(self):
+        v = _burst()
+        frames, errors = FrameDecoder().feed(encode_json("a/b", 7, v))
+        assert errors == []
+        (f,) = frames
+        assert f.node == "a/b"
+        assert f.tick == 7
+        np.testing.assert_array_equal(np.asarray(f.values), v)
+
+    def test_eof_control_frame(self):
+        frames, errors = FrameDecoder().feed(encode_eof())
+        assert errors == []
+        assert frames == [Frame(node="", tick=-1, values=None, control="eof")]
+
+    def test_mixed_encodings_share_one_stream(self):
+        v = _burst()
+        data = (
+            encode_binary("n0", 0, v)
+            + encode_json("n1", 0, v)
+            + encode_binary("n0", 1, v)
+            + encode_eof()
+        )
+        frames, errors = FrameDecoder().feed(data)
+        assert errors == []
+        assert [(f.node, f.tick, f.control) for f in frames] == [
+            ("n0", 0, None),
+            ("n1", 0, None),
+            ("n0", 1, None),
+            ("", -1, "eof"),
+        ]
+
+    def test_binary_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="bursts"):
+            encode_binary("n", 0, np.zeros(5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        node=st.text(
+            alphabet=st.characters(
+                codec="utf-8", exclude_characters="\x00"
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        tick=st.integers(0, 2**63 - 1),
+        n=st.integers(1, 8),
+        m=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+        cut=st.integers(1, 64),
+    )
+    def test_round_trip_survives_any_chunking(
+        self, node, tick, n, m, seed, cut
+    ):
+        """Property: frame bytes split at arbitrary points decode to the
+        same frames as one contiguous feed."""
+        rng = np.random.default_rng(seed)
+        v = rng.standard_normal((n, m))
+        data = encode_binary(node, tick, v) + encode_json(node, tick + 1, v)
+        decoder = FrameDecoder()
+        frames = []
+        for lo in range(0, len(data), cut):
+            got, errors = decoder.feed(data[lo : lo + cut])
+            assert errors == []
+            frames.extend(got)
+        assert decoder.eof() == []
+        assert len(frames) == 2
+        assert frames[0].node == node and frames[0].tick == tick
+        np.testing.assert_array_equal(frames[0].values, v)
+        assert frames[1].node == node and frames[1].tick == tick + 1
+
+
+class TestMalformedInput:
+    def test_garbage_resyncs_to_next_frame(self):
+        v = _burst()
+        data = b"\x01\x02\xffnoise" + encode_binary("n0", 3, v)
+        frames, errors = FrameDecoder().feed(data)
+        assert len(frames) == 1
+        assert frames[0].node == "n0"
+        assert any(e.reason == "garbage" for e in errors)
+
+    def test_truncated_binary_frame_at_eof(self):
+        data = encode_binary("n0", 0, _burst())
+        decoder = FrameDecoder()
+        frames, errors = decoder.feed(data[:-10])
+        assert frames == [] and errors == []
+        (err,) = decoder.eof()
+        assert err.reason == "truncated"
+        assert decoder.pending == 0
+
+    def test_bad_json_line(self):
+        frames, errors = FrameDecoder().feed(b"{not json}\n")
+        assert frames == []
+        assert errors[0].reason == "bad-json"
+
+    def test_json_missing_tick_keeps_node_attribution(self):
+        """A frame that names a node but breaks otherwise must carry the
+        node in the error — that's what routes it into the guard's
+        quarantine path server-side."""
+        line = json.dumps({"node": "rack0/node00", "values": [[1.0]]})
+        frames, errors = FrameDecoder().feed(line.encode() + b"\n")
+        assert frames == []
+        assert errors[0].reason == "bad-json"
+        assert errors[0].node == "rack0/node00"
+
+    def test_json_missing_node(self):
+        frames, errors = FrameDecoder().feed(b'{"tick": 1}\n')
+        assert errors[0].reason == "bad-json"
+        assert errors[0].node is None
+
+    def test_bad_version_binary(self):
+        v = _burst()
+        frame = bytearray(encode_binary("n", 0, v))
+        frame[len(MAGIC) + 4] = 99  # version byte
+        frames, errors = FrameDecoder().feed(bytes(frame))
+        assert frames == []
+        assert errors[0].reason == "bad-frame"
+        assert "version" in errors[0].detail
+
+    def test_length_lie_is_bad_frame(self):
+        """A body shorter than its header claims decodes to a typed
+        error, never an exception."""
+        v = _burst(2, 2)
+        good = encode_binary("n", 0, v)
+        # Rewrite n_sensors upward without extending the payload.
+        import struct
+
+        frame = bytearray(good)
+        struct.pack_into("<H", frame, len(MAGIC) + 4 + 11, 64)
+        frames, errors = FrameDecoder().feed(bytes(frame))
+        assert frames == []
+        assert errors[0].reason == "bad-frame"
+
+    def test_oversized_length_prefix_is_garbage_not_buffering(self):
+        bomb = MAGIC + (MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+        decoder = FrameDecoder()
+        frames, errors = decoder.feed(bomb)
+        assert frames == []
+        assert errors[0].reason == "garbage"
+        assert decoder.pending < len(bomb)
+
+    def test_garbage_between_frames_loses_only_the_garbage(self):
+        v = _burst()
+        chunks = [
+            encode_binary("n0", 0, v),
+            b"\x00\x01\x02 junk without structure",
+            encode_json("n1", 1, v),
+        ]
+        frames, errors = FrameDecoder().feed(b"".join(chunks))
+        assert [(f.node, f.tick) for f in frames] == [("n0", 0), ("n1", 1)]
+        assert all(e.reason == "garbage" for e in errors)
+
+    @settings(max_examples=30, deadline=None)
+    @given(junk=st.binary(min_size=1, max_size=200))
+    def test_arbitrary_junk_never_raises_and_later_frames_decode(
+        self, junk
+    ):
+        """Property: any byte junk before a valid frame leaves the
+        decoder alive; a frame fed afterwards still decodes."""
+        decoder = FrameDecoder()
+        decoder.feed(junk)  # must not raise
+        decoder.eof()  # drain whatever is pending
+        v = _burst(2, 3)
+        frames, _ = decoder.feed(encode_binary("n9", 5, v))
+        assert any(
+            f.node == "n9" and f.tick == 5 for f in frames
+        )
