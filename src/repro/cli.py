@@ -415,6 +415,14 @@ def _serve_sinks(args: argparse.Namespace) -> list:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.api import replay, serve
 
+    if args.listen and (args.checkpoint or args.interval):
+        # These flags only drive the in-process replay loop; silently
+        # ignoring them would surprise an operator expecting snapshots.
+        _status(
+            "error: --checkpoint/--checkpoint-every/--interval apply to "
+            "in-process serving only and cannot be combined with --listen"
+        )
+        return 2
     setup, config, _ = _build_service_setup(args, chunk_default=30)
     sinks = _serve_sinks(args)
     if args.listen:

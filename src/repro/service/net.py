@@ -144,6 +144,7 @@ class ServerStats:
         self.garbage = 0
         self.poisoned = 0
         self.strays = 0
+        self.stray_dropped = 0
         self._latencies: deque = deque(maxlen=self.LATENCY_RING)
         self._first_frame_t: float | None = None
         self._last_tick_t: float | None = None
@@ -205,6 +206,7 @@ class ServerStats:
                 "garbage": self.garbage,
                 "poisoned": self.poisoned,
                 "strays": self.strays,
+                "stray_dropped": self.stray_dropped,
             },
         }
 
@@ -256,6 +258,9 @@ class FleetServer:
         ``<port_file>.ops`` file.
     """
 
+    #: Cap on distinct unknown-node paths buffered between ticks.
+    MAX_STRAY_NODES = 256
+
     def __init__(
         self,
         detector,
@@ -289,8 +294,17 @@ class FleetServer:
         self._queues: dict[str, NodeQueue] = {
             p: NodeQueue(self.backpressure) for p in detector.paths
         }
-        #: (node, tick, values) pending injection: strays + poison.
-        self._pending: list[tuple[str, int, object]] = []
+        if not self._queues:
+            # An empty fleet would make the barrier trivially complete
+            # and spin the pump forever; refuse it up front.
+            raise ValueError(
+                "detector has no registered node paths to serve"
+            )
+        #: Stray (unknown-node) values pending guard injection at the
+        #: next tick: newest frame per unknown path, capped at
+        #: MAX_STRAY_NODES distinct paths so a client streaming unknown
+        #: nodes during a barrier stall cannot grow server memory.
+        self._pending: dict[str, object] = {}
         self._cursor = 0
         self._open_conns = 0
         self._had_conn = False
@@ -324,8 +338,16 @@ class FleetServer:
         if queue is None:
             # Unknown node: hand it to the guard at the next tick so
             # the stray shows up as an `unknown-node` guard event.
+            # Bounded: one (newest) frame per unknown path, at most
+            # MAX_STRAY_NODES paths — excess is counted, not kept.
             self.stats.strays += 1
-            self._pending.append((frame.node, frame.tick, frame.values))
+            if (
+                frame.node in self._pending
+                or len(self._pending) < self.MAX_STRAY_NODES
+            ):
+                self._pending[frame.node] = frame.values
+            else:
+                self.stats.stray_dropped += 1
             return
         if frame.tick < self._cursor:
             self.stats.late_dropped += 1
@@ -410,7 +432,7 @@ class FleetServer:
                 _, values, samples = entries.popleft()
                 burst[path] = values
                 tick_samples += samples
-        for node, _, values in self._pending:
+        for node, values in self._pending.items():
             burst.setdefault(node, values)
         self._pending.clear()
         t0 = time.perf_counter()
@@ -424,41 +446,62 @@ class FleetServer:
         self.stats.observe_tick(latency, len(events), opened)
         self._cursor = cursor + 1
 
+    def _advance_to_next_queued(self) -> None:
+        """Jump the cursor to the earliest queued tick (partial fleet)."""
+        ticks = [
+            q.entries[0][0] for q in self._queues.values() if q.entries
+        ]
+        if ticks and min(ticks) > self._cursor:
+            self._cursor = min(ticks)
+
     async def _pump(self):
+        loop = asyncio.get_running_loop()
+        # Absolute barrier deadline: armed when data first sits waiting
+        # on an incomplete barrier, disarmed only by processing a tick.
+        # It must NOT restart on every wake — live nodes sending faster
+        # than tick_timeout would then postpone the timeout forever and
+        # one dead agent *would* stall the world.
+        deadline: float | None = None
         while True:
             self._drop_stale()
             if self._barrier_complete():
                 self._process_tick()
+                deadline = None
+                # The complete-barrier path has no await of its own:
+                # yield so socket readers and the ops listener run even
+                # through long streaks of complete barriers.
+                await asyncio.sleep(0)
                 continue
             if self._draining():
                 if not self._any_queued():
                     break
-                ticks = [
-                    q.entries[0][0]
-                    for q in self._queues.values()
-                    if q.entries
-                ]
-                if ticks and min(ticks) > self._cursor:
-                    self._cursor = min(ticks)
+                self._advance_to_next_queued()
                 self._process_tick()
+                deadline = None
+                await asyncio.sleep(0)
                 continue
+            if self._any_queued():
+                now = loop.time()
+                if deadline is None:
+                    deadline = now + self.tick_timeout
+                if now >= deadline:
+                    # Partial fleet: this data has waited a full
+                    # tick_timeout — process what arrived so a dead
+                    # agent can't stall ticks.
+                    self._advance_to_next_queued()
+                    self._process_tick()
+                    deadline = None
+                    await asyncio.sleep(0)
+                    continue
+                timeout = deadline - now
+            else:
+                deadline = None
+                timeout = None
             self._wake.clear()
             try:
-                await asyncio.wait_for(
-                    self._wake.wait(), timeout=self.tick_timeout
-                )
+                await asyncio.wait_for(self._wake.wait(), timeout=timeout)
             except asyncio.TimeoutError:
-                if self._any_queued():
-                    # Partial fleet: the barrier timed out — process
-                    # what arrived so a dead agent can't stall ticks.
-                    ticks = [
-                        q.entries[0][0]
-                        for q in self._queues.values()
-                        if q.entries
-                    ]
-                    if ticks and min(ticks) > self._cursor:
-                        self._cursor = min(ticks)
-                    self._process_tick()
+                pass
 
     # -- lifecycle -----------------------------------------------------
     def _gather_backpressure(self) -> None:

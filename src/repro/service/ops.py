@@ -25,6 +25,7 @@ JSONL the sinks wrote.
 from __future__ import annotations
 
 import json
+from collections import deque
 
 from repro.service.alerts import ALERTS_SCHEMA, AlertSink, to_payload
 
@@ -37,18 +38,34 @@ class AlertLog(AlertSink):
     Every ``open`` event mints an id (``a000000``, ``a000001``, ...);
     the matching ``close``/``flush`` event transitions the record.
     Guard events are not alerts and pass through uncounted.
+
+    Retention is bounded: only the newest ``MAX_RECORDS`` records are
+    kept (older ones are evicted and counted in :attr:`evicted`), so a
+    long-running fleet with churning alerts holds steady-state memory.
+    A second ``open`` for a node whose prior record never closed marks
+    that prior record ``superseded`` instead of leaking it open.
     """
 
+    #: Newest records retained; older ones are evicted FIFO.
+    MAX_RECORDS = 4096
+
     def __init__(self):
-        self._records: list[dict] = []
+        self._records: deque = deque()
         self._by_id: dict[str, dict] = {}
         self._open_by_node: dict[str, dict] = {}
+        self._next_id = 0
+        self.evicted = 0
 
     def emit(self, event: dict) -> None:
         kind = event.get("event")
         if kind == "open":
+            prior = self._open_by_node.get(event["node"])
+            if prior is not None:
+                # Re-open with the prior still open: the close never
+                # reached us — retire the stale record explicitly.
+                prior["state"] = "superseded"
             record = {
-                "id": f"a{len(self._records):06d}",
+                "id": f"a{self._next_id:06d}",
                 "node": event["node"],
                 "state": "open",
                 "acked": False,
@@ -57,9 +74,16 @@ class AlertLog(AlertSink):
                 "open_event": to_payload(event),
                 "close_event": None,
             }
+            self._next_id += 1
             self._records.append(record)
             self._by_id[record["id"]] = record
             self._open_by_node[record["node"]] = record
+            while len(self._records) > self.MAX_RECORDS:
+                old = self._records.popleft()
+                self._by_id.pop(old["id"], None)
+                if self._open_by_node.get(old["node"]) is old:
+                    del self._open_by_node[old["node"]]
+                self.evicted += 1
         elif kind in ("close", "flush"):
             record = self._open_by_node.pop(event.get("node"), None)
             if record is not None:

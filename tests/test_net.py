@@ -30,7 +30,12 @@ from repro.service.net import (
     loadgen,
     parse_address,
 )
-from repro.service.protocol import encode_binary, encode_eof, encode_json
+from repro.service.protocol import (
+    Frame,
+    encode_binary,
+    encode_eof,
+    encode_json,
+)
 
 CFG = ServiceConfig.smoke()
 
@@ -261,7 +266,120 @@ class TestGuardRouting:
         assert server.stats.ticks > 0
 
 
+class TestStrayBounds:
+    def test_stray_flood_is_bounded(self, setup):
+        """Unknown-node frames must not grow server memory without
+        limit during a barrier stall: at most MAX_STRAY_NODES distinct
+        paths are buffered, the rest are counted and dropped."""
+        server = FleetServer(build_detector(CFG, setup))
+        server.MAX_STRAY_NODES = 4
+        values = np.zeros((2, 3))
+        for i in range(10):
+            server._route_frame(Frame(f"ghost/node{i}", 0, values))
+        assert len(server._pending) == 4
+        assert server.stats.strays == 10
+        assert server.stats.stray_dropped == 6
+        # A path already pending is refreshed in place, never dropped.
+        server._route_frame(Frame("ghost/node0", 1, values))
+        assert len(server._pending) == 4
+        assert server.stats.stray_dropped == 6
+        assert server.stats.snapshot()["protocol"]["stray_dropped"] == 6
+
+    def test_empty_fleet_rejected_at_construction(self):
+        """Zero registered paths would make the barrier trivially
+        complete and busy-spin the pump; refuse it up front."""
+        from repro.service.guard import GuardedDetector
+
+        class _NoNodes(GuardedDetector):
+            def __init__(self):  # only .paths is consulted before the raise
+                pass
+
+            @property
+            def paths(self):
+                return []
+
+        with pytest.raises(ValueError, match="no registered node paths"):
+            FleetServer(_NoNodes())
+
+
+class TestAlertLog:
+    def _open(self, node, window=0):
+        return {"event": "open", "node": node, "window": window}
+
+    def test_reopen_supersedes_stale_open(self):
+        from repro.service.ops import AlertLog
+
+        log = AlertLog()
+        log.emit(self._open("n1"))
+        log.emit(self._open("n1", window=5))
+        assert [r["state"] for r in log.records()] == ["superseded", "open"]
+        log.emit({"event": "close", "node": "n1", "window": 9})
+        assert [r["state"] for r in log.records()] == [
+            "superseded",
+            "closed",
+        ]
+
+    def test_retention_bound_evicts_oldest(self):
+        from repro.service.ops import AlertLog
+
+        log = AlertLog()
+        log.MAX_RECORDS = 3
+        for i in range(5):
+            log.emit(self._open(f"n{i}", window=i))
+        records = log.records()
+        assert len(records) == 3
+        assert log.evicted == 2
+        assert [r["id"] for r in records] == [
+            "a000002",
+            "a000003",
+            "a000004",
+        ]
+        # Evicted records leave every index: ack misses, and a late
+        # close for an evicted node is a no-op rather than a crash.
+        assert log.ack("a000000") is False
+        log.emit({"event": "close", "node": "n0"})
+        assert all(r["state"] == "open" for r in log.records())
+        assert log.ack("a000004") is True
+
+
+class TestServeListenFlagConflicts:
+    @pytest.mark.parametrize(
+        "extra", [["--checkpoint", "x.npz"], ["--interval", "0.5"]]
+    )
+    def test_in_process_flags_rejected_with_listen(self, extra, capsys):
+        """`--checkpoint`/`--interval` only drive the in-process loop;
+        combining them with --listen is an error, never a silent no-op."""
+        from repro import cli
+
+        assert cli.main(["serve", "--listen", "127.0.0.1:0", *extra]) == 2
+        assert "--listen" in capsys.readouterr().err
+
+
 class TestDrainAndTimeout:
+    def test_chatty_live_node_cannot_postpone_timeout(self, setup):
+        """The barrier deadline is absolute from when queued data first
+        waited, not restarted per frame: a live node sending faster
+        than tick_timeout must not let a dead node stall ticks."""
+        import time
+
+        server, thread = _serve(setup, tick_timeout=0.4)
+        paths = sorted(setup.eval_data)
+        live = paths[0]
+        m = setup.eval_data[live]
+        with socket.create_connection(
+            ("127.0.0.1", server.port)
+        ) as sock:
+            deadline = time.monotonic() + 15
+            tick = 0
+            while server.stats.ticks < 2 and time.monotonic() < deadline:
+                sock.sendall(encode_binary(live, tick, m[:, : CFG.chunk]))
+                tick += 1
+                time.sleep(0.05)
+            assert server.stats.ticks >= 2
+            sock.sendall(encode_eof())
+        thread.join(60)
+        assert not thread.is_alive()
+
     def test_partial_fleet_processed_after_tick_timeout(self, setup):
         """A dead agent must not stall the world: with one node silent
         and the connection held open, the barrier breaks after
