@@ -21,6 +21,9 @@ Results merge into ``results/net_serve.csv`` and ``BENCH_service.json``
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import tempfile
 from pathlib import Path
 
 import pytest
@@ -139,6 +142,96 @@ def test_loopback_serve_sustains_fleet(base_config, base_setup, nodes):
     assert sustained >= nodes, (
         f"server sustained only {sustained} node-samples/s for a "
         f"{nodes}-node fleet at 1 Hz cadence"
+    )
+
+
+def _journal_root(tmp_path: Path) -> Path:
+    """Journal directory for the overhead benchmark — tmpfs when
+    available.
+
+    Every node-sample carries ~1 KiB of journal (128 sensors x 8 B),
+    so this max-speed replay needs ~100 MB/s of journal bandwidth —
+    more than a CI-class virtio disk sustains, while the *claimed*
+    serving cadence (1000 nodes at 1 Hz) needs ~1 MB/s, which any disk
+    covers.  Benchmarking on tmpfs therefore floors what the code is
+    responsible for — encode + CRC + buffering + syscalls on the
+    serving path — instead of the host's sequential disk bandwidth.
+    """
+    shm = Path("/dev/shm")
+    if shm.is_dir() and os.access(shm, os.W_OK):
+        return Path(tempfile.mkdtemp(prefix="repro-walbench-", dir=shm))
+    return tmp_path
+
+
+def test_wal_overhead(base_config, base_setup, tmp_path):
+    """Durability tax: the same max-size fleet served with a write-ahead
+    journal (fsync policy ``tick``).
+
+    Records ``net_wal_samples_per_s`` and the keep ratio against the
+    no-WAL run from this session; the committed floors live in
+    ``tests/test_bench_guard.py``.  Note what the keep ratio *is*: at
+    max replay speed every node-sample drags ~1 KiB through the kernel
+    write path, so the ratio compares detector-compute-per-byte with
+    kernel-write-cost-per-byte — it is a property of the host's write
+    path as much as of this code.  The steady-state claim (1000 nodes
+    at 1 Hz needs ~1 MB/s of journal) is guarded separately via the
+    absolute ``net_wal_samples_per_s`` floor.
+    """
+    nodes = max(FLEET_SIZES)
+    base_key = f"net{nodes}_samples_per_s"
+    assert base_key in _summary, "no-WAL baseline must run first"
+    setup = replicate_setup(base_setup, nodes)
+    ref_sink = ListAlertSink()
+    replay(base_config, setup, sinks=(ref_sink,))
+    net_sink = ListAlertSink()
+    journal = _journal_root(tmp_path)
+    server = FleetServer(
+        build_detector(base_config, setup),
+        sinks=(net_sink,),
+        exit_on_idle=True,
+        wal=journal / "wal",
+        wal_fsync="tick",
+    )
+    try:
+        thread = server.start_background()
+        assert server.ready.wait(120), "server failed to start"
+        load = loadgen(
+            setup, ("127.0.0.1", server.port), chunk=CHUNK, fmt="binary"
+        )
+        thread.join(600)
+        assert not thread.is_alive(), "server did not drain and exit"
+        snap = server.stats.snapshot()
+    finally:
+        if journal != tmp_path:
+            shutil.rmtree(journal, ignore_errors=True)
+    identical = net_sink.text() == ref_sink.text()
+    assert identical, "journaled serve diverged from in-process replay"
+    assert snap["ticks"] == load["ticks"]
+    assert snap["wal_appended"] > 0 and snap["wal_fsyncs"] > 0
+    keep = snap["samples_per_s"] / _summary[base_key]
+    _rows.append(
+        (
+            nodes,
+            "binary+wal",
+            snap["ticks"],
+            snap["frames"],
+            round(snap["samples_per_s"], 1),
+            snap["tick_latency_p50_ms"],
+            snap["tick_latency_p99_ms"],
+            int(identical),
+        )
+    )
+    _summary["net_wal_samples_per_s"] = round(snap["samples_per_s"], 1)
+    _summary["net_wal_keep_ratio"] = round(keep, 4)
+    _summary["net_wal_tick_p50_ms"] = snap["tick_latency_p50_ms"]
+    _summary["net_wal_byte_identical"] = int(identical)
+    # Noise floor only (host write-path speed varies several-fold on
+    # virtualized CI); the committed values are the guarded claims.
+    assert keep >= 0.2, (
+        f"WAL run kept only {keep:.0%} of no-WAL throughput"
+    )
+    assert snap["samples_per_s"] >= nodes, (
+        "journaled server fell below the 1 Hz serving cadence"
     )
 
 

@@ -24,11 +24,20 @@ Subcommands
     cleanly with status 130 after finishing the in-flight tick, flushing
     open alerts and (with ``--checkpoint``) writing a final checkpoint.
     With ``--listen HOST:PORT`` the feed instead arrives over TCP as
-    ``repro-ticks/v1`` frames (plus an optional ``--ops`` HTTP API).
+    ``repro-ticks/v1`` frames (plus an optional ``--ops`` HTTP API);
+    adding ``--wal DIR --checkpoint F.npz`` makes serving crash-durable
+    (kill -9, restart, byte-identical alert JSONL) and ``--supervise``
+    wraps it in a crash-restart loop.
 ``repro loadgen``
     Drive a ``repro serve --listen`` server over the network with the
     exact deterministic feed ``repro detect`` would replay in-process —
-    the two alert streams are byte-identical.
+    the two alert streams are byte-identical.  ``--resume`` makes the
+    client crash-tolerant too: it follows per-tick acks and resends
+    everything after the last acked tick across reconnects.
+``repro netchaos``
+    A seeded TCP chaos proxy to put between the two: latency, resets,
+    partitions, corruption and truncation drawn deterministically from
+    ``(seed, connection, byte offset)``.
 ``repro store``
     The columnar telemetry store (``repro-telestore/v1``): ``record`` a
     fleet's held-out feed into a time-partitioned on-disk store, then
@@ -412,26 +421,153 @@ def _serve_sinks(args: argparse.Namespace) -> list:
     return [StreamAlertSink(sys.stdout)]
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.api import replay, serve
+#: ``repro serve`` flags consumed by the supervisor itself; stripped
+#: from the child argv (value = flag takes an argument).
+_SUPERVISOR_FLAGS = {
+    "--supervise": False,
+    "--max-restarts": True,
+    "--restart-backoff": True,
+    "--min-uptime": True,
+}
 
-    if args.listen and (args.checkpoint or args.interval):
-        # These flags only drive the in-process replay loop; silently
-        # ignoring them would surprise an operator expecting snapshots.
+
+def _child_argv(argv: list[str]) -> list[str]:
+    """The original argv minus the supervisor-only flags (both
+    ``--flag value`` and ``--flag=value`` spellings)."""
+    out: list[str] = []
+    skip = False
+    for token in argv:
+        if skip:
+            skip = False
+            continue
+        flag = token.split("=", 1)[0]
+        if flag in _SUPERVISOR_FLAGS:
+            skip = _SUPERVISOR_FLAGS[flag] and "=" not in token
+            continue
+        out.append(token)
+    return out
+
+
+def _supervise_serve(args: argparse.Namespace) -> int:
+    """Crash-restart loop around a child ``repro serve`` process.
+
+    The child is this exact invocation minus the supervisor flags, so
+    a respawn re-binds the same listeners, re-reads the same WAL and
+    checkpoint, and recovers to the pre-crash state.  Clean exits and
+    Ctrl-C pass through (0 / 130); flag errors (2) are fatal —
+    restarting cannot fix them.  Anything else (including ``kill -9``)
+    is a crash: respawn with exponential backoff, and trip the
+    crash-loop breaker after ``--max-restarts`` consecutive exits
+    faster than ``--min-uptime``.
+    """
+    import signal
+    import subprocess
+    import time
+
+    cmd = [sys.executable, "-m", "repro", *_child_argv(args.argv)]
+    backoff = float(args.restart_backoff)
+    min_uptime = float(args.min_uptime)
+    quick_crashes = 0
+    restarts = 0
+    while True:
+        started = time.monotonic()
+        proc = subprocess.Popen(cmd)
+        _status(f"[supervise] child pid {proc.pid} (restarts: {restarts})")
+        try:
+            rc = proc.wait()
+        except KeyboardInterrupt:
+            # Pass the interrupt down and give the child its graceful
+            # drain (finish the tick, flush alerts, final checkpoint).
+            try:
+                proc.send_signal(signal.SIGINT)
+                proc.wait(timeout=30)
+            except (subprocess.TimeoutExpired, OSError):
+                proc.kill()
+                proc.wait()
+            return 130
+        uptime = time.monotonic() - started
+        if rc == 0:
+            return 0
+        if rc in (130, -signal.SIGINT):
+            return 130
+        if rc == 2:
+            _status("[supervise] child rejected its flags; not restarting")
+            return 2
+        if uptime >= min_uptime:
+            quick_crashes = 0
+        else:
+            quick_crashes += 1
+            if quick_crashes > int(args.max_restarts):
+                _status(
+                    f"[supervise] crash loop: {quick_crashes} consecutive "
+                    f"exits under {min_uptime:.0f}s; giving up"
+                )
+                return 1
+        delay = min(backoff * (2.0 ** quick_crashes), 30.0)
+        restarts += 1
         _status(
-            "error: --checkpoint/--checkpoint-every/--interval apply to "
-            "in-process serving only and cannot be combined with --listen"
+            f"[supervise] child exited rc={rc} after {uptime:.1f}s; "
+            f"restarting in {delay:.2f}s"
+        )
+        time.sleep(delay)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    if args.listen and args.interval:
+        # Pacing only drives the in-process replay loop; silently
+        # ignoring it would surprise an operator expecting throttling.
+        _status(
+            "error: --interval applies to in-process serving only and "
+            "cannot be combined with --listen"
         )
         return 2
+    if args.wal and not args.listen:
+        _status(
+            "error: --wal journals network ingestion and requires --listen "
+            "(in-process serving is already deterministic; use "
+            "--checkpoint alone)"
+        )
+        return 2
+    if args.supervise:
+        if not args.listen:
+            _status("error: --supervise requires --listen")
+            return 2
+        return _supervise_serve(args)
+
+    from repro.service.api import replay, serve
+
+    pid_file = Path(args.pid_file) if args.pid_file else None
+    if pid_file is not None:
+        pid_file.parent.mkdir(parents=True, exist_ok=True)
+        pid_file.write_text(f"{os.getpid()}\n", encoding="utf-8")
+    try:
+        return _run_serve(args, replay, serve)
+    finally:
+        if pid_file is not None:
+            try:
+                pid_file.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+
+def _run_serve(args: argparse.Namespace, replay, serve) -> int:
     setup, config, _ = _build_service_setup(args, chunk_default=30)
     sinks = _serve_sinks(args)
     if args.listen:
         from repro.service.net import BackpressureConfig
 
+        durability = ""
+        if args.wal:
+            durability = f", wal={args.wal} (fsync={args.wal_fsync})"
+        if args.checkpoint:
+            durability += f", checkpoint={args.checkpoint}"
         _status(
             f"[serve] {setup.n_nodes} nodes, burst={config.chunk} "
             f"samples, listening on {args.listen} "
-            f"(backpressure: {args.backpressure}, queue {args.queue_max})"
+            f"(backpressure: {args.backpressure}, queue {args.queue_max}"
+            f"{durability})"
         )
         stats = serve(
             config,
@@ -445,8 +581,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tick_timeout=float(args.tick_timeout),
             exit_on_idle=args.exit_on_idle,
             port_file=args.port_file,
+            wal_dir=args.wal,
+            wal_fsync=args.wal_fsync,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=int(args.checkpoint_every),
         )
         bp = stats["backpressure"]
+        wal_note = ""
+        if args.wal:
+            wal_note = (
+                f"; wal {stats['wal_appended']} appended, "
+                f"{stats['wal_replayed']} replayed, "
+                f"{stats['checkpoints']} checkpoints"
+            )
         _status(
             f"[serve] drained: {stats['ticks']} ticks, "
             f"{stats['frames']} frames, {stats['events']} alert events, "
@@ -454,7 +601,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(p50 {stats['tick_latency_p50_ms']:.2f} ms, "
             f"p99 {stats['tick_latency_p99_ms']:.2f} ms; "
             f"dropped {bp['dropped']}, coalesced {bp['coalesced']}, "
-            f"late {bp['late_dropped']})"
+            f"late {bp['late_dropped']}{wal_note})"
         )
         return 0
     horizon = max(m.shape[1] for m in setup.eval_data.values())
@@ -494,14 +641,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _port_file_address(path: str | Path, host: str = "127.0.0.1"):
+    """Address callable re-reading a ``--port-file`` on every connect
+    attempt — a supervised server restart lands on a fresh ephemeral
+    port, and the next reconnect follows it there.  A missing or
+    still-empty file raises (``OSError``/``ValueError``), which the
+    connect backoff treats as retryable."""
+    path = Path(path)
+
+    def resolve() -> tuple[str, int]:
+        return (host, int(path.read_text(encoding="utf-8").strip()))
+
+    return resolve
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service.net import loadgen, parse_address
 
+    if bool(args.connect) == bool(args.port_file):
+        _status("error: exactly one of --connect/--port-file is required")
+        return 2
     setup, config, _ = _build_service_setup(args, chunk_default=30)
-    address = parse_address(args.connect)
+    if args.port_file:
+        address = _port_file_address(args.port_file)
+        target = f"port-file {args.port_file}"
+    else:
+        address = parse_address(args.connect)
+        target = args.connect
     _status(
-        f"[loadgen] {setup.n_nodes} nodes -> {args.connect} "
-        f"({args.format} frames, burst={config.chunk})"
+        f"[loadgen] {setup.n_nodes} nodes -> {target} "
+        f"({args.format} frames, burst={config.chunk}"
+        f"{', resume' if args.resume else ''})"
     )
     stats = loadgen(
         setup,
@@ -511,14 +681,77 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         interval=float(args.interval),
         max_ticks=args.max_ticks,
         send_eof=not args.no_eof,
+        resume=args.resume,
+        connect_timeout=float(args.connect_timeout),
+        ack_timeout=float(args.ack_timeout),
+        total_timeout=args.total_timeout,
     )
     rate = stats["bytes"] / stats["seconds"] / 1e6 if stats["seconds"] else 0.0
+    resume_note = ""
+    if args.resume:
+        resume_note = (
+            f"; {stats['acked_ticks']} ticks acked, "
+            f"{stats['reconnects']} reconnects, "
+            f"{stats['resent_frames']} frames resent"
+        )
     _status(
         f"[loadgen] sent {stats['frames']} frames / {stats['ticks']} ticks "
         f"({stats['bytes'] / 1e6:.1f} MB) in {stats['seconds']:.2f}s "
-        f"({rate:.0f} MB/s)"
+        f"({rate:.0f} MB/s{resume_note})"
     )
     return 0
+
+
+def _cmd_netchaos(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.net import parse_address
+    from repro.service.netchaos import ChaosProxy, NetChaosConfig
+
+    if bool(args.upstream) == bool(args.upstream_port_file):
+        _status(
+            "error: exactly one of --upstream/--upstream-port-file is "
+            "required"
+        )
+        return 2
+    if args.upstream:
+        upstream = parse_address(args.upstream)
+        origin = args.upstream
+    else:
+        upstream = _port_file_address(args.upstream_port_file)
+        origin = f"port-file {args.upstream_port_file}"
+    host, port = parse_address(args.listen)
+    config = NetChaosConfig(
+        seed=int(args.seed or 0),
+        latency_ms=float(args.latency_ms),
+        jitter_ms=float(args.jitter_ms),
+        corrupt_per_mb=float(args.corrupt_per_mb),
+        reset_per_mb=float(args.reset_per_mb),
+        truncate_per_mb=float(args.truncate_per_mb),
+        partition_per_mb=float(args.partition_per_mb),
+        partition_ms=float(args.partition_ms),
+    )
+    proxy = ChaosProxy(
+        upstream, config, host=host, port=port, port_file=args.port_file
+    )
+    proxy.start()
+    _status(
+        f"[netchaos] {host}:{proxy.port} -> {origin} "
+        f"(seed {config.seed}; Ctrl-C to stop)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        stats = proxy.stop()
+        _status(
+            f"[netchaos] forwarded {stats['bytes_out']} of "
+            f"{stats['bytes_in']} bytes over {stats['connections']} "
+            f"connection(s): {stats['corrupted']} corrupted, "
+            f"{stats['resets']} resets, {stats['truncated_bytes']} bytes "
+            f"truncated, {stats['partitions']} partitions"
+        )
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -816,13 +1049,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--checkpoint", default=None,
-        help="checkpoint detector state to this .npz (in-process mode); "
+        help="checkpoint detector state to this .npz; with --listen the "
+        "snapshot also carries the server's routing state and WAL "
+        "position, taken between ticks every --checkpoint-every ticks; "
         "Ctrl-C flushes open alerts and writes a final checkpoint "
         "before exiting 130",
     )
     p_serve.add_argument(
         "--checkpoint-every", type=int, default=1,
         help="ticks between checkpoints (default 1; needs --checkpoint)",
+    )
+    p_serve.add_argument(
+        "--wal", default=None, metavar="DIR",
+        help="write-ahead repro-wal/v1 frame journal directory (needs "
+        "--listen): every accepted frame is journaled before "
+        "processing, and on restart the journal replays from the last "
+        "checkpoint watermark — kill -9 mid-tick, restart, and the "
+        "alert JSONL is byte-identical to an uninterrupted run",
+    )
+    p_serve.add_argument(
+        "--wal-fsync", choices=("always", "tick", "off"), default="tick",
+        help="journal durability: fsync per record (always), per "
+        "processed tick (tick, default), or leave flushing to the OS "
+        "(off — survives process crashes, not machine crashes)",
+    )
+    p_serve.add_argument(
+        "--pid-file", default=None, metavar="PATH",
+        help="write this process's pid here (rewritten by each "
+        "supervised restart; removed on clean exit) so drills and "
+        "scripts can target kill signals",
+    )
+    p_serve.add_argument(
+        "--supervise", action="store_true",
+        help="run serving in a child process and restart it on crash "
+        "with exponential backoff; with --wal/--checkpoint each respawn "
+        "recovers to the pre-crash state (clean exit and Ctrl-C pass "
+        "through)",
+    )
+    p_serve.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="crash-loop breaker: give up after this many consecutive "
+        "child exits faster than --min-uptime (default 5)",
+    )
+    p_serve.add_argument(
+        "--restart-backoff", type=float, default=0.5,
+        help="base seconds between restarts, doubled per consecutive "
+        "quick crash, capped at 30 (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--min-uptime", type=float, default=5.0,
+        help="seconds a child must stay up to reset the crash-loop "
+        "counter (default 5)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -833,8 +1110,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_options(p_loadgen)
     p_loadgen.add_argument(
-        "--connect", required=True, metavar="HOST:PORT",
-        help="ingestion address of the running server",
+        "--connect", default=None, metavar="HOST:PORT",
+        help="ingestion address of the running server (or use "
+        "--port-file)",
+    )
+    p_loadgen.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="read the server's bound port from this file (the serve "
+        "--port-file path), re-read on every reconnect so a supervised "
+        "restart's fresh ephemeral port is followed automatically",
     )
     p_loadgen.add_argument(
         "--format", choices=("binary", "json"), default="binary",
@@ -853,7 +1137,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-eof", action="store_true",
         help="skip the trailing {\"op\": \"eof\"} control frame",
     )
+    p_loadgen.add_argument(
+        "--resume", action="store_true",
+        help="crash-tolerant mode: subscribe to per-tick acks and, on "
+        "reset/refused/stall, reconnect with backoff and resend from "
+        "the last acked tick (eof only after everything is acked)",
+    )
+    p_loadgen.add_argument(
+        "--connect-timeout", type=float, default=30.0,
+        help="seconds of capped-backoff connection retries before "
+        "giving up (default 30; also covers the port-file race at "
+        "server startup)",
+    )
+    p_loadgen.add_argument(
+        "--ack-timeout", type=float, default=5.0,
+        help="seconds without ack progress before --resume tears the "
+        "connection down and resends (default 5)",
+    )
+    p_loadgen.add_argument(
+        "--total-timeout", type=float, default=None,
+        help="overall wall-clock budget; exceeded = TimeoutError "
+        "(default: none)",
+    )
     p_loadgen.set_defaults(func=_cmd_loadgen)
+
+    p_chaos = sub.add_parser(
+        "netchaos",
+        help="seeded TCP chaos proxy between loadgen and a serve "
+        "--listen server (latency, resets, partitions, corruption, "
+        "truncation — deterministic per seed)",
+    )
+    p_chaos.add_argument(
+        "--listen", required=True, metavar="HOST:PORT",
+        help="address clients connect to (port 0 = ephemeral; see "
+        "--port-file)",
+    )
+    p_chaos.add_argument(
+        "--upstream", default=None, metavar="HOST:PORT",
+        help="the real server's ingestion address",
+    )
+    p_chaos.add_argument(
+        "--upstream-port-file", default=None, metavar="PATH",
+        help="read the upstream port from this file per connection "
+        "(follows supervised server restarts; or use --upstream)",
+    )
+    p_chaos.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the proxy's bound port here once listening",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-schedule seed: plans are a pure function of "
+        "(seed, connection, byte offset) (default 0)",
+    )
+    p_chaos.add_argument(
+        "--latency-ms", type=float, default=0.0,
+        help="fixed added latency per 4 KiB span (default 0)",
+    )
+    p_chaos.add_argument(
+        "--jitter-ms", type=float, default=0.0,
+        help="additional uniform random latency per span (default 0)",
+    )
+    p_chaos.add_argument(
+        "--corrupt-per-mb", type=float, default=0.0,
+        help="expected single-byte XOR corruptions per forwarded MB "
+        "(default 0)",
+    )
+    p_chaos.add_argument(
+        "--reset-per-mb", type=float, default=0.0,
+        help="expected hard connection resets (RST) per forwarded MB "
+        "(default 0)",
+    )
+    p_chaos.add_argument(
+        "--truncate-per-mb", type=float, default=0.0,
+        help="expected span truncations (silently dropped bytes) per "
+        "forwarded MB (default 0)",
+    )
+    p_chaos.add_argument(
+        "--partition-per-mb", type=float, default=0.0,
+        help="expected short partitions (stalls) per forwarded MB "
+        "(default 0)",
+    )
+    p_chaos.add_argument(
+        "--partition-ms", type=float, default=50.0,
+        help="stall length per partition event (default 50 ms)",
+    )
+    p_chaos.set_defaults(func=_cmd_netchaos)
 
     p_store = sub.add_parser(
         "store",
@@ -951,7 +1320,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    args = build_parser().parse_args(raw)
+    # The supervisor respawns this exact invocation minus its own flags.
+    args.argv = raw
     return args.func(args)
 
 

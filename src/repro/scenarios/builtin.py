@@ -496,6 +496,40 @@ FLEET_SERVE = register(ScenarioSpec(
     }),
 ))
 
+FLEET_SERVE_CHAOS = register(ScenarioSpec(
+    name="fleet-serve-chaos",
+    kind="fleet-serve-chaos",
+    title="Network fleet serving through a seeded chaos proxy",
+    description="The fleet-serve drill with a deterministic TCP chaos "
+    "proxy in the path: byte corruption (caught by the binary frame "
+    "CRC), hard resets, truncation and short partitions keyed on "
+    "(seed, connection, byte offset); the resuming loadgen client "
+    "re-sends from its last acked tick until the served alert JSONL "
+    "is byte-identical to the in-process replay, every repetition",
+    datasets=_fault_fleet(4, t=6000),
+    evaluation=pairs({
+        "blocks": 20,
+        "trees": 30,
+        "train_frac": 0.5,
+        "chunk": 256,
+        "open_after": 2,
+        "close_after": 2,
+        "seed": 0,
+        "chaos_seed": 0,
+        "chaos_repeats": 2,
+    }),
+    tags=("extra", "service", "fleet", "net", "robustness"),
+    smoke=pairs({
+        "datasets": _SMOKE_FLEET,
+        "evaluation": {"blocks": 8, "trees": 6, "chunk": 200,
+                       "chaos_repeats": 2,
+                       # ~2.5 MB feed at the calibrated default rates
+                       # still lands several faults of every kind; a
+                       # shorter ack stall keeps the smoke drill quick.
+                       "ack_timeout": 1.0},
+    }),
+))
+
 CROSSARCH_LENGTHS = register(ScenarioSpec(
     name="crossarch-lengths",
     kind="grid",

@@ -33,6 +33,7 @@ __all__ = [
     "FLEET_CHAOS_HEADERS",
     "FLEET_DETECT_HEADERS",
     "FLEET_REPLAY_HEADERS",
+    "FLEET_SERVE_CHAOS_HEADERS",
     "FLEET_SERVE_HEADERS",
     "GRID_HEADERS",
     "LENGTH_SWEEP_HEADERS",
@@ -111,6 +112,19 @@ FLEET_SERVE_HEADERS: tuple[str, ...] = (
     "Samples/s",
     "p50 [ms]",
     "p99 [ms]",
+    "Identical",
+)
+
+#: Columns of the chaos-proxy network serving drills (fleet-serve-chaos).
+FLEET_SERVE_CHAOS_HEADERS: tuple[str, ...] = (
+    "Run",
+    "Nodes",
+    "Ticks",
+    "Events",
+    "Reconnects",
+    "Resent frames",
+    "Corrupted",
+    "Resets",
     "Identical",
 )
 
@@ -921,4 +935,142 @@ def _run_fleet_serve(
         rows=rows,
         notes=notes,
         extras={"reference": ref, "stats": stats_by_fmt},
+    )
+
+
+@evaluation("fleet-serve-chaos")
+def _run_fleet_serve_chaos(
+    spec: ScenarioSpec, ctx: ExecutionContext
+) -> ScenarioResult:
+    """Network serving through a hostile, *seeded* TCP path.
+
+    The fleet-serve drill with a :class:`repro.service.netchaos.ChaosProxy`
+    spliced between the load generator and the ingestion server: byte
+    corruption (caught by the binary frame CRC and dropped), hard
+    connection resets, silent truncation and short partitions, all
+    drawn deterministically from ``(seed, connection, byte offset)``.
+    The client runs in ``--resume`` mode — it follows per-tick acks and
+    resends everything after the last acked tick across reconnects — so
+    the contract under test is *convergence*: however the schedule
+    mangles the transport, the alert JSONL that comes out the far side
+    is byte-for-byte the in-process replay's, on every repetition.
+    """
+    from repro.service.api import ServiceConfig, build_detector, build_setup
+    from repro.service.api import replay as replay_config
+    from repro.service.net import FleetServer, ListAlertSink, loadgen
+    from repro.service.netchaos import ChaosProxy, NetChaosConfig
+
+    ev = spec.evaluation_dict()
+    config = ServiceConfig.from_evaluation(ev, guard=True)
+    # Rate calibration: frames here are a couple hundred KB, and a
+    # corrupted or truncated frame costs a full ack-timeout stall plus a
+    # resend round.  Keep the *per-frame* fault expectation well below 1
+    # (rate_per_mb x frame_mb < ~0.5) — hotter schedules mangle every
+    # frame and the drill stops converging by construction, it does not
+    # get "more chaotic".  Resets and partitions are cheap (immediate
+    # reconnect / short delay), but resets also restart the in-flight
+    # frame, so the same ceiling applies.
+    chaos = NetChaosConfig(
+        seed=int(ev.get("chaos_seed", 0)),
+        corrupt_per_mb=float(ev.get("corrupt_per_mb", 2.0)),
+        reset_per_mb=float(ev.get("reset_per_mb", 0.5)),
+        truncate_per_mb=float(ev.get("truncate_per_mb", 0.5)),
+        partition_per_mb=float(ev.get("partition_per_mb", 4.0)),
+        partition_ms=float(ev.get("partition_ms", 10.0)),
+    )
+    repeats = int(ev.get("chaos_repeats", 2))
+    setup = build_setup(config, recipes=spec.datasets, context=ctx)
+    n_nodes = len(setup.eval_data)
+
+    ref_sink = ListAlertSink()
+    ref = replay_config(config, setup, sinks=(ref_sink,))
+    rows = [("in-process", n_nodes, "", ref.n_events, "", "", "", "", "")]
+    mismatches = []
+    faults_seen = 0
+    run_stats = []
+    for rep in range(repeats):
+        net_sink = ListAlertSink()
+        server = FleetServer(
+            build_detector(config, setup),
+            sinks=(net_sink,),
+            exit_on_idle=True,
+            # Partial ticks are timing, not data; a generous barrier
+            # keeps the replayed tick boundaries exact under stalls.
+            tick_timeout=float(ev.get("tick_timeout", 60.0)),
+        )
+        thread = server.start_background()
+        if not server.ready.wait(30):
+            raise RuntimeError("ingestion server failed to start")
+        upstream = ("127.0.0.1", server.port)
+        proxy = ChaosProxy(upstream, chaos)
+        proxy.start()
+        try:
+            gen = loadgen(
+                setup,
+                ("127.0.0.1", proxy.port),
+                chunk=config.chunk,
+                fmt="binary",  # the CRC-checked encoding: corruption
+                # must be *detected*, never silently mis-parsed
+                resume=True,
+                ack_timeout=float(ev.get("ack_timeout", 2.0)),
+                total_timeout=float(ev.get("total_timeout", 240.0)),
+            )
+        finally:
+            proxy_stats = proxy.stop()
+        thread.join(120)
+        if thread.is_alive():
+            raise RuntimeError("ingestion server failed to drain")
+        faults = (
+            proxy_stats["corrupted"]
+            + proxy_stats["resets"]
+            + (1 if proxy_stats["truncated_bytes"] else 0)
+            + proxy_stats["partitions"]
+        )
+        faults_seen += faults
+        stats = server.stats.snapshot()
+        run_stats.append(
+            {"loadgen": gen, "server": stats, "proxy": proxy_stats}
+        )
+        identical = net_sink.text() == ref_sink.text()
+        if not identical:
+            mismatches.append(rep)
+        rows.append(
+            (
+                f"chaos rep {rep}",
+                n_nodes,
+                stats["ticks"],
+                stats["events"],
+                gen["reconnects"],
+                gen["resent_frames"],
+                proxy_stats["corrupted"],
+                proxy_stats["resets"],
+                "yes" if identical else "NO",
+            )
+        )
+    notes = [
+        f"netchaos: seed={chaos.seed} corrupt={chaos.corrupt_per_mb}/MB "
+        f"reset={chaos.reset_per_mb}/MB truncate={chaos.truncate_per_mb}/MB "
+        f"partition={chaos.partition_per_mb}/MB",
+        "convergence contract "
+        + ("held" if not mismatches else "VIOLATED")
+        + f" across {repeats} repetition(s): chaos-proxied alert JSONL "
+        "vs in-process replay",
+    ]
+    if mismatches:
+        raise AssertionError(
+            "chaos-proxy convergence contract violated on "
+            f"repetition(s) {mismatches!r}"
+        )
+    if ev.get("expect_faults", True) and faults_seen == 0:
+        raise AssertionError(
+            "chaos proxy injected no faults — the drill was vacuous "
+            "(raise the *_per_mb rates or feed size)"
+        )
+    return ScenarioResult(
+        spec=spec,
+        title=spec.title,
+        headers=FLEET_SERVE_CHAOS_HEADERS,
+        rows=rows,
+        notes=notes,
+        extras={"reference": ref, "runs": run_stats},
     )

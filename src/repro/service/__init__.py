@@ -37,10 +37,17 @@ subpackage composes the existing layers into that one hot path:
   as the only entry points callers need;
 * :mod:`~repro.service.protocol` / :mod:`~repro.service.net` /
   :mod:`~repro.service.ops` — the network front: the
-  ``repro-ticks/v1`` wire protocol (newline-JSON + binary frames), the
-  asyncio ingestion server with bounded per-node backpressure queues,
-  and the HTTP ops surface (``/health``, ``/fleet``, ``/alerts`` with
-  ack/suppress, ``/stats``).
+  ``repro-ticks/v1`` wire protocol (newline-JSON + CRC-checked binary
+  frames), the asyncio ingestion server with bounded per-node
+  backpressure queues, and the HTTP ops surface (``/health`` +
+  liveness/readiness probes, ``/fleet``, ``/alerts`` with
+  ack/suppress, ``/stats``);
+* :mod:`~repro.service.wal` / :mod:`~repro.service.netchaos` — crash
+  durability for the network path: the ``repro-wal/v1`` write-ahead
+  frame journal that (with networked checkpoints) makes kill -9 +
+  restart byte-identical to an uninterrupted run, and the seeded TCP
+  chaos proxy that proves it under resets, partitions, corruption and
+  truncation.
 
 Alert events cross every boundary — JSONL sinks, checkpoint archives,
 HTTP ops responses — in one canonical ``repro-alerts/v1`` shape
@@ -101,10 +108,12 @@ from repro.service.replay import (
 from repro.service.net import (
     BackpressureConfig,
     FleetServer,
+    ServerCheckpoint,
     ServerStats,
     loadgen,
     parse_address,
 )
+from repro.service.netchaos import ChaosProxy, NetChaosConfig
 from repro.service.ops import AlertLog
 from repro.service.protocol import (
     PROTOCOL,
@@ -115,6 +124,7 @@ from repro.service.protocol import (
     encode_eof,
     encode_json,
 )
+from repro.service.wal import WAL_FORMAT, WalRecord, WalWriter, recover_wal
 
 __all__ = [
     "ALERTS_SCHEMA",
@@ -126,6 +136,7 @@ __all__ = [
     "BackpressureConfig",
     "ChaosConfig",
     "ChaosInjector",
+    "ChaosProxy",
     "CheckpointError",
     "FleetClassifier",
     "FleetFaultDetector",
@@ -140,12 +151,17 @@ __all__ = [
     "JSONLAlertSink",
     "MarkdownAlertSink",
     "ModelStoreError",
+    "NetChaosConfig",
     "PROTOCOL",
     "ReplayOutcome",
+    "ServerCheckpoint",
     "ServerStats",
     "ServiceConfig",
     "StreamAlertSink",
     "TrainedFleet",
+    "WAL_FORMAT",
+    "WalRecord",
+    "WalWriter",
     "build_detector",
     "build_setup",
     "config_from_kwargs",
@@ -162,6 +178,7 @@ __all__ = [
     "node_path",
     "parse_address",
     "prepare_fleet",
+    "recover_wal",
     "replay",
     "replay_config",
     "replicate_setup",

@@ -350,6 +350,10 @@ def serve(
     *,
     listen: str = "127.0.0.1:0",
     ops: str | None = None,
+    wal_dir: str | Path | None = None,
+    wal_fsync: str = "tick",
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 1,
     **server_kwargs,
 ):
     """Run the network-facing ingestion server for a config (blocking).
@@ -358,19 +362,37 @@ def serve(
     to :class:`repro.service.net.FleetServer`; returns the final stats
     payload.  ``server_kwargs`` pass through (``sinks``,
     ``backpressure``, ``exit_on_idle``, ``port_file``, ...).
+
+    ``wal_dir``/``checkpoint_path`` switch on crash durability: frames
+    are journaled (``repro-wal/v1``, fsync policy ``wal_fsync``) and
+    detector + routing state snapshotted every ``checkpoint_every``
+    ticks, pinned to this setup's lineage fingerprint — a restart with
+    the same flags restores and replays to the exact crash state.
     """
-    from repro.service.net import FleetServer, parse_address
+    from repro.service.checkpoint import fleet_fingerprint
+    from repro.service.net import FleetServer, ServerCheckpoint, parse_address
 
     if setup is None:
         setup = build_setup(config)
     host, port = parse_address(listen)
     ops_addr = parse_address(ops) if ops else None
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = ServerCheckpoint(
+            path=Path(checkpoint_path),
+            every=int(checkpoint_every) or 1,
+            fingerprint=fleet_fingerprint(setup.trained),
+            chunk=config.chunk,
+        )
     server = FleetServer(
         build_detector(config, setup),
         host=host,
         port=port,
         ops_host=ops_addr[0] if ops_addr else None,
         ops_port=ops_addr[1] if ops_addr else None,
+        wal=wal_dir,
+        wal_fsync=wal_fsync,
+        checkpoint=checkpoint,
         **server_kwargs,
     )
     server.run()

@@ -24,6 +24,12 @@ Fault classes and how the guard classifies them:
 :func:`run_with_kills` composes the injector with checkpointing into
 the full crash drill: replay, kill at given ticks, restore from the
 latest checkpoint, repeat — returning the final (complete) outcome.
+
+This module perturbs *blocks* handed to an in-process replay driver.
+Its network twin, :mod:`repro.service.netchaos`, applies the same
+stateless-RNG discipline one layer down — to the raw TCP byte stream
+between a load generator and ``repro serve --listen`` — keyed on
+``(seed, connection, byte offset)`` instead of ``(seed, tick, node)``.
 """
 
 from __future__ import annotations

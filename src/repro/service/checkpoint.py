@@ -130,6 +130,8 @@ def save_checkpoint(
     n_events: int,
     n_alerts: int,
     guard_state: dict | None = None,
+    server_state: dict | None = None,
+    extra_arrays: dict[str, np.ndarray] | None = None,
 ) -> Path:
     """Snapshot the full detector state as one atomic ``.npz`` archive.
 
@@ -137,6 +139,13 @@ def save_checkpoint(
     resumes from exactly there.  ``events`` is the alert stream emitted
     so far (re-emitted into fresh sinks on resume, which is what makes
     the resumed JSONL byte-identical end to end).
+
+    ``server_state``/``extra_arrays`` are the network server's
+    extension point: :class:`~repro.service.net.FleetServer` records
+    its tick cursor + WAL index in the manifest and its routed-but-
+    unprocessed queue contents as encoded-frame blobs, so a restart
+    resumes routing exactly where the crash left it.  Plain replay
+    checkpoints carry neither and restore exactly as before.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -174,6 +183,17 @@ def save_checkpoint(
         "n_events": int(n_events),
         "n_alerts": int(n_alerts),
     }
+    if server_state is not None:
+        manifest["server"] = server_state
+    if extra_arrays:
+        reserved = set(arrays) | {"manifest", "events"}
+        for name, arr in extra_arrays.items():
+            if name in reserved:
+                raise ValueError(
+                    f"extra checkpoint array {name!r} collides with a "
+                    "reserved archive member"
+                )
+            arrays[name] = np.asarray(arr)
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
@@ -210,6 +230,10 @@ class DetectorCheckpoint:
             self._arrays[f"node{index}_hist_labels"].tolist(),
             self._arrays[f"node{index}_hist_conf"].tolist(),
         )
+
+    def array(self, name: str) -> np.ndarray | None:
+        """An extra archive member (server queue blobs), if present."""
+        return self._arrays.get(name)
 
 
 def load_checkpoint(path: str | Path) -> DetectorCheckpoint:

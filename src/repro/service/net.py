@@ -39,6 +39,7 @@ listener of the same loop and reads the same live objects.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 import time
 from collections import deque
@@ -49,8 +50,16 @@ import numpy as np
 
 from repro.service.alerts import AlertSink, event_line
 from repro.service.guard import GuardedDetector
-from repro.service.protocol import Frame, FrameDecoder, FrameError
+from repro.service.protocol import Frame, FrameDecoder, FrameError, encode_ack
 from repro.service.replay import flush_open_alerts
+from repro.service.wal import (
+    REC_ERROR,
+    REC_FRAME,
+    REC_WATERMARK,
+    WalWriter,
+    decode_frame_record,
+    encode_frame_payload,
+)
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
@@ -58,12 +67,21 @@ __all__ = [
     "FleetServer",
     "ListAlertSink",
     "NodeQueue",
+    "ServerCheckpoint",
     "ServerStats",
     "loadgen",
     "parse_address",
 ]
 
 BACKPRESSURE_POLICIES = ("drop-oldest", "coalesce")
+
+#: WAL records appended-but-not-fsynced beyond which ``/health``
+#: reports the ``wal-flush-lag`` degraded reason.
+WAL_LAG_DEGRADED = 4096
+
+#: Consecutive barrier-timeout ticks beyond which ``/health`` reports
+#: the ``barrier-timeout-streak`` degraded reason.
+TIMEOUT_STREAK_DEGRADED = 3
 
 
 def parse_address(address: str) -> tuple[str, int]:
@@ -116,14 +134,34 @@ class NodeQueue:
         return len(self.entries)
 
     def push(self, tick: int, values, samples: int) -> None:
-        if len(self.entries) >= self.queue_max:
+        entries = self.entries
+        # Duplicate of a queued tick (a resuming client retransmitting
+        # after loss): the retransmission replaces the queued burst in
+        # place — no growth, no eviction.
+        for i in range(len(entries) - 1, -1, -1):
+            queued = entries[i][0]
+            if queued == tick:
+                entries[i] = (tick, values, samples)
+                return
+            if queued < tick:
+                break
+        if len(entries) >= self.queue_max:
             if self.policy == "coalesce":
-                self.entries.pop()
+                entries.pop()
                 self.coalesced += 1
             else:
-                self.entries.popleft()
+                entries.popleft()
                 self.dropped += 1
-        self.entries.append((tick, values, samples))
+        # Ordered insert keeps the deque sorted by tick so the barrier
+        # can trust the head; the in-order case is a plain append.
+        if not entries or tick >= entries[-1][0]:
+            entries.append((tick, values, samples))
+            return
+        for i in range(len(entries) - 1, -1, -1):
+            if entries[i][0] < tick:
+                entries.insert(i + 1, (tick, values, samples))
+                return
+        entries.appendleft((tick, values, samples))
 
 
 class ServerStats:
@@ -145,6 +183,10 @@ class ServerStats:
         self.poisoned = 0
         self.strays = 0
         self.stray_dropped = 0
+        self.wal_appended = 0
+        self.wal_fsyncs = 0
+        self.wal_replayed = 0
+        self.checkpoints = 0
         self._latencies: deque = deque(maxlen=self.LATENCY_RING)
         self._first_frame_t: float | None = None
         self._last_tick_t: float | None = None
@@ -208,6 +250,10 @@ class ServerStats:
                 "strays": self.strays,
                 "stray_dropped": self.stray_dropped,
             },
+            "wal_appended": self.wal_appended,
+            "wal_fsyncs": self.wal_fsyncs,
+            "wal_replayed": self.wal_replayed,
+            "checkpoints": self.checkpoints,
         }
 
 
@@ -222,6 +268,30 @@ class ListAlertSink(AlertSink):
 
     def text(self) -> str:
         return "".join(line + "\n" for line in self.lines)
+
+
+@dataclass(frozen=True)
+class ServerCheckpoint:
+    """Networked checkpointing config for :class:`FleetServer`.
+
+    ``fingerprint`` is the trained fleet's lineage hash
+    (:func:`repro.service.checkpoint.fleet_fingerprint`) and ``chunk``
+    the serving burst size — both are pinned into the archive so a
+    restart can never silently resume against a different fleet or
+    tick geometry.  Checkpoints are written between ticks (never
+    mid-burst), every ``every`` processed ticks and once more at
+    shutdown.
+    """
+
+    path: Path
+    every: int = 1
+    fingerprint: str = ""
+    chunk: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "path", Path(self.path))
+        if self.every < 1:
+            raise ValueError("checkpoint every must be >= 1")
 
 
 class FleetServer:
@@ -251,11 +321,30 @@ class FleetServer:
         Stop once at least one connection was served and all
         connections have closed with every queue drained (CI/loadgen
         mode).  An ``{"op": "eof"}`` control frame has the same effect.
+    idle_grace:
+        Seconds a fully-idle ``exit_on_idle`` server waits before
+        treating the silence as end-of-stream (an explicit EOF frame
+        skips the wait).  Covers the reconnect gap a client needs
+        after a connection reset — without it a chaos-proxy reset
+        would shut the server down mid-stream.
     port_file:
         Write the bound ingestion port here once listening (how
         scripted callers discover an ephemeral port).  When the ops
         listener is enabled, its bound port lands in a companion
-        ``<port_file>.ops`` file.
+        ``<port_file>.ops`` file.  Both are deleted again on shutdown
+        so supervisors can never connect to a stale port.
+    wal:
+        ``repro-wal/v1`` journal directory (or a prepared
+        :class:`~repro.service.wal.WalWriter`).  Every accepted data
+        frame is journaled *before* queueing and a watermark record is
+        stamped after each processed tick; on startup the journal is
+        recovered and replayed (``wal_fsync`` picks the fsync policy
+        for a directory).
+    checkpoint:
+        :class:`ServerCheckpoint` — snapshot detector + guard + queue
+        state between ticks; combined with ``wal`` a ``kill -9``
+        restart reproduces the uninterrupted alert stream byte for
+        byte.
     """
 
     #: Cap on distinct unknown-node paths buffered between ticks.
@@ -273,7 +362,11 @@ class FleetServer:
         backpressure: BackpressureConfig | None = None,
         tick_timeout: float = 5.0,
         exit_on_idle: bool = False,
+        idle_grace: float = 1.0,
         port_file: str | Path | None = None,
+        wal: WalWriter | str | Path | None = None,
+        wal_fsync: str = "tick",
+        checkpoint: ServerCheckpoint | None = None,
     ):
         from repro.service.ops import AlertLog
 
@@ -287,6 +380,7 @@ class FleetServer:
         self.backpressure = backpressure or BackpressureConfig()
         self.tick_timeout = float(tick_timeout)
         self.exit_on_idle = bool(exit_on_idle)
+        self.idle_grace = float(idle_grace)
         self.port_file = Path(port_file) if port_file else None
         self.alert_log = AlertLog()
         self.sinks = tuple(sinks) + (self.alert_log,)
@@ -309,10 +403,35 @@ class FleetServer:
         self._open_conns = 0
         self._had_conn = False
         self._eof_seen = False
+        #: Monotonic moment ``_draining`` first observed the server
+        #: idle (no open connections, no EOF); cleared whenever a
+        #: connection is open.  Gates ``exit_on_idle`` on
+        #: ``idle_grace``.
+        self._idle_since: float | None = None
         self._stop_requested = False
         self._finalized = False
         self._wake: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
+        # -- durability ------------------------------------------------
+        if isinstance(wal, WalWriter):
+            self._wal: WalWriter | None = wal
+            self._wal_dir: Path | None = None
+        else:
+            self._wal = None
+            self._wal_dir = Path(wal) if wal else None
+        self._wal_fsync = wal_fsync
+        self.checkpoint = checkpoint
+        #: Emitted events retained for checkpoint archives (only when
+        #: checkpointing — a non-durable server keeps nothing).
+        self._events: list[dict] = []
+        self._n_events = 0
+        self._n_alerts = 0
+        self._ticks_done = 0
+        self._recovering = False
+        self._recovered = False
+        self._timeout_streak = 0
+        #: Writers of connections that opted into per-tick acks.
+        self._ack_subs: set = set()
         #: Bound ports, valid once :attr:`ready` is set.
         self.port: int | None = None
         self.ops_bound_port: int | None = None
@@ -334,6 +453,10 @@ class FleetServer:
             return
         samples = self._frame_samples(frame.values)
         self.stats.observe_frame(samples)
+        if self._wal is not None and not self._recovering:
+            # Journal before queueing: once routing mutates state, the
+            # frame must be replayable or a crash diverges.
+            self._wal.append_frame(frame.node, frame.tick, frame.values)
         queue = self._queues.get(frame.node)
         if queue is None:
             # Unknown node: hand it to the guard at the next tick so
@@ -360,6 +483,10 @@ class FleetServer:
             # A broken frame that still names a registered node becomes
             # a poison block: the guard classifies it (shape-mismatch)
             # and the node degrades/quarantines per PR 7 policy.
+            if self._wal is not None and not self._recovering:
+                # Poison pushes mutate queue state: journal them so a
+                # replayed log quarantines the same nodes.
+                self._wal.append_error(error.reason, error.node)
             self.stats.poisoned += 1
             queue = self._queues[error.node]
             tick = (
@@ -379,6 +506,10 @@ class FleetServer:
                     break
                 frames, errors = decoder.feed(data)
                 for frame in frames:
+                    if frame.control == "acks":
+                        # The sender wants per-tick acks (reconnecting
+                        # clients resume from the last acked tick).
+                        self._ack_subs.add(writer)
                     self._route_frame(frame)
                 for error in errors:
                     self._route_error(error)
@@ -389,6 +520,7 @@ class FleetServer:
         finally:
             for error in decoder.eof():
                 self._route_error(error)
+            self._ack_subs.discard(writer)
             self._open_conns -= 1
             self._wake.set()
             try:
@@ -401,11 +533,21 @@ class FleetServer:
         """No more input is coming; finish what is queued and stop."""
         if self._stop_requested:
             return True
-        return (
-            self._open_conns == 0
-            and self._had_conn
-            and (self._eof_seen or self.exit_on_idle)
-        )
+        if self._open_conns > 0 or not self._had_conn:
+            self._idle_since = None
+            return False
+        if self._eof_seen:
+            return True
+        if not self.exit_on_idle:
+            return False
+        # exit_on_idle without an explicit EOF: hold the door open for
+        # ``idle_grace`` — a reconnecting client (e.g. after a chaos
+        # proxy reset) is gone for a backoff interval, which must not
+        # read as "stream over".
+        now = time.monotonic()
+        if self._idle_since is None:
+            self._idle_since = now
+        return now - self._idle_since >= self.idle_grace
 
     def _drop_stale(self) -> None:
         for queue in self._queues.values():
@@ -415,7 +557,18 @@ class FleetServer:
                 self.stats.late_dropped += 1
 
     def _barrier_complete(self) -> bool:
-        return all(q.entries for q in self._queues.values())
+        # Every node's queue must hold the tick *at the cursor* — a
+        # merely non-empty queue is not enough.  When loss (a chaos
+        # transport, a crashed sender) wipes one tick for every node,
+        # the queues all hold tick N+1 while the cursor is at N; a
+        # non-empty check would then process — and ack — an empty
+        # tick N, and a resuming client would trust that ack and never
+        # retransmit the lost data.
+        cursor = self._cursor
+        return all(
+            q.entries and q.entries[0][0] == cursor
+            for q in self._queues.values()
+        )
 
     def _any_queued(self) -> bool:
         return bool(self._pending) or any(
@@ -444,7 +597,39 @@ class FleetServer:
             for sink in self.sinks:
                 sink.emit(event)
         self.stats.observe_tick(latency, len(events), opened)
+        self._n_events += len(events)
+        self._n_alerts += opened
+        if self.checkpoint is not None:
+            self._events.extend(events)
         self._cursor = cursor + 1
+        self._ticks_done += 1
+        if not self._recovering:
+            if self._wal is not None:
+                # The watermark is the durability edge: fsync policy
+                # "tick" syncs here, making everything up to and
+                # including this tick replayable after kill -9.
+                self._wal.append_watermark(cursor)
+            self._broadcast_ack(cursor)
+            if (
+                self.checkpoint is not None
+                and self._ticks_done % self.checkpoint.every == 0
+            ):
+                self._write_checkpoint()
+
+    def _broadcast_ack(self, tick: int) -> None:
+        """Tell subscribed clients tick ``tick`` is processed (and, per
+        fsync policy, journaled) — their resume point moves forward."""
+        if not self._ack_subs:
+            return
+        data = encode_ack(tick)
+        dead = []
+        for writer in self._ack_subs:
+            try:
+                writer.write(data)
+            except Exception:
+                dead.append(writer)
+        for writer in dead:
+            self._ack_subs.discard(writer)
 
     def _advance_to_next_queued(self) -> None:
         """Jump the cursor to the earliest queued tick (partial fleet)."""
@@ -466,6 +651,7 @@ class FleetServer:
             self._drop_stale()
             if self._barrier_complete():
                 self._process_tick()
+                self._timeout_streak = 0
                 deadline = None
                 # The complete-barrier path has no await of its own:
                 # yield so socket readers and the ops listener run even
@@ -490,6 +676,7 @@ class FleetServer:
                     # agent can't stall ticks.
                     self._advance_to_next_queued()
                     self._process_tick()
+                    self._timeout_streak += 1
                     deadline = None
                     await asyncio.sleep(0)
                     continue
@@ -497,11 +684,226 @@ class FleetServer:
             else:
                 deadline = None
                 timeout = None
+                if self._idle_since is not None:
+                    # Idle-grace window armed: no connection will set
+                    # ``_wake`` if none ever returns, so wake when the
+                    # grace expires to re-check ``_draining``.
+                    timeout = max(
+                        0.01,
+                        self._idle_since
+                        + self.idle_grace
+                        - time.monotonic(),
+                    )
             self._wake.clear()
             try:
                 await asyncio.wait_for(self._wake.wait(), timeout=timeout)
             except asyncio.TimeoutError:
                 pass
+
+    # -- durability ----------------------------------------------------
+    def _write_checkpoint(self) -> None:
+        """Snapshot detector + guard + routing state between ticks.
+
+        The archive additionally records the tick cursor, the WAL
+        index up to which state is already reflected, and the
+        routed-but-unprocessed queue/stray contents as encoded-frame
+        blobs — so restart = restore + replay WAL from ``wal_index``,
+        nothing else.  Runs synchronously on the event loop (no await
+        between the last watermark and the snapshot, so no frame can
+        interleave).
+        """
+        from repro.service.checkpoint import save_checkpoint
+
+        cp = self.checkpoint
+        wal_index = self._wal.next_index if self._wal is not None else 0
+        queue_blob = bytearray()
+        for path, queue in self._queues.items():
+            for tick, values, _ in queue.entries:
+                queue_blob += encode_frame_payload(path, tick, values)
+        pending_blob = bytearray()
+        for node, values in self._pending.items():
+            pending_blob += encode_frame_payload(node, 0, values)
+        save_checkpoint(
+            cp.path,
+            self.guarded.inner,
+            fingerprint=cp.fingerprint,
+            chunk=cp.chunk,
+            next_lo=self._cursor * cp.chunk,
+            events=self._events,
+            n_events=self._n_events,
+            n_alerts=self._n_alerts,
+            guard_state=self.guarded.state_dict(),
+            server_state={
+                "cursor": self._cursor,
+                "wal_index": wal_index,
+                "ticks_done": self._ticks_done,
+            },
+            extra_arrays={
+                "server_queues": np.frombuffer(
+                    bytes(queue_blob), dtype=np.uint8
+                ),
+                "server_pending": np.frombuffer(
+                    bytes(pending_blob), dtype=np.uint8
+                ),
+            },
+        )
+        self.stats.checkpoints += 1
+        if self._wal is not None:
+            self._wal.prune_through(wal_index)
+
+    def _restore_blob(self, blob, *, pending: bool) -> None:
+        if blob is None or blob.size == 0:
+            return
+        decoder = FrameDecoder()
+        frames, errors = decoder.feed(blob.tobytes())
+        if errors or decoder.pending:
+            from repro.service.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                "checkpoint queue blob does not decode cleanly",
+                field="server_pending" if pending else "server_queues",
+            )
+        for frame in frames:
+            if pending:
+                self._pending[frame.node] = frame.values
+            else:
+                self._queues[frame.node].push(
+                    frame.tick,
+                    frame.values,
+                    self._frame_samples(frame.values),
+                )
+
+    def _recover(self) -> None:
+        """Restore checkpoint state, then replay the WAL through it.
+
+        Runs before any listener binds, so recovery can never
+        interleave with live routing.  Watermark records re-drive
+        ``_process_tick`` exactly as the crashed process did (the
+        journal is the live total order); the re-emitted event stream
+        lands in the fresh (truncating) sinks, which is what makes the
+        restarted alert JSONL byte-identical end to end.
+        """
+        wal_start = 0
+        if self.checkpoint is not None and self.checkpoint.path.exists():
+            from repro.service.checkpoint import (
+                CheckpointError,
+                load_checkpoint,
+                restore_checkpoint,
+            )
+
+            ckpt = load_checkpoint(self.checkpoint.path)
+            server = ckpt.manifest.get("server")
+            if server is None:
+                # Reject before restore_checkpoint touches any state:
+                # a half-restored detector must never start serving.
+                raise CheckpointError(
+                    f"{self.checkpoint.path}: not a server checkpoint "
+                    "(no server state; it was written by in-process "
+                    "replay and cannot seed a network restart)",
+                    field="server",
+                )
+            events, _, n_events, n_alerts = restore_checkpoint(
+                ckpt,
+                self.guarded.inner,
+                fingerprint=self.checkpoint.fingerprint,
+                chunk=self.checkpoint.chunk,
+                guard=self.guarded,
+            )
+            for event in events:
+                for sink in self.sinks:
+                    sink.emit(event)
+            self._events = list(events)
+            self._n_events = n_events
+            self._n_alerts = n_alerts
+            self._cursor = int(server["cursor"])
+            self._ticks_done = int(server["ticks_done"])
+            wal_start = int(server["wal_index"])
+            self._restore_blob(ckpt.array("server_queues"), pending=False)
+            self._restore_blob(ckpt.array("server_pending"), pending=True)
+        if self._wal_dir is not None:
+            self._wal, records = WalWriter.open(
+                self._wal_dir,
+                fsync=self._wal_fsync,
+                min_index=wal_start,
+            )
+            replayed = 0
+            self._recovering = True
+            try:
+                for rec in records:
+                    if rec.index < wal_start:
+                        continue
+                    replayed += 1
+                    if rec.rtype == REC_FRAME:
+                        self._route_frame(decode_frame_record(rec.payload))
+                    elif rec.rtype == REC_ERROR:
+                        info = json.loads(rec.payload)
+                        self._route_error(
+                            FrameError(
+                                info.get("reason", "garbage"),
+                                node=info.get("node"),
+                            )
+                        )
+                    elif rec.rtype == REC_WATERMARK:
+                        tick = int(json.loads(rec.payload)["tick"])
+                        self._drop_stale()
+                        if tick > self._cursor:
+                            self._cursor = tick
+                        self._process_tick()
+            finally:
+                self._recovering = False
+            self.stats.wal_replayed = replayed
+            if replayed and self.checkpoint is not None:
+                # Fold the replayed records into a fresh snapshot so
+                # the next crash does not replay them again.
+                self._write_checkpoint()
+        self._recovered = True
+
+    def health(self) -> dict:
+        """The ``/health`` payload: liveness, readiness, degradation.
+
+        Responding at all is liveness; *readiness* means the listeners
+        are bound, recovery is done and no stop is in flight.  The
+        ``status`` flips to ``degraded`` (with machine-readable
+        ``reasons``) when the WAL fsync lag, the quarantined-node
+        count or the barrier-timeout streak indicate the fleet signal
+        is impaired even though the server is up.
+        """
+        reasons = []
+        wal_pending = self._wal.pending if self._wal is not None else 0
+        if wal_pending > WAL_LAG_DEGRADED:
+            reasons.append("wal-flush-lag")
+        states = self.guarded.fleet_health()["states"]
+        quarantined = int(states.get("quarantined", 0))
+        if quarantined:
+            reasons.append("quarantined-nodes")
+        if self._timeout_streak >= TIMEOUT_STREAK_DEGRADED:
+            reasons.append("barrier-timeout-streak")
+        ready = (
+            self.ready.is_set()
+            and not self._stop_requested
+            and not self._finalized
+        )
+        return {
+            "live": True,
+            "ready": ready,
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "tick": self._cursor,
+            "nodes": len(self._queues),
+            "connections": self._open_conns,
+            "quarantined": quarantined,
+            "timeout_streak": self._timeout_streak,
+            "wal": (
+                None
+                if self._wal is None
+                else {
+                    "appended": self._wal.appended,
+                    "fsyncs": self._wal.fsyncs,
+                    "pending": wal_pending,
+                    "replayed": self.stats.wal_replayed,
+                }
+            ),
+        }
 
     # -- lifecycle -----------------------------------------------------
     def _gather_backpressure(self) -> None:
@@ -509,18 +911,28 @@ class FleetServer:
         self.stats.coalesced = sum(
             q.coalesced for q in self._queues.values()
         )
+        if self._wal is not None:
+            self.stats.wal_appended = self._wal.appended
+            self.stats.wal_fsyncs = self._wal.fsyncs
 
     def _finalize(self, *, interrupted: bool) -> None:
         if self._finalized:
             return
         self._finalized = True
         self._gather_backpressure()
+        if self.checkpoint is not None and self._recovered:
+            # Final snapshot (pre-flush, like the replay loop's): a
+            # restart re-emits the checkpointed prefix and the flush
+            # events regenerate at the true end of stream.
+            self._write_checkpoint()
         if interrupted:
             for event in flush_open_alerts(self.guarded):
                 for sink in self.sinks:
                     sink.emit(event)
         for sink in self.sinks:
             sink.close()
+        if self._wal is not None:
+            self._wal.close()
 
     async def _main(self):
         from repro.service.ops import OpsProtocolServer
@@ -559,6 +971,8 @@ class FleetServer:
     def run(self) -> None:
         """Serve until drained/stopped (blocking; Ctrl-C flushes)."""
         try:
+            if not self._recovered:
+                self._recover()
             asyncio.run(self._main())
         except KeyboardInterrupt:
             self._finalize(interrupted=True)
@@ -566,6 +980,21 @@ class FleetServer:
         finally:
             self.ready.set()  # never leave a waiter hanging on failure
             self._finalize(interrupted=False)
+            self._cleanup_port_files()
+
+    def _cleanup_port_files(self) -> None:
+        """Remove the port files on shutdown: a supervisor or script
+        must never read a dead process's ephemeral port."""
+        if self.port_file is None:
+            return
+        for path in (
+            self.port_file,
+            self.port_file.with_name(self.port_file.name + ".ops"),
+        ):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - permission race
+                pass
 
     def start_background(self) -> threading.Thread:
         """Run the server in a daemon thread (tests / benchmarks)."""
@@ -588,33 +1017,90 @@ class FleetServer:
         loop.call_soon_threadsafe(_stop)
 
 
+class _AckStall(ConnectionError):
+    """The server stopped acking: reconnect and resend from the tail."""
+
+
+def _connect_with_backoff(address, *, timeout: float):
+    """Connect to ``address`` (a ``(host, port)`` pair or a callable
+    returning one — callables re-resolve per attempt, which is how a
+    client follows a supervised restart onto a fresh ephemeral port),
+    retrying ``ConnectionRefusedError``/transient ``OSError`` with
+    capped exponential backoff for up to ``timeout`` seconds.
+
+    This closes the port-file race: a scripted client that starts
+    before the server has bound simply waits the bind out.
+    """
+    import socket
+
+    deadline = time.monotonic() + timeout
+    delay = 0.05
+    while True:
+        try:
+            target = address() if callable(address) else address
+            sock = socket.create_connection(tuple(target), timeout=10.0)
+            sock.settimeout(None)
+            return sock
+        except (OSError, ValueError) as exc:
+            # ValueError covers a half-written port file mid-restart.
+            if time.monotonic() >= deadline:
+                raise ConnectionRefusedError(
+                    f"could not connect within {timeout:.0f}s: {exc}"
+                ) from exc
+            time.sleep(min(delay, 1.0, max(deadline - time.monotonic(), 0)))
+            delay = min(delay * 2, 1.0)
+
+
 def loadgen(
     setup,
-    address: tuple[str, int],
+    address,
     *,
     chunk: int,
     fmt: str = "binary",
     interval: float = 0.0,
     max_ticks: int | None = None,
     send_eof: bool = True,
+    resume: bool = False,
+    connect_timeout: float = 30.0,
+    ack_timeout: float = 5.0,
+    max_window: int = 64,
+    total_timeout: float | None = None,
 ) -> dict:
     """Drive a server with the exact feed ``replay()`` would process.
 
-    Connects a plain blocking socket to ``address`` and streams one
-    frame per (node, tick) over the held-out period of ``setup`` —
-    tick *t* carries samples ``[t*chunk, (t+1)*chunk)``, nodes in
-    sorted order, so a clean run reproduces the in-process replay's
-    burst grouping (and therefore its alert bytes) exactly.
+    Connects a blocking socket to ``address`` (``(host, port)`` or a
+    callable returning one) and streams one frame per (node, tick)
+    over the held-out period of ``setup`` — tick *t* carries samples
+    ``[t*chunk, (t+1)*chunk)``, nodes in sorted order, so a clean run
+    reproduces the in-process replay's burst grouping (and therefore
+    its alert bytes) exactly.  Connection-refused errors retry with
+    capped exponential backoff (``connect_timeout`` budget).
+
+    With ``resume=True`` the client subscribes to per-tick acks and
+    survives transport faults: on a reset, a refused reconnect or an
+    ack stall (``ack_timeout`` seconds without progress — the shape a
+    corrupted-and-dropped frame leaves behind) it reconnects with
+    backoff and go-back-N resends every tick after the last acked one.
+    At most ``max_window`` unacked ticks are in flight, and the eof
+    control frame is only sent once every tick is acked — which is what
+    lets a server behind a chaos proxy (or SIGKILLed and supervised
+    back up) still converge to the clean byte-identical alert stream.
 
     Payload bytes are cached per underlying eval matrix, so replicated
     fleets (:func:`repro.service.api.replicate_setup`) encode each
     distinct burst once regardless of fleet size.
 
-    Returns ``{"ticks", "frames", "bytes", "seconds"}``.
+    Returns ``{"ticks", "frames", "bytes", "seconds"}`` plus — in
+    resume mode — ``{"reconnects", "resent_frames", "acked_ticks"}``.
     """
-    import socket
+    import select
 
-    from repro.service.protocol import encode_binary, encode_eof, encode_json
+    from repro.service.protocol import (
+        encode_acks_subscribe,
+        encode_binary,
+        encode_eof,
+        encode_json,
+    )
 
     if fmt not in ("binary", "json"):
         raise ValueError(f"fmt must be 'binary' or 'json', got {fmt!r}")
@@ -623,62 +1109,194 @@ def loadgen(
     if max_ticks is not None:
         n_ticks = min(n_ticks, int(max_ticks))
     paths = sorted(setup.eval_data)
-    frames = 0
-    total = 0
+    stats = {
+        "ticks": n_ticks,
+        "frames": 0,
+        "bytes": 0,
+        "seconds": 0.0,
+        "reconnects": 0,
+        "resent_frames": 0,
+        "acked_ticks": 0,
+    }
     # Replicas alias the same eval matrix: encode each distinct
     # (matrix, tick) payload once and only re-emit the cheap header.
     payload_cache: dict[tuple[int, int], bytes] = {}
+
+    def tick_bytes(ti: int) -> tuple[bytes, int]:
+        lo = ti * chunk
+        out = bytearray()
+        n_frames = 0
+        for path in paths:
+            m = setup.eval_data[path]
+            if lo >= m.shape[1]:
+                continue
+            if fmt == "binary":
+                key = (id(m), ti)
+                cached = payload_cache.get(key)
+                if cached is None:
+                    cached = encode_binary("", ti, m[:, lo : lo + chunk])
+                    payload_cache[key] = cached
+                # Patch the node path into the cached frame: the
+                # header is fixed-size, the path sits right after.
+                out += _patch_binary_path(cached, path)
+            else:
+                out += encode_json(path, ti, m[:, lo : lo + chunk])
+            n_frames += 1
+        return bytes(out), n_frames
+
     start = time.perf_counter()
-    with socket.create_connection(address) as sock:
-        for ti in range(n_ticks):
-            lo = ti * chunk
-            out = bytearray()
-            for path in paths:
-                m = setup.eval_data[path]
-                if lo >= m.shape[1]:
-                    continue
-                if fmt == "binary":
-                    key = (id(m), ti)
-                    cached = payload_cache.get(key)
-                    if cached is None:
-                        cached = encode_binary(
-                            "", ti, m[:, lo : lo + chunk]
-                        )
-                        payload_cache[key] = cached
-                    # Patch the node path into the cached frame: the
-                    # header is fixed-size, the path sits right after.
-                    out += _patch_binary_path(cached, path)
-                else:
-                    out += encode_json(path, ti, m[:, lo : lo + chunk])
-                frames += 1
-            sock.sendall(out)
-            total += len(out)
-            if interval > 0.0:
-                time.sleep(interval)
-        if send_eof:
+    overall_deadline = (
+        time.monotonic() + total_timeout if total_timeout else None
+    )
+
+    def check_overall() -> None:
+        if overall_deadline is not None and time.monotonic() > overall_deadline:
+            raise TimeoutError(
+                f"loadgen did not complete within {total_timeout:.0f}s "
+                f"(acked {last_acked + 1}/{n_ticks} ticks)"
+            )
+
+    if not resume:
+        sock = _connect_with_backoff(address, timeout=connect_timeout)
+        try:
+            for ti in range(n_ticks):
+                out, n_frames = tick_bytes(ti)
+                sock.sendall(out)
+                stats["frames"] += n_frames
+                stats["bytes"] += len(out)
+                if interval > 0.0:
+                    time.sleep(interval)
+            if send_eof:
+                sock.sendall(encode_eof())
+        finally:
+            sock.close()
+        stats["seconds"] = time.perf_counter() - start
+        return stats
+
+    sock = None
+    decoder = FrameDecoder()
+    last_acked = -1
+
+    def teardown() -> None:
+        nonlocal sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            sock = None
+
+    def ensure_conn() -> None:
+        nonlocal sock, decoder
+        if sock is not None:
+            return
+        sock = _connect_with_backoff(address, timeout=connect_timeout)
+        decoder = FrameDecoder()
+        sock.sendall(encode_acks_subscribe())
+
+    def drain_acks(block_s: float) -> None:
+        """Consume whatever acks are readable (advances last_acked)."""
+        nonlocal last_acked
+        wait = block_s
+        while True:
+            readable, _, _ = select.select([sock], [], [], wait)
+            if not readable:
+                return
+            data = sock.recv(1 << 16)
+            if not data:
+                raise ConnectionResetError("server closed the ack stream")
+            frames, _ = decoder.feed(data)
+            for frame in frames:
+                if frame.control == "ack" and frame.tick > last_acked:
+                    last_acked = frame.tick
+            wait = 0.0
+
+    def await_progress(target: int) -> None:
+        """Block until ``last_acked`` reaches ``target`` or stall out."""
+        stall_t0 = time.monotonic()
+        floor = last_acked
+        while last_acked < target:
+            check_overall()
+            drain_acks(0.05)
+            if last_acked > floor:
+                floor = last_acked
+                stall_t0 = time.monotonic()
+            elif time.monotonic() - stall_t0 > ack_timeout:
+                raise _AckStall(
+                    f"no ack progress past tick {last_acked} "
+                    f"for {ack_timeout:.1f}s"
+                )
+
+    retryable = (
+        ConnectionResetError,
+        ConnectionAbortedError,
+        ConnectionRefusedError,
+        BrokenPipeError,
+        _AckStall,
+        OSError,
+    )
+    ti = 0
+    while last_acked < n_ticks - 1:
+        check_overall()
+        try:
+            ensure_conn()
+            while ti < n_ticks:
+                check_overall()
+                if ti - last_acked > max_window:
+                    await_progress(ti - max_window)
+                out, n_frames = tick_bytes(ti)
+                sock.sendall(out)
+                stats["frames"] += n_frames
+                stats["bytes"] += len(out)
+                ti += 1
+                drain_acks(0.0)
+                if interval > 0.0:
+                    time.sleep(interval)
+            await_progress(n_ticks - 1)
+        except retryable:
+            teardown()
+            stats["reconnects"] += 1
+            resend_from = last_acked + 1
+            stats["resent_frames"] += max(ti - resend_from, 0) * len(paths)
+            ti = resend_from
+    if send_eof:
+        # Every tick is acked (processed and, per the server's fsync
+        # policy, journaled): eof is now safe — nothing left to resend.
+        try:
+            ensure_conn()
             sock.sendall(encode_eof())
-    return {
-        "ticks": n_ticks,
-        "frames": frames,
-        "bytes": total,
-        "seconds": time.perf_counter() - start,
-    }
+        except retryable:
+            pass  # best effort; an idle server drains on its own
+    teardown()
+    stats["acked_ticks"] = last_acked + 1
+    stats["seconds"] = time.perf_counter() - start
+    return stats
 
 
 def _patch_binary_path(frame: bytes, path: str) -> bytes:
-    """Rewrite the (empty) node path of a cached binary frame."""
-    import struct
+    """Rewrite the (empty) node path of a cached binary frame.
 
-    from repro.service.protocol import _HEADER, MAGIC
+    The v2 checksum is ``crc32(path, crc32(values))`` — values first —
+    so the cached empty-path frame's crc field *is* ``crc32(values)``
+    and re-stamping a node path costs one crc over the short path
+    bytes, never over the payload.
+    """
+    import struct
+    import zlib
+
+    from repro.service.protocol import _HEADER2, MAGIC
 
     encoded = path.encode("utf-8")
+    off = len(MAGIC) + 4
     body_len = struct.unpack_from("<I", frame, len(MAGIC))[0] + len(encoded)
-    header = bytearray(frame[len(MAGIC) + 4 : len(MAGIC) + 4 + _HEADER.size])
+    header = bytearray(frame[off : off + _HEADER2.size])
     struct.pack_into("<H", header, 1, len(encoded))
+    values_crc = struct.unpack_from("<I", header, 17)[0]
+    struct.pack_into("<I", header, 17, zlib.crc32(encoded, values_crc))
     return (
         MAGIC
         + struct.pack("<I", body_len)
         + bytes(header)
         + encoded
-        + frame[len(MAGIC) + 4 + _HEADER.size :]
+        + frame[off + _HEADER2.size :]
     )

@@ -5,7 +5,13 @@ A deliberately tiny HTTP/1.1 responder on the server's own event loop
 connection.  Routes:
 
 ========================== =========================================
-``GET /health``            liveness + current tick + fleet size
+``GET /health``            liveness + readiness + degraded reasons
+                           (WAL flush lag, quarantined nodes,
+                           barrier-timeout streak) + tick/fleet size
+``GET /health/live``       bare liveness probe (always 200)
+``GET /health/ready``      readiness probe (503 until listeners are
+                           bound and recovery finished, or once a
+                           stop is in flight)
 ``GET /fleet``             per-node guard health (``fleet_health()``)
 ``GET /alerts``            alert log with full ``repro-alerts/v1``
                            root-cause payloads (suppressed hidden;
@@ -131,7 +137,12 @@ class OpsProtocolServer:
         except Exception as exc:  # never take the loop down from ops
             status, body = 500, {"error": str(exc)}
         payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
-        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+        reason = {
+            200: "OK",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            503: "Service Unavailable",
+        }
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
@@ -156,11 +167,18 @@ class OpsProtocolServer:
         path, _, query = target.partition("?")
         srv = self.server
         if method == "GET" and path == "/health":
-            return 200, {
-                "status": "ok",
-                "tick": srv._cursor,
-                "nodes": len(srv._queues),
-                "connections": srv._open_conns,
+            return 200, srv.health()
+        if method == "GET" and path == "/health/live":
+            # Liveness is answering at all: if the loop can run this
+            # handler, the process is alive.
+            return 200, {"live": True}
+        if method == "GET" and path == "/health/ready":
+            payload = srv.health()
+            ready = bool(payload["ready"])
+            return (200 if ready else 503), {
+                "ready": ready,
+                "status": payload["status"],
+                "reasons": payload["reasons"],
             }
         if method == "GET" and path == "/fleet":
             return 200, {"fleet": srv.guarded.fleet_health()}

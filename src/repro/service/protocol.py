@@ -17,9 +17,18 @@ a stream (auto-detected per frame by the first byte):
       MAGIC(4) | body_len u32 | body
 
   with ``body`` = ``version u8 | path_len u16 | tick u64 |
-  n_sensors u16 | m u32 | path utf-8 | values float64[n*m]`` (all
-  little-endian, values C-order).  ``MAGIC``'s first byte can never
-  start a JSON line, which is what makes per-frame autodetection safe.
+  n_sensors u16 | m u32 | crc u32 | path utf-8 | values
+  float64[n*m]`` (all little-endian, values C-order).  ``crc`` is
+  version 2's payload checksum, ``crc32(path, crc32(values))`` —
+  values first so a load generator can cache one burst's checksum and
+  re-stamp only the cheap path prefix per node.  A checksum mismatch
+  is transport corruption, **not** a node fault: the decoder reports
+  it without a node attribution so the server drops (and counts) the
+  frame instead of poisoning whatever path the damaged bytes happen
+  to spell, and the sender's ack-driven retransmit re-delivers it.
+  Version 1 frames (no ``crc`` field) still decode.  ``MAGIC``'s
+  first byte can never start a JSON line, which is what makes
+  per-frame autodetection safe.
 
 :class:`FrameDecoder` is an incremental parser over arbitrary byte
 chunks: it yields decoded :class:`Frame`\\ s plus typed
@@ -34,6 +43,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Any
 
@@ -45,6 +55,8 @@ __all__ = [
     "Frame",
     "FrameDecoder",
     "FrameError",
+    "encode_ack",
+    "encode_acks_subscribe",
     "encode_binary",
     "encode_eof",
     "encode_json",
@@ -56,8 +68,9 @@ PROTOCOL = "repro-ticks/v1"
 #: decoder distinguishes the two encodings from one byte.
 MAGIC = b"\x93RT1"
 
-_HEADER = struct.Struct("<BHQHI")  # version, path_len, tick, n, m
-_VERSION = 1
+_HEADER = struct.Struct("<BHQHI")  # v1: version, path_len, tick, n, m
+_HEADER2 = struct.Struct("<BHQHII")  # v2: ... + crc32
+_VERSION = 2
 
 #: Upper bound on one frame body / JSON line; anything larger is
 #: treated as garbage (a desynchronized or malicious length prefix must
@@ -82,7 +95,8 @@ class Frame:
 class FrameError:
     """One undecodable stretch of input, with the best-known context."""
 
-    reason: str  # "garbage" | "bad-json" | "bad-frame" | "truncated"
+    #: "garbage" | "bad-json" | "bad-frame" | "bad-crc" | "truncated"
+    reason: str
     detail: str = ""
     #: The node path when the broken frame still named one (lets the
     #: server poison that node's queue so the guard quarantines it).
@@ -107,39 +121,77 @@ def encode_eof() -> bytes:
     return b'{"op":"eof"}\n'
 
 
+def encode_acks_subscribe() -> bytes:
+    """Control frame a client sends to opt into per-tick acks."""
+    return b'{"op":"acks"}\n'
+
+
+def encode_ack(tick: int) -> bytes:
+    """Per-tick ack the server sends to subscribed connections."""
+    return (
+        json.dumps(
+            {"op": "ack", "tick": int(tick)}, separators=(",", ":")
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
 def encode_binary(node: str, tick: int, values) -> bytes:
-    """One binary frame for a ``(n_sensors, m)`` burst."""
+    """One binary (version 2, checksummed) frame for a burst."""
     B = np.ascontiguousarray(values, dtype="<f8")
     if B.ndim != 2:
         raise ValueError(
             f"binary frames carry (n_sensors, m) bursts, got shape {B.shape}"
         )
     path = node.encode("utf-8")
-    header = _HEADER.pack(
-        _VERSION, len(path), int(tick), B.shape[0], B.shape[1]
+    payload = B.tobytes()
+    crc = zlib.crc32(path, zlib.crc32(payload))
+    header = _HEADER2.pack(
+        _VERSION, len(path), int(tick), B.shape[0], B.shape[1], crc
     )
-    body = header + path + B.tobytes()
+    body = header + path + payload
     return MAGIC + struct.pack("<I", len(body)) + body
 
 
 def _decode_body(body: bytes) -> Frame | FrameError:
     if len(body) < _HEADER.size:
         return FrameError("bad-frame", detail="short header")
-    version, path_len, tick, n, m = _HEADER.unpack_from(body)
-    if version != _VERSION:
+    version = body[0]
+    if version == 1:
+        header, crc = _HEADER, None
+        _, path_len, tick, n, m = _HEADER.unpack_from(body)
+    elif version == _VERSION:
+        if len(body) < _HEADER2.size:
+            return FrameError("bad-frame", detail="short header")
+        header = _HEADER2
+        _, path_len, tick, n, m, crc = _HEADER2.unpack_from(body)
+    else:
         return FrameError("bad-frame", detail=f"unknown version {version}")
-    expected = _HEADER.size + path_len + 8 * n * m
+    expected = header.size + path_len + 8 * n * m
     if len(body) != expected:
         return FrameError(
             "bad-frame",
             detail=f"body is {len(body)} bytes, header implies {expected}",
         )
+    raw_path = body[header.size : header.size + path_len]
+    if crc is not None:
+        actual = zlib.crc32(
+            raw_path, zlib.crc32(body[header.size + path_len :])
+        )
+        if actual != crc:
+            # Transport corruption: the path bytes themselves are
+            # untrustworthy, so no node attribution — the server must
+            # drop this frame, not poison whatever the bytes spell.
+            return FrameError(
+                "bad-crc",
+                detail=f"checksum {actual:#010x} != header {crc:#010x}",
+            )
     try:
-        path = body[_HEADER.size : _HEADER.size + path_len].decode("utf-8")
+        path = raw_path.decode("utf-8")
     except UnicodeDecodeError:
         return FrameError("bad-frame", detail="undecodable path")
     values = np.frombuffer(
-        body, dtype="<f8", count=n * m, offset=_HEADER.size + path_len
+        body, dtype="<f8", count=n * m, offset=header.size + path_len
     ).reshape(n, m)
     return Frame(node=path, tick=int(tick), values=values)
 
@@ -152,7 +204,15 @@ def _decode_line(line: bytes) -> Frame | FrameError:
     if not isinstance(obj, dict):
         return FrameError("bad-json", detail="frame is not an object")
     if "op" in obj:
-        return Frame(node="", tick=-1, values=None, control=str(obj["op"]))
+        # Control frames keep a tick when they carry one (acks do);
+        # -1 otherwise, preserving the historical sentinel.
+        try:
+            tick = int(obj.get("tick", -1))
+        except (TypeError, ValueError):
+            tick = -1
+        return Frame(
+            node="", tick=tick, values=None, control=str(obj["op"])
+        )
     node = obj.get("node")
     if not isinstance(node, str) or not node:
         return FrameError("bad-json", detail="missing node path")

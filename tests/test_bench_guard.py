@@ -176,6 +176,45 @@ class TestServiceGuard:
                 f"BENCH_service.json is missing {key}"
             )
 
+    def test_wal_overhead_within_budget(self):
+        """Acceptance floors for serving with the write-ahead frame
+        journal (fsync policy ``tick``):
+
+        * the *steady-state* durability claim — a journaled server
+          still sustains >= 4x the 1000-node 1 Hz serving cadence
+          (the journal needs ~1 MB/s at that cadence, so the claim
+          holds with wide margin on any disk);
+        * the *saturation* keep ratio — at max replay speed every
+          node-sample drags ~1 KiB through the kernel write path, so
+          the ratio measures detector-compute-per-byte against
+          kernel-write-cost-per-byte.  On virtualized CI (free-page
+          reporting returns freed guest pages to the host; fresh page
+          allocations pay a hypervisor round-trip) the write path
+          sustains only ~25-130 MB/s, capping the ratio well below
+          the >= 0.8 a bare-metal page cache reaches.  The floor
+          guards code regressions on the journaling path, not the
+          host's paging behavior;
+        * byte-identity of the journaled alert stream.
+        """
+        summary = _load_summary(SERVICE_SUMMARY_JSON)
+        assert "net_wal_keep_ratio" in summary, (
+            "BENCH_service.json is missing the net_wal_keep_ratio "
+            "headline (run pytest benchmarks/test_net_serve.py -m slow)"
+        )
+        assert summary.get("net_wal_samples_per_s", 0.0) >= 4000, (
+            f"journaled server sustained only "
+            f"{summary.get('net_wal_samples_per_s')} node-samples/s "
+            "(floor: 4x the 1000-node 1 Hz serving cadence)"
+        )
+        assert summary["net_wal_keep_ratio"] >= 0.3, (
+            f"WAL (fsync=tick) kept only "
+            f"{summary['net_wal_keep_ratio']:.0%} of the no-WAL "
+            "serving throughput (floor: 30% at saturation)"
+        )
+        assert summary.get("net_wal_byte_identical") == 1, (
+            "journaled alert stream diverged from the in-process replay"
+        )
+
     def test_no_service_speedup_below_one(self):
         summary = _load_summary(SERVICE_SUMMARY_JSON)
         speedups = {

@@ -343,15 +343,28 @@ class TestAlertLog:
 
 
 class TestServeListenFlagConflicts:
-    @pytest.mark.parametrize(
-        "extra", [["--checkpoint", "x.npz"], ["--interval", "0.5"]]
-    )
-    def test_in_process_flags_rejected_with_listen(self, extra, capsys):
-        """`--checkpoint`/`--interval` only drive the in-process loop;
-        combining them with --listen is an error, never a silent no-op."""
+    def test_interval_rejected_with_listen(self, capsys):
+        """`--interval` only drives the in-process loop; combining it
+        with --listen is an error, never a silent no-op (--checkpoint,
+        by contrast, is now the networked-checkpoint path)."""
         from repro import cli
 
-        assert cli.main(["serve", "--listen", "127.0.0.1:0", *extra]) == 2
+        rc = cli.main(
+            ["serve", "--listen", "127.0.0.1:0", "--interval", "0.5"]
+        )
+        assert rc == 2
+        assert "--listen" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "extra",
+        [["--wal", "waldir"], ["--supervise"]],
+    )
+    def test_network_only_flags_require_listen(self, extra, capsys):
+        """--wal journals network ingestion and --supervise wraps the
+        network server; without --listen both are configuration errors."""
+        from repro import cli
+
+        assert cli.main(["serve", *extra]) == 2
         assert "--listen" in capsys.readouterr().err
 
 

@@ -1,0 +1,382 @@
+"""Crash-durable network serving: WAL + networked checkpoints + resume.
+
+The headline drill clones the on-disk state (checkpoint + WAL) of a
+live server mid-stream — including a journaled frame of an unfinished
+tick — and proves a fresh server recovering from that clone, fed by a
+resuming client, emits alert JSONL byte-identical to the uninterrupted
+in-process replay.  Around it: WAL-only recovery, the health /
+readiness surface, stats plumbing, port-file cleanup and the
+connect-backoff that closes the port-file race.
+"""
+
+import shutil
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.api import (
+    ServiceConfig,
+    build_detector,
+    build_setup,
+    replay,
+)
+from repro.service.checkpoint import CheckpointError, fleet_fingerprint
+from repro.service.net import (
+    FleetServer,
+    ListAlertSink,
+    ServerCheckpoint,
+    loadgen,
+)
+from repro.service.protocol import encode_binary, encode_eof
+
+CFG = ServiceConfig.smoke()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_setup(CFG)
+
+
+@pytest.fixture(scope="module")
+def fingerprint(setup):
+    return fleet_fingerprint(setup.trained)
+
+
+@pytest.fixture(scope="module")
+def reference(setup):
+    sink = ListAlertSink()
+    outcome = replay(CFG, setup, sinks=(sink,))
+    return outcome, sink.text()
+
+
+def _wait(pred, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if pred():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def _checkpoint(path, fingerprint, every=1):
+    return ServerCheckpoint(
+        path=path, every=every, fingerprint=fingerprint, chunk=CFG.chunk
+    )
+
+
+class TestCrashRestartByteIdentity:
+    KILL_AT = 3  # ticks processed before the simulated crash
+
+    def test_cloned_crash_state_recovers_byte_identical(
+        self, setup, fingerprint, reference, tmp_path
+    ):
+        """Clone checkpoint+WAL of a live server mid-stream (with one
+        frame of an unfinished tick journaled), recover a fresh server
+        from the clone, resume the feed: byte-identical alerts."""
+        _, ref_text = reference
+        paths = sorted(setup.eval_data)
+
+        # -- the "crashing" server -----------------------------------
+        sink_a = ListAlertSink()
+        server_a = FleetServer(
+            build_detector(CFG, setup),
+            sinks=(sink_a,),
+            wal=tmp_path / "wal-live",
+            checkpoint=_checkpoint(
+                tmp_path / "live.npz", fingerprint
+            ),
+        )
+        thread_a = server_a.start_background()
+        assert server_a.ready.wait(10)
+        loadgen(
+            setup,
+            ("127.0.0.1", server_a.port),
+            chunk=CFG.chunk,
+            max_ticks=self.KILL_AT,
+            send_eof=False,
+        )
+        assert _wait(lambda: server_a.stats.ticks >= self.KILL_AT)
+        # One frame of the next (never-completed) tick: the journal's
+        # torn-tick tail a kill -9 mid-burst leaves behind.
+        frames_before = server_a.stats.frames
+        m = setup.eval_data[paths[0]]
+        lo = self.KILL_AT * CFG.chunk
+        with socket.create_connection(
+            ("127.0.0.1", server_a.port)
+        ) as sock:
+            sock.sendall(
+                encode_binary(
+                    paths[0], self.KILL_AT, m[:, lo : lo + CFG.chunk]
+                )
+            )
+            assert _wait(
+                lambda: server_a.stats.frames == frames_before + 1
+            )
+            # Appends batch in memory; push the orphaned frame to disk
+            # the way fsync=always would, so the clone carries a
+            # mid-tick journal tail.  (The event loop is idle here —
+            # nothing else is appending.)
+            server_a._wal.sync()
+            # Crash-consistent clone: checkpoint first, then the WAL —
+            # exactly the order the live process writes them, so the
+            # clone can never hold a checkpoint newer than its journal.
+            shutil.copy(tmp_path / "live.npz", tmp_path / "crash.npz")
+            shutil.copytree(tmp_path / "wal-live", tmp_path / "wal-crash")
+        server_a.request_stop()
+        thread_a.join(30)
+        assert not thread_a.is_alive()
+
+        # -- the restarted server ------------------------------------
+        sink_b = ListAlertSink()
+        server_b = FleetServer(
+            build_detector(CFG, setup),
+            sinks=(sink_b,),
+            exit_on_idle=True,
+            wal=tmp_path / "wal-crash",
+            checkpoint=_checkpoint(tmp_path / "crash.npz", fingerprint),
+        )
+        thread_b = server_b.start_background()
+        assert server_b.ready.wait(30)
+        # Recovery replayed the journal tail past the checkpoint (at
+        # least the orphaned frame of the unfinished tick).
+        assert server_b.stats.wal_replayed > 0
+        # The resuming client re-sends everything; processed ticks are
+        # late-dropped, the rest completes the stream.
+        stats = loadgen(
+            setup,
+            ("127.0.0.1", server_b.port),
+            chunk=CFG.chunk,
+            resume=True,
+            total_timeout=120.0,
+        )
+        thread_b.join(60)
+        assert not thread_b.is_alive()
+        assert sink_b.text() == ref_text
+        assert stats["acked_ticks"] == stats["ticks"]
+        assert server_b.stats.checkpoints >= 1
+
+    def test_wal_only_recovery_reemits_full_stream(
+        self, setup, reference, tmp_path
+    ):
+        """No checkpoint at all: the journal alone re-drives every tick
+        through a fresh detector — same bytes out."""
+        _, ref_text = reference
+        sink_a = ListAlertSink()
+        server_a = FleetServer(
+            build_detector(CFG, setup),
+            sinks=(sink_a,),
+            exit_on_idle=True,
+            wal=tmp_path / "wal",
+        )
+        thread_a = server_a.start_background()
+        assert server_a.ready.wait(10)
+        loadgen(setup, ("127.0.0.1", server_a.port), chunk=CFG.chunk)
+        thread_a.join(60)
+        assert not thread_a.is_alive()
+        assert sink_a.text() == ref_text
+        appended = server_a.stats.wal_appended
+        assert appended > 0
+
+        sink_b = ListAlertSink()
+        server_b = FleetServer(
+            build_detector(CFG, setup),
+            sinks=(sink_b,),
+            exit_on_idle=True,
+            wal=tmp_path / "wal",
+        )
+        thread_b = server_b.start_background()
+        assert server_b.ready.wait(30)
+        assert server_b.stats.wal_replayed == appended
+        # Nothing new to send; an eof drains the recovered server.
+        with socket.create_connection(
+            ("127.0.0.1", server_b.port)
+        ) as sock:
+            sock.sendall(encode_eof())
+        thread_b.join(30)
+        assert not thread_b.is_alive()
+        assert sink_b.text() == ref_text
+
+    def test_inprocess_checkpoint_rejected_for_server_restart(
+        self, setup, fingerprint, tmp_path
+    ):
+        """A checkpoint written by in-process replay has no server
+        routing state; seeding a network restart from it must be a
+        typed error, not silent drift."""
+        replay(
+            CFG,
+            setup,
+            checkpoint_path=tmp_path / "inproc.npz",
+            checkpoint_every=1,
+        )
+        server = FleetServer(
+            build_detector(CFG, setup),
+            checkpoint=_checkpoint(tmp_path / "inproc.npz", fingerprint),
+        )
+        with pytest.raises(CheckpointError, match="server"):
+            server._recover()
+
+
+class TestHealthSurface:
+    def test_health_payload_and_wal_stats(self, setup, tmp_path):
+        server = FleetServer(
+            build_detector(CFG, setup),
+            exit_on_idle=True,
+            wal=tmp_path / "wal",
+        )
+        thread = server.start_background()
+        assert server.ready.wait(10)
+        payload = server.health()
+        assert payload["live"] is True
+        assert payload["ready"] is True
+        assert payload["status"] == "ok" and payload["reasons"] == []
+        assert payload["wal"] is not None
+        loadgen(setup, ("127.0.0.1", server.port), chunk=CFG.chunk)
+        thread.join(60)
+        assert not thread.is_alive()
+        stats = server.stats.snapshot()
+        assert stats["wal_appended"] > 0
+        assert stats["wal_fsyncs"] > 0
+        assert stats["wal_replayed"] == 0
+        assert stats["checkpoints"] == 0
+        # After the drain, the server reports itself not ready.
+        assert server.health()["ready"] is False
+
+    def test_degraded_reasons(self, setup):
+        server = FleetServer(build_detector(CFG, setup))
+        # Barrier-timeout streak (a dead agent forcing partial ticks).
+        server._timeout_streak = 3
+        payload = server.health()
+        assert payload["status"] == "degraded"
+        assert "barrier-timeout-streak" in payload["reasons"]
+        # Quarantined node (guard state, not server state).
+        node = sorted(server._queues)[0]
+        server.guarded._health[node].state = "quarantined"
+        payload = server.health()
+        assert "quarantined-nodes" in payload["reasons"]
+        assert payload["quarantined"] == 1
+
+
+class TestIdleGrace:
+    def test_reconnect_gap_does_not_end_stream(self, setup, reference):
+        """An ``exit_on_idle`` server must survive the connection gap a
+        reconnecting client leaves (e.g. after a chaos-proxy reset)
+        instead of reading it as end-of-stream."""
+        _, ref_text = reference
+        sink = ListAlertSink()
+        server = FleetServer(
+            build_detector(CFG, setup),
+            sinks=(sink,),
+            exit_on_idle=True,
+            idle_grace=5.0,
+        )
+        thread = server.start_background()
+        assert server.ready.wait(10)
+        loadgen(
+            setup,
+            ("127.0.0.1", server.port),
+            chunk=CFG.chunk,
+            max_ticks=2,
+            send_eof=False,
+        )
+        # Inside the grace window with no connection open: still up.
+        time.sleep(0.5)
+        assert thread.is_alive()
+        loadgen(
+            setup,
+            ("127.0.0.1", server.port),
+            chunk=CFG.chunk,
+            resume=True,
+        )
+        thread.join(60)
+        assert not thread.is_alive()
+        assert sink.text() == ref_text
+
+    def test_idle_grace_expiry_ends_server(self, setup, reference):
+        """With no EOF frame and no reconnect, the grace window runs
+        out and the server drains on its own — nothing external wakes
+        the pump, so expiry must be self-scheduled."""
+        _, ref_text = reference
+        sink = ListAlertSink()
+        server = FleetServer(
+            build_detector(CFG, setup),
+            sinks=(sink,),
+            exit_on_idle=True,
+            idle_grace=0.3,
+        )
+        thread = server.start_background()
+        assert server.ready.wait(10)
+        loadgen(
+            setup,
+            ("127.0.0.1", server.port),
+            chunk=CFG.chunk,
+            send_eof=False,
+        )
+        thread.join(30)
+        assert not thread.is_alive()
+        assert sink.text() == ref_text
+
+
+class TestPortFileCleanup:
+    def test_port_files_removed_on_clean_shutdown(self, setup, tmp_path):
+        port_file = tmp_path / "serve.port"
+        server = FleetServer(
+            build_detector(CFG, setup),
+            exit_on_idle=True,
+            ops_host="127.0.0.1",
+            port_file=port_file,
+        )
+        thread = server.start_background()
+        assert server.ready.wait(10)
+        ops_file = tmp_path / "serve.port.ops"
+        assert int(port_file.read_text()) == server.port
+        assert int(ops_file.read_text()) == server.ops_bound_port
+        loadgen(setup, ("127.0.0.1", server.port), chunk=CFG.chunk)
+        thread.join(60)
+        assert not thread.is_alive()
+        # Stale port files would point supervisors at a dead port.
+        assert not port_file.exists()
+        assert not ops_file.exists()
+
+
+class TestConnectBackoff:
+    def test_loadgen_retries_until_server_binds(self, setup, reference):
+        """The port-file race: loadgen starts before the server has
+        bound its port and must retry with backoff, not crash."""
+        _, ref_text = reference
+        state: dict = {}
+
+        def address():
+            if "port" not in state:
+                raise ConnectionRefusedError("server not up yet")
+            return ("127.0.0.1", state["port"])
+
+        sink = ListAlertSink()
+
+        def bind_later():
+            time.sleep(0.4)
+            server = FleetServer(
+                build_detector(CFG, setup),
+                sinks=(sink,),
+                exit_on_idle=True,
+            )
+            state["thread"] = server.start_background()
+            assert server.ready.wait(10)
+            state["port"] = server.port
+
+        starter = threading.Thread(target=bind_later)
+        starter.start()
+        loadgen(setup, address, chunk=CFG.chunk, connect_timeout=15.0)
+        starter.join(15)
+        state["thread"].join(60)
+        assert not state["thread"].is_alive()
+        assert sink.text() == ref_text
+
+    def test_connect_budget_exhausted_raises(self):
+        with pytest.raises(ConnectionRefusedError):
+            from repro.service.net import _connect_with_backoff
+
+            _connect_with_backoff(
+                ("127.0.0.1", 1), timeout=0.3
+            )
